@@ -1,0 +1,56 @@
+// Reproduces the operating-frequency results of Section 4:
+//  * EAB-based approach: ~56.7 MHz (average over configurations);
+//  * FF-based approach: ~64 MHz for 2-flit buffers, dropping to ~55.8 MHz
+//    at 4 flits "due to the multiplexer at the outputs of the buffers".
+#include <cstdio>
+
+#include "tech/report.hpp"
+#include "tech/timing.hpp"
+
+using namespace rasoc;
+
+int main() {
+  const tech::TimingModel model;
+
+  std::printf("Maximum operating frequency (reproduction of Section 4).\n\n");
+  tech::Table table({"FIFO", "depth", "LUT levels", "period (ns)",
+                     "fmax (MHz)", "paper"});
+
+  struct Row {
+    bool ff;
+    int p;
+    const char* paper;
+  };
+  const Row rows[] = {{true, 2, "~64 MHz"},
+                      {true, 4, "~55.8 MHz"},
+                      {false, 2, "~56.7 MHz (avg)"},
+                      {false, 4, "~56.7 MHz (avg)"}};
+  for (const Row& row : rows) {
+    const double levels =
+        model.baseRouterLevels + tech::fifoReadLevels(model, row.ff, row.p);
+    char lvl[32], per[32], mhz[32];
+    std::snprintf(lvl, sizeof lvl, "%.1f", levels);
+    std::snprintf(per, sizeof per, "%.1f", model.periodNs(levels));
+    std::snprintf(mhz, sizeof mhz, "%.1f",
+                  tech::routerFmaxMhz(model, row.ff, row.p));
+    table.addRow({row.ff ? "FF-based" : "EAB-based", std::to_string(row.p),
+                  lvl, per, mhz, row.paper});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\nModel: period = %.1f ns fixed + %.1f ns per 4-LUT level; base "
+      "router path\n= %.1f levels (buffer head -> routing decode -> "
+      "grant-qualified read -> output\ndata switch -> handshake); EAB "
+      "synchronous read = %.1f LUT-level equivalents.\n",
+      model.fixedNs, model.levelNs, model.baseRouterLevels,
+      model.eabReadLevels);
+
+  std::printf("\nDeeper FF FIFOs (extension sweep):\n");
+  for (int p : {2, 4, 8, 16}) {
+    std::printf("  p=%-3d  FF %.1f MHz   EAB %.1f MHz\n", p,
+                tech::routerFmaxMhz(model, true, p),
+                tech::routerFmaxMhz(model, false, p));
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Extension experiment: latency/throughput characterization of a RASoC
+// mesh across offered load, traffic patterns and buffer depths - the
+// standard NoC evaluation the paper's follow-up work (SoCIN) publishes.
+#include <cstdio>
+
+#include "noc/mesh.hpp"
+#include "tech/report.hpp"
+
+using namespace rasoc;
+
+namespace {
+
+constexpr int kWarmup = 800;
+constexpr int kMeasure = 3000;
+
+struct Point {
+  double latency;
+  double throughput;
+};
+
+Point run(noc::TrafficPattern pattern, double load, int p) {
+  noc::MeshConfig cfg;
+  cfg.shape = noc::MeshShape{4, 4};
+  cfg.params.n = 16;
+  cfg.params.p = p;
+  noc::Mesh mesh(cfg);
+  mesh.ledger().setWarmupCycles(kWarmup);
+  noc::TrafficConfig traffic;
+  traffic.pattern = pattern;
+  traffic.offeredLoad = load;
+  traffic.payloadFlits = 6;
+  traffic.seed = 99;
+  traffic.hotspot = noc::NodeId{1, 1};
+  traffic.hotspotFraction = 0.3;
+  mesh.attachTraffic(traffic);
+  mesh.run(kWarmup + kMeasure);
+  if (!mesh.healthy()) std::printf("!! unhealthy run\n");
+  return {mesh.ledger().packetLatency().mean(),
+          mesh.ledger().throughputFlitsPerCyclePerNode(kMeasure, 16)};
+}
+
+std::string fmt(double v, const char* f = "%.2f") {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, f, v);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "RASoC 4x4 mesh load sweep (n=16, 8-flit packets, %d measured "
+      "cycles)\n\n",
+      kMeasure);
+
+  for (noc::TrafficPattern pattern :
+       {noc::TrafficPattern::UniformRandom, noc::TrafficPattern::Transpose,
+        noc::TrafficPattern::HotSpot}) {
+    std::printf("--- pattern: %s ---\n",
+                std::string(noc::name(pattern)).c_str());
+    tech::Table table({"load", "lat p=2", "thru p=2", "lat p=4", "thru p=4",
+                       "lat p=8", "thru p=8"});
+    for (double load : {0.02, 0.05, 0.10, 0.20, 0.35, 0.50}) {
+      std::vector<std::string> row{fmt(load)};
+      for (int p : {2, 4, 8}) {
+        const Point point = run(pattern, load, p);
+        row.push_back(fmt(point.latency));
+        row.push_back(fmt(point.throughput, "%.4f"));
+      }
+      table.addRow(row);
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Shape checks: latency is flat near the zero-load value until the\n"
+      "saturation knee, deeper buffers push the knee to higher loads, and\n"
+      "hotspot traffic saturates earliest.\n");
+  return 0;
+}

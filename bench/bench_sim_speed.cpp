@@ -1,0 +1,60 @@
+// Simulator performance microbenchmarks (google-benchmark): cycles/second
+// for a single router and for full meshes - the practical limit on how much
+// NoC evaluation the harnesses above can afford.
+#include <benchmark/benchmark.h>
+
+#include "noc/mesh.hpp"
+#include "router/rasoc.hpp"
+#include "sim/simulator.hpp"
+#include "softcore/elaborate.hpp"
+#include "tech/mapper.hpp"
+
+using namespace rasoc;
+
+namespace {
+
+void BM_SingleRouterIdle(benchmark::State& state) {
+  router::RouterParams params;
+  router::Rasoc dut("dut", params);
+  sim::Simulator sim;
+  sim.add(dut);
+  sim.reset();
+  for (auto _ : state) sim.step();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SingleRouterIdle);
+
+void BM_MeshUnderLoad(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  noc::MeshConfig cfg;
+  cfg.shape = noc::MeshShape{side, side};
+  cfg.params.n = 16;
+  cfg.params.p = 4;
+  noc::Mesh mesh(cfg);
+  noc::TrafficConfig traffic;
+  traffic.offeredLoad = 0.2;
+  traffic.payloadFlits = 6;
+  traffic.seed = 17;
+  mesh.attachTraffic(traffic);
+  for (auto _ : state) mesh.run(1);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["routers"] = side * side;
+}
+BENCHMARK(BM_MeshUnderLoad)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_ElaborateAndMap(benchmark::State& state) {
+  // Elaboration + technology mapping cost (the "synthesis" analogue).
+  const tech::Flex10keMapper mapper;
+  router::RouterParams params;
+  params.n = 32;
+  params.p = 4;
+  for (auto _ : state) {
+    const softcore::Entity router = softcore::elaborateRouter(params);
+    benchmark::DoNotOptimize(router.totalCost(mapper));
+  }
+}
+BENCHMARK(BM_ElaborateAndMap);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Reproduces Table 2 of the paper: "Costs of RASoC" - full 5-port router
+// costs for both FIFO implementations across n in {8,16,32}, p in {2,4},
+// m fixed at 8 bits, plus the device-utilization sentence ("the largest
+// configuration in the EAB-based approach uses less than 0.7% of the
+// memory bits available in the target FPGA").
+#include <cstdio>
+
+#include "gates/blocks.hpp"
+#include "softcore/elaborate.hpp"
+#include "tech/mapper.hpp"
+#include "tech/report.hpp"
+
+using namespace rasoc;
+
+int main() {
+  const tech::Flex10keMapper mapper;
+
+  std::printf("Table 2. Costs of RASoC (reproduction).\n");
+  std::printf("5-port routers, m = 8. Device: %s\n\n",
+              std::string(mapper.device().name).c_str());
+
+  tech::Table table({"FIFO", "width", "LC(p=2)", "Reg(p=2)", "Mem(p=2)",
+                     "LC(p=4)", "Reg(p=4)", "Mem(p=4)"});
+
+  tech::Cost largestEab;
+  for (router::FifoImpl impl :
+       {router::FifoImpl::FlipFlop, router::FifoImpl::Eab}) {
+    for (int n : {8, 16, 32}) {
+      std::vector<std::string> row;
+      row.push_back(std::string(router::name(impl)));
+      row.push_back(std::to_string(n) + "-bit");
+      for (int p : {2, 4}) {
+        router::RouterParams params;
+        params.n = n;
+        params.p = p;
+        params.fifoImpl = impl;
+        const tech::Cost cost =
+            softcore::elaborateRouter(params).totalCost(mapper);
+        row.push_back(std::to_string(cost.lc));
+        row.push_back(std::to_string(cost.reg));
+        row.push_back(std::to_string(cost.mem));
+        if (impl == router::FifoImpl::Eab && n == 32 && p == 4)
+          largestEab = cost;
+      }
+      table.addRow(row);
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf("\nLargest EAB configuration (32-bit, 4 flits): %s\n",
+              tech::utilizationSummary(mapper.device(), largestEab).c_str());
+  std::printf(
+      "Paper: \"the largest configuration in the EAB-based approach uses\n"
+      "less than 0.7%% of the memory bits available in the target FPGA\"\n"
+      "-> measured %d bits = %s of %d.\n",
+      largestEab.mem,
+      tech::percent(largestEab.mem, mapper.device().memoryBits).c_str(),
+      mapper.device().memoryBits);
+
+  // Closing the loop: the smallest configuration also exists as an actual
+  // LUT/FF netlist (src/gates), equivalence-checked against the
+  // behavioural model.  Its census brackets the analytical estimate (the
+  // construction stores FIFO data in logic cells like the FF-based row and
+  // spends explicit inverter LUTs that packing would absorb).
+  {
+    gates::GateNetlist nl;
+    gates::buildGateRouter(nl, 8, 8, 2);
+    router::RouterParams small;
+    small.n = 8;
+    small.p = 2;
+    small.fifoImpl = router::FifoImpl::FlipFlop;
+    const tech::Cost estimate =
+        softcore::elaborateRouter(small).totalCost(mapper);
+    std::printf(
+        "\nGate-level cross-check (n=8, p=2): constructed netlist %d LUTs "
+        "+ %d FFs\nvs analytical FF-based estimate %d LC / %d Reg.\n",
+        nl.lutCount(), nl.dffCount(), estimate.lc, estimate.reg);
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Reproduces Table 4 of the paper and its surrounding comparison: RASoC
+// router cost as a fraction of the FemtoJava ASIP microcontroller.
+// "Comparing these costs with the ones shown in Table 2 (for 8- and 16-bit
+// configurations), one can see that the costs of RASoC vary from 31% to
+// 56% of the costs of FemtoJava."
+#include <algorithm>
+#include <cstdio>
+
+#include "femtojava/femtojava.hpp"
+#include "tech/report.hpp"
+
+using namespace rasoc;
+
+int main() {
+  std::printf("Table 4. Number of LCs for FemtoJava (reference anchors).\n\n");
+  tech::Table anchors({"Data width", "LC", "source"});
+  anchors.addRow({"8 bits", std::to_string(femtojava::kFemtoJava8.logicCells),
+                  femtojava::kFemtoJava8.published
+                      ? "published"
+                      : "reconstructed (see src/femtojava)"});
+  anchors.addRow({"16 bits",
+                  std::to_string(femtojava::kFemtoJava16.logicCells),
+                  "published (paper Table 4)"});
+  std::fputs(anchors.render().c_str(), stdout);
+
+  std::printf("\nRASoC vs FemtoJava (router LC / core LC):\n\n");
+  tech::Table table({"width", "FIFO", "p", "router LC", "FemtoJava LC",
+                     "ratio"});
+  double lo = 1e9, hi = 0.0;
+  for (int width : {8, 16}) {
+    for (const auto& row : femtojava::comparisonSweep(width, {2, 4})) {
+      table.addRow({std::to_string(width) + "-bit",
+                    std::string(router::name(row.params.fifoImpl)),
+                    std::to_string(row.params.p),
+                    std::to_string(row.routerLc),
+                    std::to_string(row.femtojavaLc),
+                    tech::percent(row.ratio * 100.0, 100.0)});
+      lo = std::min(lo, row.ratio);
+      hi = std::max(hi, row.ratio);
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nMeasured band: %.0f%%-%.0f%% of FemtoJava (paper reports "
+      "31%%-56%%;\nsee EXPERIMENTS.md for the discussion of the "
+      "reconstructed 8-bit anchor).\n",
+      lo * 100.0, hi * 100.0);
+  return 0;
+}

@@ -1,0 +1,123 @@
+// SoC test planning over the RASoC NoC (the paper's second named
+// application area).  Compares a dedicated-serial-TAM-style baseline
+// against NoC-based schedules with 1, 2 and 4 ATE access ports, with and
+// without a power budget, and validates the analytical makespans on the
+// cycle-accurate mesh.
+#include <cstdio>
+
+#include "tech/report.hpp"
+#include "testplan/executor.hpp"
+
+using namespace rasoc;
+using namespace rasoc::testplan;
+
+namespace {
+
+std::vector<CoreTestSpec> socCores() {
+  auto core = [](const char* name, int x, int y, int packets, int bist,
+                 double power) {
+    CoreTestSpec spec;
+    spec.name = name;
+    spec.location = noc::NodeId{x, y};
+    spec.testPackets = packets;
+    spec.payloadFlits = 8;
+    spec.bistCycles = bist;
+    spec.power = power;
+    return spec;
+  };
+  // A 10-core SoC with heterogeneous, delivery-dominated test loads
+  // (large scan-vector sets streamed through the NoC, moderate BIST
+  // tails) - the regime where test access bandwidth is the bottleneck.
+  return {
+      core("risc", 1, 0, 60, 160, 2.0), core("dsp", 2, 0, 50, 120, 2.0),
+      core("sdram", 1, 1, 100, 300, 1.5), core("usb", 2, 1, 20, 40, 1.0),
+      core("vld", 1, 2, 30, 70, 1.0),   core("idct", 2, 2, 40, 80, 1.5),
+      core("mac", 0, 1, 25, 50, 1.0),   core("aes", 3, 1, 35, 60, 1.0),
+      core("adc", 0, 2, 15, 30, 0.5),   core("gpio", 3, 2, 10, 20, 0.5),
+  };
+}
+
+TestPlanConfig config(std::vector<noc::NodeId> ports, double power) {
+  TestPlanConfig cfg;
+  cfg.accessPorts = std::move(ports);
+  cfg.powerBudget = power;
+  cfg.params.n = 16;
+  cfg.params.p = 4;
+  return cfg;
+}
+
+std::uint64_t execute(const TestPlanConfig& cfg,
+                      const std::vector<CoreTestSpec>& cores,
+                      const TestSchedule& schedule) {
+  noc::MeshConfig meshCfg;
+  meshCfg.shape = noc::MeshShape{4, 4};
+  meshCfg.params = cfg.params;
+  noc::Mesh mesh(meshCfg);
+  const ExecutionResult result =
+      runSchedule(mesh, cores, schedule, cfg, 200000);
+  if (!result.completed || !result.healthy) {
+    std::printf("!! execution failed\n");
+    return 0;
+  }
+  return result.measuredMakespan;
+}
+
+}  // namespace
+
+int main() {
+  const auto cores = socCores();
+  const double inf = std::numeric_limits<double>::infinity();
+
+  std::printf(
+      "SoC test planning on a 4x4 RASoC NoC (10 BISTed cores)\n"
+      "makespan in cycles; 'measured' = cycle-accurate replay\n\n");
+
+  tech::Table table(
+      {"configuration", "planned", "measured", "vs serial TAM"});
+
+  const TestPlanConfig serialCfg = config({noc::NodeId{0, 0}}, inf);
+  TestPlanner serialPlanner(serialCfg);
+  const TestSchedule serial = serialPlanner.sequentialBaseline(cores);
+  const std::uint64_t serialMeasured = execute(serialCfg, cores, serial);
+  table.addRow({"serial TAM baseline (1 port)",
+                std::to_string(serial.makespan),
+                std::to_string(serialMeasured), "1.00x"});
+
+  struct Scenario {
+    const char* label;
+    std::vector<noc::NodeId> ports;
+    double power;
+  };
+  const Scenario scenarios[] = {
+      {"NoC schedule, 1 port", {noc::NodeId{0, 0}}, inf},
+      {"NoC schedule, 2 ports", {noc::NodeId{0, 0}, noc::NodeId{3, 3}}, inf},
+      {"NoC schedule, 4 ports",
+       {noc::NodeId{0, 0}, noc::NodeId{3, 3}, noc::NodeId{0, 3},
+        noc::NodeId{3, 0}},
+       inf},
+      {"NoC schedule, 4 ports, power <= 4.0",
+       {noc::NodeId{0, 0}, noc::NodeId{3, 3}, noc::NodeId{0, 3},
+        noc::NodeId{3, 0}},
+       4.0},
+  };
+  for (const Scenario& scenario : scenarios) {
+    const TestPlanConfig cfg = config(scenario.ports, scenario.power);
+    TestPlanner planner(cfg);
+    const TestSchedule schedule = planner.plan(cores);
+    const std::uint64_t measured = execute(cfg, cores, schedule);
+    char speedup[16];
+    std::snprintf(speedup, sizeof speedup, "%.2fx",
+                  static_cast<double>(serial.makespan) /
+                      static_cast<double>(schedule.makespan));
+    table.addRow({scenario.label, std::to_string(schedule.makespan),
+                  std::to_string(measured), speedup});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\nShape checks: overlapping BIST tails with the next delivery "
+      "already beats\nthe serial TAM on one port; extra access ports and "
+      "the NoC's parallelism\ncompound it; the power cap trades some of "
+      "that speedup back.\n");
+  return 0;
+}

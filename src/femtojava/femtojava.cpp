@@ -1,0 +1,52 @@
+#include "femtojava/femtojava.hpp"
+
+#include <stdexcept>
+
+#include "softcore/elaborate.hpp"
+#include "tech/mapper.hpp"
+
+namespace rasoc::femtojava {
+
+ReferenceCost referenceFor(int dataWidthBits) {
+  switch (dataWidthBits) {
+    case 8: return kFemtoJava8;
+    case 16: return kFemtoJava16;
+    default:
+      throw std::invalid_argument(
+          "FemtoJava reference exists for 8 and 16 bit only");
+  }
+}
+
+double rasocToFemtoJavaRatio(const router::RouterParams& params) {
+  const tech::Flex10keMapper mapper;
+  const softcore::Entity router = softcore::elaborateRouter(params);
+  const tech::Cost cost = router.totalCost(mapper);
+  const ReferenceCost reference = referenceFor(params.n);
+  return static_cast<double>(cost.lc) /
+         static_cast<double>(reference.logicCells);
+}
+
+std::vector<RatioRow> comparisonSweep(int dataWidthBits,
+                                      const std::vector<int>& depths) {
+  const tech::Flex10keMapper mapper;
+  std::vector<RatioRow> rows;
+  for (router::FifoImpl impl :
+       {router::FifoImpl::FlipFlop, router::FifoImpl::Eab}) {
+    for (int p : depths) {
+      router::RouterParams params;
+      params.n = dataWidthBits;
+      params.p = p;
+      params.fifoImpl = impl;
+      const softcore::Entity router = softcore::elaborateRouter(params);
+      const int lc = router.totalCost(mapper).lc;
+      const ReferenceCost reference = referenceFor(dataWidthBits);
+      rows.push_back(RatioRow{
+          params, lc, reference.logicCells,
+          static_cast<double>(lc) /
+              static_cast<double>(reference.logicCells)});
+    }
+  }
+  return rows;
+}
+
+}  // namespace rasoc::femtojava

@@ -1,0 +1,564 @@
+#include "gates/blocks.hpp"
+
+#include <stdexcept>
+
+#include "router/params.hpp"
+
+namespace rasoc::gates {
+
+std::vector<NodeId> buildMuxTree(GateNetlist& nl,
+                                 const std::vector<std::vector<NodeId>>& in,
+                                 const std::vector<NodeId>& sel) {
+  if (in.empty()) throw std::invalid_argument("mux needs inputs");
+  const std::size_t width = in.front().size();
+  for (const auto& bus : in) {
+    if (bus.size() != width)
+      throw std::invalid_argument("mux input buses must share a width");
+  }
+  if ((1u << sel.size()) < in.size())
+    throw std::invalid_argument("not enough select bits");
+
+  // Reduce pairwise per select bit, LSB select first (balanced tree).
+  std::vector<std::vector<NodeId>> level = in;
+  for (std::size_t s = 0; s < sel.size() && level.size() > 1; ++s) {
+    std::vector<std::vector<NodeId>> next;
+    for (std::size_t pair = 0; pair < level.size(); pair += 2) {
+      if (pair + 1 == level.size()) {
+        next.push_back(level[pair]);  // odd leftover passes through
+        continue;
+      }
+      std::vector<NodeId> merged(width);
+      for (std::size_t bit = 0; bit < width; ++bit) {
+        merged[bit] =
+            nl.mux2(sel[s], level[pair][bit], level[pair + 1][bit]);
+      }
+      next.push_back(std::move(merged));
+    }
+    level = std::move(next);
+  }
+  return level.front();
+}
+
+UpDownCounter buildUpDownCounter(GateNetlist& nl, int bits, NodeId inc,
+                                 NodeId dec) {
+  if (bits < 1) throw std::invalid_argument("counter needs >= 1 bit");
+  UpDownCounter counter;
+  for (int i = 0; i < bits; ++i) counter.bits.push_back(nl.addDff(false));
+
+  // enable = inc XOR dec; direction = dec (borrow instead of carry).
+  const NodeId enable = nl.xorGate(inc, dec);
+  // Carry chain: flip bit i when the chain reaches it; the chain
+  // propagates through bits equal to 1 (increment) or 0 (decrement),
+  // i.e. through (bit XOR dec).
+  NodeId chain = enable;
+  for (int i = 0; i < bits; ++i) {
+    const NodeId q = counter.bits[static_cast<std::size_t>(i)];
+    const NodeId next = nl.xorGate(q, chain);
+    nl.connectDff(q, next);
+    if (i + 1 < bits) {
+      const NodeId propagate = nl.xorGate(q, dec);
+      chain = nl.andGate(chain, propagate);
+    }
+  }
+  return counter;
+}
+
+NodeId buildEqualsConst(GateNetlist& nl, const std::vector<NodeId>& bus,
+                        unsigned value) {
+  if (bus.empty()) throw std::invalid_argument("empty bus");
+  std::vector<NodeId> terms;
+  for (std::size_t chunk = 0; chunk < bus.size(); chunk += 4) {
+    const std::size_t width = std::min<std::size_t>(4, bus.size() - chunk);
+    std::array<NodeId, 4> ins{GateNetlist::kNone, GateNetlist::kNone,
+                              GateNetlist::kNone, GateNetlist::kNone};
+    std::uint16_t truth = 0;
+    const unsigned want = (value >> chunk) & ((1u << width) - 1u);
+    for (unsigned pattern = 0; pattern < 16; ++pattern) {
+      if ((pattern & ((1u << width) - 1u)) == want)
+        truth |= static_cast<std::uint16_t>(1u << pattern);
+    }
+    for (std::size_t i = 0; i < width; ++i) ins[i] = bus[chunk + i];
+    // Unused LUT inputs read 0, so only patterns with those bits clear
+    // occur; the truth table above already covers them.
+    terms.push_back(nl.addLut(ins, truth));
+  }
+  NodeId result = terms.front();
+  for (std::size_t i = 1; i < terms.size(); ++i)
+    result = nl.andGate(result, terms[i]);
+  return result;
+}
+
+FifoControl buildFifoControl(GateNetlist& nl, int depth, NodeId wr,
+                             NodeId rd) {
+  if (depth < 1) throw std::invalid_argument("depth must be >= 1");
+  int occBits = 1;
+  while ((1 << occBits) < depth + 1) ++occBits;
+
+  FifoControl control;
+  // Occupancy counter with guarded strobes; the guards need the counter's
+  // current value, so create the DFFs first (sources), guards next, and
+  // connect the counter D inputs through a manual chain (the generic
+  // builder wants the strobes at construction time, so inline the same
+  // carry-chain here).
+  std::vector<NodeId> occ;
+  for (int i = 0; i < occBits; ++i) occ.push_back(nl.addDff(false));
+
+  const NodeId full = buildEqualsConst(nl, occ, static_cast<unsigned>(depth));
+  const NodeId empty = buildEqualsConst(nl, occ, 0u);
+  control.wok = nl.notGate(full);
+  control.rok = nl.notGate(empty);
+
+  control.doRead = nl.andGate(rd, control.rok);
+  // write legal when not full, or when a simultaneous read frees the slot.
+  const NodeId freeing = nl.orGate(control.wok, control.doRead);
+  control.doWrite = nl.andGate(wr, freeing);
+
+  const NodeId enable = nl.xorGate(control.doWrite, control.doRead);
+  NodeId chain = enable;
+  for (int i = 0; i < occBits; ++i) {
+    const NodeId q = occ[static_cast<std::size_t>(i)];
+    nl.connectDff(q, nl.xorGate(q, chain));
+    if (i + 1 < occBits) {
+      chain = nl.andGate(chain, nl.xorGate(q, control.doRead));
+    }
+  }
+  control.occupancy = occ;
+  return control;
+}
+
+// The arbitration cone shared by the one-hot and binary-encoded arbiters:
+// rotating-priority pick lines plus the hold/grant control terms.
+struct ArbiterCone {
+  std::array<NodeId, 4> pick{};
+  NodeId holding = GateNetlist::kNone;
+  NodeId granting = GateNetlist::kNone;
+  NodeId pickIdx0 = GateNetlist::kNone;
+  NodeId pickIdx1 = GateNetlist::kNone;
+};
+
+static ArbiterCone buildArbiterCone(GateNetlist& nl,
+                                    const std::array<NodeId, 4>& req,
+                                    NodeId eop, NodeId rok, NodeId rd,
+                                    NodeId connected, NodeId ptr0,
+                                    NodeId ptr1);
+
+// Builds the arbiter's combinational cone and connects the (pre-created)
+// state flip-flops - split out so the full gate router can create all its
+// DFF sources before any cross-referencing logic.
+static void buildArbiterLogic(GateNetlist& nl,
+                              const std::array<NodeId, 4>& req, NodeId eop,
+                              NodeId rok, NodeId rd,
+                              const std::array<NodeId, 4>& gnt,
+                              NodeId connected, NodeId ptr0, NodeId ptr1) {
+  const ArbiterCone cone =
+      buildArbiterCone(nl, req, eop, rok, rd, connected, ptr0, ptr1);
+  for (int i = 0; i < 4; ++i) {
+    const NodeId hold =
+        nl.andGate(cone.holding, gnt[static_cast<std::size_t>(i)]);
+    const NodeId take =
+        nl.andGate(cone.granting, cone.pick[static_cast<std::size_t>(i)]);
+    nl.connectDff(gnt[static_cast<std::size_t>(i)], nl.orGate(hold, take));
+  }
+  nl.connectDff(connected, nl.orGate(cone.holding, cone.granting));
+  nl.connectDff(ptr0, nl.mux2(cone.granting, ptr0, cone.pickIdx0));
+  nl.connectDff(ptr1, nl.mux2(cone.granting, ptr1, cone.pickIdx1));
+}
+
+static ArbiterCone buildArbiterCone(GateNetlist& nl,
+                                    const std::array<NodeId, 4>& req,
+                                    NodeId eop, NodeId rok, NodeId rd,
+                                    NodeId connected, NodeId ptr0,
+                                    NodeId ptr1) {
+  ArbiterCone cone;
+  const NodeId anyReq = nl.or4(req[0], req[1], req[2], req[3]);
+  const NodeId teardown = nl.and3(eop, rok, rd);
+  cone.holding = nl.andGate(connected, nl.notGate(teardown));
+  cone.granting = nl.andGate(nl.notGate(connected), anyReq);
+
+  // Replicated fixed-priority chains, one per pointer value P: priority
+  // order P+1, P+2, P+3, P (mod 4).
+  std::array<std::array<NodeId, 4>, 4> chainGnt{};
+  for (int p = 0; p < 4; ++p) {
+    NodeId blocked = nl.addConst(false);  // some earlier candidate requested
+    for (int k = 1; k <= 4; ++k) {
+      const int candidate = (p + k) % 4;
+      chainGnt[static_cast<std::size_t>(p)][static_cast<std::size_t>(
+          candidate)] =
+          nl.andGate(req[static_cast<std::size_t>(candidate)],
+                     nl.notGate(blocked));
+      blocked = nl.orGate(blocked, req[static_cast<std::size_t>(candidate)]);
+    }
+  }
+
+  // Mux the four chains by the pointer, per grant line.
+  for (int i = 0; i < 4; ++i) {
+    std::vector<std::vector<NodeId>> options;
+    for (int p = 0; p < 4; ++p)
+      options.push_back({chainGnt[static_cast<std::size_t>(p)]
+                                 [static_cast<std::size_t>(i)]});
+    cone.pick[static_cast<std::size_t>(i)] =
+        buildMuxTree(nl, options, {ptr0, ptr1}).front();
+  }
+
+  // Binary encode of the one-hot pick (the granted candidate's index).
+  cone.pickIdx0 = nl.orGate(cone.pick[1], cone.pick[3]);
+  cone.pickIdx1 = nl.orGate(cone.pick[2], cone.pick[3]);
+  return cone;
+}
+
+RoundRobinArbiter buildRoundRobinArbiter(GateNetlist& nl,
+                                         const std::array<NodeId, 4>& req,
+                                         NodeId eop, NodeId rok, NodeId rd) {
+  RoundRobinArbiter arbiter;
+  std::array<NodeId, 4> gnt{};
+  for (auto& g : gnt) g = nl.addDff(false);
+  const NodeId connected = nl.addDff(false);
+  const NodeId ptr0 = nl.addDff(false);
+  const NodeId ptr1 = nl.addDff(false);
+  buildArbiterLogic(nl, req, eop, rok, rd, gnt, connected, ptr0, ptr1);
+  arbiter.connected = connected;
+  arbiter.gnt = gnt;
+  return arbiter;
+}
+
+RoundRobinArbiter buildBinaryArbiter(GateNetlist& nl,
+                                     const std::array<NodeId, 4>& req,
+                                     NodeId eop, NodeId rok, NodeId rd) {
+  // Binary state: two selection bits + connected + pointer (5 DFFs vs the
+  // one-hot version's 7); grants are decoded combinationally.
+  const NodeId sel0 = nl.addDff(false);
+  const NodeId sel1 = nl.addDff(false);
+  const NodeId connected = nl.addDff(false);
+  const NodeId ptr0 = nl.addDff(false);
+  const NodeId ptr1 = nl.addDff(false);
+
+  const ArbiterCone cone =
+      buildArbiterCone(nl, req, eop, rok, rd, connected, ptr0, ptr1);
+
+  nl.connectDff(sel0, nl.mux2(cone.granting, sel0, cone.pickIdx0));
+  nl.connectDff(sel1, nl.mux2(cone.granting, sel1, cone.pickIdx1));
+  nl.connectDff(connected, nl.orGate(cone.holding, cone.granting));
+  nl.connectDff(ptr0, nl.mux2(cone.granting, ptr0, cone.pickIdx0));
+  nl.connectDff(ptr1, nl.mux2(cone.granting, ptr1, cone.pickIdx1));
+
+  RoundRobinArbiter arbiter;
+  arbiter.connected = connected;
+  for (unsigned i = 0; i < 4; ++i) {
+    const NodeId match =
+        buildEqualsConst(nl, std::vector<NodeId>{sel0, sel1}, i);
+    arbiter.gnt[i] = nl.andGate(connected, match);
+  }
+  return arbiter;
+}
+
+RouteLogic buildXYRouteLogic(GateNetlist& nl,
+                             const std::vector<NodeId>& rib, NodeId bop,
+                             NodeId rok) {
+  const int m = static_cast<int>(rib.size());
+  if (m < 4 || m % 2 != 0)
+    throw std::invalid_argument("RIB must be even and >= 4 bits");
+  const int axis = m / 2;
+  const int mag = axis - 1;
+
+  auto sliceMag = [&](int base) {
+    std::vector<NodeId> bits;
+    for (int i = 0; i < mag; ++i)
+      bits.push_back(rib[static_cast<std::size_t>(base + i)]);
+    return bits;
+  };
+  const std::vector<NodeId> xmag = sliceMag(0);
+  const NodeId xsign = rib[static_cast<std::size_t>(axis - 1)];
+  const std::vector<NodeId> ymag = sliceMag(axis);
+  const NodeId ysign = rib[static_cast<std::size_t>(m - 1)];
+
+  const NodeId xzero = buildEqualsConst(nl, xmag, 0);
+  const NodeId yzero = buildEqualsConst(nl, ymag, 0);
+  const NodeId header = nl.andGate(rok, bop);
+
+  RouteLogic logic;
+  using router::Port;
+  const NodeId xActive = nl.andGate(header, nl.notGate(xzero));
+  const NodeId yActive = nl.and3(header, xzero, nl.notGate(yzero));
+  logic.req[router::index(Port::East)] =
+      nl.andGate(xActive, nl.notGate(xsign));
+  logic.req[router::index(Port::West)] = nl.andGate(xActive, xsign);
+  logic.req[router::index(Port::North)] =
+      nl.andGate(yActive, nl.notGate(ysign));
+  logic.req[router::index(Port::South)] = nl.andGate(yActive, ysign);
+  logic.req[router::index(Port::Local)] = nl.and3(header, xzero, yzero);
+
+  // Decrement-by-one borrow chains for each magnitude.
+  auto decrement = [&](const std::vector<NodeId>& bits) {
+    std::vector<NodeId> result;
+    NodeId borrow = nl.addConst(true);
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      result.push_back(nl.xorGate(bits[i], borrow));
+      if (i + 1 < bits.size())
+        borrow = nl.andGate(borrow, nl.notGate(bits[i]));
+    }
+    return result;
+  };
+  const std::vector<NodeId> xdec = decrement(xmag);
+  const std::vector<NodeId> ydec = decrement(ymag);
+
+  // Select which axis (if any) is consumed this hop.
+  const NodeId consumeX = xActive;
+  const NodeId consumeY = yActive;
+  logic.updatedRib.resize(static_cast<std::size_t>(m));
+  for (int i = 0; i < mag; ++i) {
+    logic.updatedRib[static_cast<std::size_t>(i)] =
+        nl.mux2(consumeX, xmag[static_cast<std::size_t>(i)],
+                xdec[static_cast<std::size_t>(i)]);
+    logic.updatedRib[static_cast<std::size_t>(axis + i)] =
+        nl.mux2(consumeY, ymag[static_cast<std::size_t>(i)],
+                ydec[static_cast<std::size_t>(i)]);
+  }
+  // Canonical encoding: the sign clears when the last hop of an axis is
+  // consumed (magnitude 1 -> 0), matching encodeRib's normalization.
+  const NodeId xLastHop =
+      nl.andGate(consumeX, buildEqualsConst(nl, xmag, 1));
+  const NodeId yLastHop =
+      nl.andGate(consumeY, buildEqualsConst(nl, ymag, 1));
+  logic.updatedRib[static_cast<std::size_t>(axis - 1)] =
+      nl.andGate(xsign, nl.notGate(xLastHop));
+  logic.updatedRib[static_cast<std::size_t>(m - 1)] =
+      nl.andGate(ysign, nl.notGate(yLastHop));
+  return logic;
+}
+
+namespace {
+
+// Wrapping counter connect: q += inc - dec (chain logic over pre-created
+// DFFs, LSB first).  Width must wrap naturally (power-of-two range).
+void connectCounter(GateNetlist& nl, const std::vector<NodeId>& bits,
+                    NodeId inc, NodeId dec) {
+  const NodeId enable = nl.xorGate(inc, dec);
+  NodeId chain = enable;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    nl.connectDff(bits[i], nl.xorGate(bits[i], chain));
+    if (i + 1 < bits.size())
+      chain = nl.andGate(chain, nl.xorGate(bits[i], dec));
+  }
+}
+
+int log2Exact(int value) {
+  int bits = 0;
+  while ((1 << bits) < value) ++bits;
+  if ((1 << bits) != value) return -1;
+  return bits;
+}
+
+}  // namespace
+
+GateRouter buildGateRouter(GateNetlist& nl, int n, int m, int p) {
+  if (n < m || m < 4 || m % 2 != 0)
+    throw std::invalid_argument("need n >= m, m even and >= 4");
+  const int ptrBits = log2Exact(p);
+  if (p < 2 || ptrBits < 0)
+    throw std::invalid_argument("p must be a power of two >= 2");
+  int occBits = 1;
+  while ((1 << occBits) < p + 1) ++occBits;
+  const int width = n + 2;  // bits 0..n-1 data, n = eop, n+1 = bop
+
+  GateRouter router;
+
+  // ---- phase 0: external pins --------------------------------------------
+  for (int i = 0; i < 5; ++i) {
+    auto& in = router.in[static_cast<std::size_t>(i)];
+    for (int b = 0; b < n; ++b)
+      in.data.push_back(nl.addInput("in" + std::to_string(i) + "_d" +
+                                    std::to_string(b)));
+    in.bop = nl.addInput("in" + std::to_string(i) + "_bop");
+    in.eop = nl.addInput("in" + std::to_string(i) + "_eop");
+    in.val = nl.addInput("in" + std::to_string(i) + "_val");
+    router.out[static_cast<std::size_t>(i)].ack =
+        nl.addInput("out" + std::to_string(i) + "_ack");
+  }
+
+  // ---- phase 1: every flip-flop (sources for all later logic) -------------
+  struct InputState {
+    std::vector<std::vector<NodeId>> cells;  // [slot][bit]
+    std::vector<NodeId> wptr, rptr, occ;
+  };
+  struct OutputState {
+    std::array<NodeId, 4> gnt{};
+    NodeId connected = GateNetlist::kNone;
+    NodeId ptr0 = GateNetlist::kNone, ptr1 = GateNetlist::kNone;
+  };
+  std::array<InputState, 5> ins;
+  std::array<OutputState, 5> outs;
+  for (int i = 0; i < 5; ++i) {
+    InputState& s = ins[static_cast<std::size_t>(i)];
+    s.cells.resize(static_cast<std::size_t>(p));
+    for (auto& slot : s.cells)
+      for (int b = 0; b < width; ++b) slot.push_back(nl.addDff(false));
+    for (int b = 0; b < ptrBits; ++b) {
+      s.wptr.push_back(nl.addDff(false));
+      s.rptr.push_back(nl.addDff(false));
+    }
+    for (int b = 0; b < occBits; ++b) s.occ.push_back(nl.addDff(false));
+    OutputState& o = outs[static_cast<std::size_t>(i)];
+    for (auto& g : o.gnt) g = nl.addDff(false);
+    o.connected = nl.addDff(false);
+    o.ptr0 = nl.addDff(false);
+    o.ptr1 = nl.addDff(false);
+  }
+
+  // Candidate order for output o: input ports != o, ascending.
+  auto candidates = [](int o) {
+    std::array<int, 4> c{};
+    int k = 0;
+    for (int i = 0; i < 5; ++i)
+      if (i != o) c[static_cast<std::size_t>(k++)] = i;
+    return c;
+  };
+
+  // ---- phase 2: per-input status, read port, routing cone ------------------
+  struct InputComb {
+    NodeId wok = GateNetlist::kNone, rok = GateNetlist::kNone;
+    std::vector<NodeId> xdout;  // width bits (RIB-updated header copy)
+    std::array<NodeId, 5> req{};
+  };
+  std::array<InputComb, 5> comb;
+  for (int i = 0; i < 5; ++i) {
+    const InputState& s = ins[static_cast<std::size_t>(i)];
+    InputComb& c = comb[static_cast<std::size_t>(i)];
+    const NodeId full =
+        buildEqualsConst(nl, s.occ, static_cast<unsigned>(p));
+    const NodeId empty = buildEqualsConst(nl, s.occ, 0u);
+    c.wok = nl.notGate(full);
+    c.rok = nl.notGate(empty);
+
+    // FIFO head: p:1 mux over the slots by rptr (Figure 8 trees).
+    std::vector<NodeId> dout =
+        buildMuxTree(nl, s.cells, s.rptr);
+
+    // Routing cone over the head's RIB.
+    std::vector<NodeId> rib(dout.begin(), dout.begin() + m);
+    const NodeId bop = dout[static_cast<std::size_t>(n + 1)];
+    const RouteLogic route = buildXYRouteLogic(nl, rib, bop, c.rok);
+    c.req = route.req;
+
+    // x_dout: updated RIB bits, raw upper data bits, framing.
+    c.xdout.resize(static_cast<std::size_t>(width));
+    for (int b = 0; b < m; ++b)
+      c.xdout[static_cast<std::size_t>(b)] =
+          route.updatedRib[static_cast<std::size_t>(b)];
+    for (int b = m; b < width; ++b)
+      c.xdout[static_cast<std::size_t>(b)] =
+          dout[static_cast<std::size_t>(b)];
+  }
+
+  // ---- phase 3: per-output switches and handshake ---------------------------
+  std::array<NodeId, 5> xrd{};
+  std::array<NodeId, 5> eopSel{}, rokSel{};
+  for (int o = 0; o < 5; ++o) {
+    const auto cand = candidates(o);
+    const OutputState& st = outs[static_cast<std::size_t>(o)];
+    auto& out = router.out[static_cast<std::size_t>(o)];
+
+    // One-hot AND-OR switches over the four candidates.
+    auto muxed = [&](auto&& fieldOf) {
+      std::array<NodeId, 4> terms{};
+      for (int k = 0; k < 4; ++k)
+        terms[static_cast<std::size_t>(k)] =
+            nl.andGate(st.gnt[static_cast<std::size_t>(k)],
+                       fieldOf(cand[static_cast<std::size_t>(k)]));
+      return nl.or4(terms[0], terms[1], terms[2], terms[3]);
+    };
+    out.data.resize(static_cast<std::size_t>(n));
+    for (int b = 0; b < n; ++b)
+      out.data[static_cast<std::size_t>(b)] = muxed([&](int i) {
+        return comb[static_cast<std::size_t>(i)]
+            .xdout[static_cast<std::size_t>(b)];
+      });
+    out.eop = muxed([&](int i) {
+      return comb[static_cast<std::size_t>(i)]
+          .xdout[static_cast<std::size_t>(n)];
+    });
+    out.bop = muxed([&](int i) {
+      return comb[static_cast<std::size_t>(i)]
+          .xdout[static_cast<std::size_t>(n + 1)];
+    });
+    rokSel[static_cast<std::size_t>(o)] =
+        muxed([&](int i) { return comb[static_cast<std::size_t>(i)].rok; });
+    eopSel[static_cast<std::size_t>(o)] = out.eop;
+    out.val = rokSel[static_cast<std::size_t>(o)];
+    xrd[static_cast<std::size_t>(o)] = out.ack;  // handshake OFC = wires
+  }
+
+  // ---- phase 4: per-input read switches and flow control --------------------
+  std::array<NodeId, 5> doWrite{}, doRead{};
+  for (int i = 0; i < 5; ++i) {
+    // rd = OR over outputs of (this input's grant AND that output's rd).
+    std::array<NodeId, 4> terms{};
+    int k = 0;
+    for (int o = 0; o < 5; ++o) {
+      if (o == i) continue;
+      const auto cand = candidates(o);
+      int myIndex = -1;
+      for (int c = 0; c < 4; ++c)
+        if (cand[static_cast<std::size_t>(c)] == i) myIndex = c;
+      terms[static_cast<std::size_t>(k++)] = nl.andGate(
+          outs[static_cast<std::size_t>(o)].gnt[static_cast<std::size_t>(
+              myIndex)],
+          xrd[static_cast<std::size_t>(o)]);
+    }
+    const NodeId rd = nl.or4(terms[0], terms[1], terms[2], terms[3]);
+    InputComb& c = comb[static_cast<std::size_t>(i)];
+    doRead[static_cast<std::size_t>(i)] = nl.andGate(rd, c.rok);
+    // IFC: handshake acceptance (val & wok) doubles as the write strobe.
+    const NodeId wr =
+        nl.andGate(router.in[static_cast<std::size_t>(i)].val, c.wok);
+    router.in[static_cast<std::size_t>(i)].ack = wr;
+    doWrite[static_cast<std::size_t>(i)] = wr;
+  }
+
+  // ---- phase 5: connect every flip-flop -------------------------------------
+  for (int i = 0; i < 5; ++i) {
+    const InputState& s = ins[static_cast<std::size_t>(i)];
+    const auto& in = router.in[static_cast<std::size_t>(i)];
+    // Storage cells: write-enable decode from wptr.
+    for (int slot = 0; slot < p; ++slot) {
+      const NodeId slotSelected =
+          buildEqualsConst(nl, s.wptr, static_cast<unsigned>(slot));
+      const NodeId we =
+          nl.andGate(doWrite[static_cast<std::size_t>(i)], slotSelected);
+      for (int b = 0; b < width; ++b) {
+        NodeId din;
+        if (b < n) {
+          din = in.data[static_cast<std::size_t>(b)];
+        } else if (b == n) {
+          din = in.eop;
+        } else {
+          din = in.bop;
+        }
+        const NodeId q =
+            s.cells[static_cast<std::size_t>(slot)][static_cast<std::size_t>(
+                b)];
+        nl.connectDff(q, nl.mux2(we, q, din));
+      }
+    }
+    const NodeId zero = nl.addConst(false);
+    connectCounter(nl, s.wptr, doWrite[static_cast<std::size_t>(i)], zero);
+    connectCounter(nl, s.rptr, doRead[static_cast<std::size_t>(i)], zero);
+    connectCounter(nl, s.occ, doWrite[static_cast<std::size_t>(i)],
+                   doRead[static_cast<std::size_t>(i)]);
+  }
+  for (int o = 0; o < 5; ++o) {
+    const auto cand = candidates(o);
+    std::array<NodeId, 4> req{};
+    for (int k = 0; k < 4; ++k)
+      req[static_cast<std::size_t>(k)] =
+          comb[static_cast<std::size_t>(cand[static_cast<std::size_t>(k)])]
+              .req[static_cast<std::size_t>(o)];
+    const OutputState& st = outs[static_cast<std::size_t>(o)];
+    buildArbiterLogic(nl, req, eopSel[static_cast<std::size_t>(o)],
+                      rokSel[static_cast<std::size_t>(o)],
+                      xrd[static_cast<std::size_t>(o)], st.gnt,
+                      st.connected, st.ptr0, st.ptr1);
+  }
+  return router;
+}
+
+}  // namespace rasoc::gates

@@ -1,0 +1,113 @@
+// Gate-level builders for the router's control structures.
+//
+// Each builder constructs, out of 4-input LUTs and DFFs, the exact
+// structure the technology mapper charges for (Figure 8 mux trees, pointer
+// counters, the replicated-decode round-robin arbiter, the XY routing
+// cone), so that
+//   * behaviour can be cross-checked against the behavioural blocks
+//     (tests/gates/equivalence_test.cpp), and
+//   * LUT counts can be cross-checked against Flex10keMapper
+//     (tests/gates/cost_consistency_test.cpp).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "gates/netlist.hpp"
+
+namespace rasoc::gates {
+
+using NodeId = GateNetlist::NodeId;
+
+// K:1 multiplexer over equal-width input buses, binary select (LSB first).
+// Built as the Figure 8 tree of 2:1 muxes: (k-1) LUTs per bit.
+std::vector<NodeId> buildMuxTree(GateNetlist& nl,
+                                 const std::vector<std::vector<NodeId>>& in,
+                                 const std::vector<NodeId>& sel);
+
+// Up/down counter, `bits` wide, wrapping; counts +1 on (inc & !dec), -1 on
+// (dec & !inc).  Returns the Q nodes, LSB first.
+struct UpDownCounter {
+  std::vector<NodeId> bits;
+};
+UpDownCounter buildUpDownCounter(GateNetlist& nl, int bits, NodeId inc,
+                                 NodeId dec);
+
+// Equality compare of a bus against a constant (1 LUT per 4 bus bits,
+// AND-combined).
+NodeId buildEqualsConst(GateNetlist& nl, const std::vector<NodeId>& bus,
+                        unsigned value);
+
+// FIFO control for a p-deep buffer: occupancy counter + wok/rok status +
+// write/read guards, matching InputBuffer's semantics (write-while-full
+// legal only with a simultaneous read).
+struct FifoControl {
+  NodeId wok = GateNetlist::kNone;
+  NodeId rok = GateNetlist::kNone;
+  NodeId doWrite = GateNetlist::kNone;
+  NodeId doRead = GateNetlist::kNone;
+  std::vector<NodeId> occupancy;  // LSB first
+};
+FifoControl buildFifoControl(GateNetlist& nl, int depth, NodeId wr,
+                             NodeId rd);
+
+// Round-robin output controller over four candidate inputs, with the
+// wormhole connection hold and trailer teardown - the gate-level twin of
+// router::OutputController (one-hot grant state, replicated rotating
+// priority decode muxed by the 2-bit pointer).
+struct RoundRobinArbiter {
+  NodeId connected = GateNetlist::kNone;
+  std::array<NodeId, 4> gnt{GateNetlist::kNone, GateNetlist::kNone,
+                            GateNetlist::kNone, GateNetlist::kNone};
+};
+RoundRobinArbiter buildRoundRobinArbiter(GateNetlist& nl,
+                                         const std::array<NodeId, 4>& req,
+                                         NodeId eop, NodeId rok, NodeId rd);
+
+// The "optimized controller" of the paper's announced future work: binary
+// selection state (2 bits) with combinationally decoded grants instead of
+// one-hot grant registers.  Externally indistinguishable from
+// buildRoundRobinArbiter (asserted by tests/gates/equivalence_test.cpp)
+// with two fewer flip-flops.
+RoundRobinArbiter buildBinaryArbiter(GateNetlist& nl,
+                                     const std::array<NodeId, 4>& req,
+                                     NodeId eop, NodeId rok, NodeId rd);
+
+// XY routing cone for an m-bit RIB (m/2 bits per axis, signed-magnitude):
+// request lines for the five outputs plus the hop-decremented RIB - the
+// gate-level twin of router::InputController's decision logic.
+struct RouteLogic {
+  std::array<NodeId, 5> req{};        // indexed by router::Port
+  std::vector<NodeId> updatedRib;     // m bits, LSB first
+};
+RouteLogic buildXYRouteLogic(GateNetlist& nl,
+                             const std::vector<NodeId>& rib, NodeId bop,
+                             NodeId rok);
+
+// A complete five-port RASoC router at gate level: FIFO storage cells,
+// pointer/occupancy counters, routing cones, round-robin arbiters and
+// one-hot AND-OR output switches, all from 4-LUTs and DFFs.  Handshake
+// flow control, EAB-style ring buffers, p must be a power of two.
+// Cross-checked flit for flit against router::Rasoc in
+// tests/gates/router_equivalence_test.cpp.
+struct GateRouter {
+  struct InPort {
+    std::vector<NodeId> data;  // n bits, LSB first (inputs)
+    NodeId bop = GateNetlist::kNone;
+    NodeId eop = GateNetlist::kNone;
+    NodeId val = GateNetlist::kNone;
+    NodeId ack = GateNetlist::kNone;  // output
+  };
+  struct OutPort {
+    std::vector<NodeId> data;  // outputs
+    NodeId bop = GateNetlist::kNone;
+    NodeId eop = GateNetlist::kNone;
+    NodeId val = GateNetlist::kNone;
+    NodeId ack = GateNetlist::kNone;  // input
+  };
+  std::array<InPort, 5> in;
+  std::array<OutPort, 5> out;
+};
+GateRouter buildGateRouter(GateNetlist& nl, int n, int m, int p);
+
+}  // namespace rasoc::gates

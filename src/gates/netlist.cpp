@@ -1,0 +1,167 @@
+#include "gates/netlist.hpp"
+
+#include <stdexcept>
+
+namespace rasoc::gates {
+
+void GateNetlist::checkExisting(NodeId id) const {
+  if (id == kNone) return;
+  if (id < 0 || static_cast<std::size_t>(id) >= nodes_.size())
+    throw std::out_of_range("gate netlist: unknown node");
+}
+
+GateNetlist::NodeId GateNetlist::addInput(std::string name) {
+  Node node;
+  node.kind = Kind::Input;
+  nodes_.push_back(node);
+  const NodeId id = static_cast<NodeId>(nodes_.size()) - 1;
+  outputs_.emplace("in:" + std::move(name), id);
+  return id;
+}
+
+GateNetlist::NodeId GateNetlist::addConst(bool value) {
+  Node node;
+  node.kind = Kind::Const;
+  node.value = value;
+  nodes_.push_back(node);
+  return static_cast<NodeId>(nodes_.size()) - 1;
+}
+
+GateNetlist::NodeId GateNetlist::addLut(std::array<NodeId, 4> inputs,
+                                        std::uint16_t truth) {
+  for (NodeId in : inputs) checkExisting(in);
+  Node node;
+  node.kind = Kind::Lut;
+  node.inputs = inputs;
+  node.truth = truth;
+  nodes_.push_back(node);
+  ++lutCount_;
+  return static_cast<NodeId>(nodes_.size()) - 1;
+}
+
+GateNetlist::NodeId GateNetlist::addDff(bool resetValue) {
+  Node node;
+  node.kind = Kind::Dff;
+  node.resetValue = resetValue;
+  node.value = resetValue;
+  nodes_.push_back(node);
+  ++dffCount_;
+  return static_cast<NodeId>(nodes_.size()) - 1;
+}
+
+void GateNetlist::connectDff(NodeId q, NodeId d) {
+  checkExisting(q);
+  checkExisting(d);
+  Node& node = nodes_[static_cast<std::size_t>(q)];
+  if (node.kind != Kind::Dff)
+    throw std::invalid_argument("connectDff target is not a flip-flop");
+  node.d = d;
+}
+
+void GateNetlist::markOutput(std::string name, NodeId node) {
+  checkExisting(node);
+  outputs_[std::move(name)] = node;
+}
+
+// Truth tables are indexed by (in3 in2 in1 in0); unused inputs read 0.
+GateNetlist::NodeId GateNetlist::notGate(NodeId a) {
+  return addLut({a, kNone, kNone, kNone}, 0b01);
+}
+
+GateNetlist::NodeId GateNetlist::andGate(NodeId a, NodeId b) {
+  return addLut({a, b, kNone, kNone}, 0b1000);
+}
+
+GateNetlist::NodeId GateNetlist::orGate(NodeId a, NodeId b) {
+  return addLut({a, b, kNone, kNone}, 0b1110);
+}
+
+GateNetlist::NodeId GateNetlist::xorGate(NodeId a, NodeId b) {
+  return addLut({a, b, kNone, kNone}, 0b0110);
+}
+
+GateNetlist::NodeId GateNetlist::and3(NodeId a, NodeId b, NodeId c) {
+  return addLut({a, b, c, kNone}, 0b10000000);
+}
+
+GateNetlist::NodeId GateNetlist::or3(NodeId a, NodeId b, NodeId c) {
+  return addLut({a, b, c, kNone}, 0b11111110);
+}
+
+GateNetlist::NodeId GateNetlist::or4(NodeId a, NodeId b, NodeId c,
+                                     NodeId d) {
+  return addLut({a, b, c, d}, 0xfffe);
+}
+
+GateNetlist::NodeId GateNetlist::mux2(NodeId sel, NodeId a, NodeId b) {
+  // inputs: in0=sel, in1=a, in2=b -> out = sel ? b : a.
+  // Enumerate patterns (in2 in1 in0): out=1 for 010(a,!sel), 011? no:
+  //   sel=0 -> out=a: patterns x1 0 -> 010=2, 110=6
+  //   sel=1 -> out=b: patterns 1x 1 -> 101=5, 111=7
+  return addLut({sel, a, b, kNone},
+                static_cast<std::uint16_t>((1u << 2) | (1u << 6) |
+                                           (1u << 5) | (1u << 7)));
+}
+
+void GateNetlist::reset() {
+  for (Node& node : nodes_) {
+    if (node.kind == Kind::Dff) node.value = node.resetValue;
+  }
+  evaluate();
+}
+
+void GateNetlist::setInput(NodeId input, bool value) {
+  checkExisting(input);
+  Node& node = nodes_[static_cast<std::size_t>(input)];
+  if (node.kind != Kind::Input)
+    throw std::invalid_argument("setInput target is not an input");
+  node.value = value;
+}
+
+void GateNetlist::evaluate() {
+  for (Node& node : nodes_) {
+    if (node.kind != Kind::Lut) continue;
+    unsigned pattern = 0;
+    for (int i = 0; i < 4; ++i) {
+      const NodeId in = node.inputs[static_cast<std::size_t>(i)];
+      const bool bit =
+          in == kNone ? false : nodes_[static_cast<std::size_t>(in)].value;
+      pattern |= (bit ? 1u : 0u) << i;
+    }
+    node.value = (node.truth >> pattern) & 1u;
+  }
+}
+
+void GateNetlist::clockEdge() {
+  // Sample every D first, then commit (all DFFs share one clock).
+  std::vector<bool> next(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& node = nodes_[i];
+    if (node.kind != Kind::Dff) continue;
+    if (node.d == kNone)
+      throw std::logic_error("flip-flop with unconnected D input");
+    next[i] = nodes_[static_cast<std::size_t>(node.d)].value;
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].kind == Kind::Dff) nodes_[i].value = next[i];
+  }
+}
+
+void GateNetlist::step() {
+  evaluate();
+  clockEdge();
+}
+
+bool GateNetlist::value(NodeId node) const {
+  checkExisting(node);
+  return nodes_[static_cast<std::size_t>(node)].value;
+}
+
+bool GateNetlist::output(const std::string& name) const {
+  const auto it = outputs_.find(name);
+  if (it == outputs_.end())
+    throw std::out_of_range("gate netlist: unknown output '" + name + "'");
+  return value(it->second);
+}
+
+}  // namespace rasoc::gates

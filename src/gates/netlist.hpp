@@ -1,0 +1,106 @@
+// Gate-level netlist simulator: 4-input LUTs + D flip-flops, the exact
+// primitive set of the FLEX 10KE logic cell.
+//
+// This is the fidelity bridge between the behavioural router model
+// (src/router) and the analytical cost model (src/tech): the control
+// structures the mapper charges for - LUT-tree multiplexers, pointer
+// counters, the round-robin arbiter - are *built* here out of LUTs and
+// FFs, simulated bit-accurately, and cross-checked against the
+// behavioural blocks (tests/gates).  LUT counts of the built structures
+// must match what Flex10keMapper charges, closing the loop on Tables 1-3.
+//
+// Model: nodes are created in topological order (a LUT may only read
+// nodes created before it; flip-flop Q outputs are sources).  evaluate()
+// propagates combinationally in creation order; clockEdge() latches every
+// DFF from its D node.  This levelized discipline makes combinational
+// loops unrepresentable by construction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rasoc::gates {
+
+class GateNetlist {
+ public:
+  using NodeId = int;
+  static constexpr NodeId kNone = -1;
+
+  // --- construction -------------------------------------------------------
+
+  // External input pin.
+  NodeId addInput(std::string name);
+
+  // Constant driver.
+  NodeId addConst(bool value);
+
+  // 4-input LUT.  `inputs` entries may be kNone (treated as 0); every real
+  // input must be an already-created node.  `truth` bit i gives the output
+  // for input pattern i (in0 = bit 0 of i ... in3 = bit 3 of i).
+  NodeId addLut(std::array<NodeId, 4> inputs, std::uint16_t truth);
+
+  // D flip-flop: Q is a source node; connect its D input afterwards (this
+  // is what allows feedback through registered state only).
+  NodeId addDff(bool resetValue = false);
+  void connectDff(NodeId q, NodeId d);
+
+  void markOutput(std::string name, NodeId node);
+
+  // --- convenience gates (each one LUT) ------------------------------------
+
+  NodeId notGate(NodeId a);
+  NodeId andGate(NodeId a, NodeId b);
+  NodeId orGate(NodeId a, NodeId b);
+  NodeId xorGate(NodeId a, NodeId b);
+  NodeId and3(NodeId a, NodeId b, NodeId c);
+  NodeId or3(NodeId a, NodeId b, NodeId c);
+  NodeId or4(NodeId a, NodeId b, NodeId c, NodeId d);
+  // 2:1 multiplexer: sel ? b : a.
+  NodeId mux2(NodeId sel, NodeId a, NodeId b);
+
+  // --- simulation ----------------------------------------------------------
+
+  void reset();
+  void setInput(NodeId input, bool value);
+  // Propagates all combinational nodes; idempotent.
+  void evaluate();
+  // Latches every DFF (call after evaluate()).
+  void clockEdge();
+  // evaluate + clockEdge.
+  void step();
+
+  bool value(NodeId node) const;
+  bool output(const std::string& name) const;
+
+  // --- accounting -----------------------------------------------------------
+
+  int lutCount() const { return lutCount_; }
+  int dffCount() const { return dffCount_; }
+  std::size_t nodeCount() const { return nodes_.size(); }
+
+ private:
+  enum class Kind { Input, Const, Lut, Dff };
+
+  struct Node {
+    Kind kind;
+    bool value = false;
+    // LUT fields.
+    std::array<NodeId, 4> inputs{kNone, kNone, kNone, kNone};
+    std::uint16_t truth = 0;
+    // DFF fields.
+    NodeId d = kNone;
+    bool resetValue = false;
+  };
+
+  void checkExisting(NodeId id) const;
+
+  std::vector<Node> nodes_;
+  std::map<std::string, NodeId> outputs_;
+  int lutCount_ = 0;
+  int dffCount_ = 0;
+};
+
+}  // namespace rasoc::gates

@@ -1,0 +1,49 @@
+#include "hw/netlist.hpp"
+
+namespace rasoc::hw {
+
+void Netlist::addMux(int inputs, int width, int count) {
+  if (inputs >= 2 && width > 0 && count > 0)
+    items_.push_back(Mux{inputs, width, count});
+}
+
+void Netlist::addRegister(int width, bool packed, int count) {
+  if (width > 0 && count > 0) items_.push_back(Register{width, packed, count});
+}
+
+void Netlist::addGate(int inputs, int count) {
+  if (inputs >= 2 && count > 0) items_.push_back(Gate{inputs, count});
+}
+
+void Netlist::addMemory(int words, int width, int count) {
+  if (words > 0 && width > 0 && count > 0)
+    items_.push_back(Memory{words, width, count});
+}
+
+void Netlist::merge(const Netlist& other, int times) {
+  for (int i = 0; i < times; ++i) {
+    for (const Primitive& p : other.items_) items_.push_back(p);
+  }
+}
+
+int Netlist::totalFlipFlops() const {
+  int total = 0;
+  for (const Primitive& p : items_) {
+    if (const auto* reg = std::get_if<Register>(&p)) {
+      total += reg->width * reg->count;
+    }
+  }
+  return total;
+}
+
+int Netlist::totalMemoryBits() const {
+  int total = 0;
+  for (const Primitive& p : items_) {
+    if (const auto* mem = std::get_if<Memory>(&p)) {
+      total += mem->words * mem->width * mem->count;
+    }
+  }
+  return total;
+}
+
+}  // namespace rasoc::hw

@@ -1,0 +1,36 @@
+// A bag of primitives describing one elaborated entity.
+#pragma once
+
+#include <vector>
+
+#include "hw/primitives.hpp"
+
+namespace rasoc::hw {
+
+class Netlist {
+ public:
+  Netlist() = default;
+
+  void add(Primitive p) { items_.push_back(p); }
+
+  // Convenience builders.
+  void addMux(int inputs, int width, int count = 1);
+  void addRegister(int width, bool packed, int count = 1);
+  void addGate(int inputs, int count = 1);
+  void addMemory(int words, int width, int count = 1);
+
+  // Appends every primitive of `other`, scaled by `times`.
+  void merge(const Netlist& other, int times = 1);
+
+  const std::vector<Primitive>& items() const { return items_; }
+  bool empty() const { return items_.empty(); }
+
+  // Totals across primitives (pre-technology-mapping sanity metrics).
+  int totalFlipFlops() const;
+  int totalMemoryBits() const;
+
+ private:
+  std::vector<Primitive> items_;
+};
+
+}  // namespace rasoc::hw

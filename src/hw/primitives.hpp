@@ -1,0 +1,61 @@
+// Technology-independent hardware primitives.
+//
+// The RASoC soft-core is elaborated (like the VHDL model under synthesis)
+// into a netlist of these primitives; the technology layer (src/tech) then
+// maps the netlist onto a target device's logic cells, flip-flops and
+// embedded memory.  Keeping primitives technology-independent mirrors the
+// paper's split between the parameterized VHDL model and the Altera
+// synthesis backend.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+
+namespace rasoc::hw {
+
+// k:1 multiplexer, `width` bits wide.  The paper's Figure 8 shows the
+// LUT-tree mapping used for these on Altera FPGAs (no internal tri-states).
+struct Mux {
+  int inputs = 2;
+  int width = 1;
+  int count = 1;
+
+  bool operator==(const Mux&) const = default;
+};
+
+// Bank of D flip-flops, `width` bits.
+//
+// `packed` describes whether each flip-flop shares a logic cell with the
+// LUT computing its D input (typical for counters and small FSM state) or
+// occupies a cell whose LUT is unused (typical for shift-register data
+// bits, whose D input is a direct neighbour-Q connection using the cell's
+// cascade/clock-enable paths).
+struct Register {
+  int width = 1;
+  bool packed = false;
+  int count = 1;
+
+  bool operator==(const Register&) const = default;
+};
+
+// Generic k-input single-output logic function (AND/OR/arbitrary LUT
+// cluster input cone).
+struct Gate {
+  int inputs = 2;
+  int count = 1;
+
+  bool operator==(const Gate&) const = default;
+};
+
+// Embedded memory block: `words` x `width` bits, mapped onto EABs.
+struct Memory {
+  int words = 2;
+  int width = 8;
+  int count = 1;
+
+  bool operator==(const Memory&) const = default;
+};
+
+using Primitive = std::variant<Mux, Register, Gate, Memory>;
+
+}  // namespace rasoc::hw

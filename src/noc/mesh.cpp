@@ -1,0 +1,186 @@
+#include "noc/mesh.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace rasoc::noc {
+
+using router::Port;
+
+namespace {
+
+std::string nodeName(const char* prefix, NodeId n) {
+  return std::string(prefix) + "(" + std::to_string(n.x) + "," +
+         std::to_string(n.y) + ")";
+}
+
+}  // namespace
+
+Mesh::Mesh(MeshConfig config) : config_(config) {
+  config_.shape.validate();
+  const MeshShape shape = config_.shape;
+
+  const int maxOffset =
+      std::max(shape.width, shape.height) - 1;
+  if (maxOffset > router::ribMaxOffset(config_.params.m))
+    throw std::invalid_argument(
+        "mesh offsets exceed the RIB range; increase m");
+
+  // Routers and NIs.
+  for (int i = 0; i < shape.nodes(); ++i) {
+    const NodeId n = shape.nodeAt(i);
+    router::RouterParams params = config_.params;
+    params.portMask = portMaskFor(shape, n);
+    auto r = std::make_unique<router::Rasoc>(nodeName("r", n), params,
+                                             config_.arbiter);
+    NiOptions niOptions;
+    niOptions.hlpParity = config_.hlpParity;
+    auto ni = std::make_unique<NetworkInterface>(
+        nodeName("ni", n), params, shape, n, r->in(Port::Local),
+        r->out(Port::Local), ledger_, niOptions);
+    sim_.add(*r);
+    sim_.add(*ni);
+    routers_.push_back(std::move(r));
+    nis_.push_back(std::move(ni));
+  }
+
+  // Inter-router links, one per direction; fault-injecting when requested.
+  auto connect = [&](NodeId from, Port out, NodeId to) {
+    const std::string linkName =
+        nodeName("link", from) + std::string(router::name(out));
+    std::unique_ptr<router::Link> link;
+    if (config_.linkFaultRate > 0.0) {
+      auto faulty = std::make_unique<router::FaultyLink>(
+          linkName, routers_[indexOf(from)]->out(out),
+          routers_[indexOf(to)]->in(router::opposite(out)), config_.params.n,
+          config_.linkFaultRate,
+          config_.faultSeed + links_.size() * 131 + 7,
+          config_.params.flowControl);
+      faultyLinks_.push_back(faulty.get());
+      link = std::move(faulty);
+    } else {
+      link = std::make_unique<router::Link>(
+          linkName, routers_[indexOf(from)]->out(out),
+          routers_[indexOf(to)]->in(router::opposite(out)),
+          config_.params.flowControl);
+    }
+    sim_.add(*link);
+    linkIndex_[{config_.shape.indexOf(from), router::index(out)}] =
+        link.get();
+    links_.push_back(std::move(link));
+  };
+  for (int y = 0; y < shape.height; ++y) {
+    for (int x = 0; x < shape.width; ++x) {
+      const NodeId n{x, y};
+      if (x + 1 < shape.width) {
+        connect(n, Port::East, NodeId{x + 1, y});
+        connect(NodeId{x + 1, y}, Port::West, n);
+      }
+      if (y + 1 < shape.height) {
+        connect(n, Port::North, NodeId{x, y + 1});
+        connect(NodeId{x, y + 1}, Port::South, n);
+      }
+    }
+  }
+
+  // Worst-case combinational propagation spans the mesh diameter; give the
+  // settle loop generous headroom.
+  sim_.setMaxSettleIterations(32 + 8 * (shape.width + shape.height));
+  sim_.reset();
+}
+
+void Mesh::attachTraffic(const TrafficConfig& traffic) {
+  if (!generators_.empty())
+    throw std::logic_error("traffic generators already attached");
+  const MeshShape shape = config_.shape;
+  for (int i = 0; i < shape.nodes(); ++i) {
+    const NodeId n = shape.nodeAt(i);
+    TrafficConfig cfg = traffic;
+    cfg.seed = traffic.seed * 7919 + static_cast<std::uint64_t>(i) + 1;
+    auto gen = std::make_unique<TrafficGenerator>(nodeName("tg", n), shape, n,
+                                                  *nis_[indexOf(n)], cfg);
+    sim_.add(*gen);
+    generators_.push_back(std::move(gen));
+  }
+}
+
+std::size_t Mesh::indexOf(NodeId n) const {
+  if (!config_.shape.contains(n)) throw std::out_of_range("node off mesh");
+  return static_cast<std::size_t>(config_.shape.indexOf(n));
+}
+
+router::Rasoc& Mesh::router(NodeId n) { return *routers_[indexOf(n)]; }
+
+NetworkInterface& Mesh::ni(NodeId n) { return *nis_[indexOf(n)]; }
+
+TrafficGenerator& Mesh::generator(NodeId n) {
+  if (generators_.empty()) throw std::logic_error("no traffic attached");
+  return *generators_[indexOf(n)];
+}
+
+void Mesh::reset() { sim_.reset(); }
+
+void Mesh::run(std::uint64_t cycles) { sim_.run(cycles); }
+
+bool Mesh::drain(std::uint64_t maxCycles) {
+  return sim_.runUntil(
+      [&] {
+        if (ledger_.inFlight() != 0) return false;
+        for (const auto& ni : nis_)
+          if (!ni->idle()) return false;
+        return true;
+      },
+      maxCycles);
+}
+
+bool Mesh::healthy() const {
+  for (const auto& r : routers_)
+    if (r->misrouteDetected() || r->overflowDetected()) return false;
+  for (const auto& ni : nis_)
+    if (ni->misdeliveryDetected()) return false;
+  return true;
+}
+
+double Mesh::meanLinkUtilization() const {
+  if (links_.empty() || sim_.cycle() == 0) return 0.0;
+  double sum = 0.0;
+  for (const auto& link : links_) sum += link->utilization(sim_.cycle());
+  return sum / static_cast<double>(links_.size());
+}
+
+double Mesh::linkUtilization(NodeId from, router::Port port) const {
+  const auto it =
+      linkIndex_.find({config_.shape.indexOf(from), router::index(port)});
+  if (it == linkIndex_.end())
+    throw std::out_of_range("no such link on this mesh");
+  return it->second->utilization(sim_.cycle());
+}
+
+std::uint64_t Mesh::flitsCorrupted() const {
+  std::uint64_t total = 0;
+  for (const router::FaultyLink* link : faultyLinks_)
+    total += link->flitsCorrupted();
+  return total;
+}
+
+std::uint64_t Mesh::parityErrorsDetected() const {
+  std::uint64_t total = 0;
+  for (const auto& ni : nis_) total += ni->parityErrors();
+  return total;
+}
+
+std::uint64_t Mesh::unattributedPackets() const {
+  std::uint64_t total = 0;
+  for (const auto& ni : nis_) total += ni->unattributedPackets();
+  return total;
+}
+
+double Mesh::maxLinkUtilization() const {
+  double peak = 0.0;
+  for (const auto& link : links_)
+    peak = std::max(peak, link->utilization(sim_.cycle()));
+  return peak;
+}
+
+}  // namespace rasoc::noc

@@ -1,0 +1,92 @@
+// Mesh builder: instantiates a W x H grid of RASoC routers with pruned
+// edge ports, wires neighbouring routers with links, attaches one network
+// interface per Local port, and optionally one traffic generator per node.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+#include "noc/ni.hpp"
+#include "noc/stats.hpp"
+#include "noc/topology.hpp"
+#include "noc/traffic.hpp"
+#include "router/faulty_link.hpp"
+#include "router/link.hpp"
+#include "router/rasoc.hpp"
+
+namespace rasoc::noc {
+
+struct MeshConfig {
+  MeshShape shape{4, 4};
+  router::RouterParams params{};
+  router::ArbiterKind arbiter = router::ArbiterKind::RoundRobin;
+
+  // HLP parity in every NI (paper Section 2 extension); costs one data bit
+  // per flit.
+  bool hlpParity = false;
+
+  // Per-flit probability of a single payload-bit flip on each inter-router
+  // link (0 = ideal links, plain Link modules).
+  double linkFaultRate = 0.0;
+  std::uint64_t faultSeed = 0xfa17;
+};
+
+class Mesh {
+ public:
+  explicit Mesh(MeshConfig config);
+
+  // Adds one traffic generator per node (seeded per node from config.seed).
+  void attachTraffic(const TrafficConfig& traffic);
+
+  const MeshConfig& config() const { return config_; }
+  MeshShape shape() const { return config_.shape; }
+
+  sim::Simulator& simulator() { return sim_; }
+  router::Rasoc& router(NodeId n);
+  NetworkInterface& ni(NodeId n);
+  TrafficGenerator& generator(NodeId n);
+  DeliveryLedger& ledger() { return ledger_; }
+
+  void reset();
+  void run(std::uint64_t cycles);
+
+  // Runs until every send queue is empty and every queued packet has been
+  // delivered, or maxCycles elapse.  Returns true when fully drained.
+  bool drain(std::uint64_t maxCycles);
+
+  // No misroutes, buffer overflows or misdeliveries anywhere.
+  bool healthy() const;
+
+  // Mean / peak utilization over the inter-router links.
+  double meanLinkUtilization() const;
+  double maxLinkUtilization() const;
+  std::size_t linkCount() const { return links_.size(); }
+
+  // Measured utilization of the directed link leaving `from` through
+  // `port` (throws for links that do not exist on this mesh).
+  double linkUtilization(NodeId from, router::Port port) const;
+
+  // Fault-injection / HLP diagnostics aggregated over links and NIs.
+  std::uint64_t flitsCorrupted() const;
+  std::uint64_t parityErrorsDetected() const;
+  std::uint64_t unattributedPackets() const;
+
+ private:
+  std::size_t indexOf(NodeId n) const;
+
+  MeshConfig config_;
+  sim::Simulator sim_;
+  DeliveryLedger ledger_;
+  std::vector<std::unique_ptr<router::Rasoc>> routers_;
+  std::vector<std::unique_ptr<NetworkInterface>> nis_;
+  std::vector<std::unique_ptr<router::Link>> links_;
+  std::map<std::pair<int, int>, router::Link*> linkIndex_;  // (node, port)
+  std::vector<router::FaultyLink*> faultyLinks_;  // views into links_
+  std::vector<std::unique_ptr<TrafficGenerator>> generators_;
+};
+
+}  // namespace rasoc::noc

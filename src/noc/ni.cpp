@@ -1,0 +1,175 @@
+#include "noc/ni.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace rasoc::noc {
+
+using router::Flit;
+using router::FlowControl;
+
+NetworkInterface::NetworkInterface(std::string name,
+                                   const router::RouterParams& params,
+                                   MeshShape shape, NodeId self,
+                                   router::ChannelWires& toRouter,
+                                   router::ChannelWires& fromRouter,
+                                   DeliveryLedger& ledger, NiOptions options)
+    : Module(std::move(name)),
+      params_(params),
+      options_(options),
+      flowControl_(params.flowControl),
+      shape_(shape),
+      self_(self),
+      toRouter_(&toRouter),
+      fromRouter_(&fromRouter),
+      ledger_(&ledger) {
+  if (static_cast<std::uint64_t>(shape_.nodes()) >
+      static_cast<std::uint64_t>(router::dataMask(payloadBits())) + 1)
+    throw std::invalid_argument(
+        "node index must fit in one payload flit; shrink the mesh or widen n");
+}
+
+int NetworkInterface::payloadBits() const {
+  return options_.hlpParity ? params_.n - 1 : params_.n;
+}
+
+std::uint32_t NetworkInterface::parityProtect(std::uint32_t word) const {
+  const std::uint32_t payload = word & router::dataMask(payloadBits());
+  const bool odd = (std::popcount(payload) & 1) != 0;
+  // Even parity over the full n-bit word: set the HLP bit to cancel odd
+  // payload parity.
+  return payload | (odd ? (1u << payloadBits()) : 0u);
+}
+
+bool NetworkInterface::parityOk(std::uint32_t word) const {
+  return (std::popcount(word & router::dataMask(params_.n)) & 1) == 0;
+}
+
+void NetworkInterface::onReset() {
+  sendQueue_.clear();
+  sendQueueFlits_ = 0;
+  credits_ = params_.p;
+  rxFlits_.clear();
+  received_.clear();
+  cycle_ = 0;
+  packetsSent_ = 0;
+  packetsReceived_ = 0;
+  parityErrors_ = 0;
+  unattributed_ = 0;
+  misdelivery_ = false;
+}
+
+void NetworkInterface::send(NodeId dst,
+                            const std::vector<std::uint32_t>& payload) {
+  if (dst == self_)
+    throw std::invalid_argument(
+        "self-addressed packets are not routable (own-port request)");
+  if (!shape_.contains(dst)) throw std::invalid_argument("dst outside mesh");
+
+  // Wire format: header + source-index flit + payload (last flit = eop).
+  std::vector<std::uint32_t> words;
+  words.reserve(payload.size() + 1);
+  words.push_back(static_cast<std::uint32_t>(shape_.indexOf(self_)));
+  words.insert(words.end(), payload.begin(), payload.end());
+  if (options_.hlpParity) {
+    for (std::uint32_t& word : words) word = parityProtect(word);
+  }
+
+  OutPacket packet;
+  packet.dst = dst;
+  packet.flits = router::makePacket(ribBetween(self_, dst), words, params_);
+
+  PacketRecord record;
+  record.src = self_;
+  record.dst = dst;
+  record.createdCycle = cycle_;
+  record.flits = static_cast<int>(packet.flits.size());
+  ledger_->onQueued(record);
+
+  sendQueueFlits_ += packet.flits.size();
+  sendQueue_.push_back(std::move(packet));
+}
+
+void NetworkInterface::evaluate() {
+  // Send side: present the next flit whenever one is pending (and, under
+  // credit flow control, a buffer slot is guaranteed downstream).
+  const bool havePending = !sendQueue_.empty();
+  const bool canSend = havePending && (!creditMode() || credits_ > 0);
+  if (canSend) {
+    const OutPacket& packet = sendQueue_.front();
+    const Flit& flit = packet.flits[packet.next];
+    toRouter_->flit.data.set(flit.data);
+    toRouter_->flit.bop.set(flit.bop);
+    toRouter_->flit.eop.set(flit.eop);
+    toRouter_->val.set(true);
+  } else {
+    toRouter_->flit.data.set(0);
+    toRouter_->flit.bop.set(false);
+    toRouter_->flit.eop.set(false);
+    toRouter_->val.set(false);
+  }
+
+  // Receive side: always ready.  In handshake mode this acknowledges the
+  // incoming flit; in credit mode the same pulse returns the credit.
+  fromRouter_->ack.set(fromRouter_->val.get());
+}
+
+void NetworkInterface::clockEdge() {
+  // --- send side ---------------------------------------------------------
+  const bool presented = toRouter_->val.get();
+  const bool sent = presented && (creditMode() || toRouter_->ack.get());
+  if (sent) {
+    OutPacket& packet = sendQueue_.front();
+    const Flit& flit = packet.flits[packet.next];
+    if (flit.bop) ledger_->onHeaderInjected(self_, packet.dst, cycle_);
+    ++packet.next;
+    --sendQueueFlits_;
+    if (packet.next == packet.flits.size()) {
+      ++packetsSent_;
+      sendQueue_.pop_front();
+    }
+  }
+  if (creditMode()) {
+    credits_ += (toRouter_->ack.get() ? 1 : 0) - (sent ? 1 : 0);
+  }
+
+  // --- receive side ------------------------------------------------------
+  const bool gotFlit = fromRouter_->val.get();
+  if (gotFlit) {
+    Flit flit;
+    flit.data = fromRouter_->flit.data.get();
+    flit.bop = fromRouter_->flit.bop.get();
+    flit.eop = fromRouter_->flit.eop.get();
+    if (flit.bop) rxFlits_.clear();
+    rxFlits_.push_back(flit);
+    if (flit.eop) {
+      if (rxFlits_.size() < 2 || !rxFlits_.front().bop) {
+        misdelivery_ = true;
+      } else {
+        // Residual RIB must be zero: XY consumed the whole offset.
+        const router::Rib residual =
+            router::decodeRib(rxFlits_.front().data, params_.m);
+        if (residual != router::Rib{0, 0}) misdelivery_ = true;
+        if (options_.hlpParity) {
+          for (std::size_t i = 1; i < rxFlits_.size(); ++i) {
+            if (!parityOk(rxFlits_[i].data)) ++parityErrors_;
+          }
+        }
+        const std::uint32_t mask = router::dataMask(payloadBits());
+        const auto srcIndex = static_cast<int>(rxFlits_[1].data & mask);
+        const NodeId src = shape_.nodeAt(srcIndex);
+        if (!ledger_->tryDeliver(src, self_, cycle_)) ++unattributed_;
+        ++packetsReceived_;
+        std::vector<std::uint32_t> payload;
+        for (std::size_t i = 2; i < rxFlits_.size(); ++i)
+          payload.push_back(rxFlits_[i].data & mask);
+        received_.push_back(std::move(payload));
+      }
+      rxFlits_.clear();
+    }
+  }
+
+  ++cycle_;
+}
+
+}  // namespace rasoc::noc

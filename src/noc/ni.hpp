@@ -1,0 +1,125 @@
+// Network interface: the "processing core" side of a router's Local port.
+//
+// Sending: packets are queued, then streamed flit by flit over the local
+// input channel, honouring the link flow control (handshake or credits).
+// The wire format is:
+//   flit 0: header, bop set, low m bits = RIB for the XY path
+//   flit 1: source node index (lets the destination close the ledger entry)
+//   flit 2..: payload words, the last one with eop set
+//
+// Receiving: the NI is always ready (in_ack = in_val); flits are collected
+// until eop, the source index is decoded, and the delivery ledger is
+// closed.  A sticky misdelivery flag records any packet whose residual RIB
+// is nonzero on arrival - the invariant that XY routing consumed the whole
+// offset.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/module.hpp"
+
+#include "noc/stats.hpp"
+#include "noc/topology.hpp"
+#include "router/channel.hpp"
+#include "router/flit.hpp"
+#include "router/params.hpp"
+
+namespace rasoc::noc {
+
+// Optional NI behaviours beyond the base wire protocol.
+struct NiOptions {
+  // Higher Level Protocol parity (paper Section 2: "the n data bits can be
+  // extended to include HLP signals, like the ones typically used for data
+  // integrity control").  The top data bit of every non-header flit
+  // carries even parity over the lower n-1 bits; the receiver checks it
+  // and counts violations.  Headers stay unprotected because their RIB is
+  // legitimately rewritten at every hop.
+  bool hlpParity = false;
+};
+
+class NetworkInterface : public sim::Module {
+ public:
+  NetworkInterface(std::string name, const router::RouterParams& params,
+                   MeshShape shape, NodeId self,
+                   router::ChannelWires& toRouter,
+                   router::ChannelWires& fromRouter, DeliveryLedger& ledger,
+                   NiOptions options = {});
+
+  // Queues a packet of `payload` words for `dst` (throws on dst == self:
+  // an input channel may never request its own port).
+  void send(NodeId dst, const std::vector<std::uint32_t>& payload);
+
+  std::size_t sendQueueFlits() const { return sendQueueFlits_; }
+  std::size_t sendQueuePackets() const { return sendQueue_.size(); }
+  bool idle() const { return sendQueue_.empty(); }
+
+  std::uint64_t packetsSent() const { return packetsSent_; }
+  std::uint64_t packetsReceived() const { return packetsReceived_; }
+  bool misdeliveryDetected() const { return misdelivery_; }
+
+  // HLP parity diagnostics (always zero when hlpParity is off).
+  std::uint64_t parityErrors() const { return parityErrors_; }
+  // Packets whose ledger entry could not be closed (source-index flit
+  // corrupted beyond attribution); only possible under fault injection.
+  std::uint64_t unattributedPackets() const { return unattributed_; }
+
+  // Usable payload bits per flit (n, minus one when parity is enabled).
+  int payloadBits() const;
+
+  // Payload words of every received packet, in arrival order (the source
+  // index flit is stripped).  Tests use this to check payload integrity.
+  const std::vector<std::vector<std::uint32_t>>& received() const {
+    return received_;
+  }
+  void clearReceived() { received_.clear(); }
+
+  std::uint64_t cycle() const { return cycle_; }
+
+ protected:
+  void onReset() override;
+  void evaluate() override;
+  void clockEdge() override;
+
+ private:
+  bool creditMode() const {
+    return flowControl_ == router::FlowControl::CreditBased;
+  }
+
+  // Even-parity protect / check over the payload word layout.
+  std::uint32_t parityProtect(std::uint32_t word) const;
+  bool parityOk(std::uint32_t word) const;
+
+  router::RouterParams params_;
+  NiOptions options_;
+  router::FlowControl flowControl_;
+  MeshShape shape_;
+  NodeId self_;
+  router::ChannelWires* toRouter_;
+  router::ChannelWires* fromRouter_;
+  DeliveryLedger* ledger_;
+
+  // Send side.
+  struct OutPacket {
+    NodeId dst;
+    std::vector<router::Flit> flits;
+    std::size_t next = 0;
+  };
+  std::deque<OutPacket> sendQueue_;
+  std::size_t sendQueueFlits_ = 0;
+  int credits_ = 0;
+
+  // Receive side.
+  std::vector<router::Flit> rxFlits_;
+  std::vector<std::vector<std::uint32_t>> received_;
+
+  std::uint64_t cycle_ = 0;
+  std::uint64_t packetsSent_ = 0;
+  std::uint64_t packetsReceived_ = 0;
+  std::uint64_t parityErrors_ = 0;
+  std::uint64_t unattributed_ = 0;
+  bool misdelivery_ = false;
+};
+
+}  // namespace rasoc::noc

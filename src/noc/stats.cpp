@@ -1,0 +1,138 @@
+#include "noc/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace rasoc::noc {
+
+void LatencyStats::record(double sample) {
+  samples_.push_back(sample);
+  sortedValid_ = false;
+}
+
+double LatencyStats::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double LatencyStats::min() const {
+  if (samples_.empty()) return 0.0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double LatencyStats::max() const {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double LatencyStats::percentile(double q) const {
+  if (samples_.empty()) return 0.0;
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("percentile q in [0,1]");
+  if (!sortedValid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sortedValid_ = true;
+  }
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted_.size())));
+  return sorted_[rank == 0 ? 0 : rank - 1];
+}
+
+std::string LatencyStats::histogram(int bins, int barWidth) const {
+  if (bins < 1 || barWidth < 1)
+    throw std::invalid_argument("histogram needs >= 1 bin and bar width");
+  std::ostringstream out;
+  if (samples_.empty()) {
+    out << "(no samples)\n";
+    return out.str();
+  }
+  const double lo = min();
+  const double hi = max();
+  const double width = hi > lo ? (hi - lo) / bins : 1.0;
+  std::vector<std::size_t> counts(static_cast<std::size_t>(bins), 0);
+  for (double s : samples_) {
+    auto bin = static_cast<std::size_t>((s - lo) / width);
+    if (bin >= counts.size()) bin = counts.size() - 1;
+    ++counts[bin];
+  }
+  const std::size_t peak = *std::max_element(counts.begin(), counts.end());
+  for (int b = 0; b < bins; ++b) {
+    const double binLo = lo + b * width;
+    const double binHi = binLo + width;
+    const std::size_t count = counts[static_cast<std::size_t>(b)];
+    const auto bar = static_cast<std::size_t>(
+        peak == 0 ? 0
+                  : (count * static_cast<std::size_t>(barWidth)) / peak);
+    char label[64];
+    std::snprintf(label, sizeof label, "[%8.1f, %8.1f) %8zu ", binLo, binHi,
+                  count);
+    out << label << std::string(bar, '#') << '\n';
+  }
+  return out.str();
+}
+
+void DeliveryLedger::onQueued(PacketRecord record) {
+  const FlowKey key{shape_.indexOf(record.src), shape_.indexOf(record.dst)};
+  flows_[key].push_back(record);
+  ++queuedCount_;
+}
+
+void DeliveryLedger::onHeaderInjected(NodeId src, NodeId dst,
+                                      std::uint64_t cycle) {
+  const FlowKey key{shape_.indexOf(src), shape_.indexOf(dst)};
+  auto it = flows_.find(key);
+  if (it == flows_.end() || it->second.empty())
+    throw std::logic_error("header injected for an unknown flow");
+  for (PacketRecord& record : it->second) {
+    if (!record.injected) {
+      record.injected = true;
+      record.injectedCycle = cycle;
+      return;
+    }
+  }
+  throw std::logic_error("header injected but every packet already in flight");
+}
+
+PacketRecord DeliveryLedger::onDelivered(NodeId src, NodeId dst,
+                                         std::uint64_t cycle) {
+  const FlowKey key{shape_.indexOf(src), shape_.indexOf(dst)};
+  auto it = flows_.find(key);
+  if (it == flows_.end() || it->second.empty())
+    throw std::logic_error("delivery for a flow with no open packets");
+  PacketRecord record = it->second.front();
+  it->second.pop_front();
+  if (!record.injected)
+    throw std::logic_error("packet delivered before its header was injected");
+  ++deliveredCount_;
+  flitsDelivered_ += static_cast<std::uint64_t>(record.flits);
+  if (record.createdCycle >= warmup_) {
+    packetLatency_.record(static_cast<double>(cycle - record.createdCycle));
+    networkLatency_.record(static_cast<double>(cycle - record.injectedCycle));
+    flitsDeliveredAfterWarmup_ += static_cast<std::uint64_t>(record.flits);
+  }
+  return record;
+}
+
+bool DeliveryLedger::tryDeliver(NodeId src, NodeId dst, std::uint64_t cycle) {
+  const FlowKey key{shape_.indexOf(src), shape_.indexOf(dst)};
+  auto it = flows_.find(key);
+  if (it == flows_.end() || it->second.empty() ||
+      !it->second.front().injected)
+    return false;
+  onDelivered(src, dst, cycle);
+  return true;
+}
+
+double DeliveryLedger::throughputFlitsPerCyclePerNode(std::uint64_t cycles,
+                                                      int nodes) const {
+  if (cycles == 0 || nodes == 0) return 0.0;
+  return static_cast<double>(flitsDeliveredAfterWarmup_) /
+         static_cast<double>(cycles) / static_cast<double>(nodes);
+}
+
+}  // namespace rasoc::noc

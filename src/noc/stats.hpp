@@ -1,0 +1,96 @@
+// Measurement support: latency distributions and the delivery ledger that
+// matches injected packets to delivered ones.
+//
+// Packets carry only n-bit payload words, so the simulator keeps timestamps
+// out of band: each source NI registers a packet with the ledger when it is
+// queued, stamps it when the header enters the network, and the destination
+// NI closes it when the trailer arrives.  Deterministic XY routing +
+// wormhole switching deliver each (src, dst) flow in FIFO order, so the
+// front of the per-flow queue is always the packet being closed.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "noc/topology.hpp"
+
+namespace rasoc::noc {
+
+class LatencyStats {
+ public:
+  void record(double sample);
+
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  // q in [0,1]; nearest-rank on the sorted samples.
+  double percentile(double q) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+  // Text histogram: `bins` equal-width buckets between min and max, one
+  // line each, bar lengths normalized to `barWidth` characters.
+  std::string histogram(int bins = 10, int barWidth = 40) const;
+
+ private:
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;  // lazily rebuilt
+  mutable bool sortedValid_ = false;
+};
+
+struct PacketRecord {
+  NodeId src;
+  NodeId dst;
+  std::uint64_t createdCycle = 0;    // queued at the source NI
+  std::uint64_t injectedCycle = 0;   // header flit entered the router
+  bool injected = false;
+  int flits = 0;                     // total flits including header
+};
+
+class DeliveryLedger {
+ public:
+  // Latency samples are only recorded for packets created at or after this
+  // cycle (warm-up exclusion).
+  void setWarmupCycles(std::uint64_t cycles) { warmup_ = cycles; }
+
+  void onQueued(PacketRecord record);
+  void onHeaderInjected(NodeId src, NodeId dst, std::uint64_t cycle);
+  // Returns the closed record; throws if no packet of that flow is open.
+  PacketRecord onDelivered(NodeId src, NodeId dst, std::uint64_t cycle);
+  // Non-throwing variant for receivers whose source attribution may be
+  // corrupted (fault injection): returns false if no such flow is open.
+  bool tryDeliver(NodeId src, NodeId dst, std::uint64_t cycle);
+
+  std::uint64_t queued() const { return queuedCount_; }
+  std::uint64_t delivered() const { return deliveredCount_; }
+  std::uint64_t flitsDelivered() const { return flitsDelivered_; }
+  std::uint64_t inFlight() const { return queuedCount_ - deliveredCount_; }
+
+  // End-to-end: creation to trailer delivery (includes source queueing).
+  const LatencyStats& packetLatency() const { return packetLatency_; }
+  // Network-only: header injection to trailer delivery.
+  const LatencyStats& networkLatency() const { return networkLatency_; }
+
+  // Delivered flits per cycle per node over the measured window.
+  double throughputFlitsPerCyclePerNode(std::uint64_t cycles,
+                                        int nodes) const;
+
+ private:
+  using FlowKey = std::pair<int, int>;  // (src index, dst index) keys
+  std::map<FlowKey, std::deque<PacketRecord>> flows_;
+  LatencyStats packetLatency_;
+  LatencyStats networkLatency_;
+  std::uint64_t warmup_ = 0;
+  std::uint64_t queuedCount_ = 0;
+  std::uint64_t deliveredCount_ = 0;
+  std::uint64_t flitsDelivered_ = 0;
+  std::uint64_t flitsDeliveredAfterWarmup_ = 0;
+
+  MeshShape shape_{64, 64};  // only used to flatten flow keys
+};
+
+}  // namespace rasoc::noc

@@ -1,0 +1,68 @@
+// 2D mesh geometry: node coordinates, port pruning for edge routers, and
+// RIB computation for source-based XY routing.
+//
+// Coordinates: x grows East (column), y grows North (row).  Node (0,0) is
+// the south-west corner.
+#pragma once
+
+#include <stdexcept>
+
+#include "router/flit.hpp"
+#include "router/params.hpp"
+
+namespace rasoc::noc {
+
+struct NodeId {
+  int x = 0;
+  int y = 0;
+
+  bool operator==(const NodeId&) const = default;
+};
+
+struct MeshShape {
+  int width = 4;   // columns (East-West extent)
+  int height = 4;  // rows (North-South extent)
+
+  int nodes() const { return width * height; }
+
+  bool contains(NodeId n) const {
+    return n.x >= 0 && n.x < width && n.y >= 0 && n.y < height;
+  }
+
+  int indexOf(NodeId n) const { return n.y * width + n.x; }
+
+  NodeId nodeAt(int index) const {
+    return NodeId{index % width, index / width};
+  }
+
+  void validate() const {
+    if (width < 1 || height < 1)
+      throw std::invalid_argument("mesh must be at least 1x1");
+  }
+};
+
+// Ports a router needs at a given mesh position ("one or two of them need
+// not be implemented, reducing the network area").
+inline unsigned portMaskFor(MeshShape shape, NodeId n) {
+  using router::Port;
+  unsigned mask = 1u << router::index(Port::Local);
+  if (n.y + 1 < shape.height) mask |= 1u << router::index(Port::North);
+  if (n.y > 0) mask |= 1u << router::index(Port::South);
+  if (n.x + 1 < shape.width) mask |= 1u << router::index(Port::East);
+  if (n.x > 0) mask |= 1u << router::index(Port::West);
+  return mask;
+}
+
+// Source-based XY routing information for a src -> dst packet.
+inline router::Rib ribBetween(NodeId src, NodeId dst) {
+  return router::Rib{dst.x - src.x, dst.y - src.y};
+}
+
+// Hop count of the XY path (router traversals, excluding the NIs).
+inline int xyHops(NodeId src, NodeId dst) {
+  const int dx = dst.x >= src.x ? dst.x - src.x : src.x - dst.x;
+  const int dy = dst.y >= src.y ? dst.y - src.y : src.y - dst.y;
+  return dx + dy + 1;  // +1: the destination router itself switches to L
+}
+
+}  // namespace rasoc::noc

@@ -1,0 +1,88 @@
+#include "noc/traffic.hpp"
+
+#include <stdexcept>
+
+namespace rasoc::noc {
+
+std::string_view name(TrafficPattern pattern) {
+  switch (pattern) {
+    case TrafficPattern::UniformRandom: return "uniform";
+    case TrafficPattern::Transpose: return "transpose";
+    case TrafficPattern::BitComplement: return "complement";
+    case TrafficPattern::HotSpot: return "hotspot";
+    case TrafficPattern::NearestNeighbor: return "neighbor";
+  }
+  return "?";
+}
+
+NodeId destinationFor(TrafficPattern pattern, NodeId src, MeshShape shape,
+                      sim::Xoshiro256& rng, const TrafficConfig& config) {
+  switch (pattern) {
+    case TrafficPattern::UniformRandom: {
+      if (shape.nodes() < 2)
+        throw std::invalid_argument("uniform traffic needs >= 2 nodes");
+      // Uniform over the other nodes: draw from nodes-1 and skip self.
+      int pick = static_cast<int>(
+          rng.below(static_cast<std::uint64_t>(shape.nodes() - 1)));
+      if (pick >= shape.indexOf(src)) ++pick;
+      return shape.nodeAt(pick);
+    }
+    case TrafficPattern::Transpose:
+      if (shape.width != shape.height)
+        throw std::invalid_argument("transpose traffic needs a square mesh");
+      return NodeId{src.y, src.x};
+    case TrafficPattern::BitComplement:
+      return NodeId{shape.width - 1 - src.x, shape.height - 1 - src.y};
+    case TrafficPattern::HotSpot: {
+      if (rng.chance(config.hotspotFraction)) return config.hotspot;
+      TrafficConfig uniform = config;
+      return destinationFor(TrafficPattern::UniformRandom, src, shape, rng,
+                            uniform);
+    }
+    case TrafficPattern::NearestNeighbor:
+      return NodeId{(src.x + 1) % shape.width, src.y};
+  }
+  throw std::logic_error("unknown traffic pattern");
+}
+
+TrafficGenerator::TrafficGenerator(std::string name, MeshShape shape,
+                                   NodeId self, NetworkInterface& ni,
+                                   TrafficConfig config)
+    : Module(std::move(name)),
+      shape_(shape),
+      self_(self),
+      ni_(&ni),
+      config_(config),
+      packetProbability_(config.offeredLoad /
+                         static_cast<double>(config.packetFlits())),
+      rng_(config.seed) {
+  if (config_.offeredLoad < 0.0 || config_.offeredLoad > 1.0)
+    throw std::invalid_argument("offered load must be in [0,1] flits/cycle");
+  if (config_.payloadFlits < 1)
+    throw std::invalid_argument("a packet needs at least one payload flit");
+}
+
+void TrafficGenerator::onReset() {
+  rng_ = sim::Xoshiro256(config_.seed);
+  packetsGenerated_ = 0;
+  injectionsSkipped_ = 0;
+}
+
+void TrafficGenerator::clockEdge() {
+  if (!rng_.chance(packetProbability_)) return;
+  if (ni_->sendQueuePackets() >= config_.maxQueuedPackets) {
+    ++injectionsSkipped_;
+    return;
+  }
+  const NodeId dst = destinationFor(config_.pattern, self_, shape_, rng_,
+                                    config_);
+  if (dst == self_) return;  // pattern fixed point: nothing to send
+  std::vector<std::uint32_t> payload;
+  payload.reserve(static_cast<std::size_t>(config_.payloadFlits));
+  for (int i = 0; i < config_.payloadFlits; ++i)
+    payload.push_back(static_cast<std::uint32_t>(rng_.next()));
+  ni_->send(dst, payload);
+  ++packetsGenerated_;
+}
+
+}  // namespace rasoc::noc

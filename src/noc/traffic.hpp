@@ -1,0 +1,74 @@
+// Synthetic traffic generation for NoC evaluation (the workloads used by
+// the SPIN/CLICHE-era NoC literature the paper builds on).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "sim/module.hpp"
+#include "sim/rng.hpp"
+
+#include "noc/ni.hpp"
+#include "noc/topology.hpp"
+
+namespace rasoc::noc {
+
+enum class TrafficPattern {
+  UniformRandom,   // destination uniform over all other nodes
+  Transpose,       // (x,y) -> (y,x); requires a square mesh
+  BitComplement,   // (x,y) -> (W-1-x, H-1-y)
+  HotSpot,         // a fraction of traffic targets one hot node
+  NearestNeighbor  // East neighbour with wrap to column 0
+};
+
+std::string_view name(TrafficPattern pattern);
+
+struct TrafficConfig {
+  TrafficPattern pattern = TrafficPattern::UniformRandom;
+  // Offered load in flits per cycle per node (0..1: a link carries at most
+  // one flit per cycle).
+  double offeredLoad = 0.1;
+  // Payload words per packet, excluding header and source-index flits.
+  int payloadFlits = 6;
+  // HotSpot only: the hot node and the probability of targeting it.
+  NodeId hotspot{0, 0};
+  double hotspotFraction = 0.5;
+  std::uint64_t seed = 1;
+  // Source-queue cap in packets; generation pauses when the NI is this far
+  // behind (models finite-core injection and keeps saturation runs stable).
+  std::size_t maxQueuedPackets = 4;
+
+  int packetFlits() const { return payloadFlits + 2; }
+};
+
+// Destination for one packet from `src` under a pattern; may return src for
+// patterns with fixed points (callers skip those injections).
+NodeId destinationFor(TrafficPattern pattern, NodeId src, MeshShape shape,
+                      sim::Xoshiro256& rng, const TrafficConfig& config);
+
+// Bernoulli packet source attached to one NI.
+class TrafficGenerator : public sim::Module {
+ public:
+  TrafficGenerator(std::string name, MeshShape shape, NodeId self,
+                   NetworkInterface& ni, TrafficConfig config);
+
+  std::uint64_t packetsGenerated() const { return packetsGenerated_; }
+  std::uint64_t injectionsSkipped() const { return injectionsSkipped_; }
+
+ protected:
+  void onReset() override;
+  void clockEdge() override;
+
+ private:
+  MeshShape shape_;
+  NodeId self_;
+  NetworkInterface* ni_;
+  TrafficConfig config_;
+  double packetProbability_;
+  sim::Xoshiro256 rng_;
+  std::uint64_t packetsGenerated_ = 0;
+  std::uint64_t injectionsSkipped_ = 0;
+};
+
+}  // namespace rasoc::noc

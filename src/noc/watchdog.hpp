@@ -1,0 +1,56 @@
+// Progress watchdog: detects global stalls (deadlock/livelock symptoms).
+//
+// XY routing on a mesh is provably deadlock-free, so a healthy RASoC NoC
+// must keep delivering packets whenever any are in flight.  The watchdog
+// observes the delivery ledger each cycle and raises a sticky flag if no
+// packet completes for `timeout` consecutive cycles while at least one is
+// outstanding - the invariant saturation tests assert.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/module.hpp"
+
+#include "noc/stats.hpp"
+
+namespace rasoc::noc {
+
+class Watchdog : public sim::Module {
+ public:
+  Watchdog(std::string name, const DeliveryLedger& ledger,
+           std::uint64_t timeout)
+      : Module(std::move(name)), ledger_(&ledger), timeout_(timeout) {}
+
+  bool stallDetected() const { return stalled_; }
+  std::uint64_t longestStall() const { return longestStall_; }
+
+ protected:
+  void onReset() override {
+    lastDelivered_ = 0;
+    idleCycles_ = 0;
+    longestStall_ = 0;
+    stalled_ = false;
+  }
+
+  void clockEdge() override {
+    const std::uint64_t delivered = ledger_->delivered();
+    if (delivered != lastDelivered_ || ledger_->inFlight() == 0) {
+      lastDelivered_ = delivered;
+      idleCycles_ = 0;
+      return;
+    }
+    ++idleCycles_;
+    if (idleCycles_ > longestStall_) longestStall_ = idleCycles_;
+    if (idleCycles_ >= timeout_) stalled_ = true;
+  }
+
+ private:
+  const DeliveryLedger* ledger_;
+  std::uint64_t timeout_;
+  std::uint64_t lastDelivered_ = 0;
+  std::uint64_t idleCycles_ = 0;
+  std::uint64_t longestStall_ = 0;
+  bool stalled_ = false;
+};
+
+}  // namespace rasoc::noc

@@ -1,0 +1,48 @@
+// Wire bundles for RASoC's external channels and internal crossbar nets.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "sim/wire.hpp"
+
+#include "router/params.hpp"
+
+namespace rasoc::router {
+
+// The data + framing portion of a channel.
+struct FlitWires {
+  sim::Wire<std::uint32_t> data;
+  sim::Wire<bool> bop;
+  sim::Wire<bool> eop;
+};
+
+// One unidirectional channel (paper Figure 3): n data bits, bop/eop framing
+// and the val/ack handshake pair.  `ack` travels against the data flow.
+struct ChannelWires {
+  FlitWires flit;
+  sim::Wire<bool> val;
+  sim::Wire<bool> ack;
+};
+
+// The nets one input channel publishes to / receives from the distributed
+// crossbar (prefix x_ in the paper's terminology).
+//
+//   data/bop/eop : x_dout - buffered flit, header already RIB-updated
+//   rok          : x_rok  - a flit is available at the buffer head
+//   req[o]       : x_req  - request to output channel o
+//   gnt[o]       : x_gnt  - grant from output channel o
+//   rd[o]        : x_rd   - read command from output channel o
+//
+// req/gnt/rd are indexed by output port; the entry for the input's own port
+// is never asserted ("it is not allowed to an input channel to request the
+// output channel of its own port").
+struct CrossbarWires {
+  FlitWires flit;
+  sim::Wire<bool> rok;
+  std::array<sim::Wire<bool>, kNumPorts> req;
+  std::array<sim::Wire<bool>, kNumPorts> gnt;
+  std::array<sim::Wire<bool>, kNumPorts> rd;
+};
+
+}  // namespace rasoc::router

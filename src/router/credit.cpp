@@ -1,0 +1,3 @@
+#include "router/credit.hpp"
+
+// Header-only behaviour; this translation unit anchors the library symbol.

@@ -1,0 +1,91 @@
+// Credit-based Output Flow Controller - the replacement OFC the paper
+// sketches in Section 2.2 ("an up/down counter in a credit-based strategy").
+//
+// The sender keeps an up/down counter initialized to the receiver's buffer
+// depth.  A flit is sent (out_val asserted, x_rd issued) whenever the
+// selected input has a flit ready AND a credit is available; the counter
+// decrements per flit sent and increments per credit returned.  The
+// channel's ack wire is reinterpreted as the credit-return line: the
+// receiving input channel pulses it each cycle a flit leaves its buffer.
+//
+// Compared to the handshake OFC this removes the round-trip dependency
+// (out_val -> receiver ack -> x_rd) from the flit transfer: the sender
+// pops eagerly, which keeps the link busy when the receiver pipeline is
+// draining.  The bench_ablation_flowctrl harness quantifies the difference.
+#pragma once
+
+#include <array>
+
+#include "sim/module.hpp"
+#include "sim/wire.hpp"
+
+#include "router/channel.hpp"
+#include "router/params.hpp"
+
+namespace rasoc::router {
+
+class CreditOfc : public sim::Module {
+ public:
+  // `creditReturn` is the channel ack wire in credit mode; `initialCredits`
+  // must equal the downstream buffer depth.
+  CreditOfc(std::string name, Port ownPort, int initialCredits,
+            const sim::Wire<bool>& rokSel,
+            const sim::Wire<bool>& creditReturn, sim::Wire<bool>& outVal,
+            sim::Wire<bool>& xRd, std::array<CrossbarWires, kNumPorts>& xbar)
+      : Module(std::move(name)),
+        ownPort_(ownPort),
+        initialCredits_(initialCredits),
+        rokSel_(&rokSel),
+        creditReturn_(&creditReturn),
+        outVal_(&outVal),
+        xRd_(&xRd),
+        xbar_(&xbar) {}
+
+  int credits() const { return credits_; }
+
+ protected:
+  void onReset() override { credits_ = initialCredits_; }
+
+  void evaluate() override {
+    const bool send = rokSel_->get() && credits_ > 0;
+    outVal_->set(send);
+    xRd_->set(send);
+    const int own = index(ownPort_);
+    for (auto& in : *xbar_) in.rd[own].set(send);
+  }
+
+  void clockEdge() override {
+    const bool sent = rokSel_->get() && credits_ > 0;
+    const bool returned = creditReturn_->get();
+    credits_ += (returned ? 1 : 0) - (sent ? 1 : 0);
+  }
+
+ private:
+  Port ownPort_;
+  int initialCredits_;
+  int credits_ = 0;
+  const sim::Wire<bool>* rokSel_;
+  const sim::Wire<bool>* creditReturn_;
+  sim::Wire<bool>* outVal_;
+  sim::Wire<bool>* xRd_;
+  std::array<CrossbarWires, kNumPorts>* xbar_;
+};
+
+// Receiver-side credit return: pulses the channel's ack (credit) wire each
+// cycle a flit is read out of the input buffer, freeing a slot.
+class CreditReturnTap : public sim::Module {
+ public:
+  CreditReturnTap(std::string name, const sim::Wire<bool>& rd,
+                  const sim::Wire<bool>& rok, sim::Wire<bool>& creditOut)
+      : Module(std::move(name)), rd_(&rd), rok_(&rok), creditOut_(&creditOut) {}
+
+ protected:
+  void evaluate() override { creditOut_->set(rd_->get() && rok_->get()); }
+
+ private:
+  const sim::Wire<bool>* rd_;
+  const sim::Wire<bool>* rok_;
+  sim::Wire<bool>* creditOut_;
+};
+
+}  // namespace rasoc::router

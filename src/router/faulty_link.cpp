@@ -1,0 +1,50 @@
+#include "router/faulty_link.hpp"
+
+#include <stdexcept>
+
+namespace rasoc::router {
+
+FaultyLink::FaultyLink(std::string name, ChannelWires& src, ChannelWires& dst,
+                       int dataBits, double flipProbability,
+                       std::uint64_t seed, FlowControl flowControl)
+    : Link(std::move(name), src, dst, flowControl),
+      dataBits_(dataBits),
+      flipProbability_(flipProbability),
+      seed_(seed),
+      rng_(seed) {
+  if (dataBits_ < 1 || dataBits_ > 32)
+    throw std::invalid_argument("FaultyLink: dataBits must be 1..32");
+  if (flipProbability_ < 0.0 || flipProbability_ > 1.0)
+    throw std::invalid_argument("FaultyLink: probability must be in [0,1]");
+  arm();
+}
+
+void FaultyLink::onReset() {
+  rng_ = sim::Xoshiro256(seed_);
+  flitsCorrupted_ = 0;
+  arm();
+}
+
+void FaultyLink::arm() {
+  if (rng_.chance(flipProbability_)) {
+    armedMask_ = 1u << rng_.below(static_cast<std::uint64_t>(dataBits_));
+  } else {
+    armedMask_ = 0;
+  }
+}
+
+std::uint32_t FaultyLink::transformData(std::uint32_t data, bool bop,
+                                        bool eop) {
+  (void)eop;
+  if (bop) return data;  // headers pass clean (see header comment)
+  return data ^ armedMask_;
+}
+
+void FaultyLink::onTransfer(bool bop) {
+  // Headers pass clean and do not consume the armed mask.
+  if (bop) return;
+  if (armedMask_ != 0) ++flitsCorrupted_;
+  arm();
+}
+
+}  // namespace rasoc::router

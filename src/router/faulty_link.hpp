@@ -1,0 +1,45 @@
+// Fault-injecting link: a Link that flips one random payload data bit with
+// a configurable probability per transferred flit.  Used to exercise the
+// paper's HLP extension ("the n data bits can be extended to include
+// Higher Level Protocol (HLP) signals, like the ones typically used for
+// data integrity control (parity and error)").
+//
+// The fault model corrupts payload flits only: a corrupted header would
+// change the packet's route, which is a different (routing-level) failure
+// mode than the link-noise scenario HLP parity addresses.  The flip
+// decision for the next flit is drawn at the clock edge so the
+// combinational evaluate() stays idempotent.
+#pragma once
+
+#include "sim/rng.hpp"
+
+#include "router/link.hpp"
+
+namespace rasoc::router {
+
+class FaultyLink : public Link {
+ public:
+  FaultyLink(std::string name, ChannelWires& src, ChannelWires& dst,
+             int dataBits, double flipProbability, std::uint64_t seed,
+             FlowControl flowControl = FlowControl::Handshake);
+
+  std::uint64_t flitsCorrupted() const { return flitsCorrupted_; }
+
+ protected:
+  void onReset() override;
+  std::uint32_t transformData(std::uint32_t data, bool bop,
+                              bool eop) override;
+  void onTransfer(bool bop) override;
+
+ private:
+  void arm();
+
+  int dataBits_;
+  double flipProbability_;
+  std::uint64_t seed_;
+  sim::Xoshiro256 rng_;
+  std::uint32_t armedMask_ = 0;  // XORed into the next payload flit
+  std::uint64_t flitsCorrupted_ = 0;
+};
+
+}  // namespace rasoc::router

@@ -1,0 +1,117 @@
+// IB - Input Buffer (paper Figure 5): a p-deep, (n+2)-bit-wide FIFO.
+//
+// Two microarchitectures are modelled, matching the paper's Section 3:
+//
+//  * FfFifo  - "p-deep, (n+2)-wide shift registers with an output
+//    multiplexer to select the FIFO head" (Figure 9).  Data always enters
+//    at stage 0 and older flits sit at higher stages; a head counter drives
+//    the output mux.
+//  * EabFifo - ring buffer mapped onto Altera Embedded Array Blocks;
+//    read/write pointers plus an occupancy counter, data bits in RAM.
+//
+// Both implement the same FIFO contract (and a property test asserts their
+// behavioural equivalence): wok = not full, rok = not empty, dout = oldest
+// flit, synchronous write on wr, synchronous read on rd, simultaneous
+// read+write supported at any occupancy in (0, p].
+//
+// The EAB read is modelled flow-through (the head flit is visible
+// combinationally); the extra EAB access delay shows up in the timing
+// model (tech::fifoReadLevels), not as a protocol difference.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/module.hpp"
+#include "sim/wire.hpp"
+
+#include "router/channel.hpp"
+#include "router/flit.hpp"
+#include "router/params.hpp"
+
+namespace rasoc::router {
+
+class InputBuffer : public sim::Module {
+ public:
+  InputBuffer(std::string name, const RouterParams& params,
+              const FlitWires& din, const sim::Wire<bool>& wr,
+              const sim::Wire<bool>& rd, FlitWires& dout,
+              sim::Wire<bool>& wok, sim::Wire<bool>& rok);
+
+  ~InputBuffer() override = default;
+
+  virtual int occupancy() const = 0;
+  int depth() const { return depth_; }
+  bool full() const { return occupancy() >= depth_; }
+  bool empty() const { return occupancy() == 0; }
+
+  // Sticky flag: a write arrived while the buffer was full (protocol
+  // violation under credit-based flow control; impossible under handshake).
+  bool overflowDetected() const { return overflow_; }
+
+  // Builds the implementation selected by params.fifoImpl.
+  static std::unique_ptr<InputBuffer> create(
+      std::string name, const RouterParams& params, const FlitWires& din,
+      const sim::Wire<bool>& wr, const sim::Wire<bool>& rd, FlitWires& dout,
+      sim::Wire<bool>& wok, sim::Wire<bool>& rok);
+
+ protected:
+  void evaluate() override;
+  void clockEdge() override;
+
+  // Oldest stored flit; only meaningful when !empty().
+  virtual Flit head() const = 0;
+
+  // Commits one edge: push `write` if engaged, pop the head if `read`.
+  virtual void commit(const Flit* write, bool read) = 0;
+
+  std::uint32_t mask_;
+  int depth_;
+
+ private:
+  const FlitWires* din_;
+  const sim::Wire<bool>* wr_;
+  const sim::Wire<bool>* rd_;
+  FlitWires* dout_;
+  sim::Wire<bool>* wok_;
+  sim::Wire<bool>* rok_;
+  bool overflow_ = false;
+};
+
+// Shift-register FIFO (Figure 9).
+class FfFifo final : public InputBuffer {
+ public:
+  using InputBuffer::InputBuffer;
+
+  int occupancy() const override { return count_; }
+
+ protected:
+  void onReset() override;
+  Flit head() const override;
+  void commit(const Flit* write, bool read) override;
+
+ private:
+  std::vector<Flit> stages_;  // stage 0 = newest
+  int count_ = 0;
+};
+
+// Ring-buffer FIFO mapped onto embedded memory.
+class EabFifo final : public InputBuffer {
+ public:
+  using InputBuffer::InputBuffer;
+
+  int occupancy() const override { return count_; }
+
+ protected:
+  void onReset() override;
+  Flit head() const override;
+  void commit(const Flit* write, bool read) override;
+
+ private:
+  std::vector<Flit> mem_;
+  int rptr_ = 0;
+  int wptr_ = 0;
+  int count_ = 0;
+};
+
+}  // namespace rasoc::router

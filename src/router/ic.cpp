@@ -1,0 +1,52 @@
+#include "router/ic.hpp"
+
+namespace rasoc::router {
+
+InputController::InputController(std::string name, const RouterParams& params,
+                                 Port ownPort, const FlitWires& ibDout,
+                                 const sim::Wire<bool>& rok,
+                                 CrossbarWires& xbar)
+    : Module(std::move(name)),
+      m_(params.m),
+      mask_(dataMask(params.n)),
+      routing_(params.routing),
+      ownPort_(ownPort),
+      ibDout_(&ibDout),
+      rok_(&rok),
+      xbar_(&xbar) {}
+
+void InputController::onReset() {
+  requesting_ = false;
+  target_ = Port::Local;
+  misroute_ = false;
+}
+
+void InputController::evaluate() {
+  const std::uint32_t data = ibDout_->data.get();
+  const bool bop = ibDout_->bop.get();
+  const bool eop = ibDout_->eop.get();
+  const bool headerVisible = rok_->get() && bop;
+
+  Port target = Port::Local;
+  std::uint32_t forwarded = data;
+  if (headerVisible) {
+    const Rib rib = decodeRib(data, m_);
+    target = route(routing_, rib);
+    // Update the header for the hop being taken before it leaves.
+    forwarded = updateHeader(data, consumeHop(rib, target), m_) & mask_;
+    if (target == ownPort_) misroute_ = true;
+  }
+
+  for (Port o : kAllPorts)
+    xbar_->req[index(o)].set(headerVisible && o == target);
+
+  xbar_->flit.data.set(forwarded);
+  xbar_->flit.bop.set(bop);
+  xbar_->flit.eop.set(eop);
+  xbar_->rok.set(rok_->get());
+
+  requesting_ = headerVisible;
+  target_ = target;
+}
+
+}  // namespace rasoc::router

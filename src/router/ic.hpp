@@ -1,0 +1,66 @@
+// IC - Input Controller (paper Figure 5): the routing function.
+//
+// "It detects the presence of a header at the IB block output, analyses the
+// Routing Information Bits (RIB) included in the header, runs the routing
+// algorithm to select an output channel, emits a request to the selected
+// output channel, and, finally, updates the routing information in the
+// header to take into account the performed routing."
+//
+// The block is purely combinational (the paper's Table 3 reports 0% of the
+// router's flip-flops in the IC):
+//  * while the header flit (bop set) is at the buffer head, the routing
+//    decision and the request to the chosen output channel are decoded
+//    directly from the RIB, and x_dout carries the header with the RIB
+//    already decremented for the hop being taken;
+//  * once the header is read out the request drops - the *output
+//    controller's* connection register holds the wormhole path until the
+//    trailer passes, so payload flits (and buffer-empty bubbles) flow
+//    without the IC's involvement.
+//
+// The own-port request line does not exist in hardware ("it is not allowed
+// to an input channel to request the output channel of its own port"); the
+// model keeps a sticky misroute flag so tests can assert the situation
+// never arises.
+#pragma once
+
+#include "sim/module.hpp"
+#include "sim/wire.hpp"
+
+#include "router/channel.hpp"
+#include "router/flit.hpp"
+#include "router/params.hpp"
+
+namespace rasoc::router {
+
+class InputController : public sim::Module {
+ public:
+  InputController(std::string name, const RouterParams& params, Port ownPort,
+                  const FlitWires& ibDout, const sim::Wire<bool>& rok,
+                  CrossbarWires& xbar);
+
+  // Observability for tests: the decision made in the last evaluation.
+  bool requesting() const { return requesting_; }
+  Port requestedTarget() const { return target_; }
+  bool misrouteDetected() const { return misroute_; }
+
+ protected:
+  void onReset() override;
+  void evaluate() override;
+
+ private:
+  int m_;
+  std::uint32_t mask_;
+  RoutingAlgorithm routing_ = RoutingAlgorithm::XY;
+  Port ownPort_;
+
+  const FlitWires* ibDout_;
+  const sim::Wire<bool>* rok_;
+  CrossbarWires* xbar_;
+
+  // Last-evaluation observability (not hardware state).
+  bool requesting_ = false;
+  Port target_ = Port::Local;
+  bool misroute_ = false;  // sticky diagnostic
+};
+
+}  // namespace rasoc::router

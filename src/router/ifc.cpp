@@ -1,0 +1,3 @@
+#include "router/ifc.hpp"
+
+// Header-only behaviour; this translation unit anchors the library symbol.

@@ -1,0 +1,53 @@
+// IFC - Input Flow Controller (paper Figure 5).
+//
+// Translates between the handshake protocol on the external link and the
+// FIFO write interface: "It just implements an AND gate in order to set the
+// output in_ack when both in_val and wok equal 1."  The same condition
+// drives the FIFO write strobe.
+//
+// In credit-based mode (paper Section 2.2 extension) the sender only emits
+// a flit when it holds a credit, so the receiver accepts unconditionally:
+// wr = in_val, and in_ack doubles as the credit-return line, pulsed by the
+// input channel when a flit leaves the buffer (driven by the input channel
+// wiring, not by the IFC).
+#pragma once
+
+#include "sim/module.hpp"
+#include "sim/wire.hpp"
+
+#include "router/params.hpp"
+
+namespace rasoc::router {
+
+class Ifc : public sim::Module {
+ public:
+  Ifc(std::string name, FlowControl mode, const sim::Wire<bool>& inVal,
+      const sim::Wire<bool>& wok, sim::Wire<bool>* inAck, sim::Wire<bool>& wr)
+      : Module(std::move(name)),
+        mode_(mode),
+        inVal_(&inVal),
+        wok_(&wok),
+        inAck_(inAck),
+        wr_(&wr) {}
+
+ protected:
+  void evaluate() override {
+    if (mode_ == FlowControl::Handshake) {
+      const bool accept = inVal_->get() && wok_->get();
+      if (inAck_ != nullptr) inAck_->set(accept);
+      wr_->set(accept);
+    } else {
+      // Credit-based: space is guaranteed by the sender's credit counter.
+      wr_->set(inVal_->get());
+    }
+  }
+
+ private:
+  FlowControl mode_;
+  const sim::Wire<bool>* inVal_;
+  const sim::Wire<bool>* wok_;
+  sim::Wire<bool>* inAck_;  // null in credit mode (ack is the credit line)
+  sim::Wire<bool>* wr_;
+};
+
+}  // namespace rasoc::router

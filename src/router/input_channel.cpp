@@ -1,0 +1,34 @@
+#include "router/input_channel.hpp"
+
+namespace rasoc::router {
+
+InputChannel::InputChannel(std::string name, const RouterParams& params,
+                           Port ownPort, FlowControl flowControl,
+                           ChannelWires& in, CrossbarWires& xbar)
+    : Module(std::move(name)),
+      ownPort_(ownPort),
+      ifc_(this->name() + ".ifc", flowControl, in.val, wok_,
+           flowControl == FlowControl::Handshake ? &in.ack : nullptr, wr_),
+      ib_(InputBuffer::create(this->name() + ".ib", params, in.flit, wr_, rd_,
+                              ibDout_, wok_, rok_)),
+      ic_(this->name() + ".ic", params, ownPort, ibDout_, rok_, xbar),
+      irs_(this->name() + ".irs", xbar, rd_),
+      in_(&in) {
+  addChild(ifc_);
+  addChild(*ib_);
+  addChild(ic_);
+  addChild(irs_);
+  if (flowControl == FlowControl::CreditBased) {
+    // The channel ack wire becomes the credit-return line, pulsed when a
+    // flit leaves the buffer.
+    creditTap_ = std::make_unique<CreditReturnTap>(this->name() + ".credit",
+                                                   rd_, rok_, in.ack);
+    addChild(*creditTap_);
+  }
+}
+
+void InputChannel::clockEdge() {
+  if (wr_.get() && !ib_->full()) ++flitsAccepted_;
+}
+
+}  // namespace rasoc::router

@@ -1,0 +1,57 @@
+// Input channel module (paper Figure 5): IFC + IB + IC + IRS wired
+// together, presenting the external input link on one side and the
+// distributed-crossbar nets (x_*) on the other.
+#pragma once
+
+#include <memory>
+
+#include "sim/module.hpp"
+#include "sim/wire.hpp"
+
+#include "router/channel.hpp"
+#include "router/credit.hpp"
+#include "router/fifo.hpp"
+#include "router/ic.hpp"
+#include "router/ifc.hpp"
+#include "router/irs.hpp"
+#include "router/params.hpp"
+
+namespace rasoc::router {
+
+class InputChannel : public sim::Module {
+ public:
+  InputChannel(std::string name, const RouterParams& params, Port ownPort,
+               FlowControl flowControl, ChannelWires& in, CrossbarWires& xbar);
+
+  const InputBuffer& buffer() const { return *ib_; }
+  const InputController& controller() const { return ic_; }
+  Port port() const { return ownPort_; }
+
+  // Number of flits accepted from the link since reset.
+  std::uint64_t flitsAccepted() const { return flitsAccepted_; }
+
+ protected:
+  void clockEdge() override;
+
+ private:
+  Port ownPort_;
+
+  // Internal nets (VHDL signals of the input_channel entity).
+  sim::Wire<bool> wr_;
+  sim::Wire<bool> wok_;
+  sim::Wire<bool> rok_;
+  sim::Wire<bool> rd_;
+  FlitWires ibDout_;
+
+  // Blocks.  Declaration order matters: wires above are bound into these.
+  Ifc ifc_;
+  std::unique_ptr<InputBuffer> ib_;
+  InputController ic_;
+  Irs irs_;
+  std::unique_ptr<CreditReturnTap> creditTap_;  // credit mode only
+
+  std::uint64_t flitsAccepted_ = 0;
+  const ChannelWires* in_;
+};
+
+}  // namespace rasoc::router

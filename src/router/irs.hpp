@@ -1,0 +1,35 @@
+// IRS - Input Read Switch (paper Figure 5).
+//
+// "The IRS block receives four pairs of x_rd - x_gnt signals from each
+// output channel module, and connects the granted read command to the rd
+// input of the IB block interface."  Logically: rd = OR over outputs of
+// (gnt & rd); at most one grant is active at a time, so the OR is a switch.
+#pragma once
+
+#include "sim/module.hpp"
+#include "sim/wire.hpp"
+
+#include "router/channel.hpp"
+#include "router/params.hpp"
+
+namespace rasoc::router {
+
+class Irs : public sim::Module {
+ public:
+  Irs(std::string name, const CrossbarWires& xbar, sim::Wire<bool>& rd)
+      : Module(std::move(name)), xbar_(&xbar), rd_(&rd) {}
+
+ protected:
+  void evaluate() override {
+    bool read = false;
+    for (int o = 0; o < kNumPorts; ++o)
+      read = read || (xbar_->gnt[o].get() && xbar_->rd[o].get());
+    rd_->set(read);
+  }
+
+ private:
+  const CrossbarWires* xbar_;
+  sim::Wire<bool>* rd_;
+};
+
+}  // namespace rasoc::router

@@ -1,0 +1,32 @@
+#include "router/link.hpp"
+
+namespace rasoc::router {
+
+Link::Link(std::string name, ChannelWires& src, ChannelWires& dst,
+           FlowControl flowControl)
+    : Module(std::move(name)),
+      src_(&src),
+      dst_(&dst),
+      flowControl_(flowControl) {}
+
+void Link::evaluate() {
+  const bool bop = src_->flit.bop.get();
+  const bool eop = src_->flit.eop.get();
+  dst_->flit.data.set(transformData(src_->flit.data.get(), bop, eop));
+  dst_->flit.bop.set(bop);
+  dst_->flit.eop.set(eop);
+  dst_->val.set(src_->val.get());
+  src_->ack.set(dst_->ack.get());
+}
+
+void Link::clockEdge() {
+  const bool transferred = flowControl_ == FlowControl::Handshake
+                               ? (src_->val.get() && src_->ack.get())
+                               : src_->val.get();
+  if (transferred) {
+    ++flitsTransferred_;
+    onTransfer(src_->flit.bop.get());
+  }
+}
+
+}  // namespace rasoc::router

@@ -1,0 +1,60 @@
+// Point-to-point link between two routers (or a router and a network
+// interface): forwards the data/framing/val wires downstream and the
+// ack/credit wire upstream, and counts transferred flits for utilization
+// statistics.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/module.hpp"
+
+#include "router/channel.hpp"
+#include "router/params.hpp"
+
+namespace rasoc::router {
+
+class Link : public sim::Module {
+ public:
+  // `src` is an output channel bundle (val driven by the sender, ack read
+  // by it); `dst` is an input channel bundle (val read by the receiver, ack
+  // driven by it).
+  Link(std::string name, ChannelWires& src, ChannelWires& dst,
+       FlowControl flowControl = FlowControl::Handshake);
+
+  ~Link() override = default;
+
+  std::uint64_t flitsTransferred() const { return flitsTransferred_; }
+
+  // Cycles in which the link carried a flit / total cycles observed.
+  double utilization(std::uint64_t cycles) const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(flitsTransferred_) /
+                             static_cast<double>(cycles);
+  }
+
+ protected:
+  void evaluate() override;
+  void clockEdge() override;
+
+  // Hook for derived links (fault injection): the data word actually
+  // presented downstream.  Must be a pure function of its inputs and the
+  // link's registered state (evaluate() runs to fixpoint).
+  virtual std::uint32_t transformData(std::uint32_t data, bool bop,
+                                      bool eop) {
+    (void)bop;
+    (void)eop;
+    return data;
+  }
+
+  // Called once per transferred flit, at the clock edge; `bop` marks
+  // header flits.
+  virtual void onTransfer(bool bop) { (void)bop; }
+
+ private:
+  ChannelWires* src_;
+  ChannelWires* dst_;
+  FlowControl flowControl_;
+  std::uint64_t flitsTransferred_ = 0;
+};
+
+}  // namespace rasoc::router

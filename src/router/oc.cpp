@@ -1,0 +1,62 @@
+#include "router/oc.hpp"
+
+namespace rasoc::router {
+
+OutputController::OutputController(
+    std::string name, Port ownPort, std::array<CrossbarWires, kNumPorts>& xbar,
+    const sim::Wire<bool>& outEop, const sim::Wire<bool>& rokSel,
+    const sim::Wire<bool>& xRd, sim::Wire<bool>& connected,
+    sim::Wire<int>& sel, ArbiterKind arbiter)
+    : Module(std::move(name)),
+      ownPort_(ownPort),
+      xbar_(&xbar),
+      outEop_(&outEop),
+      rokSel_(&rokSel),
+      xRd_(&xRd),
+      connectedWire_(&connected),
+      selWire_(&sel),
+      arbiter_(arbiter) {}
+
+void OutputController::onReset() {
+  connected_ = false;
+  sel_ = 0;
+  rrPtr_ = 0;
+  grantsIssued_ = 0;
+}
+
+void OutputController::evaluate() {
+  connectedWire_->set(connected_);
+  selWire_->set(sel_);
+  const int own = index(ownPort_);
+  for (int i = 0; i < kNumPorts; ++i)
+    (*xbar_)[static_cast<std::size_t>(i)].gnt[own].set(connected_ &&
+                                                       i == sel_);
+}
+
+void OutputController::clockEdge() {
+  const int own = index(ownPort_);
+  if (!connected_) {
+    // Scan the other input ports starting after the round-robin pointer
+    // (fixed priority always restarts at port 0).
+    const int start = arbiter_ == ArbiterKind::RoundRobin ? rrPtr_ : -1;
+    for (int k = 1; k <= kNumPorts; ++k) {
+      const int i = ((start + k) % kNumPorts + kNumPorts) % kNumPorts;
+      if (i == own) continue;
+      if ((*xbar_)[static_cast<std::size_t>(i)].req[own].get()) {
+        connected_ = true;
+        sel_ = i;
+        rrPtr_ = i;
+        ++grantsIssued_;
+        break;
+      }
+    }
+  } else {
+    // Tear the connection down once the trailer flit is actually
+    // transferred (present at the head and read toward the link).
+    if (outEop_->get() && rokSel_->get() && xRd_->get()) {
+      connected_ = false;
+    }
+  }
+}
+
+}  // namespace rasoc::router

@@ -1,0 +1,3 @@
+#include "router/ods.hpp"
+
+// Header-only behaviour; this translation unit anchors the library symbol.

@@ -1,0 +1,53 @@
+// ODS - Output Data Switch (paper Figure 6).
+//
+// A 4:1, (n+2)-bit multiplexer connecting the selected input channel's
+// x_dout (data + framing) to the external output channel.  The paper's
+// Table 3 shows these switches dominating router area (49% of the logic
+// cells for the 32-bit configuration) because each bit costs a LUT tree
+// (Figure 8).
+#pragma once
+
+#include <array>
+
+#include "sim/module.hpp"
+#include "sim/wire.hpp"
+
+#include "router/channel.hpp"
+#include "router/params.hpp"
+
+namespace rasoc::router {
+
+class Ods : public sim::Module {
+ public:
+  Ods(std::string name, const std::array<CrossbarWires, kNumPorts>& xbar,
+      const sim::Wire<bool>& connected, const sim::Wire<int>& sel,
+      FlitWires& out)
+      : Module(std::move(name)),
+        xbar_(&xbar),
+        connected_(&connected),
+        sel_(&sel),
+        out_(&out) {}
+
+ protected:
+  void evaluate() override {
+    if (connected_->get()) {
+      const CrossbarWires& src =
+          (*xbar_)[static_cast<std::size_t>(sel_->get())];
+      out_->data.set(src.flit.data.get());
+      out_->bop.set(src.flit.bop.get());
+      out_->eop.set(src.flit.eop.get());
+    } else {
+      out_->data.set(0);
+      out_->bop.set(false);
+      out_->eop.set(false);
+    }
+  }
+
+ private:
+  const std::array<CrossbarWires, kNumPorts>* xbar_;
+  const sim::Wire<bool>* connected_;
+  const sim::Wire<int>* sel_;
+  FlitWires* out_;
+};
+
+}  // namespace rasoc::router

@@ -1,0 +1,3 @@
+#include "router/ofc.hpp"
+
+// Header-only behaviour; this translation unit anchors the library symbol.

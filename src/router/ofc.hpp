@@ -1,0 +1,55 @@
+// OFC - Output Flow Controller (paper Figure 6).
+//
+// Handshake mode: "Since there is no functional difference between the
+// handshake and the FIFO protocols at the sender side, the OFC block just
+// implements wires connecting the selected x_rok to out_val, and out_ack to
+// x_rd."  The x_rd command is broadcast to every input channel's rd line
+// for this output; the grant lines qualify it inside each IRS.
+//
+// Credit mode (paper Section 2.2: "this block can be easily replaced to
+// implement the required logic (eg. an up/down counter in a credit-based
+// strategy)") lives in router/credit.hpp.
+#pragma once
+
+#include <array>
+
+#include "sim/module.hpp"
+#include "sim/wire.hpp"
+
+#include "router/channel.hpp"
+#include "router/params.hpp"
+
+namespace rasoc::router {
+
+class Ofc : public sim::Module {
+ public:
+  Ofc(std::string name, Port ownPort, const sim::Wire<bool>& rokSel,
+      const sim::Wire<bool>& outAck, sim::Wire<bool>& outVal,
+      sim::Wire<bool>& xRd, std::array<CrossbarWires, kNumPorts>& xbar)
+      : Module(std::move(name)),
+        ownPort_(ownPort),
+        rokSel_(&rokSel),
+        outAck_(&outAck),
+        outVal_(&outVal),
+        xRd_(&xRd),
+        xbar_(&xbar) {}
+
+ protected:
+  void evaluate() override {
+    outVal_->set(rokSel_->get());
+    const bool rd = outAck_->get();
+    xRd_->set(rd);
+    const int own = index(ownPort_);
+    for (auto& in : *xbar_) in.rd[own].set(rd);
+  }
+
+ private:
+  Port ownPort_;
+  const sim::Wire<bool>* rokSel_;
+  const sim::Wire<bool>* outAck_;
+  sim::Wire<bool>* outVal_;
+  sim::Wire<bool>* xRd_;
+  std::array<CrossbarWires, kNumPorts>* xbar_;
+};
+
+}  // namespace rasoc::router

@@ -1,0 +1,3 @@
+#include "router/ors.hpp"
+
+// Header-only behaviour; this translation unit anchors the library symbol.

@@ -1,0 +1,41 @@
+#include "router/output_channel.hpp"
+
+namespace rasoc::router {
+
+OutputChannel::OutputChannel(std::string name, const RouterParams& params,
+                             Port ownPort,
+                             std::array<CrossbarWires, kNumPorts>& xbar,
+                             ChannelWires& out, ArbiterKind arbiter)
+    : Module(std::move(name)),
+      ownPort_(ownPort),
+      oc_(this->name() + ".oc", ownPort, xbar, out.flit.eop, rokSel_, xRd_,
+          connected_, sel_, arbiter),
+      ods_(this->name() + ".ods", xbar, connected_, sel_, out.flit),
+      ors_(this->name() + ".ors", xbar, connected_, sel_, rokSel_),
+      out_(&out),
+      flowControl_(params.flowControl) {
+  addChild(oc_);
+  addChild(ods_);
+  addChild(ors_);
+  if (params.flowControl == FlowControl::Handshake) {
+    handshakeOfc_ = std::make_unique<Ofc>(this->name() + ".ofc", ownPort,
+                                          rokSel_, out.ack, out.val, xRd_,
+                                          xbar);
+    addChild(*handshakeOfc_);
+  } else {
+    creditOfc_ = std::make_unique<CreditOfc>(this->name() + ".ofc", ownPort,
+                                             params.p, rokSel_, out.ack,
+                                             out.val, xRd_, xbar);
+    addChild(*creditOfc_);
+  }
+}
+
+void OutputChannel::clockEdge() {
+  const bool transferred =
+      flowControl_ == FlowControl::Handshake
+          ? (out_->val.get() && out_->ack.get())
+          : out_->val.get();
+  if (transferred) ++flitsSent_;
+}
+
+}  // namespace rasoc::router

@@ -1,0 +1,58 @@
+// Output channel module (paper Figure 6): OC + ODS + ORS + OFC wired
+// together, presenting the crossbar nets on one side and the external
+// output link on the other.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "sim/module.hpp"
+#include "sim/wire.hpp"
+
+#include "router/channel.hpp"
+#include "router/credit.hpp"
+#include "router/oc.hpp"
+#include "router/ods.hpp"
+#include "router/ofc.hpp"
+#include "router/ors.hpp"
+#include "router/params.hpp"
+
+namespace rasoc::router {
+
+class OutputChannel : public sim::Module {
+ public:
+  OutputChannel(std::string name, const RouterParams& params, Port ownPort,
+                std::array<CrossbarWires, kNumPorts>& xbar, ChannelWires& out,
+                ArbiterKind arbiter = ArbiterKind::RoundRobin);
+
+  const OutputController& controller() const { return oc_; }
+  Port port() const { return ownPort_; }
+
+  // Number of flits sent over the link since reset.
+  std::uint64_t flitsSent() const { return flitsSent_; }
+
+ protected:
+  void clockEdge() override;
+
+ private:
+  Port ownPort_;
+
+  // Internal nets.
+  sim::Wire<bool> connected_;
+  sim::Wire<int> sel_;
+  sim::Wire<bool> rokSel_;
+  sim::Wire<bool> xRd_;
+
+  // Blocks.
+  OutputController oc_;
+  Ods ods_;
+  Ors ors_;
+  std::unique_ptr<Ofc> handshakeOfc_;
+  std::unique_ptr<CreditOfc> creditOfc_;
+
+  std::uint64_t flitsSent_ = 0;
+  const ChannelWires* out_;
+  FlowControl flowControl_;
+};
+
+}  // namespace rasoc::router

@@ -1,0 +1,116 @@
+// Router ports and generic parameters.
+//
+// RASoC exposes three VHDL generics (paper Section 3):
+//   n - data channel width in bits (typical: 8, 16, 32),
+//   m - width of the Routing Information Bits (RIB) field in the header,
+//   p - FIFO depth in flits.
+// plus the set of ports actually instantiated ("Depending on the position
+// of a RASoC instance on the NoC ... one or two of them need not be
+// implemented, reducing the network area", Section 2).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <string_view>
+
+namespace rasoc::router {
+
+// The five bidirectional ports (paper Figure 2).
+enum class Port : int { Local = 0, North = 1, East = 2, South = 3, West = 4 };
+
+inline constexpr int kNumPorts = 5;
+
+inline constexpr std::array<Port, kNumPorts> kAllPorts = {
+    Port::Local, Port::North, Port::East, Port::South, Port::West};
+
+constexpr int index(Port p) { return static_cast<int>(p); }
+
+constexpr std::string_view name(Port p) {
+  switch (p) {
+    case Port::Local: return "L";
+    case Port::North: return "N";
+    case Port::East: return "E";
+    case Port::South: return "S";
+    case Port::West: return "W";
+  }
+  return "?";
+}
+
+// The port a link to a neighbouring router arrives on: a flit leaving East
+// enters the neighbour's West port, and so on.  Local has no opposite.
+constexpr Port opposite(Port p) {
+  switch (p) {
+    case Port::North: return Port::South;
+    case Port::East: return Port::West;
+    case Port::South: return Port::North;
+    case Port::West: return Port::East;
+    case Port::Local: break;
+  }
+  throw std::invalid_argument("Local port has no opposite");
+}
+
+// Which FIFO microarchitecture the input buffers use (paper Section 3):
+// flip-flop shift registers with an output multiplexer, or Altera EAB
+// embedded memory.
+enum class FifoImpl { FlipFlop, Eab };
+
+constexpr std::string_view name(FifoImpl impl) {
+  return impl == FifoImpl::FlipFlop ? "FF-based" : "EAB-based";
+}
+
+// Link-level flow control at the output channel (paper Section 2.2: the
+// handshake OFC "can be easily replaced to implement the required logic
+// (eg. an up/down counter in a credit-based strategy)").
+enum class FlowControl { Handshake, CreditBased };
+
+// Deterministic dimension-ordered routing: XY (the paper's choice) routes
+// the X offset first; YX routes Y first.  Both are deadlock-free on a
+// mesh.
+enum class RoutingAlgorithm { XY, YX };
+
+constexpr std::string_view name(RoutingAlgorithm algorithm) {
+  return algorithm == RoutingAlgorithm::XY ? "XY" : "YX";
+}
+
+struct RouterParams {
+  int n = 8;   // data bits per flit (excluding bop/eop framing)
+  int m = 8;   // RIB width; m/2 bits per axis, signed-magnitude
+  int p = 4;   // FIFO depth in flits
+
+  FifoImpl fifoImpl = FifoImpl::Eab;
+  FlowControl flowControl = FlowControl::Handshake;
+
+  // Dimension order of the deterministic routing function.  RASoC uses XY
+  // (paper Section 2); YX is the symmetric alternative the routing
+  // ablation compares against.
+  RoutingAlgorithm routing = RoutingAlgorithm::XY;
+
+  // Bitmask of instantiated ports; bit index(Port).  Full routers use all
+  // five; mesh corner/edge routers prune the dangling ones.
+  unsigned portMask = 0x1f;
+
+  bool hasPort(Port p) const { return (portMask >> index(p)) & 1u; }
+
+  int portCount() const {
+    int c = 0;
+    for (Port p : kAllPorts) c += hasPort(p) ? 1 : 0;
+    return c;
+  }
+
+  // Flit width on the wire: n data bits + bop + eop framing.
+  int flitBits() const { return n + 2; }
+
+  void validate() const {
+    if (n < 2 || n > 32) throw std::invalid_argument("n must be in [2,32]");
+    if (m < 2 || m > 16 || m % 2 != 0)
+      throw std::invalid_argument("m must be even and in [2,16]");
+    if (m > n)
+      throw std::invalid_argument("RIB must fit in the header data bits");
+    if (p < 1 || p > 64) throw std::invalid_argument("p must be in [1,64]");
+    if ((portMask & 0x1fu) == 0 || portMask > 0x1fu)
+      throw std::invalid_argument("portMask must select 1..5 of 5 ports");
+  }
+};
+
+}  // namespace rasoc::router

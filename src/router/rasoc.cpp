@@ -1,0 +1,73 @@
+#include "router/rasoc.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace rasoc::router {
+
+Rasoc::Rasoc(std::string name, RouterParams params, ArbiterKind arbiter)
+    : Module(std::move(name)), params_(params) {
+  params_.validate();
+  for (Port p : kAllPorts) {
+    if (!params_.hasPort(p)) continue;
+    const auto i = static_cast<std::size_t>(index(p));
+    inputs_[i] = std::make_unique<InputChannel>(
+        this->name() + "." + std::string(router::name(p)) + "in", params_, p,
+        params_.flowControl, inWires_[i], xbar_[i]);
+    outputs_[i] = std::make_unique<OutputChannel>(
+        this->name() + "." + std::string(router::name(p)) + "out", params_, p,
+        xbar_, outWires_[i], arbiter);
+    addChild(*inputs_[i]);
+    addChild(*outputs_[i]);
+  }
+}
+
+void Rasoc::requirePort(Port p) const {
+  if (!params_.hasPort(p))
+    throw std::out_of_range("port " + std::string(router::name(p)) +
+                            " is not instantiated on router " + name());
+}
+
+ChannelWires& Rasoc::in(Port p) {
+  requirePort(p);
+  return inWires_[static_cast<std::size_t>(index(p))];
+}
+
+ChannelWires& Rasoc::out(Port p) {
+  requirePort(p);
+  return outWires_[static_cast<std::size_t>(index(p))];
+}
+
+const ChannelWires& Rasoc::in(Port p) const {
+  requirePort(p);
+  return inWires_[static_cast<std::size_t>(index(p))];
+}
+
+const ChannelWires& Rasoc::out(Port p) const {
+  requirePort(p);
+  return outWires_[static_cast<std::size_t>(index(p))];
+}
+
+const InputChannel& Rasoc::inputChannel(Port p) const {
+  requirePort(p);
+  return *inputs_[static_cast<std::size_t>(index(p))];
+}
+
+const OutputChannel& Rasoc::outputChannel(Port p) const {
+  requirePort(p);
+  return *outputs_[static_cast<std::size_t>(index(p))];
+}
+
+bool Rasoc::misrouteDetected() const {
+  for (const auto& in : inputs_)
+    if (in && in->controller().misrouteDetected()) return true;
+  return false;
+}
+
+bool Rasoc::overflowDetected() const {
+  for (const auto& in : inputs_)
+    if (in && in->buffer().overflowDetected()) return true;
+  return false;
+}
+
+}  // namespace rasoc::router

@@ -1,0 +1,60 @@
+// rasoc - the router top level (paper Figures 2 and 4).
+//
+// Externally a routing switch with up to five bidirectional ports (L, N, E,
+// S, W), each made of two opposite unidirectional channels carrying n data
+// bits, bop/eop framing and val/ack flow control (Figure 3).  Internally a
+// distributed organization: one input channel and one output channel module
+// per instantiated port, connected through the x_* crossbar nets.
+//
+// The class mirrors the VHDL soft-core's generics: RouterParams carries
+// (n, m, p) plus the instantiated-port mask, the FIFO microarchitecture and
+// the link flow-control strategy.  Ports absent from the mask are simply
+// not constructed, "reducing the network area" exactly as the paper's
+// Section 2 describes for edge and corner routers.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "sim/module.hpp"
+
+#include "router/channel.hpp"
+#include "router/input_channel.hpp"
+#include "router/output_channel.hpp"
+#include "router/params.hpp"
+
+namespace rasoc::router {
+
+class Rasoc : public sim::Module {
+ public:
+  explicit Rasoc(std::string name, RouterParams params,
+                 ArbiterKind arbiter = ArbiterKind::RoundRobin);
+
+  const RouterParams& params() const { return params_; }
+
+  // External channel wire bundles.  Throws std::out_of_range for a port not
+  // present in params().portMask.
+  ChannelWires& in(Port p);
+  ChannelWires& out(Port p);
+  const ChannelWires& in(Port p) const;
+  const ChannelWires& out(Port p) const;
+
+  const InputChannel& inputChannel(Port p) const;
+  const OutputChannel& outputChannel(Port p) const;
+
+  // Diagnostics aggregated over all channels (sticky since reset).
+  bool misrouteDetected() const;
+  bool overflowDetected() const;
+
+ private:
+  void requirePort(Port p) const;
+
+  RouterParams params_;
+  std::array<ChannelWires, kNumPorts> inWires_;
+  std::array<ChannelWires, kNumPorts> outWires_;
+  std::array<CrossbarWires, kNumPorts> xbar_;
+  std::array<std::unique_ptr<InputChannel>, kNumPorts> inputs_;
+  std::array<std::unique_ptr<OutputChannel>, kNumPorts> outputs_;
+};
+
+}  // namespace rasoc::router

@@ -1,0 +1,54 @@
+// Module base class for structural hardware models.
+//
+// A Module mirrors a VHDL entity: it has a name, optional child modules
+// (structural composition), combinational behaviour (evaluate) and
+// sequential behaviour (clockEdge).  The simulator drives the whole tree:
+//
+//   reset    -> onReset() on every module, once
+//   settle   -> evaluate() on every module, repeated to fixpoint
+//   tick     -> clockEdge() on every module, once per cycle
+//
+// evaluate() must be idempotent given unchanged inputs: it is re-run until
+// no Wire changes.  clockEdge() reads wires/registered state and commits the
+// next registered state; it must not drive wires (drive them in evaluate()
+// from registered state instead).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rasoc::sim {
+
+class Module {
+ public:
+  explicit Module(std::string name);
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  // Drives this module and every child.  Called by the simulator.
+  void resetAll();
+  void evaluateAll();
+  void clockEdgeAll();
+
+  const std::vector<Module*>& children() const { return children_; }
+
+ protected:
+  virtual void onReset() {}
+  virtual void evaluate() {}
+  virtual void clockEdge() {}
+
+  // Registers a structural child.  The child must outlive this module; the
+  // usual pattern is member-object children registered in the constructor.
+  void addChild(Module& child) { children_.push_back(&child); }
+
+ private:
+  std::string name_;
+  std::vector<Module*> children_;
+};
+
+}  // namespace rasoc::sim

@@ -1,0 +1,54 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+#include "sim/wire.hpp"
+
+namespace rasoc::sim {
+
+thread_local bool SettleContext::changed_ = false;
+
+void Simulator::reset() {
+  cycle_ = 0;
+  for (Module* m : tops_) m->resetAll();
+  settle();
+}
+
+void Simulator::settle() {
+  for (int iter = 0; iter < maxSettleIterations_; ++iter) {
+    SettleContext::clearChanged();
+    for (Module* m : tops_) m->evaluateAll();
+    if (!SettleContext::changed()) return;
+  }
+  throw std::runtime_error(
+      "Simulator::settle: no combinational fixpoint after " +
+      std::to_string(maxSettleIterations_) +
+      " passes (combinational loop?)");
+}
+
+void Simulator::tick() {
+  for (Module* m : tops_) m->clockEdgeAll();
+  ++cycle_;
+}
+
+void Simulator::step() {
+  settle();
+  tick();
+}
+
+void Simulator::run(std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) step();
+}
+
+bool Simulator::runUntil(const std::function<bool()>& pred,
+                         std::uint64_t maxCycles) {
+  for (std::uint64_t i = 0; i < maxCycles; ++i) {
+    settle();
+    if (pred()) return true;
+    tick();
+  }
+  settle();
+  return pred();
+}
+
+}  // namespace rasoc::sim

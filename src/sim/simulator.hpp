@@ -1,0 +1,63 @@
+// Two-phase clocked simulator.
+//
+// Each cycle:
+//   1. settle(): run every module's evaluate() repeatedly until no Wire
+//      changes (combinational fixpoint).  A bounded iteration count guards
+//      against combinational loops; exceeding it throws.
+//   2. tick(): run every module's clockEdge() once (synchronous state
+//      update), then increment the cycle counter.
+//
+// step() = settle() + tick().  Testbenches that poke inputs between cycles
+// should: poke wires -> step() -> observe.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/module.hpp"
+
+namespace rasoc::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  // Registers a top-level module.  Non-owning; the module must outlive the
+  // simulator's use of it.
+  void add(Module& m) { tops_.push_back(&m); }
+
+  // Resets registered state in every module and restarts the cycle count.
+  void reset();
+
+  // Runs evaluate() passes until the combinational network is stable.
+  // Throws std::runtime_error if no fixpoint is reached within
+  // maxSettleIterations() passes (combinational loop).
+  void settle();
+
+  // Commits one clock edge.  Callers normally use step() instead.
+  void tick();
+
+  // One full cycle: settle + clock edge.
+  void step();
+
+  // Runs n full cycles.
+  void run(std::uint64_t n);
+
+  // Steps until pred() is true after a settle phase, or maxCycles elapsed.
+  // Returns true if the predicate fired.  The cycle in which the predicate
+  // fires is *not* ticked, so registered state is left just before the edge.
+  bool runUntil(const std::function<bool()>& pred, std::uint64_t maxCycles);
+
+  std::uint64_t cycle() const { return cycle_; }
+
+  int maxSettleIterations() const { return maxSettleIterations_; }
+  void setMaxSettleIterations(int n) { maxSettleIterations_ = n; }
+
+ private:
+  std::vector<Module*> tops_;
+  std::uint64_t cycle_ = 0;
+  int maxSettleIterations_ = 64;
+};
+
+}  // namespace rasoc::sim

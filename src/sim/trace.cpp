@@ -1,0 +1,41 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace rasoc::sim {
+
+void Tracer::addProbe(std::string name, Probe probe) {
+  channels_.push_back({std::move(name), std::move(probe)});
+}
+
+void Tracer::sample(std::uint64_t cycle) {
+  Row row;
+  row.cycle = cycle;
+  row.values.reserve(channels_.size());
+  for (const Channel& ch : channels_) row.values.push_back(ch.probe());
+  rows_.push_back(std::move(row));
+}
+
+std::uint64_t Tracer::value(std::size_t row, const std::string& name) const {
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    if (channels_[i].name == name) return rows_.at(row).values.at(i);
+  }
+  throw std::out_of_range("Tracer: unknown probe '" + name + "'");
+}
+
+std::string Tracer::render() const {
+  std::ostringstream out;
+  out << "cycle";
+  for (const Channel& ch : channels_) out << '\t' << ch.name;
+  out << '\n';
+  for (const Row& row : rows_) {
+    out << row.cycle;
+    for (std::uint64_t v : row.values) out << '\t' << v;
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace rasoc::sim

@@ -1,0 +1,49 @@
+// Lightweight signal tracing.
+//
+// A Tracer samples named probes once per cycle and renders a textual
+// waveform table — enough to debug protocol issues without a full VCD
+// stack.  Probes are std::function<uint64_t()> so any wire or registered
+// state can be observed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace rasoc::sim {
+
+class Tracer {
+ public:
+  using Probe = std::function<std::uint64_t()>;
+
+  void addProbe(std::string name, Probe probe);
+
+  // Samples every probe; call once per cycle after settle().
+  void sample(std::uint64_t cycle);
+
+  std::size_t sampleCount() const { return rows_.size(); }
+
+  // Value of probe `name` at sample index `row` (not cycle number).
+  std::uint64_t value(std::size_t row, const std::string& name) const;
+
+  // Renders all samples as an aligned table, one row per cycle.
+  std::string render() const;
+
+  void clear() { rows_.clear(); }
+
+ private:
+  struct Channel {
+    std::string name;
+    Probe probe;
+  };
+  struct Row {
+    std::uint64_t cycle;
+    std::vector<std::uint64_t> values;
+  };
+
+  std::vector<Channel> channels_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace rasoc::sim

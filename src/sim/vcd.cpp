@@ -1,0 +1,102 @@
+#include "sim/vcd.hpp"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace rasoc::sim {
+
+VcdWriter::VcdWriter(std::string topModule, std::string timescale)
+    : topModule_(std::move(topModule)), timescale_(std::move(timescale)) {}
+
+std::string VcdWriter::idFor(std::size_t index) {
+  // Printable identifier codes: base-94 over '!'..'~'.
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index > 0);
+  return id;
+}
+
+std::string VcdWriter::binary(std::uint64_t value, int width) {
+  std::string bits(static_cast<std::size_t>(width), '0');
+  for (int i = 0; i < width; ++i)
+    bits[static_cast<std::size_t>(width - 1 - i)] =
+        ((value >> i) & 1u) ? '1' : '0';
+  return bits;
+}
+
+std::string VcdWriter::addSignal(std::string name, int width, Getter getter) {
+  if (headerClosed_)
+    throw std::logic_error("VcdWriter: cannot add signals after sampling");
+  if (width < 1 || width > 64)
+    throw std::invalid_argument("VcdWriter: width must be 1..64");
+  Signal signal;
+  signal.name = std::move(name);
+  signal.width = width;
+  signal.getter = std::move(getter);
+  signal.id = idFor(signals_.size());
+  signals_.push_back(std::move(signal));
+  return signals_.back().id;
+}
+
+void VcdWriter::sample(std::uint64_t time) {
+  headerClosed_ = true;
+  std::ostringstream changes;
+  for (Signal& signal : signals_) {
+    const std::uint64_t value = signal.getter();
+    if (signal.everSampled && value == signal.lastValue) continue;
+    signal.everSampled = true;
+    signal.lastValue = value;
+    if (signal.width == 1) {
+      changes << (value ? '1' : '0') << signal.id << '\n';
+    } else {
+      changes << 'b' << binary(value, signal.width) << ' ' << signal.id
+              << '\n';
+    }
+  }
+  const std::string text = changes.str();
+  if (!text.empty()) {
+    body_ += '#' + std::to_string(time) + '\n' + text;
+  }
+}
+
+std::string VcdWriter::render() const {
+  std::ostringstream out;
+  out << "$date reproduction run $end\n";
+  out << "$version RASoC C++ soft-core simulator $end\n";
+  out << "$timescale " << timescale_ << " $end\n";
+  out << "$scope module " << topModule_ << " $end\n";
+
+  // Nested scopes from dotted names: group by prefix, one level deep is
+  // enough for router.block.signal naming.
+  std::map<std::string, std::vector<const Signal*>> scopes;
+  std::vector<const Signal*> toplevel;
+  for (const Signal& signal : signals_) {
+    const auto dot = signal.name.find('.');
+    if (dot == std::string::npos) {
+      toplevel.push_back(&signal);
+    } else {
+      scopes[signal.name.substr(0, dot)].push_back(&signal);
+    }
+  }
+  for (const Signal* signal : toplevel) {
+    out << "$var wire " << signal->width << ' ' << signal->id << ' '
+        << signal->name << " $end\n";
+  }
+  for (const auto& [scope, members] : scopes) {
+    out << "$scope module " << scope << " $end\n";
+    for (const Signal* signal : members) {
+      out << "$var wire " << signal->width << ' ' << signal->id << ' '
+          << signal->name.substr(scope.size() + 1) << " $end\n";
+    }
+    out << "$upscope $end\n";
+  }
+  out << "$upscope $end\n";
+  out << "$enddefinitions $end\n";
+  out << body_;
+  return out.str();
+}
+
+}  // namespace rasoc::sim

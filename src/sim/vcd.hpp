@@ -1,0 +1,62 @@
+// Value Change Dump (IEEE 1364) writer - waveform output for the clocked
+// simulator, so RASoC runs can be inspected in GTKWave just like the VHDL
+// model under a commercial simulator.
+//
+// Usage:
+//   VcdWriter vcd("rasoc");
+//   vcd.addSignal("Lin.val", 1, [&] { return wires.val.get() ? 1u : 0u; });
+//   ... per cycle, after settle():  vcd.sample(sim.cycle());
+//   file << vcd.render();
+//
+// Signals wider than 1 bit are dumped in the binary vector form
+// (`b1010 id`); scalars use the compact form (`1id`).  Only changed values
+// are emitted per timestep, as the format requires.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace rasoc::sim {
+
+class VcdWriter {
+ public:
+  explicit VcdWriter(std::string topModule, std::string timescale = "1 ns");
+
+  using Getter = std::function<std::uint64_t()>;
+
+  // Registers a signal; `width` in bits (1..64).  Returns the identifier
+  // code assigned to it.  Dots in `name` create scope hierarchy.
+  std::string addSignal(std::string name, int width, Getter getter);
+
+  // Samples every signal at `time` (usually the cycle number); emits value
+  // changes for signals that differ from the previous sample.
+  void sample(std::uint64_t time);
+
+  // Complete VCD file contents (header + all sampled changes).
+  std::string render() const;
+
+  std::size_t signalCount() const { return signals_.size(); }
+
+ private:
+  struct Signal {
+    std::string name;
+    int width;
+    Getter getter;
+    std::string id;
+    std::uint64_t lastValue = 0;
+    bool everSampled = false;
+  };
+
+  static std::string idFor(std::size_t index);
+  static std::string binary(std::uint64_t value, int width);
+
+  std::string topModule_;
+  std::string timescale_;
+  std::vector<Signal> signals_;
+  std::string body_;
+  bool headerClosed_ = false;
+};
+
+}  // namespace rasoc::sim

@@ -1,0 +1,53 @@
+// Combinational nets for the two-phase clocked simulator.
+//
+// A Wire<T> models a combinational net: any module may drive it during the
+// settle phase, and the simulator re-runs all evaluate() hooks until no wire
+// changes value (a fixpoint).  Change detection is centralized in
+// SettleContext so the simulator can cheaply test "did this pass change
+// anything" without enumerating every net.
+#pragma once
+
+#include <utility>
+
+namespace rasoc::sim {
+
+// Global (per-thread) change flag used by the settle loop.  The simulator is
+// single-threaded by design; a thread_local keeps independent simulators on
+// different threads from interfering.
+class SettleContext {
+ public:
+  static void clearChanged() { changed_ = false; }
+  static void markChanged() { changed_ = true; }
+  static bool changed() { return changed_; }
+
+ private:
+  static thread_local bool changed_;
+};
+
+// A combinational net holding a value of type T.  T must be equality
+// comparable.  set() records a change in the SettleContext so the settle
+// loop knows another evaluation pass is needed.
+template <typename T>
+class Wire {
+ public:
+  Wire() = default;
+  explicit Wire(T initial) : value_(std::move(initial)) {}
+
+  const T& get() const { return value_; }
+
+  void set(const T& v) {
+    if (!(value_ == v)) {
+      value_ = v;
+      SettleContext::markChanged();
+    }
+  }
+
+  // Forces a value without marking the settle context; used by testbenches
+  // between cycles (before the settle phase starts).
+  void force(const T& v) { value_ = v; }
+
+ private:
+  T value_{};
+};
+
+}  // namespace rasoc::sim

@@ -1,0 +1,100 @@
+#include "softcore/elaborate.hpp"
+
+#include <sstream>
+
+#include "softcore/netlists.hpp"
+
+namespace rasoc::softcore {
+
+using router::RouterParams;
+
+namespace {
+
+std::string generics(const RouterParams& params, bool n, bool m, bool p) {
+  std::ostringstream out;
+  out << '(';
+  bool first = true;
+  auto item = [&](const char* key, int value) {
+    if (!first) out << ", ";
+    out << key << '=' << value;
+    first = false;
+  };
+  if (n) item("n", params.n);
+  if (m) item("m", params.m);
+  if (p) item("p", params.p);
+  out << ')';
+  return out.str();
+}
+
+Entity leaf(std::string name, std::string acronym, std::string gen,
+            hw::Netlist netlist) {
+  Entity e;
+  e.name = std::move(name);
+  e.acronym = std::move(acronym);
+  e.generics = std::move(gen);
+  e.local = std::move(netlist);
+  return e;
+}
+
+}  // namespace
+
+Entity elaborateFifo(const RouterParams& params) {
+  params.validate();
+  return leaf("input_buffer", "IB", generics(params, true, false, true),
+              ibNetlist(params));
+}
+
+Entity elaborateInputChannel(const RouterParams& params) {
+  params.validate();
+  Entity e;
+  e.name = "input_channel";
+  e.acronym = "IN";
+  e.generics = generics(params, true, true, true);
+  e.children.push_back(leaf("input_flow_controller", "IFC", "()",
+                            ifcNetlist(params)));
+  e.children.push_back(elaborateFifo(params));
+  e.children.push_back(leaf("input_controller", "IC",
+                            generics(params, true, true, false),
+                            icNetlist(params)));
+  e.children.push_back(leaf("input_read_switch", "IRS", "()",
+                            irsNetlist(params)));
+  return e;
+}
+
+Entity elaborateOutputChannel(const RouterParams& params) {
+  params.validate();
+  Entity e;
+  e.name = "output_channel";
+  e.acronym = "OUT";
+  e.generics = generics(params, true, false, false);
+  e.children.push_back(leaf("output_controller", "OC", "()",
+                            ocNetlist(params)));
+  e.children.push_back(leaf("output_data_switch", "ODS",
+                            generics(params, true, false, false),
+                            odsNetlist(params)));
+  e.children.push_back(leaf("output_rok_switch", "ORS", "()",
+                            orsNetlist(params)));
+  e.children.push_back(leaf("output_flow_controller", "OFC", "()",
+                            ofcNetlist(params)));
+  return e;
+}
+
+Entity elaborateRouter(const RouterParams& params) {
+  params.validate();
+  Entity e;
+  e.name = "rasoc";
+  e.acronym = "RASOC";
+  e.generics = generics(params, true, true, true);
+  for (router::Port p : router::kAllPorts) {
+    if (!params.hasPort(p)) continue;
+    Entity in = elaborateInputChannel(params);
+    in.name += std::string(".") + std::string(router::name(p)) + "in";
+    e.children.push_back(std::move(in));
+    Entity out = elaborateOutputChannel(params);
+    out.name += std::string(".") + std::string(router::name(p)) + "out";
+    e.children.push_back(std::move(out));
+  }
+  return e;
+}
+
+}  // namespace rasoc::softcore

@@ -1,0 +1,24 @@
+// Elaboration: resolve the soft-core's generics into the entity hierarchy
+// of the paper's Figure 7, ready for technology mapping.
+#pragma once
+
+#include "softcore/entity.hpp"
+
+#include "router/params.hpp"
+
+namespace rasoc::softcore {
+
+// One input buffer alone (the paper's Table 1 experiment).
+Entity elaborateFifo(const router::RouterParams& params);
+
+// input_channel (n,m,p): IFC + IB + IC + IRS.
+Entity elaborateInputChannel(const router::RouterParams& params);
+
+// output_channel (n): OC + ODS + ORS + OFC.
+Entity elaborateOutputChannel(const router::RouterParams& params);
+
+// rasoc (n,m,p): one input and one output channel per instantiated port
+// (Tables 2-3 use the full 5-port configuration).
+Entity elaborateRouter(const router::RouterParams& params);
+
+}  // namespace rasoc::softcore

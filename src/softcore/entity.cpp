@@ -1,0 +1,83 @@
+#include "softcore/entity.hpp"
+
+#include <sstream>
+
+namespace rasoc::softcore {
+
+tech::Cost Entity::totalCost(const tech::Flex10keMapper& mapper) const {
+  tech::Cost cost = mapper.map(local);
+  for (const Entity& child : children) cost += child.totalCost(mapper);
+  return cost;
+}
+
+std::map<std::string, tech::Cost> Entity::costByAcronym(
+    const tech::Flex10keMapper& mapper) const {
+  std::map<std::string, tech::Cost> grouped;
+  // Leaf entities always appear, even when their netlist is empty (the
+  // handshake OFC "just implements wires" yet still has a Table 3 row).
+  if (!local.empty() || children.empty()) grouped[acronym] += mapper.map(local);
+  for (const Entity& child : children) {
+    for (const auto& [key, cost] : child.costByAcronym(mapper))
+      grouped[key] += cost;
+  }
+  return grouped;
+}
+
+int Entity::entityCount() const {
+  int count = 1;
+  for (const Entity& child : children) count += child.entityCount();
+  return count;
+}
+
+namespace {
+
+void renderNode(const Entity& entity, const tech::Flex10keMapper& mapper,
+                int depth, std::ostringstream& out) {
+  const tech::Cost cost = entity.totalCost(mapper);
+  out << std::string(static_cast<std::size_t>(depth) * 2, ' ') << entity.name
+      << " " << entity.generics;
+  if (!entity.acronym.empty() && entity.children.empty())
+    out << "  [" << entity.acronym << "]";
+  out << "  LC=" << cost.lc << " Reg=" << cost.reg << " Mem=" << cost.mem
+      << '\n';
+  for (const Entity& child : entity.children)
+    renderNode(child, mapper, depth + 1, out);
+}
+
+}  // namespace
+
+std::string Entity::renderTree(const tech::Flex10keMapper& mapper) const {
+  std::ostringstream out;
+  renderNode(*this, mapper, 0, out);
+  return out.str();
+}
+
+namespace {
+
+int emitDotNode(const Entity& entity, const tech::Flex10keMapper& mapper,
+                int& nextId, std::ostringstream& out) {
+  const int id = nextId++;
+  const tech::Cost cost = entity.totalCost(mapper);
+  out << "  n" << id << " [label=\"" << entity.name << "\\n"
+      << entity.generics << "\\nLC=" << cost.lc << " Reg=" << cost.reg
+      << " Mem=" << cost.mem << "\"];\n";
+  for (const Entity& child : entity.children) {
+    const int childId = emitDotNode(child, mapper, nextId, out);
+    out << "  n" << id << " -> n" << childId << ";\n";
+  }
+  return id;
+}
+
+}  // namespace
+
+std::string Entity::renderDot(const tech::Flex10keMapper& mapper) const {
+  std::ostringstream out;
+  out << "digraph rasoc_hierarchy {\n"
+      << "  node [shape=box, fontname=\"monospace\"];\n";
+  int nextId = 0;
+  emitDotNode(*this, mapper, nextId, out);
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace rasoc::softcore

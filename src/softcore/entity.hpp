@@ -1,0 +1,51 @@
+// Elaborated entity tree - the C++ counterpart of the VHDL soft-core's
+// entity hierarchy (paper Figure 7):
+//
+//   rasoc (n,m,p)
+//     input_channel (n,m,p) x5      output_channel (n) x5
+//       IFC  IB (n,p)  IC (n,m)  IRS    OC  ODS (n)  ORS  OFC
+//
+// "The lower-level entities receive from the higher-level ones the
+// parameters they need to generate their architectures with the required
+// dimensions."  Elaboration resolves the generics into per-entity primitive
+// netlists, which the technology mapper turns into LC/Reg/Mem costs.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hw/netlist.hpp"
+#include "tech/cost.hpp"
+#include "tech/mapper.hpp"
+
+namespace rasoc::softcore {
+
+struct Entity {
+  std::string name;      // VHDL entity name, e.g. "input_flow_controller"
+  std::string acronym;   // block acronym, e.g. "IFC"
+  std::string generics;  // resolved generics, e.g. "(n=32, p=4)"
+  hw::Netlist local;     // primitives owned by this entity itself
+  std::vector<Entity> children;
+
+  // Cost of this entity including all children.
+  tech::Cost totalCost(const tech::Flex10keMapper& mapper) const;
+
+  // Leaf costs grouped by acronym (the paper's Table 3 rows); the cost of
+  // an acronym is summed over every instance in the tree.
+  std::map<std::string, tech::Cost> costByAcronym(
+      const tech::Flex10keMapper& mapper) const;
+
+  // Number of entities in the tree (this one included).
+  int entityCount() const;
+
+  // Renders the hierarchy as an indented tree with per-entity costs -
+  // regenerates the paper's Figure 7 with resolved generics.
+  std::string renderTree(const tech::Flex10keMapper& mapper) const;
+
+  // Graphviz dot rendering of the same hierarchy (one node per entity
+  // instance, labelled with generics and mapped costs).
+  std::string renderDot(const tech::Flex10keMapper& mapper) const;
+};
+
+}  // namespace rasoc::softcore

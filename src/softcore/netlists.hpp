@@ -1,0 +1,59 @@
+// Per-entity structural netlists.
+//
+// Each function returns the primitive netlist of one bottom-level entity as
+// a function of the router generics, mirroring what Quartus elaborates from
+// the VHDL architecture bodies.  The structures are those described in the
+// paper's Sections 2-3 (AND-gate flow controller, shift-register or EAB
+// FIFOs, LUT-tree multiplexers per Figure 8, round-robin output
+// controller).  Where the paper does not pin the microarchitecture down
+// (FSM encodings, megafunction glue), the free constants are calibrated so
+// the 32-bit/4-flit/EAB breakdown reproduces Table 3; the calibration is
+// documented inline and validated by tests/tech/table_relations_test.
+#pragma once
+
+#include "hw/netlist.hpp"
+
+#include "router/params.hpp"
+
+namespace rasoc::softcore {
+
+// IFC: "just implements an AND gate".
+hw::Netlist ifcNetlist(const router::RouterParams& params);
+
+// IB: p-deep (n+2)-wide FIFO; microarchitecture per params.fifoImpl.
+hw::Netlist ibNetlist(const router::RouterParams& params);
+
+// IC: RIB decode, XY decision, request decode, header RIB update.
+hw::Netlist icNetlist(const router::RouterParams& params);
+
+// IRS: OR of four grant-qualified read commands.
+hw::Netlist irsNetlist(const router::RouterParams& params);
+
+// OC: round-robin arbiter + connection FSM.
+hw::Netlist ocNetlist(const router::RouterParams& params);
+
+// The paper's announced future work ("we are working to develop cheaper
+// versions for the router components in order to reduce RASoC costs",
+// and Table 3's observation that only the controllers can be optimized):
+// a binary-encoded arbiter FSM with shared rotating-priority logic instead
+// of the one-hot replicated decode.  Same behaviour, fewer LUTs.
+hw::Netlist ocNetlistOptimized(const router::RouterParams& params);
+
+// Full-router netlist cost with the optimized controllers swapped in
+// (IC unchanged - it is already combinational minimum logic).
+hw::Netlist routerNetlistOptimizedControllers(
+    const router::RouterParams& params);
+
+// ODS: 4:1 (n+2)-bit output data switch.
+hw::Netlist odsNetlist(const router::RouterParams& params);
+
+// ORS: 4:1 1-bit rok switch.
+hw::Netlist orsNetlist(const router::RouterParams& params);
+
+// OFC: wires in handshake mode; up/down credit counter in credit mode.
+hw::Netlist ofcNetlist(const router::RouterParams& params);
+
+// Number of bits needed to count 0..values-1.
+int bitsFor(int values);
+
+}  // namespace rasoc::softcore

@@ -1,0 +1,29 @@
+// Area cost triple used throughout the evaluation, matching the columns of
+// the paper's Tables 1-3: logic cells (LC), flip-flops (Reg) and embedded
+// memory bits (Mem).
+#pragma once
+
+#include <compare>
+
+namespace rasoc::tech {
+
+struct Cost {
+  int lc = 0;
+  int reg = 0;
+  int mem = 0;
+
+  Cost& operator+=(const Cost& o) {
+    lc += o.lc;
+    reg += o.reg;
+    mem += o.mem;
+    return *this;
+  }
+
+  friend Cost operator+(Cost a, const Cost& b) { return a += b; }
+
+  Cost operator*(int k) const { return {lc * k, reg * k, mem * k}; }
+
+  bool operator==(const Cost&) const = default;
+};
+
+}  // namespace rasoc::tech

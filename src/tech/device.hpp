@@ -1,0 +1,40 @@
+// Target device database.
+//
+// The paper synthesizes RASoC on an Altera FLEX 10KE, device
+// EPF10K200SFC672-1: "a 200-Kgate FPGA with 9,984 LCs and 96 Kbits of RAM
+// included in 24 EABs (each one capable to synthesize a 4-Kbit memory)".
+#pragma once
+
+#include <string_view>
+
+namespace rasoc::tech {
+
+struct Device {
+  std::string_view name;
+  int logicCells;    // 4-input LUT + flip-flop each
+  int memoryBits;    // total embedded RAM bits
+  int eabs;          // number of embedded array blocks
+  int eabBits;       // bits per EAB
+  int eabMaxWidth;   // widest EAB data-port configuration
+};
+
+inline constexpr Device kEpf10k200e{
+    .name = "EPF10K200SFC672-1",
+    .logicCells = 9984,
+    .memoryBits = 96 * 1024,
+    .eabs = 24,
+    .eabBits = 4096,
+    .eabMaxWidth = 16,
+};
+
+// The FLEX 10K device used for the FemtoJava reference synthesis [6].
+inline constexpr Device kFlex10k{
+    .name = "FLEX 10K (FemtoJava reference)",
+    .logicCells = 4992,
+    .memoryBits = 24 * 1024,
+    .eabs = 12,
+    .eabBits = 2048,
+    .eabMaxWidth = 8,
+};
+
+}  // namespace rasoc::tech

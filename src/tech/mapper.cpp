@@ -1,0 +1,55 @@
+#include "tech/mapper.hpp"
+
+#include <stdexcept>
+
+namespace rasoc::tech {
+
+int Flex10keMapper::muxLutsPerBit(int inputs) {
+  if (inputs < 1) throw std::invalid_argument("mux needs >= 1 input");
+  // A balanced tree of 2:1 muxes has inputs-1 nodes; each 2:1 mux (two data
+  // inputs + one select = 3 pins) fits one 4-input LUT.  Matches the
+  // paper's Figure 8: a 4x1 multiplexer costs 3 LUTs per bit.
+  return inputs - 1;
+}
+
+int Flex10keMapper::gateLuts(int inputs) {
+  if (inputs <= 1) return 0;
+  if (inputs <= 4) return 1;
+  // First LUT absorbs 4 inputs; each extra LUT merges its predecessor's
+  // output with up to 3 new inputs.
+  return 1 + (inputs - 4 + 2) / 3;
+}
+
+Cost Flex10keMapper::map(const hw::Primitive& p) const {
+  Cost cost;
+  if (const auto* mux = std::get_if<hw::Mux>(&p)) {
+    cost.lc = muxLutsPerBit(mux->inputs) * mux->width * mux->count;
+  } else if (const auto* reg = std::get_if<hw::Register>(&p)) {
+    const int ffs = reg->width * reg->count;
+    cost.reg = ffs;
+    // Packed flip-flops share the cell of the LUT driving them, which the
+    // Gate/Mux primitives already paid for; unpacked ones claim fresh cells.
+    cost.lc = reg->packed ? 0 : ffs;
+  } else if (const auto* gate = std::get_if<hw::Gate>(&p)) {
+    cost.lc = gateLuts(gate->inputs) * gate->count;
+  } else if (const auto* mem = std::get_if<hw::Memory>(&p)) {
+    cost.mem = mem->words * mem->width * mem->count;
+  }
+  return cost;
+}
+
+Cost Flex10keMapper::map(const hw::Netlist& netlist) const {
+  Cost total;
+  for (const hw::Primitive& p : netlist.items()) total += map(p);
+  return total;
+}
+
+int Flex10keMapper::eabsFor(int words, int width) const {
+  if (words <= 0 || width <= 0) return 0;
+  const int slices = (width + device_.eabMaxWidth - 1) / device_.eabMaxWidth;
+  const int wordsPerEab = device_.eabBits / device_.eabMaxWidth;
+  const int depthBlocks = (words + wordsPerEab - 1) / wordsPerEab;
+  return slices * depthBlocks;
+}
+
+}  // namespace rasoc::tech

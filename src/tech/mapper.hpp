@@ -1,0 +1,50 @@
+// FLEX 10KE technology mapper.
+//
+// Maps a technology-independent primitive netlist (src/hw) onto Altera
+// FLEX 10KE resources.  The mapping rules mirror what the paper describes
+// for Quartus synthesis on this family:
+//
+//  * Logic cells contain one 4-input LUT and one flip-flop.
+//  * There are no internal tri-states, so k:1 multiplexers are LUT trees of
+//    2:1 muxes — (k-1) LUTs per bit (Figure 8 shows the 4:1 case: 3 LUTs).
+//  * A generic k-input logic function costs 1 LUT for k <= 4, then one more
+//    LUT per 3 further inputs (each added LUT merges 3 new inputs with the
+//    previous partial result).
+//  * A flip-flop whose D input is computed by a LUT packs into that LUT's
+//    cell (counts toward Reg only); a flip-flop fed directly from a
+//    neighbouring Q (shift-register data bits) occupies a cell whose LUT is
+//    unused (counts toward both LC and Reg).
+//  * Memory primitives consume EAB bits: words x width, padded to the EAB
+//    port geometry when computing block usage.
+#pragma once
+
+#include "hw/netlist.hpp"
+#include "tech/cost.hpp"
+#include "tech/device.hpp"
+
+namespace rasoc::tech {
+
+class Flex10keMapper {
+ public:
+  explicit Flex10keMapper(Device device = kEpf10k200e) : device_(device) {}
+
+  const Device& device() const { return device_; }
+
+  // LUTs needed for one bit of a k:1 multiplexer (tree of 2:1 muxes).
+  static int muxLutsPerBit(int inputs);
+
+  // LUTs needed for a k-input single-output logic function.
+  static int gateLuts(int inputs);
+
+  Cost map(const hw::Primitive& p) const;
+  Cost map(const hw::Netlist& netlist) const;
+
+  // Number of EABs a words x width memory occupies (widths above the EAB
+  // port limit are split across blocks).
+  int eabsFor(int words, int width) const;
+
+ private:
+  Device device_;
+};
+
+}  // namespace rasoc::tech

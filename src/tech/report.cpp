@@ -1,0 +1,63 @@
+#include "tech/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace rasoc::tech {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table needs headers");
+}
+
+void Table::addRow(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument("Table row width does not match headers");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i)
+    widths[i] = headers_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+
+  std::ostringstream out;
+  auto emitRow = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      out << row[i];
+      if (i + 1 < row.size())
+        out << std::string(widths[i] - row[i].size() + 2, ' ');
+    }
+    out << '\n';
+  };
+  emitRow(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emitRow(row);
+  return out.str();
+}
+
+std::string percent(double numerator, double denominator) {
+  char buf[32];
+  const double value =
+      denominator == 0.0 ? 0.0 : 100.0 * numerator / denominator;
+  std::snprintf(buf, sizeof buf, "%.1f%%", value);
+  return buf;
+}
+
+std::string utilizationSummary(const Device& device, const Cost& cost) {
+  std::ostringstream out;
+  out << "device " << device.name << ": " << cost.lc << " LC ("
+      << percent(cost.lc, device.logicCells) << "), " << cost.reg << " Reg, "
+      << cost.mem << " Mem bits ("
+      << percent(cost.mem, device.memoryBits) << " of "
+      << device.memoryBits << ")";
+  return out.str();
+}
+
+}  // namespace rasoc::tech

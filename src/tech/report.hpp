@@ -1,0 +1,34 @@
+// Plain-text report helpers shared by the benchmark harnesses: aligned
+// tables (rendering the same rows as the paper's Tables 1-4) and device
+// utilization summaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tech/cost.hpp"
+#include "tech/device.hpp"
+
+namespace rasoc::tech {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void addRow(std::vector<std::string> cells);
+
+  // Renders with column alignment; throws if a row is ragged.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// "x uses N% of resource R on <device>" summary lines for a cost triple.
+std::string utilizationSummary(const Device& device, const Cost& cost);
+
+// Percentage with one decimal, e.g. "48.6%".
+std::string percent(double numerator, double denominator);
+
+}  // namespace rasoc::tech

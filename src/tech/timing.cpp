@@ -1,0 +1,23 @@
+#include "tech/timing.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rasoc::tech {
+
+double fifoReadLevels(const TimingModel& model, bool ffBased, int depth) {
+  if (depth < 1) throw std::invalid_argument("FIFO depth must be >= 1");
+  if (!ffBased) return model.eabReadLevels;
+  // Shift-register FIFO: the head is selected by a depth:1 mux tree,
+  // ceil(log2(depth)) 2:1-mux levels deep.
+  if (depth == 1) return 0.0;
+  return std::ceil(std::log2(static_cast<double>(depth)));
+}
+
+double routerFmaxMhz(const TimingModel& model, bool ffBased, int depth) {
+  const double levels =
+      model.baseRouterLevels + fifoReadLevels(model, ffBased, depth);
+  return model.fmaxMhz(levels);
+}
+
+}  // namespace rasoc::tech

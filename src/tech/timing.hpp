@@ -1,0 +1,53 @@
+// Critical-path / fmax estimation for FLEX 10KE (-1 speed grade).
+//
+// The paper reports three operating-frequency data points for the 5-port
+// router:
+//   * FF-based FIFOs, 2 flits deep:  ~64 MHz
+//   * FF-based FIFOs, 4 flits deep:  ~55.8 MHz ("due to the multiplexer at
+//     the outputs of the buffers")
+//   * EAB-based FIFOs (average over configurations): ~56.7 MHz
+//
+// We model the register-to-register critical path as a number of 4-LUT
+// levels (each level = LUT delay + local interconnect) plus fixed clk-to-out
+// and setup overhead:
+//
+//   period_ns = kFixedNs + levels * kLevelNs
+//   fmax_MHz  = 1000 / period_ns
+//
+// The constants are calibrated so the three published points are
+// reproduced by the structural level counts:
+//   FF p=2:  base(5) + log2(2)=1 mux level -> 6.0 levels -> 64.1 MHz
+//   FF p=4:  base(5) + log2(4)=2 mux levels -> 7.0 levels -> 56.0 MHz
+//   EAB:     base(5) + 1.9 levels (synchronous EAB read is slower than a
+//            LUT) -> 6.9 levels -> 56.7 MHz
+//
+// The base path is the flit-forwarding path: FIFO head -> input controller
+// request decode -> grant-qualified read switch -> output data switch ->
+// handshake gate, five LUT levels for the 5-port router.
+#pragma once
+
+#include "hw/netlist.hpp"
+
+namespace rasoc::tech {
+
+struct TimingModel {
+  double fixedNs = 2.4;   // register clk-to-out + setup + clock skew
+  double levelNs = 2.2;   // one 4-LUT + local routing
+  double eabReadLevels = 1.9;  // EAB synchronous read, in LUT-level units
+  double baseRouterLevels = 5.0;
+
+  double periodNs(double levels) const { return fixedNs + levels * levelNs; }
+  double fmaxMhz(double levels) const { return 1000.0 / periodNs(levels); }
+};
+
+enum class FifoImpl;  // forward declaration trick is not used; see router/params.hpp
+
+// Critical-path levels contributed by the input-buffer read path.
+// `ffBased`: true for the shift-register FIFO (output mux tree grows with
+// depth), false for the EAB FIFO (constant memory-read delay).
+double fifoReadLevels(const TimingModel& model, bool ffBased, int depth);
+
+// Router fmax for a given FIFO implementation and depth.
+double routerFmaxMhz(const TimingModel& model, bool ffBased, int depth);
+
+}  // namespace rasoc::tech

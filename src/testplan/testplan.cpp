@@ -1,0 +1,169 @@
+#include "testplan/testplan.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace rasoc::testplan {
+
+const ScheduleEntry& TestSchedule::entryForCore(int core) const {
+  for (const ScheduleEntry& entry : entries) {
+    if (entry.core == core) return entry;
+  }
+  throw std::out_of_range("core not in schedule");
+}
+
+TestPlanner::TestPlanner(TestPlanConfig config) : config_(std::move(config)) {
+  if (config_.accessPorts.empty())
+    throw std::invalid_argument("test plan needs at least one access port");
+  if (config_.powerBudget <= 0.0)
+    throw std::invalid_argument("power budget must be positive");
+  config_.params.validate();
+}
+
+std::uint64_t TestPlanner::deliveryCycles(const CoreTestSpec& core) const {
+  return static_cast<std::uint64_t>(core.testPackets) *
+         static_cast<std::uint64_t>(core.packetFlits());
+}
+
+std::uint64_t TestPlanner::transitCycles(const CoreTestSpec& core,
+                                         int port) const {
+  const noc::NodeId from =
+      config_.accessPorts[static_cast<std::size_t>(port)];
+  // Header pipeline latency: ~3 cycles per router on the XY path (buffer
+  // write, arbitration, switch), see the zero-load measurements in
+  // tests/noc/mesh_test.cpp.
+  return 3ull * static_cast<std::uint64_t>(noc::xyHops(from, core.location));
+}
+
+std::uint64_t TestPlanner::sessionCycles(const CoreTestSpec& core,
+                                         int port) const {
+  return deliveryCycles(core) + transitCycles(core, port) +
+         static_cast<std::uint64_t>(core.bistCycles);
+}
+
+void TestPlanner::validate(const std::vector<CoreTestSpec>& cores) const {
+  for (std::size_t i = 0; i < cores.size(); ++i) {
+    for (std::size_t j = i + 1; j < cores.size(); ++j) {
+      if (cores[i].location == cores[j].location)
+        throw std::invalid_argument("two cores share node (" +
+                                    cores[i].name + ", " + cores[j].name +
+                                    ")");
+    }
+  }
+  for (const CoreTestSpec& core : cores) {
+    if (core.testPackets < 1 || core.payloadFlits < 1 ||
+        core.bistCycles < 0)
+      throw std::invalid_argument("malformed core test spec: " + core.name);
+    if (core.power <= 0.0 || core.power > config_.powerBudget)
+      throw std::invalid_argument("core power cannot fit the budget: " +
+                                  core.name);
+    for (const noc::NodeId& port : config_.accessPorts) {
+      if (port == core.location)
+        throw std::invalid_argument(
+            "core shares a node with a test port (self-addressed): " +
+            core.name);
+    }
+  }
+}
+
+TestSchedule TestPlanner::plan(const std::vector<CoreTestSpec>& cores) const {
+  validate(cores);
+
+  // Longest processing time first (LPT), using the port-independent part
+  // of the session for the ordering.
+  std::vector<int> order(cores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    const auto& ca = cores[static_cast<std::size_t>(a)];
+    const auto& cb = cores[static_cast<std::size_t>(b)];
+    return deliveryCycles(ca) + static_cast<std::uint64_t>(ca.bistCycles) >
+           deliveryCycles(cb) + static_cast<std::uint64_t>(cb.bistCycles);
+  });
+
+  std::vector<std::uint64_t> portFree(config_.accessPorts.size(), 0);
+  TestSchedule schedule;
+
+  // Concurrent-power peak over [start, end) given already-placed entries.
+  auto peakPower = [&](std::uint64_t start, std::uint64_t end,
+                       const std::vector<CoreTestSpec>& specs) {
+    double peak = 0.0;
+    // Evaluate at interval starts: power is piecewise constant with
+    // breakpoints at entry starts/dones.
+    std::vector<std::uint64_t> points{start};
+    for (const ScheduleEntry& e : schedule.entries) {
+      if (e.start > start && e.start < end) points.push_back(e.start);
+    }
+    for (std::uint64_t t : points) {
+      double sum = 0.0;
+      for (const ScheduleEntry& e : schedule.entries) {
+        if (e.start <= t && t < e.done)
+          sum += specs[static_cast<std::size_t>(e.core)].power;
+      }
+      peak = std::max(peak, sum);
+    }
+    return peak;
+  };
+
+  for (int coreIdx : order) {
+    const CoreTestSpec& core = cores[static_cast<std::size_t>(coreIdx)];
+    // Earliest-available port (ties: lowest index).
+    int bestPort = 0;
+    for (std::size_t p = 1; p < portFree.size(); ++p) {
+      if (portFree[p] < portFree[static_cast<std::size_t>(bestPort)])
+        bestPort = static_cast<int>(p);
+    }
+
+    const std::uint64_t session = sessionCycles(core, bestPort);
+    std::uint64_t start = portFree[static_cast<std::size_t>(bestPort)];
+    // Delay the start until the power budget holds across the session.
+    for (;;) {
+      if (peakPower(start, start + session, cores) + core.power <=
+          config_.powerBudget)
+        break;
+      // Jump to the next completion event after `start`.
+      std::uint64_t next = ~0ull;
+      for (const ScheduleEntry& e : schedule.entries) {
+        if (e.done > start) next = std::min(next, e.done);
+      }
+      if (next == ~0ull)
+        throw std::logic_error("power budget unsatisfiable");
+      start = next;
+    }
+
+    ScheduleEntry entry;
+    entry.core = coreIdx;
+    entry.port = bestPort;
+    entry.start = start;
+    entry.portBusyUntil = start + deliveryCycles(core);
+    entry.done = start + session;
+    portFree[static_cast<std::size_t>(bestPort)] = entry.portBusyUntil;
+    schedule.entries.push_back(entry);
+    schedule.makespan = std::max(schedule.makespan, entry.done);
+  }
+  return schedule;
+}
+
+TestSchedule TestPlanner::sequentialBaseline(
+    const std::vector<CoreTestSpec>& cores) const {
+  validate(cores);
+  TestSchedule schedule;
+  std::uint64_t clock = 0;
+  for (std::size_t i = 0; i < cores.size(); ++i) {
+    const CoreTestSpec& core = cores[i];
+    ScheduleEntry entry;
+    entry.core = static_cast<int>(i);
+    entry.port = 0;
+    entry.start = clock;
+    entry.portBusyUntil = clock + deliveryCycles(core);
+    entry.done = clock + sessionCycles(core, 0);
+    // Strictly serial: the next core waits for this one to finish
+    // completely (delivery + BIST), as a dedicated serial TAM would.
+    clock = entry.done;
+    schedule.entries.push_back(entry);
+    schedule.makespan = std::max(schedule.makespan, entry.done);
+  }
+  return schedule;
+}
+
+}  // namespace rasoc::testplan

@@ -1,0 +1,98 @@
+// SoC test planning over the NoC - the second application the paper
+// reports for RASoC ("researches targeting different issues in the NoC
+// domain: design methodologies and SoC test planning", following the
+// group's work on test-time minimization for NoC-based systems).
+//
+// Model: after manufacturing, every BISTed core must receive its test
+// stimuli through the NoC from an external test port (an ATE channel
+// attached to one node's Local port), then run its BIST session.  The test
+// session of a core occupies its assigned port for the stimuli-delivery
+// time; the BIST tail runs inside the core and only delays that core's
+// completion.  Planning minimizes total test time (makespan) subject to:
+//
+//   * each test port streams to one core at a time,
+//   * optional power budget: the summed power of cores concurrently under
+//     test must stay below a cap (the classic constraint of the test-
+//     scheduling literature).
+//
+// The planner estimates session lengths analytically from the RASoC mesh
+// parameters; src/testplan/executor.hpp replays a schedule on the
+// cycle-accurate mesh to validate the estimate.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "noc/topology.hpp"
+#include "router/params.hpp"
+
+namespace rasoc::testplan {
+
+struct CoreTestSpec {
+  std::string name;
+  noc::NodeId location;
+  int testPackets = 1;    // stimuli packets delivered through the NoC
+  int payloadFlits = 8;   // payload words per stimuli packet
+  int bistCycles = 0;     // BIST run after the last stimuli packet lands
+  double power = 1.0;     // normalized power while under test
+
+  // Link flits per stimuli packet (header + source index + payload).
+  int packetFlits() const { return payloadFlits + 2; }
+};
+
+struct TestPlanConfig {
+  std::vector<noc::NodeId> accessPorts;  // ATE attachment nodes
+  double powerBudget = std::numeric_limits<double>::infinity();
+  router::RouterParams params{};  // the mesh's router configuration
+};
+
+struct ScheduleEntry {
+  int core = 0;              // index into the spec list
+  int port = 0;              // index into config.accessPorts
+  std::uint64_t start = 0;   // first cycle the port streams for this core
+  std::uint64_t portBusyUntil = 0;  // port released (stimuli delivered)
+  std::uint64_t done = 0;    // core test complete (delivery + BIST tail)
+};
+
+struct TestSchedule {
+  std::vector<ScheduleEntry> entries;
+  std::uint64_t makespan = 0;
+
+  const ScheduleEntry& entryForCore(int core) const;
+};
+
+class TestPlanner {
+ public:
+  explicit TestPlanner(TestPlanConfig config);
+
+  // Cycles the port is occupied delivering one core's stimuli: the port
+  // serializes packets back to back at one flit per cycle.
+  std::uint64_t deliveryCycles(const CoreTestSpec& core) const;
+
+  // Pipeline latency from port to core for the last flit (XY hops).
+  std::uint64_t transitCycles(const CoreTestSpec& core, int port) const;
+
+  // Complete session length as seen by the core (delivery + transit +
+  // BIST).
+  std::uint64_t sessionCycles(const CoreTestSpec& core, int port) const;
+
+  // Longest-processing-time-first assignment onto the access ports,
+  // honouring the power budget by delaying starts when necessary.
+  TestSchedule plan(const std::vector<CoreTestSpec>& cores) const;
+
+  // Baseline: a single port testing every core back to back in spec order
+  // (what a dedicated serial TAM would do).
+  TestSchedule sequentialBaseline(
+      const std::vector<CoreTestSpec>& cores) const;
+
+  const TestPlanConfig& config() const { return config_; }
+
+ private:
+  void validate(const std::vector<CoreTestSpec>& cores) const;
+
+  TestPlanConfig config_;
+};
+
+}  // namespace rasoc::testplan

@@ -1,0 +1,60 @@
+#include "femtojava/femtojava.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace rasoc::femtojava {
+namespace {
+
+TEST(FemtoJavaTest, PublishedAnchorIsTable4) {
+  // "Table 4. Number of LCs for FemtoJava ... 16 bits: 1979"
+  EXPECT_EQ(kFemtoJava16.logicCells, 1979);
+  EXPECT_TRUE(kFemtoJava16.published);
+  EXPECT_FALSE(kFemtoJava8.published);  // reconstructed, see header comment
+  EXPECT_LT(kFemtoJava8.logicCells, kFemtoJava16.logicCells);
+}
+
+TEST(FemtoJavaTest, ReferenceLookup) {
+  EXPECT_EQ(referenceFor(8).logicCells, kFemtoJava8.logicCells);
+  EXPECT_EQ(referenceFor(16).logicCells, kFemtoJava16.logicCells);
+  EXPECT_THROW(referenceFor(32), std::invalid_argument);
+}
+
+TEST(FemtoJavaTest, RouterIsAFractionOfTheProcessorCore) {
+  // The paper's qualitative claim: a RASoC router costs a minority share of
+  // even a small ASIP core (reported band: 31%-56%; our analytical mapper
+  // lands in the same neighbourhood - see EXPERIMENTS.md).
+  for (int width : {8, 16}) {
+    for (const auto& row : comparisonSweep(width, {2, 4})) {
+      EXPECT_GT(row.ratio, 0.25) << "n=" << width;
+      EXPECT_LT(row.ratio, 0.80) << "n=" << width;
+    }
+  }
+}
+
+TEST(FemtoJavaTest, EabConfigsAreTheCheapestRatios) {
+  const auto rows = comparisonSweep(8, {2, 4});
+  double ffMin = 1e9, eabMax = 0;
+  for (const auto& row : rows) {
+    if (row.params.fifoImpl == router::FifoImpl::FlipFlop)
+      ffMin = std::min(ffMin, row.ratio);
+    else
+      eabMax = std::max(eabMax, row.ratio);
+  }
+  EXPECT_LT(eabMax, ffMin + 0.25);  // EAB never wildly above FF
+}
+
+TEST(FemtoJavaTest, SweepCoversBothImplsAndDepths) {
+  const auto rows = comparisonSweep(16, {2, 4});
+  ASSERT_EQ(rows.size(), 4u);
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.femtojavaLc, 1979);
+    EXPECT_GT(row.routerLc, 0);
+    EXPECT_NEAR(row.ratio,
+                static_cast<double>(row.routerLc) / row.femtojavaLc, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace rasoc::femtojava

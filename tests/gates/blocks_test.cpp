@@ -1,0 +1,159 @@
+// Gate-level builder tests, including the LUT-count cross-checks against
+// the technology mapper (the Figure 8 law, counter sizes).
+#include "gates/blocks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+#include "tech/mapper.hpp"
+
+namespace rasoc::gates {
+namespace {
+
+TEST(MuxTreeTest, FourToOneSelectsEveryInput) {
+  GateNetlist nl;
+  std::vector<std::vector<NodeId>> in;
+  std::vector<NodeId> pins;
+  for (int i = 0; i < 4; ++i) {
+    pins.push_back(nl.addInput("i" + std::to_string(i)));
+    in.push_back({pins.back()});
+  }
+  const auto s0 = nl.addInput("s0");
+  const auto s1 = nl.addInput("s1");
+  const auto out = buildMuxTree(nl, in, {s0, s1});
+  ASSERT_EQ(out.size(), 1u);
+  for (int sel = 0; sel < 4; ++sel) {
+    for (int i = 0; i < 4; ++i) nl.setInput(pins[i], i == sel);
+    nl.setInput(s0, sel & 1);
+    nl.setInput(s1, sel & 2);
+    nl.evaluate();
+    EXPECT_TRUE(nl.value(out[0])) << "sel " << sel;
+    nl.setInput(pins[sel], false);
+    nl.evaluate();
+    EXPECT_FALSE(nl.value(out[0])) << "sel " << sel;
+  }
+}
+
+TEST(MuxTreeTest, LutCountMatchesTheMapperLaw) {
+  // Figure 8 / Flex10keMapper: a k:1 mux costs (k-1) LUTs per bit.
+  for (int k : {2, 4, 8}) {
+    for (int width : {1, 8, 34}) {
+      GateNetlist nl;
+      std::vector<std::vector<NodeId>> in(static_cast<std::size_t>(k));
+      for (auto& bus : in)
+        for (int b = 0; b < width; ++b) bus.push_back(nl.addConst(false));
+      std::vector<NodeId> sel;
+      for (int s = 0; (1 << s) < k; ++s) sel.push_back(nl.addConst(false));
+      buildMuxTree(nl, in, sel);
+      EXPECT_EQ(nl.lutCount(),
+                tech::Flex10keMapper::muxLutsPerBit(k) * width)
+          << "k=" << k << " width=" << width;
+    }
+  }
+}
+
+TEST(UpDownCounterTest, CountsCorrectlyThroughRandomStrobes) {
+  GateNetlist nl;
+  const auto inc = nl.addInput("inc");
+  const auto dec = nl.addInput("dec");
+  const auto counter = buildUpDownCounter(nl, 4, inc, dec);
+  nl.reset();
+  sim::Xoshiro256 rng(21);
+  unsigned expected = 0;
+  for (int step = 0; step < 2000; ++step) {
+    const bool i = rng.chance(0.5);
+    const bool d = rng.chance(0.5);
+    nl.setInput(inc, i);
+    nl.setInput(dec, d);
+    nl.step();
+    nl.evaluate();
+    if (i && !d) expected = (expected + 1) & 0xf;
+    if (d && !i) expected = (expected + 15) & 0xf;  // wrap-around -1
+    unsigned got = 0;
+    for (std::size_t b = 0; b < counter.bits.size(); ++b)
+      got |= (nl.value(counter.bits[b]) ? 1u : 0u) << b;
+    ASSERT_EQ(got, expected) << "step " << step;
+  }
+}
+
+TEST(EqualsConstTest, MatchesOverAllValues) {
+  GateNetlist nl;
+  std::vector<NodeId> bus;
+  for (int i = 0; i < 5; ++i) bus.push_back(nl.addInput("b" + std::to_string(i)));
+  const auto eq19 = buildEqualsConst(nl, bus, 19);
+  for (unsigned value = 0; value < 32; ++value) {
+    for (int i = 0; i < 5; ++i)
+      nl.setInput(bus[static_cast<std::size_t>(i)], (value >> i) & 1u);
+    nl.evaluate();
+    EXPECT_EQ(nl.value(eq19), value == 19) << value;
+  }
+}
+
+TEST(FifoControlTest, TracksOccupancyAndStatus) {
+  GateNetlist nl;
+  const auto wr = nl.addInput("wr");
+  const auto rd = nl.addInput("rd");
+  const auto control = buildFifoControl(nl, 4, wr, rd);
+  nl.reset();
+  EXPECT_TRUE(nl.value(control.wok));
+  EXPECT_FALSE(nl.value(control.rok));
+
+  auto occupancy = [&] {
+    unsigned got = 0;
+    for (std::size_t b = 0; b < control.occupancy.size(); ++b)
+      got |= (nl.value(control.occupancy[b]) ? 1u : 0u) << b;
+    return got;
+  };
+
+  // Fill to depth.
+  nl.setInput(wr, true);
+  nl.setInput(rd, false);
+  for (int i = 0; i < 4; ++i) {
+    nl.step();
+    nl.evaluate();
+  }
+  EXPECT_EQ(occupancy(), 4u);
+  EXPECT_FALSE(nl.value(control.wok));
+  // Fifth write is rejected by the guard.
+  nl.step();
+  nl.evaluate();
+  EXPECT_EQ(occupancy(), 4u);
+  // Simultaneous read+write at full keeps occupancy.
+  nl.setInput(rd, true);
+  nl.step();
+  nl.evaluate();
+  EXPECT_EQ(occupancy(), 4u);
+  // Drain.
+  nl.setInput(wr, false);
+  for (int i = 0; i < 4; ++i) {
+    nl.step();
+    nl.evaluate();
+  }
+  EXPECT_EQ(occupancy(), 0u);
+  EXPECT_FALSE(nl.value(control.rok));
+  // Read-on-empty is ignored.
+  nl.step();
+  nl.evaluate();
+  EXPECT_EQ(occupancy(), 0u);
+}
+
+TEST(ArbiterBuilderTest, LutBudgetIsWithinTheCostModelBallpark) {
+  GateNetlist nl;
+  std::array<NodeId, 4> req{};
+  for (auto& r : req) r = nl.addInput("r");
+  const auto eop = nl.addInput("eop");
+  const auto rok = nl.addInput("rok");
+  const auto rd = nl.addInput("rd");
+  buildRoundRobinArbiter(nl, req, eop, rok, rd);
+  // The cost model charges the OC ~57 LCs for this structure.  The literal
+  // construction here uses explicit inverter LUTs that real LUT packing
+  // absorbs into their consumers, so it lands somewhat above that; the
+  // point of the check is the regime - far above the optimized binary
+  // variant (~15 LUTs), same order as the Table 3 charge.
+  EXPECT_GE(nl.lutCount(), 30);
+  EXPECT_LE(nl.lutCount(), 95);
+  EXPECT_EQ(nl.dffCount(), 7);  // gnt(4) + connected + ptr(2)
+}
+
+}  // namespace
+}  // namespace rasoc::gates

@@ -1,0 +1,125 @@
+#include "gates/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rasoc::gates {
+namespace {
+
+TEST(GateNetlistTest, ConstAndInputValues) {
+  GateNetlist nl;
+  const auto one = nl.addConst(true);
+  const auto zero = nl.addConst(false);
+  const auto in = nl.addInput("a");
+  nl.setInput(in, true);
+  nl.evaluate();
+  EXPECT_TRUE(nl.value(one));
+  EXPECT_FALSE(nl.value(zero));
+  EXPECT_TRUE(nl.value(in));
+}
+
+TEST(GateNetlistTest, BasicGatesTruthTables) {
+  GateNetlist nl;
+  const auto a = nl.addInput("a");
+  const auto b = nl.addInput("b");
+  const auto andN = nl.andGate(a, b);
+  const auto orN = nl.orGate(a, b);
+  const auto xorN = nl.xorGate(a, b);
+  const auto notN = nl.notGate(a);
+  for (int pattern = 0; pattern < 4; ++pattern) {
+    const bool av = pattern & 1;
+    const bool bv = pattern & 2;
+    nl.setInput(a, av);
+    nl.setInput(b, bv);
+    nl.evaluate();
+    EXPECT_EQ(nl.value(andN), av && bv) << pattern;
+    EXPECT_EQ(nl.value(orN), av || bv) << pattern;
+    EXPECT_EQ(nl.value(xorN), av != bv) << pattern;
+    EXPECT_EQ(nl.value(notN), !av) << pattern;
+  }
+}
+
+TEST(GateNetlistTest, Mux2SelectsCorrectly) {
+  GateNetlist nl;
+  const auto sel = nl.addInput("sel");
+  const auto a = nl.addInput("a");
+  const auto b = nl.addInput("b");
+  const auto y = nl.mux2(sel, a, b);
+  for (int pattern = 0; pattern < 8; ++pattern) {
+    nl.setInput(sel, pattern & 1);
+    nl.setInput(a, pattern & 2);
+    nl.setInput(b, pattern & 4);
+    nl.evaluate();
+    const bool expected = (pattern & 1) ? (pattern & 4) : (pattern & 2);
+    EXPECT_EQ(nl.value(y), expected != 0) << pattern;
+  }
+}
+
+TEST(GateNetlistTest, DffLatchesOnClockEdgeOnly) {
+  GateNetlist nl;
+  const auto d = nl.addInput("d");
+  const auto q = nl.addDff(false);
+  nl.connectDff(q, d);
+  nl.reset();
+  nl.setInput(d, true);
+  nl.evaluate();
+  EXPECT_FALSE(nl.value(q)) << "value must not pass through combinationally";
+  nl.clockEdge();
+  EXPECT_TRUE(nl.value(q));
+  nl.setInput(d, false);
+  nl.step();
+  EXPECT_FALSE(nl.value(q));
+}
+
+TEST(GateNetlistTest, ResetRestoresDffInitValues) {
+  GateNetlist nl;
+  const auto d = nl.addInput("d");
+  const auto q0 = nl.addDff(false);
+  const auto q1 = nl.addDff(true);
+  nl.connectDff(q0, d);
+  nl.connectDff(q1, d);
+  nl.setInput(d, true);
+  nl.step();
+  EXPECT_TRUE(nl.value(q0));
+  nl.reset();
+  EXPECT_FALSE(nl.value(q0));
+  EXPECT_TRUE(nl.value(q1));
+}
+
+TEST(GateNetlistTest, RegisteredToggleCounts) {
+  // q <= not q: a divide-by-two toggle built from one LUT + one DFF.
+  GateNetlist nl;
+  const auto q = nl.addDff(false);
+  nl.connectDff(q, nl.notGate(q));
+  nl.reset();
+  bool expected = false;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(nl.value(q), expected) << "cycle " << i;
+    nl.step();
+    nl.evaluate();
+    expected = !expected;
+  }
+  EXPECT_EQ(nl.lutCount(), 1);
+  EXPECT_EQ(nl.dffCount(), 1);
+}
+
+TEST(GateNetlistTest, ErrorsOnMisuse) {
+  GateNetlist nl;
+  const auto q = nl.addDff();
+  EXPECT_THROW(nl.value(99), std::out_of_range);
+  EXPECT_THROW(nl.setInput(q, true), std::invalid_argument);
+  EXPECT_THROW(nl.connectDff(nl.addConst(false), q), std::invalid_argument);
+  EXPECT_THROW(nl.clockEdge(), std::logic_error);  // unconnected D
+  EXPECT_THROW(nl.output("nope"), std::out_of_range);
+}
+
+TEST(GateNetlistTest, NamedOutputs) {
+  GateNetlist nl;
+  const auto a = nl.addInput("a");
+  nl.markOutput("y", nl.notGate(a));
+  nl.setInput(a, false);
+  nl.evaluate();
+  EXPECT_TRUE(nl.output("y"));
+}
+
+}  // namespace
+}  // namespace rasoc::gates

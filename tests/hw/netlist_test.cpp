@@ -1,0 +1,67 @@
+#include "hw/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rasoc::hw {
+namespace {
+
+TEST(NetlistTest, StartsEmpty) {
+  Netlist nl;
+  EXPECT_TRUE(nl.empty());
+  EXPECT_EQ(nl.totalFlipFlops(), 0);
+  EXPECT_EQ(nl.totalMemoryBits(), 0);
+}
+
+TEST(NetlistTest, BuildersAppendPrimitives) {
+  Netlist nl;
+  nl.addMux(4, 8);
+  nl.addRegister(16, /*packed=*/false);
+  nl.addGate(3, 2);
+  nl.addMemory(4, 34);
+  EXPECT_EQ(nl.items().size(), 4u);
+}
+
+TEST(NetlistTest, InvalidBuilderArgumentsAreIgnored) {
+  Netlist nl;
+  nl.addMux(1, 8);        // a 1:1 "mux" is a wire
+  nl.addMux(4, 0);        // zero width
+  nl.addRegister(0, false);
+  nl.addGate(1);          // single-input gate is a wire
+  nl.addMemory(0, 8);
+  EXPECT_TRUE(nl.empty());
+}
+
+TEST(NetlistTest, TotalFlipFlopsSumsWidthTimesCount) {
+  Netlist nl;
+  nl.addRegister(10, false, 2);  // 20 FFs
+  nl.addRegister(3, true);       // 3 FFs
+  nl.addMux(4, 8);               // no FFs
+  EXPECT_EQ(nl.totalFlipFlops(), 23);
+}
+
+TEST(NetlistTest, TotalMemoryBitsSumsWordsTimesWidthTimesCount) {
+  Netlist nl;
+  nl.addMemory(4, 34);      // 136 bits
+  nl.addMemory(2, 10, 3);   // 60 bits
+  EXPECT_EQ(nl.totalMemoryBits(), 196);
+}
+
+TEST(NetlistTest, MergeAppendsScaled) {
+  Netlist a;
+  a.addRegister(4, false);
+  Netlist b;
+  b.merge(a, 5);
+  EXPECT_EQ(b.totalFlipFlops(), 20);
+  EXPECT_EQ(b.items().size(), 5u);
+}
+
+TEST(NetlistTest, MergeZeroTimesIsNoop) {
+  Netlist a;
+  a.addGate(2);
+  Netlist b;
+  b.merge(a, 0);
+  EXPECT_TRUE(b.empty());
+}
+
+}  // namespace
+}  // namespace rasoc::hw

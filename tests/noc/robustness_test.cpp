@@ -1,0 +1,107 @@
+// Robustness and scale: progress watchdog, 8x8 meshes (the largest the
+// 8-bit RIB addresses), histogram rendering.
+#include <gtest/gtest.h>
+
+#include "noc/mesh.hpp"
+#include "noc/watchdog.hpp"
+
+namespace rasoc::noc {
+namespace {
+
+TEST(WatchdogTest, QuietNetworkNeverTrips) {
+  MeshConfig cfg;
+  cfg.shape = MeshShape{2, 2};
+  Mesh mesh(cfg);
+  Watchdog dog("dog", mesh.ledger(), 50);
+  mesh.simulator().add(dog);
+  mesh.run(500);  // nothing in flight: idle is not a stall
+  EXPECT_FALSE(dog.stallDetected());
+}
+
+TEST(WatchdogTest, DetectsAnArtificialStall) {
+  // Queue a packet into the ledger that nobody will ever deliver.
+  DeliveryLedger ledger;
+  PacketRecord r;
+  r.src = NodeId{0, 0};
+  r.dst = NodeId{1, 0};
+  r.flits = 2;
+  ledger.onQueued(r);
+  Watchdog dog("dog", ledger, 20);
+  sim::Simulator sim;
+  sim.add(dog);
+  sim.reset();
+  sim.run(100);
+  EXPECT_TRUE(dog.stallDetected());
+  EXPECT_GE(dog.longestStall(), 20u);
+}
+
+TEST(WatchdogTest, DeliveriesKeepResettingTheTimer) {
+  MeshConfig cfg;
+  cfg.shape = MeshShape{3, 3};
+  cfg.params.n = 16;
+  Mesh mesh(cfg);
+  Watchdog dog("dog", mesh.ledger(), 200);
+  mesh.simulator().add(dog);
+  TrafficConfig traffic;
+  traffic.offeredLoad = 0.2;
+  traffic.seed = 21;
+  mesh.attachTraffic(traffic);
+  mesh.run(3000);
+  EXPECT_FALSE(dog.stallDetected());
+  EXPECT_LT(dog.longestStall(), 100u);
+}
+
+TEST(ScaleTest, EightByEightSaturatedMeshStaysDeadlockFree) {
+  // 8x8 is the largest mesh an 8-bit RIB can address (offsets up to 7).
+  MeshConfig cfg;
+  cfg.shape = MeshShape{8, 8};
+  cfg.params.n = 16;
+  cfg.params.p = 2;
+  Mesh mesh(cfg);
+  Watchdog dog("dog", mesh.ledger(), 500);
+  mesh.simulator().add(dog);
+  TrafficConfig traffic;
+  traffic.offeredLoad = 1.0;  // saturating
+  traffic.payloadFlits = 4;
+  traffic.seed = 8;
+  mesh.attachTraffic(traffic);
+  mesh.run(1200);
+  EXPECT_TRUE(mesh.healthy());
+  EXPECT_FALSE(dog.stallDetected()) << "longest stall "
+                                    << dog.longestStall();
+  EXPECT_GT(mesh.ledger().delivered(), 200u);
+}
+
+TEST(ScaleTest, AsymmetricMeshesWork) {
+  for (auto [w, h] : {std::pair{8, 1}, std::pair{1, 8}, std::pair{5, 2}}) {
+    MeshConfig cfg;
+    cfg.shape = MeshShape{w, h};
+    cfg.params.n = 16;
+    Mesh mesh(cfg);
+    mesh.ni(NodeId{0, 0}).send(NodeId{w - 1, h - 1}, {0xab});
+    ASSERT_TRUE(mesh.drain(1000)) << w << "x" << h;
+    EXPECT_TRUE(mesh.healthy());
+    EXPECT_EQ(mesh.ni(NodeId{w - 1, h - 1}).received().size(), 1u);
+  }
+}
+
+TEST(HistogramTest, RendersBinsAndBars) {
+  LatencyStats stats;
+  for (int i = 0; i < 90; ++i) stats.record(10.0);
+  for (int i = 0; i < 10; ++i) stats.record(100.0);
+  const std::string histogram = stats.histogram(9, 20);
+  EXPECT_NE(histogram.find("####################"), std::string::npos);
+  // The sparse bin still gets a labelled row.
+  EXPECT_NE(histogram.find("10 "), std::string::npos);
+}
+
+TEST(HistogramTest, EmptyAndDegenerateInputs) {
+  LatencyStats stats;
+  EXPECT_NE(stats.histogram().find("(no samples)"), std::string::npos);
+  stats.record(5.0);
+  EXPECT_NO_THROW(stats.histogram());  // single value: zero range
+  EXPECT_THROW(stats.histogram(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rasoc::noc

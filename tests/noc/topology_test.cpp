@@ -1,0 +1,70 @@
+#include "noc/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rasoc::noc {
+namespace {
+
+using router::Port;
+
+TEST(MeshShapeTest, IndexingRoundTrips) {
+  const MeshShape shape{5, 3};
+  for (int i = 0; i < shape.nodes(); ++i) {
+    EXPECT_EQ(shape.indexOf(shape.nodeAt(i)), i);
+    EXPECT_TRUE(shape.contains(shape.nodeAt(i)));
+  }
+  EXPECT_FALSE(shape.contains(NodeId{5, 0}));
+  EXPECT_FALSE(shape.contains(NodeId{0, 3}));
+  EXPECT_FALSE(shape.contains(NodeId{-1, 0}));
+}
+
+TEST(MeshShapeTest, ValidationRejectsDegenerateShapes) {
+  EXPECT_THROW((MeshShape{0, 4}.validate()), std::invalid_argument);
+  EXPECT_THROW((MeshShape{4, 0}.validate()), std::invalid_argument);
+  EXPECT_NO_THROW((MeshShape{1, 1}.validate()));
+}
+
+TEST(PortMaskTest, CornerRoutersKeepThreePorts) {
+  const MeshShape shape{4, 4};
+  const unsigned sw = portMaskFor(shape, NodeId{0, 0});
+  EXPECT_TRUE(sw & (1u << router::index(Port::Local)));
+  EXPECT_TRUE(sw & (1u << router::index(Port::North)));
+  EXPECT_TRUE(sw & (1u << router::index(Port::East)));
+  EXPECT_FALSE(sw & (1u << router::index(Port::South)));
+  EXPECT_FALSE(sw & (1u << router::index(Port::West)));
+}
+
+TEST(PortMaskTest, EdgeRoutersKeepFourPorts) {
+  const MeshShape shape{4, 4};
+  const unsigned mask = portMaskFor(shape, NodeId{2, 0});  // south edge
+  int count = 0;
+  for (int i = 0; i < router::kNumPorts; ++i) count += (mask >> i) & 1;
+  EXPECT_EQ(count, 4);
+  EXPECT_FALSE(mask & (1u << router::index(Port::South)));
+}
+
+TEST(PortMaskTest, InteriorRoutersKeepAllFive) {
+  const MeshShape shape{4, 4};
+  EXPECT_EQ(portMaskFor(shape, NodeId{1, 2}), 0x1fu);
+}
+
+TEST(PortMaskTest, OneByOneMeshIsLocalOnly) {
+  const MeshShape shape{1, 1};
+  EXPECT_EQ(portMaskFor(shape, NodeId{0, 0}),
+            1u << router::index(Port::Local));
+}
+
+TEST(RibBetweenTest, OffsetsMatchCoordinates) {
+  EXPECT_EQ(ribBetween(NodeId{0, 0}, NodeId{3, 2}), (router::Rib{3, 2}));
+  EXPECT_EQ(ribBetween(NodeId{3, 2}, NodeId{0, 0}), (router::Rib{-3, -2}));
+  EXPECT_EQ(ribBetween(NodeId{1, 1}, NodeId{1, 1}), (router::Rib{0, 0}));
+}
+
+TEST(XyHopsTest, CountsRouterTraversals) {
+  EXPECT_EQ(xyHops(NodeId{0, 0}, NodeId{0, 1}), 2);  // src router + dst router
+  EXPECT_EQ(xyHops(NodeId{0, 0}, NodeId{3, 3}), 7);
+  EXPECT_EQ(xyHops(NodeId{2, 2}, NodeId{0, 0}), 5);
+}
+
+}  // namespace
+}  // namespace rasoc::noc

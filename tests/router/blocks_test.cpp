@@ -1,0 +1,383 @@
+// Unit tests for the individual channel blocks, driven through bare wires.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "router/channel.hpp"
+#include "router/ic.hpp"
+#include "router/ifc.hpp"
+#include "router/irs.hpp"
+#include "router/oc.hpp"
+#include "router/ods.hpp"
+#include "router/ofc.hpp"
+#include "router/ors.hpp"
+#include "sim/simulator.hpp"
+
+namespace rasoc::router {
+namespace {
+
+// --- IFC -----------------------------------------------------------------
+
+TEST(IfcTest, HandshakeTruthTable) {
+  sim::Wire<bool> inVal, wok, inAck, wr;
+  Ifc ifc("ifc", FlowControl::Handshake, inVal, wok, &inAck, wr);
+  sim::Simulator sim;
+  sim.add(ifc);
+  const bool cases[4][2] = {{false, false}, {false, true},
+                            {true, false},  {true, true}};
+  for (const auto& c : cases) {
+    inVal.force(c[0]);
+    wok.force(c[1]);
+    sim.settle();
+    EXPECT_EQ(inAck.get(), c[0] && c[1]);
+    EXPECT_EQ(wr.get(), c[0] && c[1]);
+  }
+}
+
+TEST(IfcTest, CreditModeWritesUnconditionally) {
+  sim::Wire<bool> inVal, wok, wr;
+  Ifc ifc("ifc", FlowControl::CreditBased, inVal, wok, nullptr, wr);
+  sim::Simulator sim;
+  sim.add(ifc);
+  inVal.force(true);
+  wok.force(false);  // sender credits guarantee space; wok is ignored
+  sim.settle();
+  EXPECT_TRUE(wr.get());
+  inVal.force(false);
+  sim.settle();
+  EXPECT_FALSE(wr.get());
+}
+
+// --- IC --------------------------------------------------------------------
+
+struct IcHarness {
+  explicit IcHarness(Port ownPort = Port::Local) {
+    RouterParams params;
+    params.n = 16;
+    params.m = 8;
+    ic = std::make_unique<InputController>("ic", params, ownPort, ibDout, rok,
+                                           xbar);
+    sim.add(*ic);
+    sim.reset();
+  }
+
+  void present(std::uint32_t data, bool bop, bool eop, bool rokNow = true) {
+    ibDout.data.force(data);
+    ibDout.bop.force(bop);
+    ibDout.eop.force(eop);
+    rok.force(rokNow);
+    sim.settle();
+  }
+
+  int requestedIndex() const {
+    for (int o = 0; o < kNumPorts; ++o)
+      if (xbar.req[o].get()) return o;
+    return -1;
+  }
+
+  FlitWires ibDout;
+  sim::Wire<bool> rok;
+  CrossbarWires xbar;
+  std::unique_ptr<InputController> ic;
+  sim::Simulator sim;
+};
+
+TEST(IcTest, RequestsEastForPositiveDx) {
+  IcHarness h;
+  h.present(encodeRib(Rib{3, 1}, 8), /*bop=*/true, /*eop=*/false);
+  EXPECT_EQ(h.requestedIndex(), index(Port::East));
+  EXPECT_TRUE(h.ic->requesting());
+  EXPECT_EQ(h.ic->requestedTarget(), Port::East);
+}
+
+TEST(IcTest, RequestsEveryDirectionCorrectly) {
+  const struct {
+    Rib rib;
+    Port expected;
+  } cases[] = {{{2, 0}, Port::East},  {{-1, 3}, Port::West},
+               {{0, 2}, Port::North}, {{0, -1}, Port::South}};
+  for (const auto& c : cases) {
+    IcHarness h;
+    h.present(encodeRib(c.rib, 8), true, false);
+    EXPECT_EQ(h.requestedIndex(), index(c.expected));
+  }
+}
+
+TEST(IcTest, UpdatesHeaderRibForTheHopTaken) {
+  IcHarness h;
+  h.present(encodeRib(Rib{3, -2}, 8), true, false);
+  EXPECT_EQ(decodeRib(h.xbar.flit.data.get(), 8), (Rib{2, -2}));
+}
+
+TEST(IcTest, PreservesPayloadBitsInHeader) {
+  IcHarness h;  // n = 16: bits above the 8-bit RIB are payload
+  const std::uint32_t header = 0x5a00u | encodeRib(Rib{1, 0}, 8);
+  h.present(header, true, false);
+  EXPECT_EQ(h.xbar.flit.data.get() >> 8, 0x5au);
+}
+
+TEST(IcTest, NoRequestWithoutHeader) {
+  IcHarness h;
+  h.present(encodeRib(Rib{3, 1}, 8), /*bop=*/false, false);
+  EXPECT_EQ(h.requestedIndex(), -1);
+  EXPECT_FALSE(h.ic->requesting());
+}
+
+TEST(IcTest, NoRequestWhenBufferEmpty) {
+  IcHarness h;
+  h.present(encodeRib(Rib{3, 1}, 8), true, false, /*rokNow=*/false);
+  EXPECT_EQ(h.requestedIndex(), -1);
+}
+
+TEST(IcTest, PayloadFlitsPassThroughUnmodified) {
+  IcHarness h;
+  h.present(0x1234u, /*bop=*/false, /*eop=*/true);
+  EXPECT_EQ(h.xbar.flit.data.get(), 0x1234u);
+  EXPECT_TRUE(h.xbar.flit.eop.get());
+  EXPECT_FALSE(h.xbar.flit.bop.get());
+}
+
+TEST(IcTest, ZeroOffsetAtLocalPortIsAMisroute) {
+  IcHarness h(Port::Local);
+  h.present(encodeRib(Rib{0, 0}, 8), true, false);
+  EXPECT_TRUE(h.ic->misrouteDetected());
+}
+
+TEST(IcTest, DeliveredPacketRoutesToLocalWithoutMisroute) {
+  IcHarness h(Port::West);  // arrived travelling East
+  h.present(encodeRib(Rib{0, 0}, 8), true, false);
+  EXPECT_EQ(h.requestedIndex(), index(Port::Local));
+  EXPECT_FALSE(h.ic->misrouteDetected());
+}
+
+TEST(IcTest, RokIsForwardedToTheCrossbar) {
+  IcHarness h;
+  h.present(0, false, false, true);
+  EXPECT_TRUE(h.xbar.rok.get());
+  h.present(0, false, false, false);
+  EXPECT_FALSE(h.xbar.rok.get());
+}
+
+// --- IRS -------------------------------------------------------------------
+
+TEST(IrsTest, ForwardsOnlyGrantQualifiedReads) {
+  CrossbarWires xbar;
+  sim::Wire<bool> rd;
+  Irs irs("irs", xbar, rd);
+  sim::Simulator sim;
+  sim.add(irs);
+
+  sim.settle();
+  EXPECT_FALSE(rd.get());
+
+  xbar.rd[2].force(true);  // read command without grant: ignored
+  sim.settle();
+  EXPECT_FALSE(rd.get());
+
+  xbar.gnt[2].force(true);
+  sim.settle();
+  EXPECT_TRUE(rd.get());
+
+  xbar.rd[2].force(false);  // grant without read: ignored
+  sim.settle();
+  EXPECT_FALSE(rd.get());
+}
+
+// --- OC / ODS / ORS / OFC ----------------------------------------------------
+
+// Harness for one output channel's control path with directly-driven
+// crossbar requests.
+struct OcHarness {
+  explicit OcHarness(Port own = Port::East,
+                     ArbiterKind kind = ArbiterKind::RoundRobin) {
+    oc = std::make_unique<OutputController>("oc", own, xbar, outEop, rokSel,
+                                            xRd, connected, sel, kind);
+    sim.add(*oc);
+    sim.reset();
+  }
+
+  void request(Port from, bool on = true) {
+    xbar[static_cast<std::size_t>(index(from))].req[index(Port::East)].force(
+        on);
+  }
+
+  std::array<CrossbarWires, kNumPorts> xbar;
+  sim::Wire<bool> outEop, rokSel, xRd, connected;
+  sim::Wire<int> sel;
+  std::unique_ptr<OutputController> oc;
+  sim::Simulator sim;
+};
+
+TEST(OcTest, GrantsARequestOnTheNextEdge) {
+  OcHarness h;
+  h.request(Port::Local);
+  h.sim.step();
+  h.sim.settle();
+  EXPECT_TRUE(h.connected.get());
+  EXPECT_EQ(h.sel.get(), index(Port::Local));
+  EXPECT_TRUE(h.xbar[0].gnt[index(Port::East)].get());
+}
+
+TEST(OcTest, HoldsConnectionUntilTrailerTransferred) {
+  OcHarness h;
+  h.request(Port::Local);
+  h.sim.step();
+  h.request(Port::Local, false);  // request drops after the header pops
+  h.sim.step();
+  h.sim.settle();
+  EXPECT_TRUE(h.connected.get());  // still connected: wormhole hold
+  // Trailer present and read out.
+  h.outEop.force(true);
+  h.rokSel.force(true);
+  h.xRd.force(true);
+  h.sim.step();
+  h.outEop.force(false);
+  h.rokSel.force(false);
+  h.xRd.force(false);
+  h.sim.settle();
+  EXPECT_FALSE(h.connected.get());
+}
+
+TEST(OcTest, TrailerAtHeadWithoutReadKeepsConnection) {
+  OcHarness h;
+  h.request(Port::Local);
+  h.sim.step();
+  h.outEop.force(true);
+  h.rokSel.force(true);
+  h.xRd.force(false);  // downstream stalled
+  h.sim.step();
+  h.sim.settle();
+  EXPECT_TRUE(h.connected.get());
+}
+
+TEST(OcTest, RoundRobinCyclesThroughCompetingInputs) {
+  OcHarness h;
+  // All four other ports request persistently; grants must rotate.
+  for (Port p : {Port::Local, Port::North, Port::South, Port::West})
+    h.request(p);
+  std::vector<int> grants;
+  for (int round = 0; round < 8; ++round) {
+    h.sim.step();  // edge: grant
+    h.sim.settle();
+    ASSERT_TRUE(h.connected.get());
+    grants.push_back(h.sel.get());
+    // Deliver a trailer immediately to release the channel.
+    h.outEop.force(true);
+    h.rokSel.force(true);
+    h.xRd.force(true);
+    h.sim.step();
+    h.outEop.force(false);
+    h.rokSel.force(false);
+    h.xRd.force(false);
+  }
+  // Two full rotations over {L, N, S, W} with no repeats within a rotation.
+  for (int i = 0; i + 4 <= static_cast<int>(grants.size()); i += 4) {
+    std::set<int> rotation(grants.begin() + i, grants.begin() + i + 4);
+    EXPECT_EQ(rotation.size(), 4u) << "rotation starting at grant " << i;
+  }
+  EXPECT_EQ(h.oc->grantsIssued(), 8u);
+}
+
+TEST(OcTest, FixedPriorityAlwaysPrefersLowestPort) {
+  OcHarness h(Port::East, ArbiterKind::FixedPriority);
+  for (Port p : {Port::Local, Port::West})
+    h.request(p);
+  for (int round = 0; round < 4; ++round) {
+    h.sim.step();
+    h.sim.settle();
+    ASSERT_TRUE(h.connected.get());
+    EXPECT_EQ(h.sel.get(), index(Port::Local)) << "round " << round;
+    h.outEop.force(true);
+    h.rokSel.force(true);
+    h.xRd.force(true);
+    h.sim.step();
+    h.outEop.force(false);
+    h.rokSel.force(false);
+    h.xRd.force(false);
+  }
+}
+
+TEST(OcTest, NeverGrantsItsOwnPort) {
+  OcHarness h(Port::East);
+  // Illegally force a request from East itself plus a legal one from West.
+  h.xbar[index(Port::East)].req[index(Port::East)].force(true);
+  h.request(Port::West);
+  h.sim.step();
+  h.sim.settle();
+  EXPECT_TRUE(h.connected.get());
+  EXPECT_EQ(h.sel.get(), index(Port::West));
+}
+
+TEST(OdsTest, MuxesSelectedInputToOutput) {
+  std::array<CrossbarWires, kNumPorts> xbar;
+  sim::Wire<bool> connected;
+  sim::Wire<int> sel;
+  FlitWires out;
+  Ods ods("ods", xbar, connected, sel, out);
+  sim::Simulator sim;
+  sim.add(ods);
+
+  xbar[3].flit.data.force(0xabc);
+  xbar[3].flit.bop.force(true);
+  connected.force(true);
+  sel.force(3);
+  sim.settle();
+  EXPECT_EQ(out.data.get(), 0xabcu);
+  EXPECT_TRUE(out.bop.get());
+
+  connected.force(false);
+  sim.settle();
+  EXPECT_EQ(out.data.get(), 0u);
+  EXPECT_FALSE(out.bop.get());
+}
+
+TEST(OrsTest, MuxesSelectedRok) {
+  std::array<CrossbarWires, kNumPorts> xbar;
+  sim::Wire<bool> connected, rokSel;
+  sim::Wire<int> sel;
+  Ors ors("ors", xbar, connected, sel, rokSel);
+  sim::Simulator sim;
+  sim.add(ors);
+
+  xbar[1].rok.force(true);
+  sel.force(1);
+  connected.force(true);
+  sim.settle();
+  EXPECT_TRUE(rokSel.get());
+
+  sel.force(2);
+  sim.settle();
+  EXPECT_FALSE(rokSel.get());
+
+  sel.force(1);
+  connected.force(false);
+  sim.settle();
+  EXPECT_FALSE(rokSel.get());
+}
+
+TEST(OfcTest, HandshakeConnectsRokToValAndAckToRd) {
+  std::array<CrossbarWires, kNumPorts> xbar;
+  sim::Wire<bool> rokSel, outAck, outVal, xRd;
+  Ofc ofc("ofc", Port::East, rokSel, outAck, outVal, xRd, xbar);
+  sim::Simulator sim;
+  sim.add(ofc);
+
+  rokSel.force(true);
+  outAck.force(true);
+  sim.settle();
+  EXPECT_TRUE(outVal.get());
+  EXPECT_TRUE(xRd.get());
+  for (int i = 0; i < kNumPorts; ++i)
+    EXPECT_TRUE(xbar[static_cast<std::size_t>(i)].rd[index(Port::East)].get());
+
+  outAck.force(false);
+  sim.settle();
+  EXPECT_TRUE(outVal.get());  // val independent of ack
+  EXPECT_FALSE(xRd.get());
+}
+
+}  // namespace
+}  // namespace rasoc::router

@@ -1,0 +1,156 @@
+#include "router/flit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rasoc::router {
+namespace {
+
+TEST(RibTest, MaxOffsetFollowsFieldWidth) {
+  EXPECT_EQ(ribMaxOffset(8), 7);    // 3 magnitude bits per axis
+  EXPECT_EQ(ribMaxOffset(4), 1);    // 1 magnitude bit per axis
+  EXPECT_EQ(ribMaxOffset(16), 127);
+}
+
+TEST(RibTest, EncodeDecodeRoundTripsAllOffsets) {
+  const int m = 8;
+  const int maxOffset = ribMaxOffset(m);
+  for (int dx = -maxOffset; dx <= maxOffset; ++dx) {
+    for (int dy = -maxOffset; dy <= maxOffset; ++dy) {
+      const Rib rib{dx, dy};
+      EXPECT_EQ(decodeRib(encodeRib(rib, m), m), rib)
+          << "dx=" << dx << " dy=" << dy;
+    }
+  }
+}
+
+TEST(RibTest, OutOfRangeOffsetThrows) {
+  EXPECT_THROW(encodeRib(Rib{8, 0}, 8), std::out_of_range);
+  EXPECT_THROW(encodeRib(Rib{0, -8}, 8), std::out_of_range);
+  EXPECT_NO_THROW(encodeRib(Rib{7, -7}, 8));
+}
+
+TEST(RouteXYTest, XBeforeY) {
+  EXPECT_EQ(routeXY(Rib{3, 2}), Port::East);
+  EXPECT_EQ(routeXY(Rib{-1, 2}), Port::West);
+  EXPECT_EQ(routeXY(Rib{0, 2}), Port::North);
+  EXPECT_EQ(routeXY(Rib{0, -4}), Port::South);
+  EXPECT_EQ(routeXY(Rib{0, 0}), Port::Local);
+}
+
+TEST(RouteYXTest, YBeforeX) {
+  EXPECT_EQ(routeYX(Rib{3, 2}), Port::North);
+  EXPECT_EQ(routeYX(Rib{3, -2}), Port::South);
+  EXPECT_EQ(routeYX(Rib{3, 0}), Port::East);
+  EXPECT_EQ(routeYX(Rib{-1, 0}), Port::West);
+  EXPECT_EQ(routeYX(Rib{0, 0}), Port::Local);
+}
+
+TEST(RouteDispatchTest, SelectsAlgorithm) {
+  const Rib rib{2, 3};
+  EXPECT_EQ(route(RoutingAlgorithm::XY, rib), Port::East);
+  EXPECT_EQ(route(RoutingAlgorithm::YX, rib), Port::North);
+  EXPECT_EQ(name(RoutingAlgorithm::XY), "XY");
+  EXPECT_EQ(name(RoutingAlgorithm::YX), "YX");
+}
+
+TEST(RouteYXTest, WalkAlsoTerminatesInManhattanDistance) {
+  for (int dx = -7; dx <= 7; ++dx) {
+    for (int dy = -7; dy <= 7; ++dy) {
+      Rib rib{dx, dy};
+      int hops = 0;
+      while (routeYX(rib) != Port::Local) {
+        rib = consumeHop(rib, routeYX(rib));
+        ASSERT_LE(++hops, 14);
+      }
+      EXPECT_EQ(hops, std::abs(dx) + std::abs(dy));
+    }
+  }
+}
+
+TEST(ConsumeHopTest, DecrementsTheTravelledAxis) {
+  EXPECT_EQ(consumeHop(Rib{3, 2}, Port::East), (Rib{2, 2}));
+  EXPECT_EQ(consumeHop(Rib{-3, 2}, Port::West), (Rib{-2, 2}));
+  EXPECT_EQ(consumeHop(Rib{0, 2}, Port::North), (Rib{0, 1}));
+  EXPECT_EQ(consumeHop(Rib{0, -2}, Port::South), (Rib{0, -1}));
+  EXPECT_EQ(consumeHop(Rib{0, 0}, Port::Local), (Rib{0, 0}));
+}
+
+TEST(ConsumeHopTest, XYWalkTerminatesAtLocalForAnyOffset) {
+  // Property: repeatedly routing and consuming always reaches {0,0} in
+  // |dx| + |dy| steps.
+  const int m = 8;
+  for (int dx = -7; dx <= 7; ++dx) {
+    for (int dy = -7; dy <= 7; ++dy) {
+      Rib rib{dx, dy};
+      int hops = 0;
+      while (routeXY(rib) != Port::Local) {
+        rib = consumeHop(rib, routeXY(rib));
+        ASSERT_LE(++hops, 14) << "dx=" << dx << " dy=" << dy;
+        // Every intermediate offset stays encodable.
+        ASSERT_NO_THROW(encodeRib(rib, m));
+      }
+      EXPECT_EQ(hops, std::abs(dx) + std::abs(dy));
+    }
+  }
+}
+
+TEST(UpdateHeaderTest, PreservesPayloadBitsAboveTheRib) {
+  const int m = 8;
+  const std::uint32_t header = 0xabcd0000u | encodeRib(Rib{3, -2}, m);
+  const std::uint32_t updated = updateHeader(header, Rib{2, -2}, m);
+  EXPECT_EQ(updated >> m, 0xabcd0000u >> m);
+  EXPECT_EQ(decodeRib(updated, m), (Rib{2, -2}));
+}
+
+TEST(DataMaskTest, CoversCommonWidths) {
+  EXPECT_EQ(dataMask(8), 0xffu);
+  EXPECT_EQ(dataMask(16), 0xffffu);
+  EXPECT_EQ(dataMask(32), 0xffffffffu);
+  EXPECT_EQ(dataMask(2), 0x3u);
+}
+
+TEST(MakePacketTest, FramesHeaderAndTrailer) {
+  RouterParams params;
+  params.n = 16;
+  params.m = 8;
+  const auto flits = makePacket(Rib{2, 1}, {0x1111, 0x2222, 0x3333}, params);
+  ASSERT_EQ(flits.size(), 4u);
+  EXPECT_TRUE(flits[0].bop);
+  EXPECT_FALSE(flits[0].eop);
+  EXPECT_EQ(decodeRib(flits[0].data, params.m), (Rib{2, 1}));
+  EXPECT_FALSE(flits[1].bop);
+  EXPECT_FALSE(flits[1].eop);
+  EXPECT_FALSE(flits[2].eop);
+  EXPECT_TRUE(flits[3].eop);
+  EXPECT_EQ(flits[3].data, 0x3333u);
+}
+
+TEST(MakePacketTest, MasksPayloadToChannelWidth) {
+  RouterParams params;
+  params.n = 8;
+  const auto flits = makePacket(Rib{1, 0}, {0xabcd}, params);
+  EXPECT_EQ(flits[1].data, 0xcdu);
+}
+
+TEST(MakePacketTest, EmptyPayloadThrows) {
+  RouterParams params;
+  EXPECT_THROW(makePacket(Rib{1, 0}, {}, params), std::invalid_argument);
+}
+
+// Property sweep: round trip over every legal even m.
+class RibWidthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RibWidthSweep, RoundTripAtExtremes) {
+  const int m = GetParam();
+  const int maxOffset = ribMaxOffset(m);
+  for (const Rib rib : {Rib{maxOffset, -maxOffset}, Rib{-maxOffset, maxOffset},
+                        Rib{0, 0}, Rib{1, 0}, Rib{0, -1}}) {
+    EXPECT_EQ(decodeRib(encodeRib(rib, m), m), rib) << "m=" << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, RibWidthSweep,
+                         ::testing::Values(4, 6, 8, 10, 12, 14, 16));
+
+}  // namespace
+}  // namespace rasoc::router

@@ -1,0 +1,80 @@
+#include "router/params.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rasoc::router {
+namespace {
+
+TEST(PortTest, NamesAndIndices) {
+  EXPECT_EQ(name(Port::Local), "L");
+  EXPECT_EQ(name(Port::North), "N");
+  EXPECT_EQ(name(Port::East), "E");
+  EXPECT_EQ(name(Port::South), "S");
+  EXPECT_EQ(name(Port::West), "W");
+  EXPECT_EQ(index(Port::Local), 0);
+  EXPECT_EQ(index(Port::West), 4);
+}
+
+TEST(PortTest, OppositePairs) {
+  EXPECT_EQ(opposite(Port::North), Port::South);
+  EXPECT_EQ(opposite(Port::South), Port::North);
+  EXPECT_EQ(opposite(Port::East), Port::West);
+  EXPECT_EQ(opposite(Port::West), Port::East);
+  EXPECT_THROW(opposite(Port::Local), std::invalid_argument);
+}
+
+TEST(RouterParamsTest, DefaultsAreValid) {
+  RouterParams params;
+  EXPECT_NO_THROW(params.validate());
+  EXPECT_EQ(params.portCount(), 5);
+  EXPECT_EQ(params.flitBits(), params.n + 2);
+}
+
+TEST(RouterParamsTest, PortMaskQueries) {
+  RouterParams params;
+  params.portMask = (1u << index(Port::Local)) | (1u << index(Port::East));
+  EXPECT_TRUE(params.hasPort(Port::Local));
+  EXPECT_TRUE(params.hasPort(Port::East));
+  EXPECT_FALSE(params.hasPort(Port::West));
+  EXPECT_EQ(params.portCount(), 2);
+}
+
+TEST(RouterParamsTest, ValidationRejectsBadWidths) {
+  RouterParams params;
+  params.n = 1;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+  params.n = 33;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+  params.n = 8;
+  params.m = 7;  // odd
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+  params.m = 10;  // RIB wider than the data channel
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+  params.m = 8;
+  params.p = 0;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+  params.p = 4;
+  params.portMask = 0;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+  params.portMask = 0x3f;  // sixth port does not exist
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+}
+
+TEST(RouterParamsTest, TypicalPaperConfigurationsValidate) {
+  for (int n : {8, 16, 32}) {
+    for (int p : {2, 4}) {
+      RouterParams params;
+      params.n = n;
+      params.p = p;
+      EXPECT_NO_THROW(params.validate()) << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(FifoImplTest, Names) {
+  EXPECT_EQ(name(FifoImpl::FlipFlop), "FF-based");
+  EXPECT_EQ(name(FifoImpl::Eab), "EAB-based");
+}
+
+}  // namespace
+}  // namespace rasoc::router

@@ -1,0 +1,303 @@
+// Whole-router tests: packets driven through a single RASoC instance (and
+// small chains) with handshake sources and sinks.
+#include "router/rasoc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "router/link.hpp"
+#include "sim/simulator.hpp"
+#include "testbench.hpp"
+
+namespace rasoc::router {
+namespace {
+
+using test::FlitSink;
+using test::FlitSource;
+
+struct RouterHarness {
+  explicit RouterHarness(RouterParams params = {},
+                         ArbiterKind kind = ArbiterKind::RoundRobin)
+      : router("dut", params, kind) {
+    sim.add(router);
+    for (Port p : kAllPorts) {
+      if (!params.hasPort(p)) continue;
+      sources[p] = std::make_unique<FlitSource>(
+          "src" + std::string(name(p)), router.in(p));
+      sinks[p] = std::make_unique<FlitSink>("sink" + std::string(name(p)),
+                                            router.out(p));
+      sim.add(*sources[p]);
+      sim.add(*sinks[p]);
+    }
+    sim.reset();
+  }
+
+  void inject(Port p, Rib rib, const std::vector<std::uint32_t>& payload) {
+    sources.at(p)->queue(makePacket(rib, payload, router.params()));
+  }
+
+  // Runs until every sink has stopped growing for `quiet` cycles.
+  void runToQuiescence(std::uint64_t maxCycles = 2000, int quiet = 20) {
+    std::size_t lastTotal = 0;
+    int quietCycles = 0;
+    for (std::uint64_t c = 0; c < maxCycles && quietCycles < quiet; ++c) {
+      sim.step();
+      std::size_t total = 0;
+      for (auto& [p, sink] : sinks) total += sink->received().size();
+      bool sourcesDone = true;
+      for (auto& [p, src] : sources) sourcesDone &= src->done();
+      if (total == lastTotal && sourcesDone) {
+        ++quietCycles;
+      } else {
+        quietCycles = 0;
+        lastTotal = total;
+      }
+    }
+    sim.settle();
+  }
+
+  Rasoc router;
+  std::map<Port, std::unique_ptr<FlitSource>> sources;
+  std::map<Port, std::unique_ptr<FlitSink>> sinks;
+  sim::Simulator sim;
+};
+
+std::vector<std::vector<Flit>> packetsOf(const std::vector<Flit>& flits) {
+  std::vector<std::vector<Flit>> packets;
+  std::vector<Flit> current;
+  for (const Flit& f : flits) {
+    if (f.bop) current.clear();
+    current.push_back(f);
+    if (f.eop) {
+      packets.push_back(current);
+      current.clear();
+    }
+  }
+  return packets;
+}
+
+TEST(RasocTest, RoutesLocalToEastAndDecrementsRib) {
+  RouterHarness h;
+  h.inject(Port::Local, Rib{2, 0}, {0xaa, 0xbb, 0xcc});
+  h.runToQuiescence();
+  const auto& out = h.sinks[Port::East]->received();
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_TRUE(out[0].bop);
+  EXPECT_EQ(decodeRib(out[0].data, 8), (Rib{1, 0}));
+  EXPECT_EQ(out[1].data, 0xaau);
+  EXPECT_EQ(out[2].data, 0xbbu);
+  EXPECT_EQ(out[3].data, 0xccu);
+  EXPECT_TRUE(out[3].eop);
+  EXPECT_TRUE(h.router.misrouteDetected() == false);
+}
+
+TEST(RasocTest, RoutesEveryDirectionFromLocal) {
+  const struct {
+    Rib rib;
+    Port expected;
+  } cases[] = {{{1, 0}, Port::East},
+               {{-1, 0}, Port::West},
+               {{0, 1}, Port::North},
+               {{0, -1}, Port::South}};
+  for (const auto& c : cases) {
+    RouterHarness h;
+    h.inject(Port::Local, c.rib, {0x11});
+    h.runToQuiescence();
+    EXPECT_EQ(h.sinks[c.expected]->received().size(), 2u)
+        << "direction " << name(c.expected);
+    EXPECT_EQ(decodeRib(h.sinks[c.expected]->received()[0].data, 8),
+              (Rib{0, 0}));
+  }
+}
+
+TEST(RasocTest, DeliversZeroOffsetHeaderToLocalPort) {
+  RouterHarness h;
+  h.inject(Port::West, Rib{0, 0}, {0x42});
+  h.runToQuiescence();
+  ASSERT_EQ(h.sinks[Port::Local]->received().size(), 2u);
+  EXPECT_EQ(h.sinks[Port::Local]->received()[1].data, 0x42u);
+  EXPECT_FALSE(h.router.misrouteDetected());
+}
+
+TEST(RasocTest, PipelinesOneFlitPerCycleAfterSetup) {
+  RouterParams params;
+  params.p = 4;
+  RouterHarness h(params);
+  std::vector<std::uint32_t> payload(32);
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<std::uint32_t>(i);
+  h.inject(Port::Local, Rib{1, 0}, payload);
+  const std::uint64_t start = h.sim.cycle();
+  h.runToQuiescence();
+  const auto& out = h.sinks[Port::East]->received();
+  ASSERT_EQ(out.size(), payload.size() + 1);
+  // 33 flits must stream in roughly 33 cycles + small setup (runToQuiescence
+  // adds its quiet tail, so bound generously but far below 2 cycles/flit).
+  EXPECT_LT(h.sim.cycle() - start, payload.size() + 30);
+}
+
+TEST(RasocTest, BackpressureStallsWithoutLossOrOverflow) {
+  RouterParams params;
+  params.p = 2;
+  RouterHarness h(params);
+  h.sinks[Port::East]->setReady([](std::uint64_t c) { return c % 3 == 0; });
+  std::vector<std::uint32_t> payload(20);
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<std::uint32_t>(i + 1);
+  h.inject(Port::Local, Rib{1, 0}, payload);
+  h.runToQuiescence(4000);
+  const auto& out = h.sinks[Port::East]->received();
+  ASSERT_EQ(out.size(), payload.size() + 1);
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    EXPECT_EQ(out[i + 1].data, payload[i]);
+  EXPECT_FALSE(h.router.overflowDetected());
+}
+
+TEST(RasocTest, DisjointTransfersProceedConcurrently) {
+  RouterHarness h;
+  std::vector<std::uint32_t> payload(24, 0x7);
+  h.inject(Port::Local, Rib{1, 0}, payload);   // L -> E
+  h.inject(Port::West, Rib{0, 1}, payload);    // W -> N
+  const std::uint64_t start = h.sim.cycle();
+  h.runToQuiescence();
+  EXPECT_EQ(h.sinks[Port::East]->received().size(), payload.size() + 1);
+  EXPECT_EQ(h.sinks[Port::North]->received().size(), payload.size() + 1);
+  // Concurrent, not serialized: far less than two back-to-back packets.
+  EXPECT_LT(h.sim.cycle() - start, 2 * payload.size());
+}
+
+TEST(RasocTest, ConflictingPacketsAreSerializedWithoutInterleaving) {
+  RouterHarness h;
+  h.inject(Port::Local, Rib{1, 0}, {0x10, 0x11, 0x12});
+  h.inject(Port::West, Rib{1, 0}, {0x20, 0x21, 0x22});
+  h.runToQuiescence();
+  const auto packets = packetsOf(h.sinks[Port::East]->received());
+  ASSERT_EQ(packets.size(), 2u);
+  for (const auto& packet : packets) {
+    ASSERT_EQ(packet.size(), 4u);
+    // All payload flits of one packet share the same source marker nibble.
+    const std::uint32_t marker = packet[1].data >> 4;
+    EXPECT_EQ(packet[2].data >> 4, marker);
+    EXPECT_EQ(packet[3].data >> 4, marker);
+  }
+}
+
+TEST(RasocTest, RoundRobinAlternatesBetweenPersistentCompetitors) {
+  RouterHarness h;
+  for (int i = 0; i < 4; ++i) {
+    h.inject(Port::Local, Rib{1, 0}, {0x10u + static_cast<std::uint32_t>(i)});
+    h.inject(Port::West, Rib{1, 0}, {0x20u + static_cast<std::uint32_t>(i)});
+  }
+  h.runToQuiescence();
+  const auto packets = packetsOf(h.sinks[Port::East]->received());
+  ASSERT_EQ(packets.size(), 8u);
+  // With round-robin arbitration the two sources must alternate strictly
+  // once both are backlogged.
+  int switches = 0;
+  for (std::size_t i = 1; i < packets.size(); ++i) {
+    const bool prevFromLocal = (packets[i - 1][1].data & 0xf0u) == 0x10u;
+    const bool thisFromLocal = (packets[i][1].data & 0xf0u) == 0x10u;
+    switches += prevFromLocal != thisFromLocal ? 1 : 0;
+  }
+  EXPECT_GE(switches, 5);
+}
+
+TEST(RasocTest, PrunedPortsAreAbsent) {
+  RouterParams params;
+  params.portMask = (1u << index(Port::Local)) | (1u << index(Port::East));
+  RouterHarness h(params);
+  EXPECT_THROW(h.router.in(Port::West), std::out_of_range);
+  EXPECT_THROW(h.router.out(Port::North), std::out_of_range);
+  h.inject(Port::Local, Rib{1, 0}, {0x55});
+  h.runToQuiescence();
+  EXPECT_EQ(h.sinks[Port::East]->received().size(), 2u);
+}
+
+TEST(RasocTest, SingleFlitPacketIsDelivered) {
+  RouterHarness h;
+  // Hand-build a header that is also the trailer (bop && eop).
+  Flit flit;
+  flit.data = encodeRib(Rib{1, 0}, 8);
+  flit.bop = true;
+  flit.eop = true;
+  h.sources[Port::Local]->queue({flit});
+  h.runToQuiescence();
+  ASSERT_EQ(h.sinks[Port::East]->received().size(), 1u);
+  EXPECT_TRUE(h.sinks[Port::East]->received()[0].bop);
+  EXPECT_TRUE(h.sinks[Port::East]->received()[0].eop);
+}
+
+TEST(RasocTest, SelfAddressedLocalPacketSetsMisrouteFlag) {
+  RouterHarness h;
+  h.inject(Port::Local, Rib{0, 0}, {0x1});
+  h.runToQuiescence();
+  EXPECT_TRUE(h.router.misrouteDetected());
+}
+
+TEST(RasocTest, BackToBackPacketsToDifferentOutputs) {
+  RouterHarness h;
+  h.inject(Port::Local, Rib{1, 0}, {0xe1, 0xe2});
+  h.inject(Port::Local, Rib{0, 1}, {0xf1, 0xf2});
+  h.inject(Port::Local, Rib{-1, 0}, {0xd1, 0xd2});
+  h.runToQuiescence();
+  EXPECT_EQ(h.sinks[Port::East]->received().size(), 3u);
+  EXPECT_EQ(h.sinks[Port::North]->received().size(), 3u);
+  EXPECT_EQ(h.sinks[Port::West]->received().size(), 3u);
+}
+
+TEST(RasocTest, RunsAreDeterministic) {
+  auto run = [] {
+    RouterHarness h;
+    h.inject(Port::Local, Rib{1, 0}, {1, 2, 3});
+    h.inject(Port::West, Rib{1, 0}, {4, 5, 6});
+    h.runToQuiescence();
+    return h.sinks[Port::East]->received();
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(RasocTest, TwoRouterChainDecrementsRibPerHop) {
+  RouterParams params;
+  sim::Simulator sim;
+  Rasoc a("a", params), b("b", params);
+  Link ab("a.E->b.W", a.out(Port::East), b.in(Port::West));
+  Link ba("b.W->a.E", b.out(Port::West), a.in(Port::East));
+  FlitSource src("src", a.in(Port::Local));
+  FlitSink sink("sink", b.out(Port::East));
+  FlitSink sinkLocalB("sinkLB", b.out(Port::Local));
+  sim.add(a);
+  sim.add(b);
+  sim.add(ab);
+  sim.add(ba);
+  sim.add(src);
+  sim.add(sink);
+  sim.add(sinkLocalB);
+  sim.reset();
+
+  src.queue(makePacket(Rib{2, 0}, {0x77}, params));
+  for (int i = 0; i < 60; ++i) sim.step();
+  sim.settle();
+  ASSERT_EQ(sink.received().size(), 2u);
+  EXPECT_EQ(decodeRib(sink.received()[0].data, 8), (Rib{0, 0}));
+  EXPECT_EQ(ab.flitsTransferred(), 2u);
+}
+
+TEST(RasocTest, WiderDataPathCarriesFullWords) {
+  RouterParams params;
+  params.n = 32;
+  RouterHarness h(params);
+  h.inject(Port::Local, Rib{1, 0}, {0xdeadbeef, 0xcafef00d});
+  h.runToQuiescence();
+  const auto& out = h.sinks[Port::East]->received();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[1].data, 0xdeadbeefu);
+  EXPECT_EQ(out[2].data, 0xcafef00du);
+}
+
+}  // namespace
+}  // namespace rasoc::router

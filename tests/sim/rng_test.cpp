@@ -1,0 +1,55 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rasoc::sim {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next() == b.next() ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.below(17);
+    EXPECT_LT(v, 17u);
+  }
+}
+
+TEST(RngTest, UniformStaysInUnitInterval) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, ChanceMatchesProbabilityRoughly) {
+  Xoshiro256 rng(42);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.chance(0.25) ? 1 : 0;
+  const double rate = static_cast<double>(hits) / trials;
+  EXPECT_NEAR(rate, 0.25, 0.02);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace rasoc::sim

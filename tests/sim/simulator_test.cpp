@@ -1,0 +1,158 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/module.hpp"
+#include "sim/wire.hpp"
+
+namespace rasoc::sim {
+namespace {
+
+// y = x + 1 combinationally.
+class Increment : public Module {
+ public:
+  Increment(std::string name, const Wire<int>& x, Wire<int>& y)
+      : Module(std::move(name)), x_(&x), y_(&y) {}
+
+ protected:
+  void evaluate() override { y_->set(x_->get() + 1); }
+
+ private:
+  const Wire<int>* x_;
+  Wire<int>* y_;
+};
+
+// Registered counter with combinational output wire.
+class Counter : public Module {
+ public:
+  Counter(std::string name, Wire<int>& out)
+      : Module(std::move(name)), out_(&out) {}
+
+ protected:
+  void onReset() override { value_ = 0; }
+  void evaluate() override { out_->set(value_); }
+  void clockEdge() override { ++value_; }
+
+ private:
+  int value_ = 0;
+  Wire<int>* out_;
+};
+
+// Oscillating combinational loop: y = !y.
+class Inverter : public Module {
+ public:
+  Inverter(std::string name, Wire<bool>& y)
+      : Module(std::move(name)), y_(&y) {}
+
+ protected:
+  void evaluate() override { y_->set(!y_->get()); }
+
+ private:
+  Wire<bool>* y_;
+};
+
+TEST(SimulatorTest, SettleReachesFixpointThroughChainedModules) {
+  // A chain x -> +1 -> +1 -> +1 settles regardless of evaluation order.
+  Wire<int> a{0}, b, c, d;
+  Increment m3("m3", c, d);  // deliberately registered in reverse order
+  Increment m2("m2", b, c);
+  Increment m1("m1", a, b);
+  Simulator sim;
+  sim.add(m3);
+  sim.add(m2);
+  sim.add(m1);
+  sim.settle();
+  EXPECT_EQ(d.get(), 3);
+  a.force(10);
+  sim.settle();
+  EXPECT_EQ(d.get(), 13);
+}
+
+TEST(SimulatorTest, StepAdvancesRegisteredState) {
+  Wire<int> out;
+  Counter counter("counter", out);
+  Simulator sim;
+  sim.add(counter);
+  sim.reset();
+  EXPECT_EQ(out.get(), 0);
+  sim.step();
+  sim.settle();
+  EXPECT_EQ(out.get(), 1);
+  sim.run(4);
+  sim.settle();
+  EXPECT_EQ(out.get(), 5);
+  EXPECT_EQ(sim.cycle(), 5u);
+}
+
+TEST(SimulatorTest, ResetRestartsCycleCountAndState) {
+  Wire<int> out;
+  Counter counter("counter", out);
+  Simulator sim;
+  sim.add(counter);
+  sim.reset();
+  sim.run(7);
+  sim.reset();
+  EXPECT_EQ(sim.cycle(), 0u);
+  EXPECT_EQ(out.get(), 0);
+}
+
+TEST(SimulatorTest, CombinationalLoopThrows) {
+  Wire<bool> y;
+  Inverter inv("inv", y);
+  Simulator sim;
+  sim.add(inv);
+  EXPECT_THROW(sim.settle(), std::runtime_error);
+}
+
+TEST(SimulatorTest, RunUntilStopsWhenPredicateFires) {
+  Wire<int> out;
+  Counter counter("counter", out);
+  Simulator sim;
+  sim.add(counter);
+  sim.reset();
+  const bool fired = sim.runUntil([&] { return out.get() == 5; }, 100);
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(out.get(), 5);
+  EXPECT_EQ(sim.cycle(), 5u);
+}
+
+TEST(SimulatorTest, RunUntilGivesUpAfterMaxCycles) {
+  Wire<int> out;
+  Counter counter("counter", out);
+  Simulator sim;
+  sim.add(counter);
+  sim.reset();
+  EXPECT_FALSE(sim.runUntil([&] { return out.get() == 1000; }, 10));
+}
+
+TEST(SimulatorTest, ChildModulesAreDriven) {
+  // A composite whose child is the counter: reset/evaluate/clockEdge must
+  // reach it through the parent.
+  class Composite : public Module {
+   public:
+    Composite(std::string name, Wire<int>& out)
+        : Module(std::move(name)), child_("child", out) {
+      addChild(child_);
+    }
+
+   private:
+    Counter child_;
+  };
+  Wire<int> out;
+  Composite top("top", out);
+  Simulator sim;
+  sim.add(top);
+  sim.reset();
+  sim.run(3);
+  sim.settle();
+  EXPECT_EQ(out.get(), 3);
+}
+
+TEST(SimulatorTest, MaxSettleIterationsIsConfigurable) {
+  Simulator sim;
+  sim.setMaxSettleIterations(7);
+  EXPECT_EQ(sim.maxSettleIterations(), 7);
+}
+
+}  // namespace
+}  // namespace rasoc::sim

@@ -1,0 +1,53 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rasoc::sim {
+namespace {
+
+TEST(TracerTest, SamplesProbesPerCycle) {
+  Tracer tracer;
+  std::uint64_t a = 1, b = 2;
+  tracer.addProbe("a", [&] { return a; });
+  tracer.addProbe("b", [&] { return b; });
+  tracer.sample(0);
+  a = 10;
+  b = 20;
+  tracer.sample(1);
+  ASSERT_EQ(tracer.sampleCount(), 2u);
+  EXPECT_EQ(tracer.value(0, "a"), 1u);
+  EXPECT_EQ(tracer.value(0, "b"), 2u);
+  EXPECT_EQ(tracer.value(1, "a"), 10u);
+  EXPECT_EQ(tracer.value(1, "b"), 20u);
+}
+
+TEST(TracerTest, UnknownProbeThrows) {
+  Tracer tracer;
+  tracer.addProbe("a", [] { return 0u; });
+  tracer.sample(0);
+  EXPECT_THROW(tracer.value(0, "nope"), std::out_of_range);
+}
+
+TEST(TracerTest, RenderContainsHeaderAndValues) {
+  Tracer tracer;
+  tracer.addProbe("sig", [] { return 7u; });
+  tracer.sample(3);
+  const std::string text = tracer.render();
+  EXPECT_NE(text.find("cycle"), std::string::npos);
+  EXPECT_NE(text.find("sig"), std::string::npos);
+  EXPECT_NE(text.find('7'), std::string::npos);
+  EXPECT_NE(text.find('3'), std::string::npos);
+}
+
+TEST(TracerTest, ClearDropsSamplesButKeepsProbes) {
+  Tracer tracer;
+  tracer.addProbe("a", [] { return 1u; });
+  tracer.sample(0);
+  tracer.clear();
+  EXPECT_EQ(tracer.sampleCount(), 0u);
+  tracer.sample(1);
+  EXPECT_EQ(tracer.sampleCount(), 1u);
+}
+
+}  // namespace
+}  // namespace rasoc::sim

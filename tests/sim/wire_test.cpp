@@ -1,0 +1,60 @@
+#include "sim/wire.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rasoc::sim {
+namespace {
+
+TEST(WireTest, DefaultConstructedHoldsValueInitialized) {
+  Wire<bool> b;
+  Wire<int> i;
+  EXPECT_FALSE(b.get());
+  EXPECT_EQ(i.get(), 0);
+}
+
+TEST(WireTest, InitialValueIsVisible) {
+  Wire<int> w{42};
+  EXPECT_EQ(w.get(), 42);
+}
+
+TEST(WireTest, SetChangesValueAndMarksContext) {
+  Wire<int> w{0};
+  SettleContext::clearChanged();
+  w.set(7);
+  EXPECT_EQ(w.get(), 7);
+  EXPECT_TRUE(SettleContext::changed());
+}
+
+TEST(WireTest, SettingSameValueDoesNotMarkContext) {
+  Wire<int> w{7};
+  SettleContext::clearChanged();
+  w.set(7);
+  EXPECT_FALSE(SettleContext::changed());
+}
+
+TEST(WireTest, ForceDoesNotMarkContext) {
+  Wire<int> w{0};
+  SettleContext::clearChanged();
+  w.force(9);
+  EXPECT_EQ(w.get(), 9);
+  EXPECT_FALSE(SettleContext::changed());
+}
+
+TEST(WireTest, ClearChangedResetsFlag) {
+  Wire<int> w{0};
+  w.set(1);
+  SettleContext::clearChanged();
+  EXPECT_FALSE(SettleContext::changed());
+}
+
+TEST(WireTest, RepeatedTogglesEachMarkContext) {
+  Wire<bool> w;
+  for (int i = 0; i < 4; ++i) {
+    SettleContext::clearChanged();
+    w.set(i % 2 == 0);
+    EXPECT_TRUE(SettleContext::changed()) << "iteration " << i;
+  }
+}
+
+}  // namespace
+}  // namespace rasoc::sim

@@ -1,0 +1,148 @@
+#include "softcore/elaborate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tech/mapper.hpp"
+
+namespace rasoc::softcore {
+namespace {
+
+using router::FifoImpl;
+using router::Port;
+using router::RouterParams;
+
+RouterParams params(int n = 32, int p = 4, FifoImpl impl = FifoImpl::Eab) {
+  RouterParams rp;
+  rp.n = n;
+  rp.p = p;
+  rp.fifoImpl = impl;
+  return rp;
+}
+
+TEST(ElaborateTest, RouterHierarchyMatchesFigure7) {
+  const Entity router = elaborateRouter(params());
+  EXPECT_EQ(router.name, "rasoc");
+  // Five input channels + five output channels.
+  EXPECT_EQ(router.children.size(), 10u);
+  // Each input channel has IFC, IB, IC, IRS; each output OC, ODS, ORS, OFC.
+  // Total entities: 1 + 10 + 10*4.
+  EXPECT_EQ(router.entityCount(), 1 + 10 + 40);
+}
+
+TEST(ElaborateTest, GenericsPropagateToLowerEntities) {
+  const Entity router = elaborateRouter(params(16, 2));
+  EXPECT_NE(router.generics.find("n=16"), std::string::npos);
+  EXPECT_NE(router.generics.find("p=2"), std::string::npos);
+  const Entity& inputChannel = router.children.front();
+  EXPECT_NE(inputChannel.generics.find("n=16"), std::string::npos);
+  EXPECT_NE(inputChannel.generics.find("m=8"), std::string::npos);
+  EXPECT_NE(inputChannel.generics.find("p=2"), std::string::npos);
+}
+
+TEST(ElaborateTest, PortPruningReducesCost) {
+  const tech::Flex10keMapper mapper;
+  RouterParams full = params();
+  RouterParams corner = params();
+  corner.portMask = (1u << router::index(Port::Local)) |
+                    (1u << router::index(Port::North)) |
+                    (1u << router::index(Port::East));
+  const tech::Cost fullCost = elaborateRouter(full).totalCost(mapper);
+  const tech::Cost cornerCost = elaborateRouter(corner).totalCost(mapper);
+  EXPECT_LT(cornerCost.lc, fullCost.lc);
+  EXPECT_LT(cornerCost.reg, fullCost.reg);
+  EXPECT_LT(cornerCost.mem, fullCost.mem);
+  // A corner router keeps 3 of 5 channel pairs.
+  EXPECT_EQ(cornerCost.mem, fullCost.mem * 3 / 5);
+}
+
+TEST(ElaborateTest, CostMonotonicInWidthAndDepth) {
+  const tech::Flex10keMapper mapper;
+  for (FifoImpl impl : {FifoImpl::FlipFlop, FifoImpl::Eab}) {
+    const int lc8 = elaborateRouter(params(8, 2, impl)).totalCost(mapper).lc;
+    const int lc16 = elaborateRouter(params(16, 2, impl)).totalCost(mapper).lc;
+    const int lc32 = elaborateRouter(params(32, 2, impl)).totalCost(mapper).lc;
+    EXPECT_LT(lc8, lc16);
+    EXPECT_LT(lc16, lc32);
+    const int p2 = elaborateRouter(params(8, 2, impl)).totalCost(mapper).lc;
+    const int p4 = elaborateRouter(params(8, 4, impl)).totalCost(mapper).lc;
+    EXPECT_LE(p2, p4);
+  }
+}
+
+TEST(ElaborateTest, CostByAcronymCoversAllLeafBlocks) {
+  const tech::Flex10keMapper mapper;
+  const auto grouped = elaborateRouter(params()).costByAcronym(mapper);
+  for (const char* acronym : {"IFC", "IB", "IC", "IRS", "OC", "ODS", "ORS"})
+    EXPECT_TRUE(grouped.contains(acronym)) << acronym;
+  // OFC has an empty netlist in handshake mode - it may be absent or zero.
+  if (grouped.contains("OFC")) {
+    EXPECT_EQ(grouped.at("OFC").lc, 0);
+  }
+}
+
+TEST(ElaborateTest, AcronymGroupTotalsEqualTreeTotal) {
+  const tech::Flex10keMapper mapper;
+  const Entity router = elaborateRouter(params());
+  const tech::Cost total = router.totalCost(mapper);
+  tech::Cost sum;
+  for (const auto& [acronym, cost] : router.costByAcronym(mapper)) sum += cost;
+  EXPECT_EQ(sum, total);
+}
+
+TEST(ElaborateTest, FifoElaborationMatchesInputBufferOfRouter) {
+  const tech::Flex10keMapper mapper;
+  const tech::Cost fifo = elaborateFifo(params()).totalCost(mapper);
+  const auto grouped = elaborateRouter(params()).costByAcronym(mapper);
+  EXPECT_EQ(grouped.at("IB"), fifo * 5);
+}
+
+TEST(ElaborateTest, RenderTreeShowsEntitiesAndCosts) {
+  const tech::Flex10keMapper mapper;
+  const std::string tree = elaborateRouter(params()).renderTree(mapper);
+  EXPECT_NE(tree.find("rasoc"), std::string::npos);
+  EXPECT_NE(tree.find("input_channel"), std::string::npos);
+  EXPECT_NE(tree.find("output_data_switch"), std::string::npos);
+  EXPECT_NE(tree.find("LC="), std::string::npos);
+}
+
+TEST(ElaborateTest, RenderDotIsWellFormedGraphviz) {
+  const tech::Flex10keMapper mapper;
+  const std::string dot = elaborateRouter(params()).renderDot(mapper);
+  EXPECT_EQ(dot.find("digraph rasoc_hierarchy {"), 0u);
+  EXPECT_EQ(dot.back(), '\n');
+  EXPECT_NE(dot.find("rasoc"), std::string::npos);
+  EXPECT_NE(dot.find("input_buffer"), std::string::npos);
+  // 51 entities -> 51 nodes and 50 edges.
+  int nodes = 0, edges = 0;
+  std::size_t pos = 0;
+  while ((pos = dot.find("[label=", pos)) != std::string::npos) {
+    ++nodes;
+    ++pos;
+  }
+  pos = 0;
+  while ((pos = dot.find(" -> ", pos)) != std::string::npos) {
+    ++edges;
+    ++pos;
+  }
+  EXPECT_EQ(nodes, 51);
+  EXPECT_EQ(edges, 50);
+}
+
+TEST(ElaborateTest, CreditOfcAddsLogic) {
+  const tech::Flex10keMapper mapper;
+  RouterParams handshake = params();
+  RouterParams credit = params();
+  credit.flowControl = router::FlowControl::CreditBased;
+  const int hs = elaborateRouter(handshake).totalCost(mapper).lc;
+  const int cr = elaborateRouter(credit).totalCost(mapper).lc;
+  EXPECT_GT(cr, hs);
+}
+
+TEST(ElaborateTest, InvalidParamsThrow) {
+  RouterParams bad = params();
+  bad.n = 0;
+  EXPECT_THROW(elaborateRouter(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rasoc::softcore

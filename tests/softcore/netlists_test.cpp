@@ -1,0 +1,141 @@
+#include "softcore/netlists.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tech/mapper.hpp"
+
+namespace rasoc::softcore {
+namespace {
+
+using router::FifoImpl;
+using router::RouterParams;
+
+RouterParams params(int n = 8, int p = 4, FifoImpl impl = FifoImpl::Eab) {
+  RouterParams rp;
+  rp.n = n;
+  rp.p = p;
+  rp.fifoImpl = impl;
+  return rp;
+}
+
+TEST(BitsForTest, CountsStateBits) {
+  EXPECT_EQ(bitsFor(2), 1);
+  EXPECT_EQ(bitsFor(3), 2);
+  EXPECT_EQ(bitsFor(4), 2);
+  EXPECT_EQ(bitsFor(5), 3);
+  EXPECT_EQ(bitsFor(16), 4);
+  EXPECT_EQ(bitsFor(17), 5);
+}
+
+TEST(NetlistsTest, IfcIsASingleAndGate) {
+  const tech::Flex10keMapper mapper;
+  const tech::Cost cost = mapper.map(ifcNetlist(params()));
+  EXPECT_EQ(cost.lc, 1);
+  EXPECT_EQ(cost.reg, 0);
+  EXPECT_EQ(cost.mem, 0);
+}
+
+TEST(NetlistsTest, FfFifoStorageIsFlipFlops) {
+  const hw::Netlist nl = ibNetlist(params(8, 4, FifoImpl::FlipFlop));
+  // p stages of (n+2) bits plus a small occupancy counter.
+  EXPECT_GE(nl.totalFlipFlops(), 40);
+  EXPECT_EQ(nl.totalMemoryBits(), 0);
+}
+
+TEST(NetlistsTest, EabFifoStorageIsMemoryBits) {
+  const hw::Netlist nl = ibNetlist(params(8, 4, FifoImpl::Eab));
+  EXPECT_EQ(nl.totalMemoryBits(), 10 * 4);
+  // Pointer + occupancy registers only: 2+2+3 bits at p=4.
+  EXPECT_EQ(nl.totalFlipFlops(), 7);
+}
+
+TEST(NetlistsTest, SingleEntryFfFifoHasNoOutputMux) {
+  const tech::Flex10keMapper mapper;
+  const int lc1 = mapper.map(ibNetlist(params(8, 1, FifoImpl::FlipFlop))).lc;
+  const int lc2 = mapper.map(ibNetlist(params(8, 2, FifoImpl::FlipFlop))).lc;
+  EXPECT_LT(lc1, lc2);
+}
+
+TEST(NetlistsTest, IcHasNoState) {
+  // Table 3: the input controller holds 0% of the router's flip-flops.
+  EXPECT_EQ(icNetlist(params()).totalFlipFlops(), 0);
+}
+
+TEST(NetlistsTest, IcCostGrowsWithRibWidth) {
+  const tech::Flex10keMapper mapper;
+  RouterParams narrow = params(16, 4);
+  narrow.m = 4;
+  RouterParams wide = params(16, 4);
+  wide.m = 12;
+  EXPECT_LT(mapper.map(icNetlist(narrow)).lc, mapper.map(icNetlist(wide)).lc);
+}
+
+TEST(NetlistsTest, OcHasNineStateBits) {
+  EXPECT_EQ(ocNetlist(params()).totalFlipFlops(), 9);
+}
+
+TEST(NetlistsTest, OdsScalesLinearlyWithFlitWidth) {
+  const tech::Flex10keMapper mapper;
+  const int lc8 = mapper.map(odsNetlist(params(8))).lc;
+  const int lc16 = mapper.map(odsNetlist(params(16))).lc;
+  const int lc32 = mapper.map(odsNetlist(params(32))).lc;
+  // 4:1 mux = 3 LC per bit of (n+2).
+  EXPECT_EQ(lc8, 3 * 10);
+  EXPECT_EQ(lc16, 3 * 18);
+  EXPECT_EQ(lc32, 3 * 34);
+}
+
+TEST(NetlistsTest, OrsIsAOneBitMux) {
+  const tech::Flex10keMapper mapper;
+  EXPECT_EQ(mapper.map(orsNetlist(params())).lc, 3);
+}
+
+TEST(NetlistsTest, HandshakeOfcIsFree) {
+  const tech::Flex10keMapper mapper;
+  const tech::Cost cost = mapper.map(ofcNetlist(params()));
+  EXPECT_EQ(cost.lc, 0);
+  EXPECT_EQ(cost.reg, 0);
+}
+
+TEST(NetlistsTest, CreditOfcAddsCounter) {
+  const tech::Flex10keMapper mapper;
+  RouterParams credit = params();
+  credit.flowControl = router::FlowControl::CreditBased;
+  const tech::Cost cost = mapper.map(ofcNetlist(credit));
+  EXPECT_GT(cost.lc, 0);
+  EXPECT_EQ(cost.reg, bitsFor(credit.p + 1));
+}
+
+TEST(NetlistsTest, OptimizedOcIsCheaperWithSameBehaviouralState) {
+  const tech::Flex10keMapper mapper;
+  const tech::Cost baseline = mapper.map(ocNetlist(params()));
+  const tech::Cost optimized = mapper.map(ocNetlistOptimized(params()));
+  EXPECT_LT(optimized.lc, baseline.lc / 2);
+  EXPECT_LT(optimized.reg, baseline.reg);  // binary vs one-hot encoding
+  EXPECT_EQ(optimized.mem, 0);
+}
+
+TEST(NetlistsTest, OptimizedControllersShrinkTheRouterNotTheSwitches) {
+  const tech::Flex10keMapper mapper;
+  RouterParams cfg = params(32, 4);
+  const tech::Cost baseline =
+      mapper.map(routerNetlistOptimizedControllers(cfg));
+  // The ODS share is untouched: 5 x 3 x 34 LCs in both variants.
+  EXPECT_GE(baseline.lc, 5 * 3 * 34);
+  // Against the paper configuration the saving is double-digit percent.
+  hw::Netlist full;
+  full.merge(ocNetlist(cfg), 5);
+  const int ocBaselineLc = mapper.map(full).lc;
+  hw::Netlist opt;
+  opt.merge(ocNetlistOptimized(cfg), 5);
+  const int ocOptimizedLc = mapper.map(opt).lc;
+  EXPECT_GT(ocBaselineLc - ocOptimizedLc, 150);
+}
+
+TEST(NetlistsTest, IrsIsAThreeLutOrOfAndPairs) {
+  const tech::Flex10keMapper mapper;
+  EXPECT_EQ(mapper.map(irsNetlist(params())).lc, 3);
+}
+
+}  // namespace
+}  // namespace rasoc::softcore

@@ -1,0 +1,221 @@
+// Structural validation of the emitted VHDL soft-core.  No VHDL frontend
+// ships with the reproduction environment, so these tests enforce the
+// lexical invariants a compiler would: every design unit is opened and
+// closed, parentheses balance, instantiations resolve to emitted entities,
+// and the generics of the paper (n, m, p) appear and propagate.
+#include "softcore/vhdl_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <regex>
+
+namespace rasoc::softcore {
+namespace {
+
+using router::FifoImpl;
+using router::RouterParams;
+
+RouterParams params(int n = 16, int m = 8, int p = 4,
+                    FifoImpl impl = FifoImpl::Eab) {
+  RouterParams rp;
+  rp.n = n;
+  rp.m = m;
+  rp.p = p;
+  rp.fifoImpl = impl;
+  return rp;
+}
+
+int countOccurrences(const std::string& text, const std::string& needle) {
+  int count = 0;
+  std::size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+bool parensBalanced(const std::string& text) {
+  int depth = 0;
+  for (char c : text) {
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (depth < 0) return false;
+  }
+  return depth == 0;
+}
+
+TEST(VhdlWriterTest, EmitsOneFilePerEntityPlusPackageAndInstances) {
+  const VhdlWriter writer(params());
+  const auto files = writer.allFiles();
+  EXPECT_EQ(files.size(), 15u);  // package + 8 blocks + 2 channels + top +
+                                 // instance + noc mesh + noc instance
+  for (const char* name :
+       {"rasoc_pkg.vhd", "input_flow_controller.vhd", "input_buffer.vhd",
+        "input_controller.vhd", "input_read_switch.vhd",
+        "output_controller.vhd", "output_data_switch.vhd",
+        "output_rok_switch.vhd", "output_flow_controller.vhd",
+        "input_channel.vhd", "output_channel.vhd", "rasoc.vhd",
+        "rasoc_instance.vhd", "noc_mesh.vhd", "noc_instance.vhd"})
+    EXPECT_TRUE(files.contains(name)) << name;
+}
+
+TEST(VhdlWriterTest, NocMeshWiresNeighboursAndTiesEdges) {
+  const VhdlWriter writer(params());
+  const std::string noc = writer.nocMeshVhdl();
+  EXPECT_NE(noc.find("entity noc_mesh is"), std::string::npos);
+  EXPECT_NE(noc.find("ports => ports_for(x, y, cols, rows)"),
+            std::string::npos);
+  for (const char* label :
+       {"east_link", "north_link", "east_edge", "west_edge", "north_edge",
+        "south_edge"})
+    EXPECT_NE(noc.find(label), std::string::npos) << label;
+  // Opposite-port pairing: East out feeds the neighbour's West in.
+  EXPECT_NE(noc.find("rin_val(i + 1)(PORT_W) <= rout_val(i)(PORT_E);"),
+            std::string::npos);
+  EXPECT_NE(noc.find("rin_val(i + cols)(PORT_S) <= rout_val(i)(PORT_N);"),
+            std::string::npos);
+}
+
+TEST(VhdlWriterTest, PackagePortsForFunctionExists) {
+  const VhdlWriter writer(params());
+  const std::string pkg = writer.packageVhdl();
+  EXPECT_NE(pkg.find("function ports_for"), std::string::npos);
+  EXPECT_NE(pkg.find("package body rasoc_pkg"), std::string::npos);
+}
+
+TEST(VhdlWriterTest, NocInstanceBakesShapeAndParameters) {
+  const VhdlWriter writer(params(8, 8, 2, FifoImpl::Eab));
+  const std::string instance = writer.nocInstanceVhdl("soc_noc", 3, 2);
+  EXPECT_NE(instance.find("entity soc_noc is"), std::string::npos);
+  EXPECT_NE(instance.find("cols => 3, rows => 2, n => 8"),
+            std::string::npos);
+  EXPECT_THROW(writer.nocInstanceVhdl("bad", 0, 2), std::invalid_argument);
+}
+
+TEST(VhdlWriterTest, EveryDesignUnitIsOpenedAndClosed) {
+  const VhdlWriter writer(params());
+  for (const auto& [name, content] : writer.allFiles()) {
+    const int entities = countOccurrences(content, "\nentity ");
+    const int entityEnds = countOccurrences(content, "end entity ");
+    EXPECT_EQ(entities, entityEnds) << name;
+    const int architectures = countOccurrences(content, "\narchitecture ");
+    const int architectureEnds =
+        countOccurrences(content, "end architecture ");
+    EXPECT_EQ(architectures, architectureEnds) << name;
+    const int processes = countOccurrences(content, " process (");
+    const int processEnds = countOccurrences(content, "end process");
+    EXPECT_EQ(processes, processEnds) << name;
+    EXPECT_TRUE(parensBalanced(content)) << name;
+  }
+}
+
+TEST(VhdlWriterTest, TopLevelHasThePaperGenerics) {
+  const VhdlWriter writer(params());
+  const std::string top = writer.rasocVhdl();
+  // "The top-level entity, named rasoc, has three generic parameters,
+  // n, m and p".
+  EXPECT_NE(top.find("entity rasoc is"), std::string::npos);
+  EXPECT_NE(top.find("n        : integer"), std::string::npos);
+  EXPECT_NE(top.find("m        : integer"), std::string::npos);
+  EXPECT_NE(top.find("p        : integer"), std::string::npos);
+  EXPECT_NE(top.find("ports    : std_logic_vector"), std::string::npos);
+}
+
+TEST(VhdlWriterTest, GenericsPropagateDownTheHierarchy) {
+  const VhdlWriter writer(params());
+  const std::string inputChannel = writer.inputChannelVhdl();
+  EXPECT_NE(inputChannel.find("generic map (n => n, p => p, eab_fifo"),
+            std::string::npos)
+      << "IB receives (n, p) from input_channel";
+  EXPECT_NE(inputChannel.find("generic map (n => n, m => m, own_port"),
+            std::string::npos)
+      << "IC receives (n, m) from input_channel";
+  const std::string top = writer.rasocVhdl();
+  EXPECT_NE(top.find("generic map (n => n, m => m, p => p, own_port => i"),
+            std::string::npos)
+      << "input_channel receives (n, m, p) from rasoc";
+}
+
+TEST(VhdlWriterTest, EveryInstantiatedEntityIsEmitted) {
+  const VhdlWriter writer(params());
+  const auto files = writer.allFiles();
+  std::string everything;
+  for (const auto& [name, content] : files) everything += content;
+
+  const std::regex instantiation(R"(entity work\.([a-z_]+))");
+  for (auto it = std::sregex_iterator(everything.begin(), everything.end(),
+                                      instantiation);
+       it != std::sregex_iterator(); ++it) {
+    const std::string target = (*it)[1];
+    EXPECT_NE(everything.find("entity " + target + " is"),
+              std::string::npos)
+        << "instantiated but never emitted: " << target;
+  }
+}
+
+TEST(VhdlWriterTest, InstanceBakesInTheChosenParameters) {
+  const VhdlWriter writer(params(32, 8, 2, FifoImpl::FlipFlop));
+  const std::string instance = writer.instanceVhdl("corner_router");
+  EXPECT_NE(instance.find("entity corner_router is"), std::string::npos);
+  EXPECT_NE(instance.find("n => 32"), std::string::npos);
+  EXPECT_NE(instance.find("m => 8"), std::string::npos);
+  EXPECT_NE(instance.find("p => 2"), std::string::npos);
+  EXPECT_NE(instance.find("eab_fifo => false"), std::string::npos);
+  EXPECT_NE(instance.find("ports => \"11111\""), std::string::npos);
+}
+
+TEST(VhdlWriterTest, PortMaskBecomesThePortsGeneric) {
+  RouterParams corner = params();
+  corner.portMask = (1u << router::index(router::Port::Local)) |
+                    (1u << router::index(router::Port::North)) |
+                    (1u << router::index(router::Port::East));
+  const VhdlWriter writer(corner);
+  // Bit order "WSENL" left to right: L=bit0 rightmost.
+  EXPECT_NE(writer.instanceVhdl("corner").find("ports => \"00111\""),
+            std::string::npos);
+}
+
+TEST(VhdlWriterTest, FifoArchitecturesMatchFigures8And9) {
+  const VhdlWriter writer(params());
+  const std::string ib = writer.ibVhdl();
+  EXPECT_NE(ib.find("ff_arch : if not eab_fifo generate"),
+            std::string::npos);
+  EXPECT_NE(ib.find("eab_arch : if eab_fifo generate"), std::string::npos);
+  EXPECT_NE(ib.find("for i in p - 1 downto 1 loop"), std::string::npos)
+      << "shift-register data path (Figure 9)";
+  EXPECT_NE(ib.find("ram(wptr) <= din"), std::string::npos)
+      << "inferred-RAM data path";
+}
+
+TEST(VhdlWriterTest, IfcIsTheAndGateOfThePaper) {
+  const VhdlWriter writer(params());
+  const std::string ifc = writer.ifcVhdl();
+  EXPECT_NE(ifc.find("in_ack <= in_val and wok;"), std::string::npos);
+}
+
+TEST(VhdlWriterTest, PrunedChannelsAreTiedOff) {
+  const VhdlWriter writer(params());
+  const std::string top = writer.rasocVhdl();
+  EXPECT_NE(top.find("absent : if ports(i) = '0' generate"),
+            std::string::npos);
+  EXPECT_NE(top.find("present : if ports(i) = '1' generate"),
+            std::string::npos);
+}
+
+TEST(VhdlWriterTest, FullListingContainsAllFiles) {
+  const VhdlWriter writer(params());
+  const std::string listing = writer.fullListing();
+  for (const auto& [name, content] : writer.allFiles())
+    EXPECT_NE(listing.find("-- ======== " + name + " ========"),
+              std::string::npos);
+}
+
+TEST(VhdlWriterTest, InvalidParamsThrow) {
+  RouterParams bad = params();
+  bad.p = 0;
+  EXPECT_THROW(VhdlWriter{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rasoc::softcore

@@ -1,0 +1,95 @@
+#include "tech/mapper.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rasoc::tech {
+namespace {
+
+TEST(MapperTest, MuxLutLawMatchesFigure8) {
+  // Paper Figure 8: a 4x1 multiplexer costs three 4-input LUTs per bit.
+  EXPECT_EQ(Flex10keMapper::muxLutsPerBit(4), 3);
+  EXPECT_EQ(Flex10keMapper::muxLutsPerBit(2), 1);
+  EXPECT_EQ(Flex10keMapper::muxLutsPerBit(1), 0);
+  EXPECT_EQ(Flex10keMapper::muxLutsPerBit(8), 7);
+}
+
+TEST(MapperTest, GateLutLaw) {
+  EXPECT_EQ(Flex10keMapper::gateLuts(1), 0);  // a wire
+  EXPECT_EQ(Flex10keMapper::gateLuts(2), 1);
+  EXPECT_EQ(Flex10keMapper::gateLuts(4), 1);
+  EXPECT_EQ(Flex10keMapper::gateLuts(5), 2);   // 4 + 1 extra input
+  EXPECT_EQ(Flex10keMapper::gateLuts(7), 2);   // 4 + 3
+  EXPECT_EQ(Flex10keMapper::gateLuts(8), 3);   // 4 + 3 + 1
+  EXPECT_EQ(Flex10keMapper::gateLuts(10), 3);  // 4 + 3 + 3
+}
+
+TEST(MapperTest, MuxCostScalesWithWidthAndCount) {
+  Flex10keMapper mapper;
+  const Cost one = mapper.map(hw::Mux{4, 8, 1});
+  EXPECT_EQ(one.lc, 24);
+  EXPECT_EQ(one.reg, 0);
+  EXPECT_EQ(one.mem, 0);
+  const Cost five = mapper.map(hw::Mux{4, 8, 5});
+  EXPECT_EQ(five.lc, 120);
+}
+
+TEST(MapperTest, PackedRegistersCostNoCells) {
+  Flex10keMapper mapper;
+  const Cost packed = mapper.map(hw::Register{8, /*packed=*/true, 1});
+  EXPECT_EQ(packed.lc, 0);
+  EXPECT_EQ(packed.reg, 8);
+  const Cost unpacked = mapper.map(hw::Register{8, /*packed=*/false, 1});
+  EXPECT_EQ(unpacked.lc, 8);
+  EXPECT_EQ(unpacked.reg, 8);
+}
+
+TEST(MapperTest, MemoryCostsBitsOnly) {
+  Flex10keMapper mapper;
+  const Cost mem = mapper.map(hw::Memory{4, 34, 1});
+  EXPECT_EQ(mem.lc, 0);
+  EXPECT_EQ(mem.reg, 0);
+  EXPECT_EQ(mem.mem, 136);
+}
+
+TEST(MapperTest, NetlistCostIsSumOfPrimitives) {
+  Flex10keMapper mapper;
+  hw::Netlist nl;
+  nl.addMux(4, 2);                // 6 LC
+  nl.addRegister(3, true);        // 3 regs
+  nl.addRegister(2, false);       // 2 LC + 2 regs
+  nl.addGate(8);                  // 3 LC
+  nl.addMemory(2, 10);            // 20 bits
+  const Cost cost = mapper.map(nl);
+  EXPECT_EQ(cost.lc, 11);
+  EXPECT_EQ(cost.reg, 5);
+  EXPECT_EQ(cost.mem, 20);
+}
+
+TEST(MapperTest, EabPackingSplitsWideAndDeepMemories) {
+  Flex10keMapper mapper;  // EPF10K200E: 4 Kbit EABs, max 16 bits wide
+  EXPECT_EQ(mapper.eabsFor(4, 34), 3);    // 34 bits -> 3 slices of <=16
+  EXPECT_EQ(mapper.eabsFor(256, 16), 1);  // exactly one full EAB
+  EXPECT_EQ(mapper.eabsFor(257, 16), 2);  // depth spill
+  EXPECT_EQ(mapper.eabsFor(0, 16), 0);
+}
+
+TEST(MapperTest, DeviceDatabaseMatchesPaper) {
+  // "a 200-Kgate FPGA with 9,984 LCs and 96 Kbits of RAM included in 24
+  // EABs (each one capable to synthesize a 4-Kbit memory)"
+  EXPECT_EQ(kEpf10k200e.logicCells, 9984);
+  EXPECT_EQ(kEpf10k200e.memoryBits, 96 * 1024);
+  EXPECT_EQ(kEpf10k200e.eabs, 24);
+  EXPECT_EQ(kEpf10k200e.eabBits, 4096);
+}
+
+TEST(MapperTest, CostArithmetic) {
+  Cost a{1, 2, 3};
+  Cost b{10, 20, 30};
+  EXPECT_EQ(a + b, (Cost{11, 22, 33}));
+  EXPECT_EQ(a * 3, (Cost{3, 6, 9}));
+  a += b;
+  EXPECT_EQ(a, (Cost{11, 22, 33}));
+}
+
+}  // namespace
+}  // namespace rasoc::tech

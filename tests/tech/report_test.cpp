@@ -1,0 +1,60 @@
+#include "tech/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rasoc::tech {
+namespace {
+
+TEST(TableTest, RendersHeadersAndRows) {
+  Table table({"config", "LC", "Reg"});
+  table.addRow({"8-bit", "100", "20"});
+  table.addRow({"16-bit", "200", "36"});
+  const std::string text = table.render();
+  EXPECT_NE(text.find("config"), std::string::npos);
+  EXPECT_NE(text.find("8-bit"), std::string::npos);
+  EXPECT_NE(text.find("200"), std::string::npos);
+}
+
+TEST(TableTest, RaggedRowThrows) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.addRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(TableTest, EmptyHeadersThrow) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(TableTest, ColumnsAreAligned) {
+  Table table({"x", "value"});
+  table.addRow({"longlonglong", "1"});
+  const std::string text = table.render();
+  // Each line must contain the second column at a consistent offset; check
+  // the header line is padded to at least the widest cell.
+  const auto firstNewline = text.find('\n');
+  ASSERT_NE(firstNewline, std::string::npos);
+  const std::string header = text.substr(0, firstNewline);
+  EXPECT_GE(header.size(), std::string("longlonglong  value").size());
+}
+
+TEST(PercentTest, FormatsOneDecimal) {
+  EXPECT_EQ(percent(1, 2), "50.0%");
+  EXPECT_EQ(percent(680, 98304), "0.7%");
+  EXPECT_EQ(percent(0, 10), "0.0%");
+}
+
+TEST(PercentTest, ZeroDenominatorIsZero) {
+  EXPECT_EQ(percent(5, 0), "0.0%");
+}
+
+TEST(UtilizationSummaryTest, MentionsDeviceAndResources) {
+  const Cost cost{1000, 80, 680};
+  const std::string text = utilizationSummary(kEpf10k200e, cost);
+  EXPECT_NE(text.find("EPF10K200"), std::string::npos);
+  EXPECT_NE(text.find("1000 LC"), std::string::npos);
+  EXPECT_NE(text.find("680 Mem"), std::string::npos);
+  // 680 / 98304 = 0.69% -> "0.7%": the paper's "less than 0.7%" claim.
+  EXPECT_NE(text.find("0.7%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rasoc::tech

@@ -1,0 +1,73 @@
+#include "tech/timing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rasoc::tech {
+namespace {
+
+// The three operating-frequency data points Section 4 of the paper reports.
+
+TEST(TimingTest, FfBasedTwoFlitRouterRunsNear64Mhz) {
+  TimingModel model;
+  EXPECT_NEAR(routerFmaxMhz(model, /*ffBased=*/true, 2), 64.0, 2.0);
+}
+
+TEST(TimingTest, FfBasedFourFlitRouterDropsTo56Mhz) {
+  // "decreases to 55,8 MHz due to the multiplexer at the outputs of the
+  // buffers"
+  TimingModel model;
+  EXPECT_NEAR(routerFmaxMhz(model, /*ffBased=*/true, 4), 55.8, 2.0);
+}
+
+TEST(TimingTest, EabBasedRouterRunsNear56_7Mhz) {
+  TimingModel model;
+  EXPECT_NEAR(routerFmaxMhz(model, /*ffBased=*/false, 2), 56.7, 2.0);
+  EXPECT_NEAR(routerFmaxMhz(model, /*ffBased=*/false, 4), 56.7, 2.0);
+}
+
+TEST(TimingTest, FfFasterThanEabAtDepthTwoButNotDepthFour) {
+  // The paper's ordering: shallow FF FIFOs beat EABs; deep ones do not.
+  TimingModel model;
+  EXPECT_GT(routerFmaxMhz(model, true, 2), routerFmaxMhz(model, false, 2));
+  EXPECT_LE(routerFmaxMhz(model, true, 4), routerFmaxMhz(model, false, 4));
+}
+
+TEST(TimingTest, EabFmaxIndependentOfDepth) {
+  TimingModel model;
+  for (int p : {1, 2, 4, 8, 16})
+    EXPECT_DOUBLE_EQ(routerFmaxMhz(model, false, p),
+                     routerFmaxMhz(model, false, 2));
+}
+
+TEST(TimingTest, FfFmaxMonotonicallyDecreasesWithDepth) {
+  TimingModel model;
+  double previous = routerFmaxMhz(model, true, 1);
+  for (int p : {2, 4, 8, 16, 32}) {
+    const double fmax = routerFmaxMhz(model, true, p);
+    EXPECT_LE(fmax, previous) << "depth " << p;
+    previous = fmax;
+  }
+}
+
+TEST(TimingTest, FifoReadLevelsLawForShiftRegister) {
+  TimingModel model;
+  EXPECT_DOUBLE_EQ(fifoReadLevels(model, true, 1), 0.0);
+  EXPECT_DOUBLE_EQ(fifoReadLevels(model, true, 2), 1.0);
+  EXPECT_DOUBLE_EQ(fifoReadLevels(model, true, 4), 2.0);
+  EXPECT_DOUBLE_EQ(fifoReadLevels(model, true, 5), 3.0);
+  EXPECT_DOUBLE_EQ(fifoReadLevels(model, true, 8), 3.0);
+}
+
+TEST(TimingTest, InvalidDepthThrows) {
+  TimingModel model;
+  EXPECT_THROW(fifoReadLevels(model, true, 0), std::invalid_argument);
+}
+
+TEST(TimingTest, PeriodAndFmaxAreConsistent) {
+  TimingModel model;
+  const double levels = 6.0;
+  EXPECT_NEAR(model.fmaxMhz(levels) * model.periodNs(levels), 1000.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace rasoc::tech
