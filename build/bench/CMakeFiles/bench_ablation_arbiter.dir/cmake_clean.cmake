@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_arbiter.dir/bench_ablation_arbiter.cpp.o"
+  "CMakeFiles/bench_ablation_arbiter.dir/bench_ablation_arbiter.cpp.o.d"
+  "bench_ablation_arbiter"
+  "bench_ablation_arbiter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_arbiter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_flowctrl.dir/bench_ablation_flowctrl.cpp.o"
+  "CMakeFiles/bench_ablation_flowctrl.dir/bench_ablation_flowctrl.cpp.o.d"
+  "bench_ablation_flowctrl"
+  "bench_ablation_flowctrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_flowctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fmax.dir/bench_fmax.cpp.o"
+  "CMakeFiles/bench_fmax.dir/bench_fmax.cpp.o.d"
+  "bench_fmax"
+  "bench_fmax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_noc_loadsweep.dir/bench_noc_loadsweep.cpp.o"
+  "CMakeFiles/bench_noc_loadsweep.dir/bench_noc_loadsweep.cpp.o.d"
+  "bench_noc_loadsweep"
+  "bench_noc_loadsweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_noc_loadsweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_noc_vs_bus.dir/bench_noc_vs_bus.cpp.o"
+  "CMakeFiles/bench_noc_vs_bus.dir/bench_noc_vs_bus.cpp.o.d"
+  "bench_noc_vs_bus"
+  "bench_noc_vs_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_noc_vs_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

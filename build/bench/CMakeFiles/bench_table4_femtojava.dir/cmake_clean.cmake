@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_femtojava.dir/bench_table4_femtojava.cpp.o"
+  "CMakeFiles/bench_table4_femtojava.dir/bench_table4_femtojava.cpp.o.d"
+  "bench_table4_femtojava"
+  "bench_table4_femtojava.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_femtojava.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_test_planning.dir/bench_test_planning.cpp.o"
+  "CMakeFiles/bench_test_planning.dir/bench_test_planning.cpp.o.d"
+  "bench_test_planning"
+  "bench_test_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_test_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_mapping.dir/app_mapping.cpp.o"
+  "CMakeFiles/app_mapping.dir/app_mapping.cpp.o.d"
+  "app_mapping"
+  "app_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bus_vs_noc.dir/bus_vs_noc.cpp.o"
+  "CMakeFiles/bus_vs_noc.dir/bus_vs_noc.cpp.o.d"
+  "bus_vs_noc"
+  "bus_vs_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bus_vs_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generate_vhdl.dir/generate_vhdl.cpp.o"
+  "CMakeFiles/generate_vhdl.dir/generate_vhdl.cpp.o.d"
+  "generate_vhdl"
+  "generate_vhdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generate_vhdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_traffic.dir/mesh_traffic.cpp.o"
+  "CMakeFiles/mesh_traffic.dir/mesh_traffic.cpp.o.d"
+  "mesh_traffic"
+  "mesh_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

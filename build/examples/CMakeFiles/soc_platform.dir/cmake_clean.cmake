@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_platform.dir/soc_platform.cpp.o"
+  "CMakeFiles/soc_platform.dir/soc_platform.cpp.o.d"
+  "soc_platform"
+  "soc_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("hw")
+subdirs("gates")
+subdirs("tech")
+subdirs("router")
+subdirs("softcore")
+subdirs("noc")
+subdirs("baseline")
+subdirs("femtojava")
+subdirs("testplan")
+subdirs("soc")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/bus.cpp" "src/baseline/CMakeFiles/rasoc_baseline.dir/bus.cpp.o" "gcc" "src/baseline/CMakeFiles/rasoc_baseline.dir/bus.cpp.o.d"
+  "/root/repo/src/baseline/crossbar.cpp" "src/baseline/CMakeFiles/rasoc_baseline.dir/crossbar.cpp.o" "gcc" "src/baseline/CMakeFiles/rasoc_baseline.dir/crossbar.cpp.o.d"
+  "/root/repo/src/baseline/spin.cpp" "src/baseline/CMakeFiles/rasoc_baseline.dir/spin.cpp.o" "gcc" "src/baseline/CMakeFiles/rasoc_baseline.dir/spin.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/noc/CMakeFiles/rasoc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rasoc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/router/CMakeFiles/rasoc_router.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

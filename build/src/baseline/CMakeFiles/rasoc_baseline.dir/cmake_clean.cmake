@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasoc_baseline.dir/bus.cpp.o"
+  "CMakeFiles/rasoc_baseline.dir/bus.cpp.o.d"
+  "CMakeFiles/rasoc_baseline.dir/crossbar.cpp.o"
+  "CMakeFiles/rasoc_baseline.dir/crossbar.cpp.o.d"
+  "CMakeFiles/rasoc_baseline.dir/spin.cpp.o"
+  "CMakeFiles/rasoc_baseline.dir/spin.cpp.o.d"
+  "librasoc_baseline.a"
+  "librasoc_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasoc_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasoc_femtojava.dir/femtojava.cpp.o"
+  "CMakeFiles/rasoc_femtojava.dir/femtojava.cpp.o.d"
+  "librasoc_femtojava.a"
+  "librasoc_femtojava.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasoc_femtojava.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

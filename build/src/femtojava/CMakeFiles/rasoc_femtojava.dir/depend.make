@@ -1,0 +1,2 @@
+# Empty dependencies file for rasoc_femtojava.
+# This may be replaced when dependencies are built.

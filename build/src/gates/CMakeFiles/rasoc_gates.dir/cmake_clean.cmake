@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasoc_gates.dir/blocks.cpp.o"
+  "CMakeFiles/rasoc_gates.dir/blocks.cpp.o.d"
+  "CMakeFiles/rasoc_gates.dir/netlist.cpp.o"
+  "CMakeFiles/rasoc_gates.dir/netlist.cpp.o.d"
+  "librasoc_gates.a"
+  "librasoc_gates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasoc_gates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

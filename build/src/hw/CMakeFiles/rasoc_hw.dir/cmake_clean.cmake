@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasoc_hw.dir/netlist.cpp.o"
+  "CMakeFiles/rasoc_hw.dir/netlist.cpp.o.d"
+  "librasoc_hw.a"
+  "librasoc_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasoc_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

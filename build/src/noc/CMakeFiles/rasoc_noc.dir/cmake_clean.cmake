@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasoc_noc.dir/appmap.cpp.o"
+  "CMakeFiles/rasoc_noc.dir/appmap.cpp.o.d"
+  "CMakeFiles/rasoc_noc.dir/mesh.cpp.o"
+  "CMakeFiles/rasoc_noc.dir/mesh.cpp.o.d"
+  "CMakeFiles/rasoc_noc.dir/ni.cpp.o"
+  "CMakeFiles/rasoc_noc.dir/ni.cpp.o.d"
+  "CMakeFiles/rasoc_noc.dir/stats.cpp.o"
+  "CMakeFiles/rasoc_noc.dir/stats.cpp.o.d"
+  "CMakeFiles/rasoc_noc.dir/traffic.cpp.o"
+  "CMakeFiles/rasoc_noc.dir/traffic.cpp.o.d"
+  "librasoc_noc.a"
+  "librasoc_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasoc_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/router/credit.cpp" "src/router/CMakeFiles/rasoc_router.dir/credit.cpp.o" "gcc" "src/router/CMakeFiles/rasoc_router.dir/credit.cpp.o.d"
+  "/root/repo/src/router/faulty_link.cpp" "src/router/CMakeFiles/rasoc_router.dir/faulty_link.cpp.o" "gcc" "src/router/CMakeFiles/rasoc_router.dir/faulty_link.cpp.o.d"
+  "/root/repo/src/router/fifo.cpp" "src/router/CMakeFiles/rasoc_router.dir/fifo.cpp.o" "gcc" "src/router/CMakeFiles/rasoc_router.dir/fifo.cpp.o.d"
+  "/root/repo/src/router/flit.cpp" "src/router/CMakeFiles/rasoc_router.dir/flit.cpp.o" "gcc" "src/router/CMakeFiles/rasoc_router.dir/flit.cpp.o.d"
+  "/root/repo/src/router/ic.cpp" "src/router/CMakeFiles/rasoc_router.dir/ic.cpp.o" "gcc" "src/router/CMakeFiles/rasoc_router.dir/ic.cpp.o.d"
+  "/root/repo/src/router/ifc.cpp" "src/router/CMakeFiles/rasoc_router.dir/ifc.cpp.o" "gcc" "src/router/CMakeFiles/rasoc_router.dir/ifc.cpp.o.d"
+  "/root/repo/src/router/input_channel.cpp" "src/router/CMakeFiles/rasoc_router.dir/input_channel.cpp.o" "gcc" "src/router/CMakeFiles/rasoc_router.dir/input_channel.cpp.o.d"
+  "/root/repo/src/router/irs.cpp" "src/router/CMakeFiles/rasoc_router.dir/irs.cpp.o" "gcc" "src/router/CMakeFiles/rasoc_router.dir/irs.cpp.o.d"
+  "/root/repo/src/router/link.cpp" "src/router/CMakeFiles/rasoc_router.dir/link.cpp.o" "gcc" "src/router/CMakeFiles/rasoc_router.dir/link.cpp.o.d"
+  "/root/repo/src/router/oc.cpp" "src/router/CMakeFiles/rasoc_router.dir/oc.cpp.o" "gcc" "src/router/CMakeFiles/rasoc_router.dir/oc.cpp.o.d"
+  "/root/repo/src/router/ods.cpp" "src/router/CMakeFiles/rasoc_router.dir/ods.cpp.o" "gcc" "src/router/CMakeFiles/rasoc_router.dir/ods.cpp.o.d"
+  "/root/repo/src/router/ofc.cpp" "src/router/CMakeFiles/rasoc_router.dir/ofc.cpp.o" "gcc" "src/router/CMakeFiles/rasoc_router.dir/ofc.cpp.o.d"
+  "/root/repo/src/router/ors.cpp" "src/router/CMakeFiles/rasoc_router.dir/ors.cpp.o" "gcc" "src/router/CMakeFiles/rasoc_router.dir/ors.cpp.o.d"
+  "/root/repo/src/router/output_channel.cpp" "src/router/CMakeFiles/rasoc_router.dir/output_channel.cpp.o" "gcc" "src/router/CMakeFiles/rasoc_router.dir/output_channel.cpp.o.d"
+  "/root/repo/src/router/rasoc.cpp" "src/router/CMakeFiles/rasoc_router.dir/rasoc.cpp.o" "gcc" "src/router/CMakeFiles/rasoc_router.dir/rasoc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rasoc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

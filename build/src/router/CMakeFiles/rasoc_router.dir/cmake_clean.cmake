@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasoc_router.dir/credit.cpp.o"
+  "CMakeFiles/rasoc_router.dir/credit.cpp.o.d"
+  "CMakeFiles/rasoc_router.dir/faulty_link.cpp.o"
+  "CMakeFiles/rasoc_router.dir/faulty_link.cpp.o.d"
+  "CMakeFiles/rasoc_router.dir/fifo.cpp.o"
+  "CMakeFiles/rasoc_router.dir/fifo.cpp.o.d"
+  "CMakeFiles/rasoc_router.dir/flit.cpp.o"
+  "CMakeFiles/rasoc_router.dir/flit.cpp.o.d"
+  "CMakeFiles/rasoc_router.dir/ic.cpp.o"
+  "CMakeFiles/rasoc_router.dir/ic.cpp.o.d"
+  "CMakeFiles/rasoc_router.dir/ifc.cpp.o"
+  "CMakeFiles/rasoc_router.dir/ifc.cpp.o.d"
+  "CMakeFiles/rasoc_router.dir/input_channel.cpp.o"
+  "CMakeFiles/rasoc_router.dir/input_channel.cpp.o.d"
+  "CMakeFiles/rasoc_router.dir/irs.cpp.o"
+  "CMakeFiles/rasoc_router.dir/irs.cpp.o.d"
+  "CMakeFiles/rasoc_router.dir/link.cpp.o"
+  "CMakeFiles/rasoc_router.dir/link.cpp.o.d"
+  "CMakeFiles/rasoc_router.dir/oc.cpp.o"
+  "CMakeFiles/rasoc_router.dir/oc.cpp.o.d"
+  "CMakeFiles/rasoc_router.dir/ods.cpp.o"
+  "CMakeFiles/rasoc_router.dir/ods.cpp.o.d"
+  "CMakeFiles/rasoc_router.dir/ofc.cpp.o"
+  "CMakeFiles/rasoc_router.dir/ofc.cpp.o.d"
+  "CMakeFiles/rasoc_router.dir/ors.cpp.o"
+  "CMakeFiles/rasoc_router.dir/ors.cpp.o.d"
+  "CMakeFiles/rasoc_router.dir/output_channel.cpp.o"
+  "CMakeFiles/rasoc_router.dir/output_channel.cpp.o.d"
+  "CMakeFiles/rasoc_router.dir/rasoc.cpp.o"
+  "CMakeFiles/rasoc_router.dir/rasoc.cpp.o.d"
+  "librasoc_router.a"
+  "librasoc_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasoc_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasoc_sim.dir/module.cpp.o"
+  "CMakeFiles/rasoc_sim.dir/module.cpp.o.d"
+  "CMakeFiles/rasoc_sim.dir/simulator.cpp.o"
+  "CMakeFiles/rasoc_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/rasoc_sim.dir/trace.cpp.o"
+  "CMakeFiles/rasoc_sim.dir/trace.cpp.o.d"
+  "CMakeFiles/rasoc_sim.dir/vcd.cpp.o"
+  "CMakeFiles/rasoc_sim.dir/vcd.cpp.o.d"
+  "librasoc_sim.a"
+  "librasoc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasoc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasoc_soc.dir/transaction.cpp.o"
+  "CMakeFiles/rasoc_soc.dir/transaction.cpp.o.d"
+  "librasoc_soc.a"
+  "librasoc_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasoc_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

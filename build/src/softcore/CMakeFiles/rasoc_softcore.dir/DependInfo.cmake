@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/softcore/elaborate.cpp" "src/softcore/CMakeFiles/rasoc_softcore.dir/elaborate.cpp.o" "gcc" "src/softcore/CMakeFiles/rasoc_softcore.dir/elaborate.cpp.o.d"
+  "/root/repo/src/softcore/entity.cpp" "src/softcore/CMakeFiles/rasoc_softcore.dir/entity.cpp.o" "gcc" "src/softcore/CMakeFiles/rasoc_softcore.dir/entity.cpp.o.d"
+  "/root/repo/src/softcore/netlists.cpp" "src/softcore/CMakeFiles/rasoc_softcore.dir/netlists.cpp.o" "gcc" "src/softcore/CMakeFiles/rasoc_softcore.dir/netlists.cpp.o.d"
+  "/root/repo/src/softcore/vhdl_writer.cpp" "src/softcore/CMakeFiles/rasoc_softcore.dir/vhdl_writer.cpp.o" "gcc" "src/softcore/CMakeFiles/rasoc_softcore.dir/vhdl_writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/rasoc_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/rasoc_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/router/CMakeFiles/rasoc_router.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rasoc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

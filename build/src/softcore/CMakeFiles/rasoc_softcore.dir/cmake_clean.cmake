@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasoc_softcore.dir/elaborate.cpp.o"
+  "CMakeFiles/rasoc_softcore.dir/elaborate.cpp.o.d"
+  "CMakeFiles/rasoc_softcore.dir/entity.cpp.o"
+  "CMakeFiles/rasoc_softcore.dir/entity.cpp.o.d"
+  "CMakeFiles/rasoc_softcore.dir/netlists.cpp.o"
+  "CMakeFiles/rasoc_softcore.dir/netlists.cpp.o.d"
+  "CMakeFiles/rasoc_softcore.dir/vhdl_writer.cpp.o"
+  "CMakeFiles/rasoc_softcore.dir/vhdl_writer.cpp.o.d"
+  "librasoc_softcore.a"
+  "librasoc_softcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasoc_softcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tech/mapper.cpp" "src/tech/CMakeFiles/rasoc_tech.dir/mapper.cpp.o" "gcc" "src/tech/CMakeFiles/rasoc_tech.dir/mapper.cpp.o.d"
+  "/root/repo/src/tech/report.cpp" "src/tech/CMakeFiles/rasoc_tech.dir/report.cpp.o" "gcc" "src/tech/CMakeFiles/rasoc_tech.dir/report.cpp.o.d"
+  "/root/repo/src/tech/timing.cpp" "src/tech/CMakeFiles/rasoc_tech.dir/timing.cpp.o" "gcc" "src/tech/CMakeFiles/rasoc_tech.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/rasoc_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasoc_tech.dir/mapper.cpp.o"
+  "CMakeFiles/rasoc_tech.dir/mapper.cpp.o.d"
+  "CMakeFiles/rasoc_tech.dir/report.cpp.o"
+  "CMakeFiles/rasoc_tech.dir/report.cpp.o.d"
+  "CMakeFiles/rasoc_tech.dir/timing.cpp.o"
+  "CMakeFiles/rasoc_tech.dir/timing.cpp.o.d"
+  "librasoc_tech.a"
+  "librasoc_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasoc_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

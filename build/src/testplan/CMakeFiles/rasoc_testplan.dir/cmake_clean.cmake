@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasoc_testplan.dir/executor.cpp.o"
+  "CMakeFiles/rasoc_testplan.dir/executor.cpp.o.d"
+  "CMakeFiles/rasoc_testplan.dir/testplan.cpp.o"
+  "CMakeFiles/rasoc_testplan.dir/testplan.cpp.o.d"
+  "librasoc_testplan.a"
+  "librasoc_testplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasoc_testplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_bus_test.dir/bus_test.cpp.o"
+  "CMakeFiles/baseline_bus_test.dir/bus_test.cpp.o.d"
+  "baseline_bus_test"
+  "baseline_bus_test.pdb"
+  "baseline_bus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_bus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

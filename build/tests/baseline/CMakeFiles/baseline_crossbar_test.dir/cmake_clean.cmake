@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_crossbar_test.dir/crossbar_test.cpp.o"
+  "CMakeFiles/baseline_crossbar_test.dir/crossbar_test.cpp.o.d"
+  "baseline_crossbar_test"
+  "baseline_crossbar_test.pdb"
+  "baseline_crossbar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_crossbar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

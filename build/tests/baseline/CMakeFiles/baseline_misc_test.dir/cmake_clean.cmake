@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_misc_test.dir/baseline_misc_test.cpp.o"
+  "CMakeFiles/baseline_misc_test.dir/baseline_misc_test.cpp.o.d"
+  "baseline_misc_test"
+  "baseline_misc_test.pdb"
+  "baseline_misc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_misc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

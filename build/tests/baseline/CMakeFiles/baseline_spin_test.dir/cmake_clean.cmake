@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_spin_test.dir/spin_test.cpp.o"
+  "CMakeFiles/baseline_spin_test.dir/spin_test.cpp.o.d"
+  "baseline_spin_test"
+  "baseline_spin_test.pdb"
+  "baseline_spin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_spin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

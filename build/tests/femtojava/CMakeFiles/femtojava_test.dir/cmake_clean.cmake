@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/femtojava_test.dir/femtojava_test.cpp.o"
+  "CMakeFiles/femtojava_test.dir/femtojava_test.cpp.o.d"
+  "femtojava_test"
+  "femtojava_test.pdb"
+  "femtojava_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/femtojava_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

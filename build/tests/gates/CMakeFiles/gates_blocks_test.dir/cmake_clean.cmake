@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gates_blocks_test.dir/blocks_test.cpp.o"
+  "CMakeFiles/gates_blocks_test.dir/blocks_test.cpp.o.d"
+  "gates_blocks_test"
+  "gates_blocks_test.pdb"
+  "gates_blocks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gates_blocks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

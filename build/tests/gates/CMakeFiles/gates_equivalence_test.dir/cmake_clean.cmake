@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gates_equivalence_test.dir/equivalence_test.cpp.o"
+  "CMakeFiles/gates_equivalence_test.dir/equivalence_test.cpp.o.d"
+  "gates_equivalence_test"
+  "gates_equivalence_test.pdb"
+  "gates_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gates_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

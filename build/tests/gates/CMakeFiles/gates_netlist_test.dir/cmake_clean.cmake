@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gates_netlist_test.dir/netlist_test.cpp.o"
+  "CMakeFiles/gates_netlist_test.dir/netlist_test.cpp.o.d"
+  "gates_netlist_test"
+  "gates_netlist_test.pdb"
+  "gates_netlist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gates_netlist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/gates
+# Build directory: /root/repo/build/tests/gates
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/gates/gates_netlist_test[1]_include.cmake")
+include("/root/repo/build/tests/gates/gates_blocks_test[1]_include.cmake")
+include("/root/repo/build/tests/gates/gates_equivalence_test[1]_include.cmake")
+include("/root/repo/build/tests/gates/gates_router_equivalence_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_netlist_test.dir/netlist_test.cpp.o"
+  "CMakeFiles/hw_netlist_test.dir/netlist_test.cpp.o.d"
+  "hw_netlist_test"
+  "hw_netlist_test.pdb"
+  "hw_netlist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_netlist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

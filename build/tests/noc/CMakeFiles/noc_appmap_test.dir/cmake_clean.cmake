@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_appmap_test.dir/appmap_test.cpp.o"
+  "CMakeFiles/noc_appmap_test.dir/appmap_test.cpp.o.d"
+  "noc_appmap_test"
+  "noc_appmap_test.pdb"
+  "noc_appmap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_appmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

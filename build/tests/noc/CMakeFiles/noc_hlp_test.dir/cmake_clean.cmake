@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_hlp_test.dir/hlp_test.cpp.o"
+  "CMakeFiles/noc_hlp_test.dir/hlp_test.cpp.o.d"
+  "noc_hlp_test"
+  "noc_hlp_test.pdb"
+  "noc_hlp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_hlp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_ledger_misc_test.dir/ledger_misc_test.cpp.o"
+  "CMakeFiles/noc_ledger_misc_test.dir/ledger_misc_test.cpp.o.d"
+  "noc_ledger_misc_test"
+  "noc_ledger_misc_test.pdb"
+  "noc_ledger_misc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_ledger_misc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

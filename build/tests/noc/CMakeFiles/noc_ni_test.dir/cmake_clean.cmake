@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_ni_test.dir/ni_test.cpp.o"
+  "CMakeFiles/noc_ni_test.dir/ni_test.cpp.o.d"
+  "noc_ni_test"
+  "noc_ni_test.pdb"
+  "noc_ni_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_ni_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

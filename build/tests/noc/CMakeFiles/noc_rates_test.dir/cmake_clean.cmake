@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_rates_test.dir/rates_test.cpp.o"
+  "CMakeFiles/noc_rates_test.dir/rates_test.cpp.o.d"
+  "noc_rates_test"
+  "noc_rates_test.pdb"
+  "noc_rates_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_rates_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_robustness_test.dir/robustness_test.cpp.o"
+  "CMakeFiles/noc_robustness_test.dir/robustness_test.cpp.o.d"
+  "noc_robustness_test"
+  "noc_robustness_test.pdb"
+  "noc_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

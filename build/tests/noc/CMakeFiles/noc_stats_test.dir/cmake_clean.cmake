@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_stats_test.dir/stats_test.cpp.o"
+  "CMakeFiles/noc_stats_test.dir/stats_test.cpp.o.d"
+  "noc_stats_test"
+  "noc_stats_test.pdb"
+  "noc_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

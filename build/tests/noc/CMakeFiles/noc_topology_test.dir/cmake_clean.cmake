@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_topology_test.dir/topology_test.cpp.o"
+  "CMakeFiles/noc_topology_test.dir/topology_test.cpp.o.d"
+  "noc_topology_test"
+  "noc_topology_test.pdb"
+  "noc_topology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_traffic_test.dir/traffic_test.cpp.o"
+  "CMakeFiles/noc_traffic_test.dir/traffic_test.cpp.o.d"
+  "noc_traffic_test"
+  "noc_traffic_test.pdb"
+  "noc_traffic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_traffic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/noc
+# Build directory: /root/repo/build/tests/noc
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/noc/noc_topology_test[1]_include.cmake")
+include("/root/repo/build/tests/noc/noc_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/noc/noc_traffic_test[1]_include.cmake")
+include("/root/repo/build/tests/noc/noc_mesh_test[1]_include.cmake")
+include("/root/repo/build/tests/noc/noc_hlp_test[1]_include.cmake")
+include("/root/repo/build/tests/noc/noc_ni_test[1]_include.cmake")
+include("/root/repo/build/tests/noc/noc_robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/noc/noc_appmap_test[1]_include.cmake")
+include("/root/repo/build/tests/noc/noc_routing_test[1]_include.cmake")
+include("/root/repo/build/tests/noc/noc_rates_test[1]_include.cmake")
+include("/root/repo/build/tests/noc/noc_ledger_misc_test[1]_include.cmake")

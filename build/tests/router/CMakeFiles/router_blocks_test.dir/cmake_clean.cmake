@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_blocks_test.dir/blocks_test.cpp.o"
+  "CMakeFiles/router_blocks_test.dir/blocks_test.cpp.o.d"
+  "router_blocks_test"
+  "router_blocks_test.pdb"
+  "router_blocks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_blocks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

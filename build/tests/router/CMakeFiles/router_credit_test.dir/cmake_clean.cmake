@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_credit_test.dir/credit_test.cpp.o"
+  "CMakeFiles/router_credit_test.dir/credit_test.cpp.o.d"
+  "router_credit_test"
+  "router_credit_test.pdb"
+  "router_credit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_credit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_fifo_test.dir/fifo_test.cpp.o"
+  "CMakeFiles/router_fifo_test.dir/fifo_test.cpp.o.d"
+  "router_fifo_test"
+  "router_fifo_test.pdb"
+  "router_fifo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_fifo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_flit_test.dir/flit_test.cpp.o"
+  "CMakeFiles/router_flit_test.dir/flit_test.cpp.o.d"
+  "router_flit_test"
+  "router_flit_test.pdb"
+  "router_flit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_flit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/router/link_test.cpp" "tests/router/CMakeFiles/router_link_test.dir/link_test.cpp.o" "gcc" "tests/router/CMakeFiles/router_link_test.dir/link_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rasoc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/rasoc_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/CMakeFiles/rasoc_gates.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/rasoc_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/router/CMakeFiles/rasoc_router.dir/DependInfo.cmake"
+  "/root/repo/build/src/softcore/CMakeFiles/rasoc_softcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/rasoc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/rasoc_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/femtojava/CMakeFiles/rasoc_femtojava.dir/DependInfo.cmake"
+  "/root/repo/build/src/testplan/CMakeFiles/rasoc_testplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/rasoc_soc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_link_test.dir/link_test.cpp.o"
+  "CMakeFiles/router_link_test.dir/link_test.cpp.o.d"
+  "router_link_test"
+  "router_link_test.pdb"
+  "router_link_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_link_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_params_test.dir/params_test.cpp.o"
+  "CMakeFiles/router_params_test.dir/params_test.cpp.o.d"
+  "router_params_test"
+  "router_params_test.pdb"
+  "router_params_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_params_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

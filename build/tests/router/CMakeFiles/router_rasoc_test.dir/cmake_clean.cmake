@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_rasoc_test.dir/rasoc_test.cpp.o"
+  "CMakeFiles/router_rasoc_test.dir/rasoc_test.cpp.o.d"
+  "router_rasoc_test"
+  "router_rasoc_test.pdb"
+  "router_rasoc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_rasoc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

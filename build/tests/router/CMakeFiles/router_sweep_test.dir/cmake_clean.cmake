@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_sweep_test.dir/sweep_test.cpp.o"
+  "CMakeFiles/router_sweep_test.dir/sweep_test.cpp.o.d"
+  "router_sweep_test"
+  "router_sweep_test.pdb"
+  "router_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_timing_test.dir/timing_test.cpp.o"
+  "CMakeFiles/router_timing_test.dir/timing_test.cpp.o.d"
+  "router_timing_test"
+  "router_timing_test.pdb"
+  "router_timing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_timing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

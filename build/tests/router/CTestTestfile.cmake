@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/router
+# Build directory: /root/repo/build/tests/router
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/router/router_flit_test[1]_include.cmake")
+include("/root/repo/build/tests/router/router_params_test[1]_include.cmake")
+include("/root/repo/build/tests/router/router_fifo_test[1]_include.cmake")
+include("/root/repo/build/tests/router/router_blocks_test[1]_include.cmake")
+include("/root/repo/build/tests/router/router_rasoc_test[1]_include.cmake")
+include("/root/repo/build/tests/router/router_credit_test[1]_include.cmake")
+include("/root/repo/build/tests/router/router_link_test[1]_include.cmake")
+include("/root/repo/build/tests/router/router_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/router/router_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/router/router_timing_test[1]_include.cmake")

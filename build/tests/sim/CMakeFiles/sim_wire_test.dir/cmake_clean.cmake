@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_wire_test.dir/wire_test.cpp.o"
+  "CMakeFiles/sim_wire_test.dir/wire_test.cpp.o.d"
+  "sim_wire_test"
+  "sim_wire_test.pdb"
+  "sim_wire_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_wire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_transaction_test.dir/transaction_test.cpp.o"
+  "CMakeFiles/soc_transaction_test.dir/transaction_test.cpp.o.d"
+  "soc_transaction_test"
+  "soc_transaction_test.pdb"
+  "soc_transaction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_transaction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

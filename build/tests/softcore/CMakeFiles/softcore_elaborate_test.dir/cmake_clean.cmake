@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softcore_elaborate_test.dir/elaborate_test.cpp.o"
+  "CMakeFiles/softcore_elaborate_test.dir/elaborate_test.cpp.o.d"
+  "softcore_elaborate_test"
+  "softcore_elaborate_test.pdb"
+  "softcore_elaborate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softcore_elaborate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softcore_netlists_test.dir/netlists_test.cpp.o"
+  "CMakeFiles/softcore_netlists_test.dir/netlists_test.cpp.o.d"
+  "softcore_netlists_test"
+  "softcore_netlists_test.pdb"
+  "softcore_netlists_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softcore_netlists_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

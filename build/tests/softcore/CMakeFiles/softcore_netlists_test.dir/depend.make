@@ -1,0 +1,2 @@
+# Empty dependencies file for softcore_netlists_test.
+# This may be replaced when dependencies are built.

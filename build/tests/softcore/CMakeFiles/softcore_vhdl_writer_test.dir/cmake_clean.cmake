@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softcore_vhdl_writer_test.dir/vhdl_writer_test.cpp.o"
+  "CMakeFiles/softcore_vhdl_writer_test.dir/vhdl_writer_test.cpp.o.d"
+  "softcore_vhdl_writer_test"
+  "softcore_vhdl_writer_test.pdb"
+  "softcore_vhdl_writer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softcore_vhdl_writer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

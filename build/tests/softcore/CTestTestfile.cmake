@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/softcore
+# Build directory: /root/repo/build/tests/softcore
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/softcore/softcore_elaborate_test[1]_include.cmake")
+include("/root/repo/build/tests/softcore/softcore_netlists_test[1]_include.cmake")
+include("/root/repo/build/tests/softcore/softcore_vhdl_writer_test[1]_include.cmake")

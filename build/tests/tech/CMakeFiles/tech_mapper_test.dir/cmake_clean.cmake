@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tech_mapper_test.dir/mapper_test.cpp.o"
+  "CMakeFiles/tech_mapper_test.dir/mapper_test.cpp.o.d"
+  "tech_mapper_test"
+  "tech_mapper_test.pdb"
+  "tech_mapper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tech_mapper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tech_report_test.dir/report_test.cpp.o"
+  "CMakeFiles/tech_report_test.dir/report_test.cpp.o.d"
+  "tech_report_test"
+  "tech_report_test.pdb"
+  "tech_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tech_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tech_table_relations_test.dir/table_relations_test.cpp.o"
+  "CMakeFiles/tech_table_relations_test.dir/table_relations_test.cpp.o.d"
+  "tech_table_relations_test"
+  "tech_table_relations_test.pdb"
+  "tech_table_relations_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tech_table_relations_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

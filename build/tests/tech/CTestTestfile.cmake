@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/tech
+# Build directory: /root/repo/build/tests/tech
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tech/tech_mapper_test[1]_include.cmake")
+include("/root/repo/build/tests/tech/tech_timing_test[1]_include.cmake")
+include("/root/repo/build/tests/tech/tech_report_test[1]_include.cmake")
+include("/root/repo/build/tests/tech/tech_table_relations_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testplan_executor_test.dir/executor_test.cpp.o"
+  "CMakeFiles/testplan_executor_test.dir/executor_test.cpp.o.d"
+  "testplan_executor_test"
+  "testplan_executor_test.pdb"
+  "testplan_executor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testplan_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testplan_planner_test.dir/planner_test.cpp.o"
+  "CMakeFiles/testplan_planner_test.dir/planner_test.cpp.o.d"
+  "testplan_planner_test"
+  "testplan_planner_test.pdb"
+  "testplan_planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testplan_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
