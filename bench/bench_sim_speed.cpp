@@ -42,6 +42,29 @@ void BM_MeshUnderLoad(benchmark::State& state) {
 }
 BENCHMARK(BM_MeshUnderLoad)->Arg(2)->Arg(4)->Arg(6);
 
+// Same mesh with the telemetry subsystem attached: the delta against
+// BM_MeshUnderLoad is the full cost of leaving instrumentation enabled
+// (null-sink runs pay only a per-channel branch and are covered above).
+void BM_MeshUnderLoadTelemetry(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  noc::MeshConfig cfg;
+  cfg.shape = noc::MeshShape{side, side};
+  cfg.params.n = 16;
+  cfg.params.p = 4;
+  noc::Mesh mesh(cfg);
+  telemetry::MetricsRegistry registry;
+  mesh.enableTelemetry(registry);
+  noc::TrafficConfig traffic;
+  traffic.offeredLoad = 0.2;
+  traffic.payloadFlits = 6;
+  traffic.seed = 17;
+  mesh.attachTraffic(traffic);
+  for (auto _ : state) mesh.run(1);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["routers"] = side * side;
+}
+BENCHMARK(BM_MeshUnderLoadTelemetry)->Arg(4);
+
 void BM_ElaborateAndMap(benchmark::State& state) {
   // Elaboration + technology mapping cost (the "synthesis" analogue).
   const tech::Flex10keMapper mapper;

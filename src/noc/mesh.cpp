@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "noc/observe.hpp"
+
 namespace rasoc::noc {
 
 using router::Port;
@@ -103,6 +105,36 @@ void Mesh::attachTraffic(const TrafficConfig& traffic) {
     sim_.add(*gen);
     generators_.push_back(std::move(gen));
   }
+}
+
+void Mesh::enableTelemetry(telemetry::MetricsRegistry& registry) {
+  if (metrics_) throw std::logic_error("telemetry already enabled");
+  metrics_ = &registry;
+  const MeshShape shape = config_.shape;
+  for (int i = 0; i < shape.nodes(); ++i) {
+    const NodeId n = shape.nodeAt(i);
+    routers_[static_cast<std::size_t>(i)]->attachMetrics(
+        registry, routerMetricPrefix(n));
+    const std::string prefix = niMetricPrefix(n) + ".";
+    NiMetrics nm;
+    nm.flitsInjected = &registry.counter(prefix + "flits_injected");
+    nm.flitsEjected = &registry.counter(prefix + "flits_ejected");
+    nm.backpressureCycles = &registry.counter(prefix + "backpressure_cycles");
+    nm.sendQueueFlits =
+        &registry.histogram(prefix + "send_queue_flits",
+                            telemetry::Histogram::linearBounds(16));
+    nis_[static_cast<std::size_t>(i)]->attachMetrics(nm);
+  }
+  // Mesh-level gauges, sampled once per committed cycle through the
+  // simulator tick hook.
+  telemetry::Gauge* inFlight = &registry.gauge("mesh.in_flight_packets");
+  telemetry::Gauge* queuedFlits = &registry.gauge("mesh.send_queue_flits");
+  sim_.addTickListener([this, inFlight, queuedFlits] {
+    inFlight->sample(static_cast<double>(ledger_.inFlight()));
+    std::size_t total = 0;
+    for (const auto& ni : nis_) total += ni->sendQueueFlits();
+    queuedFlits->sample(static_cast<double>(total));
+  });
 }
 
 std::size_t Mesh::indexOf(NodeId n) const {

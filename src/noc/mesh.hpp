@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "sim/simulator.hpp"
+#include "telemetry/metrics.hpp"
 
 #include "noc/ni.hpp"
 #include "noc/stats.hpp"
@@ -46,10 +47,19 @@ class Mesh {
   MeshShape shape() const { return config_.shape; }
 
   sim::Simulator& simulator() { return sim_; }
+  const sim::Simulator& simulator() const { return sim_; }
   router::Rasoc& router(NodeId n);
   NetworkInterface& ni(NodeId n);
   TrafficGenerator& generator(NodeId n);
   DeliveryLedger& ledger() { return ledger_; }
+  const DeliveryLedger& ledger() const { return ledger_; }
+
+  // Opt-in observability: attaches the standard per-channel series of every
+  // router and NI to `registry` (naming convention in telemetry/metrics.hpp
+  // and noc/observe.hpp) and registers a per-cycle sampler for mesh-level
+  // gauges.  Call once, before running; the registry must outlive the mesh.
+  void enableTelemetry(telemetry::MetricsRegistry& registry);
+  const telemetry::MetricsRegistry* metrics() const { return metrics_; }
 
   void reset();
   void run(std::uint64_t cycles);
@@ -87,6 +97,7 @@ class Mesh {
   std::map<std::pair<int, int>, router::Link*> linkIndex_;  // (node, port)
   std::vector<router::FaultyLink*> faultyLinks_;  // views into links_
   std::vector<std::unique_ptr<TrafficGenerator>> generators_;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace rasoc::noc

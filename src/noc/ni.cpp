@@ -45,6 +45,11 @@ bool NetworkInterface::parityOk(std::uint32_t word) const {
   return (std::popcount(word & router::dataMask(params_.n)) & 1) == 0;
 }
 
+void NetworkInterface::attachMetrics(const NiMetrics& metrics) {
+  metrics_ = metrics;
+  metricsAttached_ = true;
+}
+
 void NetworkInterface::onReset() {
   sendQueue_.clear();
   sendQueueFlits_ = 0;
@@ -133,8 +138,18 @@ void NetworkInterface::clockEdge() {
     credits_ += (toRouter_->ack.get() ? 1 : 0) - (sent ? 1 : 0);
   }
 
+  if (metricsAttached_) {
+    if (metrics_.flitsInjected && sent) metrics_.flitsInjected->inc();
+    if (metrics_.backpressureCycles && !sendQueue_.empty() && !sent)
+      metrics_.backpressureCycles->inc();
+    if (metrics_.sendQueueFlits)
+      metrics_.sendQueueFlits->observe(static_cast<double>(sendQueueFlits_));
+  }
+
   // --- receive side ------------------------------------------------------
   const bool gotFlit = fromRouter_->val.get();
+  if (metricsAttached_ && metrics_.flitsEjected && gotFlit)
+    metrics_.flitsEjected->inc();
   if (gotFlit) {
     Flit flit;
     flit.data = fromRouter_->flit.data.get();

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "sim/module.hpp"
+#include "telemetry/metrics.hpp"
 
 #include "noc/stats.hpp"
 #include "noc/topology.hpp"
@@ -37,6 +38,14 @@ struct NiOptions {
   // and counts violations.  Headers stay unprotected because their RIB is
   // legitimately rewritten at every hop.
   bool hlpParity = false;
+};
+
+// Opt-in injection-side instrumentation (telemetry subsystem).
+struct NiMetrics {
+  telemetry::Counter* flitsInjected = nullptr;       // flits into the router
+  telemetry::Counter* flitsEjected = nullptr;        // flits out of the router
+  telemetry::Counter* backpressureCycles = nullptr;  // pending flit held back
+  telemetry::Histogram* sendQueueFlits = nullptr;    // per-cycle queue depth
 };
 
 class NetworkInterface : public sim::Module {
@@ -76,6 +85,9 @@ class NetworkInterface : public sim::Module {
   void clearReceived() { received_.clear(); }
 
   std::uint64_t cycle() const { return cycle_; }
+
+  // Enables instrumentation; the metrics must outlive the interface.
+  void attachMetrics(const NiMetrics& metrics);
 
  protected:
   void onReset() override;
@@ -120,6 +132,9 @@ class NetworkInterface : public sim::Module {
   std::uint64_t parityErrors_ = 0;
   std::uint64_t unattributed_ = 0;
   bool misdelivery_ = false;
+
+  NiMetrics metrics_;
+  bool metricsAttached_ = false;
 };
 
 }  // namespace rasoc::noc

@@ -1,0 +1,136 @@
+#include "noc/observe.hpp"
+
+#include <string>
+
+namespace rasoc::noc {
+
+namespace {
+
+std::string coord(NodeId n) {
+  return std::to_string(n.x) + "," + std::to_string(n.y);
+}
+
+double safeRate(std::uint64_t count, double denominator) {
+  return denominator > 0.0 ? static_cast<double>(count) / denominator : 0.0;
+}
+
+}  // namespace
+
+std::string routerMetricPrefix(NodeId n) { return "r" + coord(n); }
+
+std::string niMetricPrefix(NodeId n) { return "ni" + coord(n); }
+
+telemetry::MeshHeatmap throughputHeatmap(
+    const telemetry::MetricsRegistry& registry, MeshShape shape,
+    std::uint64_t cycles) {
+  telemetry::MeshHeatmap map(shape.width, shape.height, "flits_per_cycle");
+  for (int i = 0; i < shape.nodes(); ++i) {
+    const NodeId n = shape.nodeAt(i);
+    map.set(n.x, n.y,
+            safeRate(registry.counterValue(routerMetricPrefix(n) +
+                                           ".flits_routed"),
+                     static_cast<double>(cycles)));
+  }
+  return map;
+}
+
+telemetry::MeshHeatmap congestionHeatmap(
+    const telemetry::MetricsRegistry& registry, MeshShape shape,
+    std::uint64_t cycles) {
+  telemetry::MeshHeatmap map(shape.width, shape.height, "congestion");
+  for (int i = 0; i < shape.nodes(); ++i) {
+    const NodeId n = shape.nodeAt(i);
+    const std::string prefix = routerMetricPrefix(n) + ".";
+    std::uint64_t lost = 0;
+    int channels = 0;
+    for (router::Port p : router::kAllPorts) {
+      if (((portMaskFor(shape, n) >> router::index(p)) & 1u) == 0) continue;
+      const std::string port(router::name(p));
+      lost += registry.counterValue(prefix + port + "in.full_cycles");
+      lost += registry.counterValue(prefix + port + "in.stall_cycles");
+      lost += registry.counterValue(prefix + port + "out.conflict_cycles");
+      ++channels;
+    }
+    map.set(n.x, n.y,
+            safeRate(lost, static_cast<double>(cycles) * channels));
+  }
+  return map;
+}
+
+telemetry::MeshHeatmap backpressureHeatmap(
+    const telemetry::MetricsRegistry& registry, MeshShape shape,
+    std::uint64_t cycles) {
+  telemetry::MeshHeatmap map(shape.width, shape.height, "ni_backpressure");
+  for (int i = 0; i < shape.nodes(); ++i) {
+    const NodeId n = shape.nodeAt(i);
+    map.set(n.x, n.y,
+            safeRate(registry.counterValue(niMetricPrefix(n) +
+                                           ".backpressure_cycles"),
+                     static_cast<double>(cycles)));
+  }
+  return map;
+}
+
+telemetry::RunReport buildRunReport(std::string name, const Mesh& mesh,
+                                    const Watchdog* watchdog) {
+  telemetry::RunReport report(std::move(name));
+  const MeshConfig& config = mesh.config();
+  const std::uint64_t cycles = mesh.simulator().cycle();
+
+  report.set("run", "mesh", std::to_string(config.shape.width) + "x" +
+                                std::to_string(config.shape.height));
+  report.set("run", "n", config.params.n);
+  report.set("run", "m", config.params.m);
+  report.set("run", "p", config.params.p);
+  report.set("run", "fifo", std::string(router::name(config.params.fifoImpl)));
+  report.set("run", "flow_control",
+             config.params.flowControl == router::FlowControl::Handshake
+                 ? "handshake"
+                 : "credit");
+  report.set("run", "routing", std::string(router::name(config.params.routing)));
+  report.set("run", "cycles", cycles);
+  report.set("run", "links", static_cast<std::uint64_t>(mesh.linkCount()));
+
+  report.set("health", "healthy", mesh.healthy());
+  report.set("health", "flits_corrupted", mesh.flitsCorrupted());
+  report.set("health", "parity_errors", mesh.parityErrorsDetected());
+  report.set("health", "unattributed_packets", mesh.unattributedPackets());
+
+  const DeliveryLedger& ledger = mesh.ledger();
+  report.set("ledger", "queued", ledger.queued());
+  report.set("ledger", "delivered", ledger.delivered());
+  report.set("ledger", "in_flight", ledger.inFlight());
+  report.set("ledger", "flits_delivered", ledger.flitsDelivered());
+  const LatencyStats& packet = ledger.packetLatency();
+  report.set("ledger", "packet_latency_samples",
+             static_cast<std::uint64_t>(packet.count()));
+  report.set("ledger", "packet_latency_mean", packet.mean());
+  report.set("ledger", "packet_latency_min", packet.min());
+  report.set("ledger", "packet_latency_max", packet.max());
+  if (packet.count() > 0) {
+    report.set("ledger", "packet_latency_p50", packet.percentile(0.5));
+    report.set("ledger", "packet_latency_p99", packet.percentile(0.99));
+  }
+  const LatencyStats& network = ledger.networkLatency();
+  report.set("ledger", "network_latency_mean", network.mean());
+  if (network.count() > 0)
+    report.set("ledger", "network_latency_p99", network.percentile(0.99));
+
+  report.set("links", "mean_utilization", mesh.meanLinkUtilization());
+  report.set("links", "max_utilization", mesh.maxLinkUtilization());
+
+  if (watchdog) {
+    const WatchdogSnapshot& snapshot = watchdog->snapshot();
+    report.set("watchdog", "stalled", snapshot.stalled);
+    report.set("watchdog", "longest_stall", snapshot.longestStall);
+    report.set("watchdog", "last_delivery_cycle",
+               snapshot.lastDeliveryCycle);
+    report.set("watchdog", "stall_cycle", snapshot.stallCycle);
+    report.set("watchdog", "in_flight_at_stall", snapshot.inFlightAtStall);
+  }
+
+  if (mesh.metrics()) report.attachRegistry(*mesh.metrics());
+  return report;
+}
+
+}  // namespace rasoc::noc

@@ -1,0 +1,56 @@
+// Observability glue between the NoC layer and the telemetry subsystem:
+// the metric naming convention, heatmap extraction from an instrumented
+// mesh's registry, and the standard RunReport for bench/example output.
+//
+// Mesh::enableTelemetry registers, per router at (x,y):
+//   r<x>,<y>.flits_routed                     router-aggregate throughput
+//   r<x>,<y>.<P>in.{flits,full_cycles,stall_cycles,occupancy}
+//   r<x>,<y>.<P>out.{flits,busy_cycles,grants,conflict_cycles}
+// per network interface:
+//   ni<x>,<y>.{flits_injected,flits_ejected,backpressure_cycles,
+//              send_queue_flits}
+// and the mesh-level sampled gauges:
+//   mesh.{in_flight_packets,send_queue_flits}
+// where <P> is a port letter (L,N,E,S,W); pruned-port series are absent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "telemetry/heatmap.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/report.hpp"
+
+#include "noc/mesh.hpp"
+#include "noc/watchdog.hpp"
+
+namespace rasoc::noc {
+
+std::string routerMetricPrefix(NodeId n);  // "r<x>,<y>"
+std::string niMetricPrefix(NodeId n);      // "ni<x>,<y>"
+
+// Per-router flits routed per cycle.
+telemetry::MeshHeatmap throughputHeatmap(
+    const telemetry::MetricsRegistry& registry, MeshShape shape,
+    std::uint64_t cycles);
+
+// Congestion score in [0,1]: channel-cycles lost to full buffers, stalled
+// head flits and arbitration conflicts, normalized by the router's
+// instantiated channel count and the observed cycles.
+telemetry::MeshHeatmap congestionHeatmap(
+    const telemetry::MetricsRegistry& registry, MeshShape shape,
+    std::uint64_t cycles);
+
+// Fraction of cycles the local NI was ready to inject but held back.
+telemetry::MeshHeatmap backpressureHeatmap(
+    const telemetry::MetricsRegistry& registry, MeshShape shape,
+    std::uint64_t cycles);
+
+// The standard structured report: mesh configuration, health flags, ledger
+// statistics, optional watchdog snapshot, and - when the mesh was
+// instrumented - the full metrics registry.  Deterministic for a given
+// seeded run.
+telemetry::RunReport buildRunReport(std::string name, const Mesh& mesh,
+                                    const Watchdog* watchdog = nullptr);
+
+}  // namespace rasoc::noc

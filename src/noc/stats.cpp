@@ -8,10 +8,7 @@
 
 namespace rasoc::noc {
 
-void LatencyStats::record(double sample) {
-  samples_.push_back(sample);
-  sortedValid_ = false;
-}
+void LatencyStats::record(double sample) { samples_.push_back(sample); }
 
 double LatencyStats::mean() const {
   if (samples_.empty()) return 0.0;
@@ -33,10 +30,18 @@ double LatencyStats::max() const {
 double LatencyStats::percentile(double q) const {
   if (samples_.empty()) return 0.0;
   if (q < 0.0 || q > 1.0) throw std::invalid_argument("percentile q in [0,1]");
-  if (!sortedValid_) {
-    sorted_ = samples_;
-    std::sort(sorted_.begin(), sorted_.end());
-    sortedValid_ = true;
+  if (sortedCount_ < samples_.size()) {
+    const auto mergedEnd =
+        static_cast<std::vector<double>::difference_type>(sorted_.size());
+    sorted_.insert(sorted_.end(),
+                   samples_.begin() +
+                       static_cast<std::vector<double>::difference_type>(
+                           sortedCount_),
+                   samples_.end());
+    std::sort(sorted_.begin() + mergedEnd, sorted_.end());
+    std::inplace_merge(sorted_.begin(), sorted_.begin() + mergedEnd,
+                       sorted_.end());
+    sortedCount_ = samples_.size();
   }
   const auto rank = static_cast<std::size_t>(
       std::ceil(q * static_cast<double>(sorted_.size())));

@@ -37,9 +37,14 @@ class LatencyStats {
   std::string histogram(int bins = 10, int barWidth = 40) const;
 
  private:
+  // Sorted view maintained incrementally: only samples recorded since the
+  // last percentile() call are sorted and merged in, so interleaving
+  // record() and percentile() costs O(new log new + n) per query instead of
+  // re-sorting the whole vector.
+  mutable std::vector<double> sorted_;
+  mutable std::size_t sortedCount_ = 0;  // samples_ prefix already merged
+
   std::vector<double> samples_;
-  mutable std::vector<double> sorted_;  // lazily rebuilt
-  mutable bool sortedValid_ = false;
 };
 
 struct PacketRecord {

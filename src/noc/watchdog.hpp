@@ -5,6 +5,11 @@
 // observes the delivery ledger each cycle and raises a sticky flag if no
 // packet completes for `timeout` consecutive cycles while at least one is
 // outstanding - the invariant saturation tests assert.
+//
+// Beyond the sticky flag it captures a diagnostic snapshot for run reports:
+// the cycle of the last observed delivery, the cycle the stall flag was
+// raised and how many packets were in flight at that moment - the first
+// questions a post-mortem asks.
 #pragma once
 
 #include <cstdint>
@@ -15,33 +20,51 @@
 
 namespace rasoc::noc {
 
+struct WatchdogSnapshot {
+  bool stalled = false;
+  std::uint64_t longestStall = 0;
+  // Watchdog-local cycle of the last delivery it observed (0 when none).
+  std::uint64_t lastDeliveryCycle = 0;
+  // State captured when the stall flag was first raised; zero until then.
+  std::uint64_t stallCycle = 0;
+  std::uint64_t inFlightAtStall = 0;
+};
+
 class Watchdog : public sim::Module {
  public:
   Watchdog(std::string name, const DeliveryLedger& ledger,
            std::uint64_t timeout)
       : Module(std::move(name)), ledger_(&ledger), timeout_(timeout) {}
 
-  bool stallDetected() const { return stalled_; }
-  std::uint64_t longestStall() const { return longestStall_; }
+  bool stallDetected() const { return snapshot_.stalled; }
+  std::uint64_t longestStall() const { return snapshot_.longestStall; }
+  const WatchdogSnapshot& snapshot() const { return snapshot_; }
 
  protected:
   void onReset() override {
     lastDelivered_ = 0;
     idleCycles_ = 0;
-    longestStall_ = 0;
-    stalled_ = false;
+    cycle_ = 0;
+    snapshot_ = {};
   }
 
   void clockEdge() override {
+    ++cycle_;
     const std::uint64_t delivered = ledger_->delivered();
     if (delivered != lastDelivered_ || ledger_->inFlight() == 0) {
+      if (delivered != lastDelivered_) snapshot_.lastDeliveryCycle = cycle_;
       lastDelivered_ = delivered;
       idleCycles_ = 0;
       return;
     }
     ++idleCycles_;
-    if (idleCycles_ > longestStall_) longestStall_ = idleCycles_;
-    if (idleCycles_ >= timeout_) stalled_ = true;
+    if (idleCycles_ > snapshot_.longestStall)
+      snapshot_.longestStall = idleCycles_;
+    if (idleCycles_ >= timeout_ && !snapshot_.stalled) {
+      snapshot_.stalled = true;
+      snapshot_.stallCycle = cycle_;
+      snapshot_.inFlightAtStall = ledger_->inFlight();
+    }
   }
 
  private:
@@ -49,8 +72,8 @@ class Watchdog : public sim::Module {
   std::uint64_t timeout_;
   std::uint64_t lastDelivered_ = 0;
   std::uint64_t idleCycles_ = 0;
-  std::uint64_t longestStall_ = 0;
-  bool stalled_ = false;
+  std::uint64_t cycle_ = 0;
+  WatchdogSnapshot snapshot_;
 };
 
 }  // namespace rasoc::noc

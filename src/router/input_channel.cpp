@@ -27,8 +27,21 @@ InputChannel::InputChannel(std::string name, const RouterParams& params,
   }
 }
 
+void InputChannel::attachMetrics(const InputChannelMetrics& metrics) {
+  metrics_ = metrics;
+  metricsAttached_ = true;
+}
+
 void InputChannel::clockEdge() {
   if (wr_.get() && !ib_->full()) ++flitsAccepted_;
+  if (!metricsAttached_) return;
+  if (metrics_.flitsAccepted && wr_.get() && !ib_->full())
+    metrics_.flitsAccepted->inc();
+  if (metrics_.fullCycles && ib_->full()) metrics_.fullCycles->inc();
+  if (metrics_.stallCycles && rok_.get() && !rd_.get())
+    metrics_.stallCycles->inc();
+  if (metrics_.occupancy)
+    metrics_.occupancy->observe(static_cast<double>(ib_->occupancy()));
 }
 
 }  // namespace rasoc::router

@@ -7,6 +7,7 @@
 
 #include "sim/module.hpp"
 #include "sim/wire.hpp"
+#include "telemetry/metrics.hpp"
 
 #include "router/channel.hpp"
 #include "router/credit.hpp"
@@ -17,6 +18,15 @@
 #include "router/params.hpp"
 
 namespace rasoc::router {
+
+// Opt-in per-channel instrumentation (telemetry subsystem).  All pointers
+// null by default: an unattached channel pays one branch per cycle.
+struct InputChannelMetrics {
+  telemetry::Counter* flitsAccepted = nullptr;  // flits taken off the link
+  telemetry::Counter* fullCycles = nullptr;     // buffer full at the edge
+  telemetry::Counter* stallCycles = nullptr;    // head flit present, no read
+  telemetry::Histogram* occupancy = nullptr;    // per-cycle FIFO occupancy
+};
 
 class InputChannel : public sim::Module {
  public:
@@ -29,6 +39,9 @@ class InputChannel : public sim::Module {
 
   // Number of flits accepted from the link since reset.
   std::uint64_t flitsAccepted() const { return flitsAccepted_; }
+
+  // Enables instrumentation; the metrics must outlive the channel.
+  void attachMetrics(const InputChannelMetrics& metrics);
 
  protected:
   void clockEdge() override;
@@ -52,6 +65,8 @@ class InputChannel : public sim::Module {
 
   std::uint64_t flitsAccepted_ = 0;
   const ChannelWires* in_;
+  InputChannelMetrics metrics_;
+  bool metricsAttached_ = false;
 };
 
 }  // namespace rasoc::router

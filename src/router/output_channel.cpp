@@ -13,7 +13,8 @@ OutputChannel::OutputChannel(std::string name, const RouterParams& params,
       ods_(this->name() + ".ods", xbar, connected_, sel_, out.flit),
       ors_(this->name() + ".ors", xbar, connected_, sel_, rokSel_),
       out_(&out),
-      flowControl_(params.flowControl) {
+      flowControl_(params.flowControl),
+      xbar_(&xbar) {
   addChild(oc_);
   addChild(ods_);
   addChild(ors_);
@@ -30,12 +31,40 @@ OutputChannel::OutputChannel(std::string name, const RouterParams& params,
   }
 }
 
+void OutputChannel::attachMetrics(const OutputChannelMetrics& metrics) {
+  metrics_ = metrics;
+  metricsAttached_ = true;
+}
+
 void OutputChannel::clockEdge() {
   const bool transferred =
       flowControl_ == FlowControl::Handshake
           ? (out_->val.get() && out_->ack.get())
           : out_->val.get();
   if (transferred) ++flitsSent_;
+  if (!metricsAttached_) return;
+  if (transferred) {
+    if (metrics_.flitsSent) metrics_.flitsSent->inc();
+    if (metrics_.routerFlits) metrics_.routerFlits->inc();
+  }
+  if (metrics_.busyCycles && out_->val.get()) metrics_.busyCycles->inc();
+  // Arbitration accounting, observed pre-edge (this module's clockEdge runs
+  // before the OC child's): the OC grants this edge iff it is idle and some
+  // input requests; a conflict cycle leaves at least one requester waiting.
+  const int own = index(ownPort_);
+  int waiting = 0;
+  for (int i = 0; i < kNumPorts; ++i) {
+    if (i == own) continue;
+    const auto& x = (*xbar_)[static_cast<std::size_t>(i)];
+    if (x.req[own].get() && !(oc_.isConnected() && oc_.selectedInput() ==
+                                  static_cast<Port>(i)))
+      ++waiting;
+  }
+  if (!oc_.isConnected() && waiting > 0) {
+    if (metrics_.grants) metrics_.grants->inc();
+    --waiting;  // one requester is served by this edge's grant
+  }
+  if (metrics_.conflictCycles && waiting > 0) metrics_.conflictCycles->inc();
 }
 
 }  // namespace rasoc::router

@@ -8,6 +8,7 @@
 
 #include "sim/module.hpp"
 #include "sim/wire.hpp"
+#include "telemetry/metrics.hpp"
 
 #include "router/channel.hpp"
 #include "router/credit.hpp"
@@ -18,6 +19,16 @@
 #include "router/params.hpp"
 
 namespace rasoc::router {
+
+// Opt-in per-channel instrumentation (telemetry subsystem).  All pointers
+// null by default: an unattached channel pays one branch per cycle.
+struct OutputChannelMetrics {
+  telemetry::Counter* flitsSent = nullptr;      // flits put on the link
+  telemetry::Counter* busyCycles = nullptr;     // link val asserted
+  telemetry::Counter* grants = nullptr;         // arbitration grants issued
+  telemetry::Counter* conflictCycles = nullptr; // a requester left waiting
+  telemetry::Counter* routerFlits = nullptr;    // router-aggregate throughput
+};
 
 class OutputChannel : public sim::Module {
  public:
@@ -30,6 +41,9 @@ class OutputChannel : public sim::Module {
 
   // Number of flits sent over the link since reset.
   std::uint64_t flitsSent() const { return flitsSent_; }
+
+  // Enables instrumentation; the metrics must outlive the channel.
+  void attachMetrics(const OutputChannelMetrics& metrics);
 
  protected:
   void clockEdge() override;
@@ -53,6 +67,9 @@ class OutputChannel : public sim::Module {
   std::uint64_t flitsSent_ = 0;
   const ChannelWires* out_;
   FlowControl flowControl_;
+  std::array<CrossbarWires, kNumPorts>* xbar_;
+  OutputChannelMetrics metrics_;
+  bool metricsAttached_ = false;
 };
 
 }  // namespace rasoc::router

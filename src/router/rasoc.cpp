@@ -58,6 +58,33 @@ const OutputChannel& Rasoc::outputChannel(Port p) const {
   return *outputs_[static_cast<std::size_t>(index(p))];
 }
 
+void Rasoc::attachMetrics(telemetry::MetricsRegistry& registry,
+                          const std::string& prefix) {
+  telemetry::Counter& routerFlits = registry.counter(prefix + ".flits_routed");
+  for (Port p : kAllPorts) {
+    if (!params_.hasPort(p)) continue;
+    const auto i = static_cast<std::size_t>(index(p));
+    const std::string in = prefix + "." + std::string(router::name(p)) + "in.";
+    InputChannelMetrics im;
+    im.flitsAccepted = &registry.counter(in + "flits");
+    im.fullCycles = &registry.counter(in + "full_cycles");
+    im.stallCycles = &registry.counter(in + "stall_cycles");
+    im.occupancy = &registry.histogram(
+        in + "occupancy", telemetry::Histogram::linearBounds(params_.p));
+    inputs_[i]->attachMetrics(im);
+
+    const std::string out =
+        prefix + "." + std::string(router::name(p)) + "out.";
+    OutputChannelMetrics om;
+    om.flitsSent = &registry.counter(out + "flits");
+    om.busyCycles = &registry.counter(out + "busy_cycles");
+    om.grants = &registry.counter(out + "grants");
+    om.conflictCycles = &registry.counter(out + "conflict_cycles");
+    om.routerFlits = &routerFlits;
+    outputs_[i]->attachMetrics(om);
+  }
+}
+
 bool Rasoc::misrouteDetected() const {
   for (const auto& in : inputs_)
     if (in && in->controller().misrouteDetected()) return true;

@@ -17,6 +17,7 @@
 #include <memory>
 
 #include "sim/module.hpp"
+#include "telemetry/metrics.hpp"
 
 #include "router/channel.hpp"
 #include "router/input_channel.hpp"
@@ -45,6 +46,12 @@ class Rasoc : public sim::Module {
   // Diagnostics aggregated over all channels (sticky since reset).
   bool misrouteDetected() const;
   bool overflowDetected() const;
+
+  // Registers the standard per-channel series under `prefix` (see the
+  // naming convention in telemetry/metrics.hpp) and attaches them to every
+  // instantiated channel.  The registry must outlive this router.
+  void attachMetrics(telemetry::MetricsRegistry& registry,
+                     const std::string& prefix);
 
  private:
   void requirePort(Port p) const;

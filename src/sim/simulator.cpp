@@ -29,6 +29,7 @@ void Simulator::settle() {
 void Simulator::tick() {
   for (Module* m : tops_) m->clockEdgeAll();
   ++cycle_;
+  for (const auto& listener : tickListeners_) listener();
 }
 
 void Simulator::step() {

@@ -49,6 +49,13 @@ class Simulator {
   // fires is *not* ticked, so registered state is left just before the edge.
   bool runUntil(const std::function<bool()>& pred, std::uint64_t maxCycles);
 
+  // Registers a callback invoked after every committed clock edge (state
+  // post-edge, cycle() already advanced).  Samplers - per-cycle telemetry
+  // gauges, waveform capture - hook here without becoming modules.
+  void addTickListener(std::function<void()> listener) {
+    tickListeners_.push_back(std::move(listener));
+  }
+
   std::uint64_t cycle() const { return cycle_; }
 
   int maxSettleIterations() const { return maxSettleIterations_; }
@@ -56,6 +63,7 @@ class Simulator {
 
  private:
   std::vector<Module*> tops_;
+  std::vector<std::function<void()>> tickListeners_;
   std::uint64_t cycle_ = 0;
   int maxSettleIterations_ = 64;
 };

@@ -1,0 +1,86 @@
+#include "telemetry/heatmap.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace rasoc::telemetry {
+
+namespace {
+
+// Ten intensity levels, dark to bright.
+constexpr char kRamp[] = " .:-=+*#%@";
+
+}  // namespace
+
+MeshHeatmap::MeshHeatmap(int width, int height, std::string title)
+    : width_(width), height_(height), title_(std::move(title)) {
+  if (width < 1 || height < 1)
+    throw std::invalid_argument("heatmap needs a positive grid");
+  cells_.assign(static_cast<std::size_t>(width) *
+                    static_cast<std::size_t>(height),
+                0.0);
+}
+
+std::size_t MeshHeatmap::indexOf(int x, int y) const {
+  if (x < 0 || x >= width_ || y < 0 || y >= height_)
+    throw std::out_of_range("heatmap cell off grid");
+  return static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+         static_cast<std::size_t>(x);
+}
+
+void MeshHeatmap::set(int x, int y, double v) { cells_[indexOf(x, y)] = v; }
+
+double MeshHeatmap::at(int x, int y) const { return cells_[indexOf(x, y)]; }
+
+double MeshHeatmap::maxValue() const {
+  return *std::max_element(cells_.begin(), cells_.end());
+}
+
+std::string MeshHeatmap::ascii() const {
+  const double peak = maxValue();
+  std::ostringstream out;
+  out << title_ << " (max " << [&] {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.4g", peak);
+    return std::string(buf);
+  }() << ", cells 0-99 of max)\n";
+  for (int y = height_ - 1; y >= 0; --y) {
+    out << "  y=" << y << " |";
+    for (int x = 0; x < width_; ++x) {
+      const double v = at(x, y);
+      const int scaled =
+          peak > 0.0 ? static_cast<int>(v / peak * 99.0 + 0.5) : 0;
+      const auto level = static_cast<std::size_t>(
+          peak > 0.0 ? std::min(9, static_cast<int>(v / peak * 10.0)) : 0);
+      char cell[16];
+      std::snprintf(cell, sizeof cell, " %c%02d", kRamp[level], scaled);
+      out << cell;
+    }
+    out << " |\n";
+  }
+  out << "       ";
+  for (int x = 0; x < width_; ++x) {
+    char label[16];
+    std::snprintf(label, sizeof label, " x%-2d", x);
+    out << label;
+  }
+  out << '\n';
+  return out.str();
+}
+
+std::string MeshHeatmap::csv() const {
+  std::ostringstream out;
+  out << "x,y," << title_ << '\n';
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "%d,%d,%.6g", x, y, at(x, y));
+      out << buf << '\n';
+    }
+  }
+  return out.str();
+}
+
+}  // namespace rasoc::telemetry

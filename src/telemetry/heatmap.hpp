@@ -1,0 +1,45 @@
+// Per-router heatmap rendering: a W x H grid of doubles (one cell per
+// router position) rendered as an ASCII intensity map for terminals and as
+// CSV for tooling.  The NoC layer fills cells from the metrics registry
+// (noc/observe.hpp); this class is pure presentation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rasoc::telemetry {
+
+class MeshHeatmap {
+ public:
+  // `title` is printed above the ASCII grid and used as the value column
+  // header in the CSV output.
+  MeshHeatmap(int width, int height, std::string title = "value");
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  const std::string& title() const { return title_; }
+
+  void set(int x, int y, double v);
+  double at(int x, int y) const;
+  double maxValue() const;
+
+  // Terminal rendering, mesh orientation (y grows North, so row y=H-1
+  // prints first).  Each cell shows the value scaled to 0..99 against the
+  // grid maximum plus an intensity glyph from ` .:-=+*#%@`; the legend line
+  // records the absolute maximum so cells stay comparable across maps.
+  std::string ascii() const;
+
+  // "x,y,<title>" header plus one row per cell in row-major (y, then x)
+  // order - deterministic for diffing.
+  std::string csv() const;
+
+ private:
+  std::size_t indexOf(int x, int y) const;
+
+  int width_;
+  int height_;
+  std::string title_;
+  std::vector<double> cells_;
+};
+
+}  // namespace rasoc::telemetry

@@ -1,0 +1,80 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rasoc::telemetry {
+
+Histogram::Histogram(std::vector<double> upperBounds)
+    : bounds_(std::move(upperBounds)) {
+  if (bounds_.empty())
+    throw std::invalid_argument("histogram needs at least one bucket bound");
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+    throw std::invalid_argument("histogram bounds must be sorted");
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) {
+  std::size_t bucket = bounds_.size();  // overflow by default
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (v <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++counts_[bucket];
+  ++count_;
+  sum_ += v;
+}
+
+std::vector<double> Histogram::linearBounds(int n) {
+  if (n < 1) throw std::invalid_argument("linearBounds needs n >= 1");
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(n));
+  for (int i = 1; i <= n; ++i) bounds.push_back(static_cast<double>(i));
+  return bounds;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, Histogram(std::move(bounds))).first;
+  } else if (it->second.upperBounds() != bounds) {
+    throw std::invalid_argument("histogram '" + name +
+                                "' re-registered with different bounds");
+  }
+  return it->second;
+}
+
+const Counter* MetricsRegistry::findCounter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::findGauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::findHistogram(
+    const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t MetricsRegistry::counterValue(const std::string& name,
+                                            std::uint64_t absent) const {
+  const Counter* c = findCounter(name);
+  return c ? c->value() : absent;
+}
+
+}  // namespace rasoc::telemetry

@@ -1,0 +1,133 @@
+// Run-time metrics primitives: counters, sampled gauges and fixed-bucket
+// histograms, collected in a name-keyed registry.
+//
+// Design constraints (the measurement layer must never distort what it
+// measures):
+//  * recording is a pointer-chase plus an integer add - cheap enough to
+//    leave compiled into the router blocks;
+//  * instrumentation is opt-in per run: modules hold null metric pointers
+//    until a registry is attached, so un-instrumented runs pay only one
+//    branch per cycle;
+//  * iteration order is the lexicographic name order (std::map), so every
+//    serialization of the same run is byte-identical - reports are
+//    machine-diffable across runs and commits.
+//
+// Naming convention used by the NoC layer: `r<x>,<y>.<port><dir>.<metric>`
+// for per-channel series (e.g. "r1,2.Ein.full_cycles") and
+// `r<x>,<y>.<metric>` / `ni<x>,<y>.<metric>` / `mesh.<metric>` for
+// aggregates.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rasoc::telemetry {
+
+// Monotonic event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+// Sampled instantaneous value; keeps last/min/max/sum so a per-cycle
+// sampler costs O(1) memory regardless of run length.
+class Gauge {
+ public:
+  void sample(double v) {
+    last_ = v;
+    if (count_ == 0 || v < min_) min_ = v;
+    if (count_ == 0 || v > max_) max_ = v;
+    sum_ += v;
+    ++count_;
+  }
+
+  std::uint64_t samples() const { return count_; }
+  double last() const { return last_; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+ private:
+  double last_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+  std::uint64_t count_ = 0;
+};
+
+// Fixed-bucket histogram: one bucket per upper bound (inclusive) plus an
+// implicit overflow bucket.  Bounds are fixed at creation so observing a
+// sample is a linear scan over a handful of doubles.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upperBounds);
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  const std::vector<double>& upperBounds() const { return bounds_; }
+  // bucketCounts().size() == upperBounds().size() + 1; the last entry is
+  // the overflow bucket.
+  const std::vector<std::uint64_t>& bucketCounts() const { return counts_; }
+
+  // Evenly spaced integer bounds [1, 2, ..., n]: the natural buckets for a
+  // FIFO-occupancy series with depth n.
+  static std::vector<double> linearBounds(int n);
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+// Name-keyed collection of the three metric kinds.  Accessors create the
+// metric on first use and return a stable reference (std::map nodes never
+// move), so modules can hold raw pointers for the lifetime of the registry.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  // Throws std::invalid_argument if the histogram exists with different
+  // bounds (two instruments disagreeing about one series is a bug).
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  // Lookup without creation; nullptr when absent.
+  const Counter* findCounter(const std::string& name) const;
+  const Gauge* findGauge(const std::string& name) const;
+  const Histogram* findHistogram(const std::string& name) const;
+
+  // Value of a counter, or `absent` when it was never created (pruned-port
+  // channels never register their series).
+  std::uint64_t counterValue(const std::string& name,
+                             std::uint64_t absent = 0) const;
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace rasoc::telemetry

@@ -1,0 +1,71 @@
+// Structured run reports: a named set of ordered sections of key/value
+// pairs plus an optional metrics-registry dump, serialized to JSON.
+//
+// The output is deterministic by construction: sections and keys render in
+// insertion order, registry series in name order, and numbers through one
+// fixed formatting routine - two runs of the same seeded simulation produce
+// byte-identical reports, so bench output can be diffed across commits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace rasoc::telemetry {
+
+class RunReport {
+ public:
+  explicit RunReport(std::string name);
+
+  const std::string& name() const { return name_; }
+
+  // Scalar setters; a repeated (section, key) overwrites in place, keeping
+  // the original position.
+  void set(const std::string& section, const std::string& key,
+           const std::string& value);
+  void set(const std::string& section, const std::string& key,
+           const char* value);
+  void set(const std::string& section, const std::string& key,
+           std::uint64_t value);
+  void set(const std::string& section, const std::string& key, int value);
+  void set(const std::string& section, const std::string& key, double value);
+  void set(const std::string& section, const std::string& key, bool value);
+
+  // Serializes the registry under a "metrics" key (counters, gauges and
+  // histograms in name order).  Non-owning; the registry must outlive
+  // toJson().
+  void attachRegistry(const MetricsRegistry& registry) {
+    registry_ = &registry;
+  }
+
+  std::string toJson() const;
+
+  // Fixed JSON number/string formatting shared with tests.
+  static std::string formatNumber(double v);
+  static std::string escape(const std::string& s);
+
+ private:
+  struct Value {
+    enum class Kind { String, Unsigned, Double, Bool } kind;
+    std::string text;      // String
+    std::uint64_t u = 0;   // Unsigned
+    double d = 0.0;        // Double
+    bool b = false;        // Bool
+  };
+  using Entry = std::pair<std::string, Value>;
+  struct Section {
+    std::string name;
+    std::vector<Entry> entries;
+  };
+
+  Value& slot(const std::string& section, const std::string& key);
+
+  std::string name_;
+  std::vector<Section> sections_;
+  const MetricsRegistry* registry_ = nullptr;
+};
+
+}  // namespace rasoc::telemetry

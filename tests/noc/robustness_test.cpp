@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "noc/mesh.hpp"
+#include "noc/observe.hpp"
 #include "noc/watchdog.hpp"
 
 namespace rasoc::noc {
@@ -33,6 +34,58 @@ TEST(WatchdogTest, DetectsAnArtificialStall) {
   sim.run(100);
   EXPECT_TRUE(dog.stallDetected());
   EXPECT_GE(dog.longestStall(), 20u);
+}
+
+TEST(WatchdogTest, SnapshotCapturesStallForensics) {
+  // One delivery at a known watchdog cycle, then a packet that never
+  // completes: the snapshot must pin down when progress stopped and how
+  // much was stuck.
+  DeliveryLedger ledger;
+  const NodeId a{0, 0}, b{1, 0};
+  PacketRecord r;
+  r.src = a;
+  r.dst = b;
+  r.flits = 1;
+  ledger.onQueued(r);
+  ledger.onHeaderInjected(a, b, 0);
+  Watchdog dog("dog", ledger, 20);
+  sim::Simulator sim;
+  sim.add(dog);
+  sim.reset();
+  sim.run(5);
+  ledger.onDelivered(a, b, 5);  // observed on watchdog cycle 6
+  ledger.onQueued(r);           // and this one is stuck forever
+  sim.run(100);
+  const WatchdogSnapshot& snapshot = dog.snapshot();
+  EXPECT_TRUE(snapshot.stalled);
+  EXPECT_EQ(snapshot.lastDeliveryCycle, 6u);
+  EXPECT_EQ(snapshot.stallCycle, 26u);  // last delivery + timeout
+  EXPECT_EQ(snapshot.inFlightAtStall, 1u);
+  EXPECT_GE(snapshot.longestStall, 20u);
+}
+
+TEST(WatchdogTest, ForcedStallSnapshotReachesTheRunReport) {
+  MeshConfig cfg;
+  cfg.shape = MeshShape{2, 2};
+  Mesh mesh(cfg);
+  Watchdog dog("dog", mesh.ledger(), 30);
+  mesh.simulator().add(dog);
+  mesh.ni(NodeId{0, 0}).send(NodeId{1, 1}, {0x1});
+  ASSERT_TRUE(mesh.drain(500));
+  // Force a stall: ledger sees a packet that no NI will ever deliver.
+  PacketRecord phantom;
+  phantom.src = NodeId{0, 0};
+  phantom.dst = NodeId{1, 1};
+  phantom.flits = 1;
+  mesh.ledger().onQueued(phantom);
+  mesh.run(200);
+  ASSERT_TRUE(dog.stallDetected());
+  const std::string json = buildRunReport("stall", mesh, &dog).toJson();
+  EXPECT_NE(json.find("\"stalled\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"in_flight_at_stall\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"stall_cycle\": "), std::string::npos);
+  EXPECT_NE(json.find("\"last_delivery_cycle\": "), std::string::npos);
+  EXPECT_NE(json.find("\"longest_stall\": "), std::string::npos);
 }
 
 TEST(WatchdogTest, DeliveriesKeepResettingTheTimer) {

@@ -31,12 +31,41 @@ TEST(LatencyStatsTest, Percentiles) {
   EXPECT_THROW(stats.percentile(1.5), std::invalid_argument);
 }
 
+TEST(LatencyStatsTest, EmptyStatsPercentileIsZero) {
+  LatencyStats stats;
+  EXPECT_DOUBLE_EQ(stats.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(stats.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(stats.percentile(1.0), 0.0);
+}
+
+TEST(LatencyStatsTest, SingleSamplePercentileIsThatSample) {
+  LatencyStats stats;
+  stats.record(7.0);
+  EXPECT_DOUBLE_EQ(stats.percentile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(stats.percentile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(stats.percentile(1.0), 7.0);
+}
+
 TEST(LatencyStatsTest, PercentileTracksLateRecords) {
   LatencyStats stats;
   stats.record(1.0);
   EXPECT_DOUBLE_EQ(stats.percentile(1.0), 1.0);
   stats.record(10.0);  // sorted cache must invalidate
   EXPECT_DOUBLE_EQ(stats.percentile(1.0), 10.0);
+}
+
+TEST(LatencyStatsTest, InterleavedRecordsAndQueriesStayConsistent) {
+  // Exercises the incremental sorted-view maintenance: every query after a
+  // burst of records must see the full sample set, including values that
+  // sort below the existing minimum.
+  LatencyStats stats;
+  for (int burst = 0; burst < 10; ++burst) {
+    for (int i = 0; i < 5; ++i)
+      stats.record(static_cast<double>((7 * burst + 3 * i) % 50));
+    EXPECT_DOUBLE_EQ(stats.percentile(0.0), stats.min());
+    EXPECT_DOUBLE_EQ(stats.percentile(1.0), stats.max());
+  }
+  EXPECT_EQ(stats.count(), 50u);
 }
 
 TEST(DeliveryLedgerTest, MatchesInjectionsToDeliveriesPerFlow) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "sim/module.hpp"
 #include "sim/wire.hpp"
 
@@ -146,6 +148,22 @@ TEST(SimulatorTest, ChildModulesAreDriven) {
   sim.run(3);
   sim.settle();
   EXPECT_EQ(out.get(), 3);
+}
+
+TEST(SimulatorTest, TickListenersFireOncePerCommittedEdge) {
+  Wire<int> out;
+  Counter counter("counter", out);
+  Simulator sim;
+  sim.add(counter);
+  std::vector<std::uint64_t> seenCycles;
+  std::vector<int> seenValues;
+  sim.addTickListener([&] { seenCycles.push_back(sim.cycle()); });
+  sim.addTickListener([&] { seenValues.push_back(out.get()); });
+  sim.reset();
+  sim.run(3);
+  // Listeners observe post-edge state with the cycle count already advanced.
+  EXPECT_EQ(seenCycles, (std::vector<std::uint64_t>{1, 2, 3}));
+  ASSERT_EQ(seenValues.size(), 3u);
 }
 
 TEST(SimulatorTest, MaxSettleIterationsIsConfigurable) {

@@ -80,6 +80,31 @@ TEST(VcdTest, ManySignalsGetUniqueIds) {
   EXPECT_EQ(std::unique(ids.begin(), ids.end()), ids.end());
 }
 
+TEST(VcdTest, Signal95UsesTwoCharacterId) {
+  // Ids are base-94 over '!'..'~', least-significant digit first: index 94
+  // rolls over from the single char '~' (index 93) to the two-char "!\"".
+  VcdWriter vcd("top");
+  std::string id93, id94;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 100; ++i) {
+    const std::string id =
+        vcd.addSignal("s" + std::to_string(i), 1, [&] { return v; });
+    if (i == 93) id93 = id;
+    if (i == 94) id94 = id;
+  }
+  EXPECT_EQ(id93, "~");
+  EXPECT_EQ(id94, "!\"");
+
+  vcd.sample(0);
+  v = 1;
+  vcd.sample(1);
+  const std::string text = vcd.render();
+  // Both definition and value-change lines carry the multi-char id intact.
+  EXPECT_NE(text.find("$var wire 1 !\" s94 $end"), std::string::npos);
+  EXPECT_NE(text.find("0!\"\n"), std::string::npos);
+  EXPECT_NE(text.find("1!\"\n"), std::string::npos);
+}
+
 TEST(VcdTest, AddAfterSampleThrows) {
   VcdWriter vcd("top");
   vcd.addSignal("a", 1, [] { return 0u; });

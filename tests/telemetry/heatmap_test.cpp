@@ -1,0 +1,59 @@
+#include "telemetry/heatmap.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rasoc::telemetry {
+namespace {
+
+TEST(HeatmapTest, CellsDefaultToZeroAndRoundTrip) {
+  MeshHeatmap map(3, 2);
+  EXPECT_EQ(map.at(2, 1), 0.0);
+  map.set(2, 1, 0.5);
+  EXPECT_DOUBLE_EQ(map.at(2, 1), 0.5);
+  EXPECT_DOUBLE_EQ(map.maxValue(), 0.5);
+  EXPECT_THROW(map.at(3, 0), std::out_of_range);
+  EXPECT_THROW(map.set(0, 2, 1.0), std::out_of_range);
+  EXPECT_THROW(MeshHeatmap(0, 1), std::invalid_argument);
+}
+
+TEST(HeatmapTest, AsciiScalesAgainstMax) {
+  MeshHeatmap map(2, 1, "util");
+  map.set(0, 0, 1.0);
+  map.set(1, 0, 0.5);
+  const std::string ascii = map.ascii();
+  // Max cell renders 99/99 with the brightest glyph, half-max 50 of 99.
+  EXPECT_NE(ascii.find("@99"), std::string::npos);
+  EXPECT_NE(ascii.find("50"), std::string::npos);
+  EXPECT_NE(ascii.find("util"), std::string::npos);
+  EXPECT_NE(ascii.find("max 1"), std::string::npos);
+}
+
+TEST(HeatmapTest, AllZeroGridRendersWithoutDividingByZero) {
+  MeshHeatmap map(2, 2);
+  const std::string ascii = map.ascii();
+  EXPECT_NE(ascii.find("00"), std::string::npos);
+  EXPECT_EQ(ascii.find("nan"), std::string::npos);
+}
+
+TEST(HeatmapTest, MeshOrientationPutsHighYFirst) {
+  MeshHeatmap map(1, 2);
+  map.set(0, 1, 1.0);
+  const std::string ascii = map.ascii();
+  // Row y=1 (the set cell) must print before row y=0.
+  EXPECT_LT(ascii.find("y=1"), ascii.find("y=0"));
+}
+
+TEST(HeatmapTest, CsvIsRowMajorAndDeterministic) {
+  MeshHeatmap map(2, 2, "congestion");
+  map.set(0, 0, 0.25);
+  map.set(1, 1, 0.75);
+  EXPECT_EQ(map.csv(),
+            "x,y,congestion\n"
+            "0,0,0.25\n"
+            "1,0,0\n"
+            "0,1,0\n"
+            "1,1,0.75\n");
+}
+
+}  // namespace
+}  // namespace rasoc::telemetry
