@@ -24,23 +24,33 @@ void BM_SingleRouterIdle(benchmark::State& state) {
 }
 BENCHMARK(BM_SingleRouterIdle);
 
+// Args: (side, kernel) with kernel 0 = naive fixpoint, 1 = event-driven.
+// Compare BM_MeshUnderLoad/8/0 against /8/1 for the scheduler speedup;
+// `evals_per_cycle` counts evaluate() calls and shows where it comes from.
 void BM_MeshUnderLoad(benchmark::State& state) {
   const int side = static_cast<int>(state.range(0));
   noc::MeshConfig cfg;
   cfg.shape = noc::MeshShape{side, side};
   cfg.params.n = 16;
   cfg.params.p = 4;
+  cfg.kernel = state.range(1) == 0 ? sim::Simulator::Kernel::Naive
+                                   : sim::Simulator::Kernel::EventDriven;
   noc::Mesh mesh(cfg);
   noc::TrafficConfig traffic;
   traffic.offeredLoad = 0.2;
   traffic.payloadFlits = 6;
   traffic.seed = 17;
   mesh.attachTraffic(traffic);
+  const std::uint64_t evalsBefore = mesh.simulator().evaluateCalls();
   for (auto _ : state) mesh.run(1);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
   state.counters["routers"] = side * side;
+  state.counters["evals_per_cycle"] = benchmark::Counter(
+      static_cast<double>(mesh.simulator().evaluateCalls() - evalsBefore),
+      benchmark::Counter::kAvgIterations);
 }
-BENCHMARK(BM_MeshUnderLoad)->Arg(2)->Arg(4)->Arg(6);
+BENCHMARK(BM_MeshUnderLoad)
+    ->ArgsProduct({{2, 4, 6, 8}, {0, 1}});
 
 // Same mesh with the telemetry subsystem attached: the delta against
 // BM_MeshUnderLoad is the full cost of leaving instrumentation enabled

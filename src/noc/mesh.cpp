@@ -87,8 +87,10 @@ Mesh::Mesh(MeshConfig config) : config_(config) {
   }
 
   // Worst-case combinational propagation spans the mesh diameter; give the
-  // settle loop generous headroom.
+  // naive settle loop generous headroom (the event-driven kernel derives
+  // its evaluation bound from the same knob).
   sim_.setMaxSettleIterations(32 + 8 * (shape.width + shape.height));
+  sim_.setKernel(config_.kernel);
   sim_.reset();
 }
 
@@ -186,6 +188,7 @@ double Mesh::linkUtilization(NodeId from, router::Port port) const {
       linkIndex_.find({config_.shape.indexOf(from), router::index(port)});
   if (it == linkIndex_.end())
     throw std::out_of_range("no such link on this mesh");
+  if (sim_.cycle() == 0) return 0.0;  // no cycles observed yet
   return it->second->utilization(sim_.cycle());
 }
 
@@ -209,6 +212,7 @@ std::uint64_t Mesh::unattributedPackets() const {
 }
 
 double Mesh::maxLinkUtilization() const {
+  if (links_.empty() || sim_.cycle() == 0) return 0.0;
   double peak = 0.0;
   for (const auto& link : links_)
     peak = std::max(peak, link->utilization(sim_.cycle()));

@@ -26,6 +26,12 @@ struct MeshConfig {
   router::RouterParams params{};
   router::ArbiterKind arbiter = router::ArbiterKind::RoundRobin;
 
+  // Settle kernel for the mesh's simulator.  EventDriven evaluates only
+  // modules whose inputs changed (see sim/simulator.hpp) and is the
+  // default; Naive is the reference fixpoint kernel the equivalence suite
+  // A/Bs against.
+  sim::Simulator::Kernel kernel = sim::Simulator::Kernel::EventDriven;
+
   // HLP parity in every NI (paper Section 2 extension); costs one data bit
   // per flit.
   bool hlpParity = false;

@@ -27,6 +27,10 @@ NetworkInterface::NetworkInterface(std::string name,
       static_cast<std::uint64_t>(router::dataMask(payloadBits())) + 1)
     throw std::invalid_argument(
         "node index must fit in one payload flit; shrink the mesh or widen n");
+  // The send side of evaluate() streams from the registered queue/credit
+  // state; the receive side echoes the router's val into ack.
+  declareSequential();
+  sensitive(fromRouter.val);
 }
 
 int NetworkInterface::payloadBits() const {
@@ -93,6 +97,9 @@ void NetworkInterface::send(NodeId dst,
 
   sendQueueFlits_ += packet.flits.size();
   sendQueue_.push_back(std::move(packet));
+  // A queue push changes what evaluate() drives; wake the event-driven
+  // kernel even when the push happens between cycles (testbench sends).
+  markDirty();
 }
 
 void NetworkInterface::evaluate() {

@@ -39,7 +39,10 @@ class CreditOfc : public sim::Module {
         creditReturn_(&creditReturn),
         outVal_(&outVal),
         xRd_(&xRd),
-        xbar_(&xbar) {}
+        xbar_(&xbar) {
+    sensitive(rokSel);
+    declareSequential();  // evaluate() reads the credit counter
+  }
 
   int credits() const { return credits_; }
 
@@ -77,7 +80,10 @@ class CreditReturnTap : public sim::Module {
  public:
   CreditReturnTap(std::string name, const sim::Wire<bool>& rd,
                   const sim::Wire<bool>& rok, sim::Wire<bool>& creditOut)
-      : Module(std::move(name)), rd_(&rd), rok_(&rok), creditOut_(&creditOut) {}
+      : Module(std::move(name)), rd_(&rd), rok_(&rok), creditOut_(&creditOut) {
+    sensitive(rd);
+    sensitive(rok);
+  }
 
  protected:
   void evaluate() override { creditOut_->set(rd_->get() && rok_->get()); }

@@ -14,7 +14,11 @@ InputBuffer::InputBuffer(std::string name, const RouterParams& params,
       rd_(&rd),
       dout_(&dout),
       wok_(&wok),
-      rok_(&rok) {}
+      rok_(&rok) {
+  // evaluate() publishes registered FIFO state only (din/wr/rd are read at
+  // the clock edge), so an after-tick re-seed is the whole sensitivity.
+  declareSequential();
+}
 
 void InputBuffer::evaluate() {
   wok_->set(!full());

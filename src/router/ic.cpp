@@ -13,7 +13,12 @@ InputController::InputController(std::string name, const RouterParams& params,
       ownPort_(ownPort),
       ibDout_(&ibDout),
       rok_(&rok),
-      xbar_(&xbar) {}
+      xbar_(&xbar) {
+  sensitive(ibDout.data);
+  sensitive(ibDout.bop);
+  sensitive(ibDout.eop);
+  sensitive(rok);
+}
 
 void InputController::onReset() {
   requesting_ = false;

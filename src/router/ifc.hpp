@@ -28,7 +28,10 @@ class Ifc : public sim::Module {
         inVal_(&inVal),
         wok_(&wok),
         inAck_(inAck),
-        wr_(&wr) {}
+        wr_(&wr) {
+    sensitive(inVal);
+    if (mode_ == FlowControl::Handshake) sensitive(wok);
+  }
 
  protected:
   void evaluate() override {

@@ -17,7 +17,12 @@ namespace rasoc::router {
 class Irs : public sim::Module {
  public:
   Irs(std::string name, const CrossbarWires& xbar, sim::Wire<bool>& rd)
-      : Module(std::move(name)), xbar_(&xbar), rd_(&rd) {}
+      : Module(std::move(name)), xbar_(&xbar), rd_(&rd) {
+    for (int o = 0; o < kNumPorts; ++o) {
+      sensitive(xbar.gnt[o]);
+      sensitive(xbar.rd[o]);
+    }
+  }
 
  protected:
   void evaluate() override {

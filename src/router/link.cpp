@@ -7,7 +7,13 @@ Link::Link(std::string name, ChannelWires& src, ChannelWires& dst,
     : Module(std::move(name)),
       src_(&src),
       dst_(&dst),
-      flowControl_(flowControl) {}
+      flowControl_(flowControl) {
+  sensitive(src.flit.data);
+  sensitive(src.flit.bop);
+  sensitive(src.flit.eop);
+  sensitive(src.val);
+  sensitive(dst.ack);
+}
 
 void Link::evaluate() {
   const bool bop = src_->flit.bop.get();

@@ -15,7 +15,11 @@ OutputController::OutputController(
       xRd_(&xRd),
       connectedWire_(&connected),
       selWire_(&sel),
-      arbiter_(arbiter) {}
+      arbiter_(arbiter) {
+  // evaluate() publishes the registered connection state; the request/eop
+  // wires are only read at the clock edge.
+  declareSequential();
+}
 
 void OutputController::onReset() {
   connected_ = false;

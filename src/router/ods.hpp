@@ -26,7 +26,15 @@ class Ods : public sim::Module {
         xbar_(&xbar),
         connected_(&connected),
         sel_(&sel),
-        out_(&out) {}
+        out_(&out) {
+    sensitive(connected);
+    sensitive(sel);
+    for (const CrossbarWires& in : xbar) {
+      sensitive(in.flit.data);
+      sensitive(in.flit.bop);
+      sensitive(in.flit.eop);
+    }
+  }
 
  protected:
   void evaluate() override {

@@ -32,7 +32,10 @@ class Ofc : public sim::Module {
         outAck_(&outAck),
         outVal_(&outVal),
         xRd_(&xRd),
-        xbar_(&xbar) {}
+        xbar_(&xbar) {
+    sensitive(rokSel);
+    sensitive(outAck);
+  }
 
  protected:
   void evaluate() override {

@@ -24,7 +24,11 @@ class Ors : public sim::Module {
         xbar_(&xbar),
         connected_(&connected),
         sel_(&sel),
-        rokSel_(&rokSel) {}
+        rokSel_(&rokSel) {
+    sensitive(connected);
+    sensitive(sel);
+    for (const CrossbarWires& in : xbar) sensitive(in.rok);
+  }
 
  protected:
   void evaluate() override {

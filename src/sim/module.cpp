@@ -1,5 +1,7 @@
 #include "sim/module.hpp"
 
+#include "sim/wire.hpp"
+
 namespace rasoc::sim {
 
 Module::Module(std::string name) : name_(std::move(name)) {}
@@ -18,5 +20,7 @@ void Module::clockEdgeAll() {
   clockEdge();
   for (Module* child : children_) child->clockEdgeAll();
 }
+
+void Module::sensitive(const WireBase& wire) { wire.addSensitive(this); }
 
 }  // namespace rasoc::sim

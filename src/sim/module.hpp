@@ -5,13 +5,23 @@
 // sequential behaviour (clockEdge).  The simulator drives the whole tree:
 //
 //   reset    -> onReset() on every module, once
-//   settle   -> evaluate() on every module, repeated to fixpoint
+//   settle   -> evaluate() until the combinational network is stable
 //   tick     -> clockEdge() on every module, once per cycle
 //
-// evaluate() must be idempotent given unchanged inputs: it is re-run until
-// no Wire changes.  clockEdge() reads wires/registered state and commits the
-// next registered state; it must not drive wires (drive them in evaluate()
-// from registered state instead).
+// evaluate() must be idempotent given unchanged inputs: it may be re-run
+// any number of times until no Wire changes.  clockEdge() reads
+// wires/registered state and commits the next registered state; it must not
+// drive wires (drive them in evaluate() from registered state instead).
+//
+// Event-driven kernel contract (see Simulator::Kernel): a module declares
+// at construction time which wires its evaluate() reads, via
+// sensitive(wire).  A module whose evaluate() additionally depends on
+// registered state (anything clockEdge() or an external call mutates) must
+// call declareSequential(), which re-evaluates it after every clock edge.
+// Modules that do neither are only evaluated when the whole network is
+// seeded (reset / kernel switch), so an incomplete sensitivity list under
+// the event-driven kernel silently reproduces stale outputs - the naive
+// kernel needs no declarations and is the reference to A/B against.
 #pragma once
 
 #include <string>
@@ -19,6 +29,20 @@
 #include <vector>
 
 namespace rasoc::sim {
+
+class Module;
+class WireBase;
+
+// Worklist interface the event-driven kernel implements (Simulator).  Wires
+// reach it through their fanout modules' scheduler backpointer, so several
+// simulators can coexist on one thread without cross-talk.
+class EvalScheduler {
+ public:
+  virtual void enqueueDirty(Module* m) = 0;
+
+ protected:
+  ~EvalScheduler() = default;
+};
 
 class Module {
  public:
@@ -35,7 +59,30 @@ class Module {
   void evaluateAll();
   void clockEdgeAll();
 
+  // Single-module evaluate, used by the event-driven kernel's worklist
+  // (children are scheduled independently).
+  void evaluateOne() { evaluate(); }
+
   const std::vector<Module*>& children() const { return children_; }
+
+  // --- event-driven scheduling hooks (managed by Simulator and Wire) ----
+
+  // Marks this module's inputs as changed.  Enqueues it exactly once into
+  // the bound scheduler's worklist; without a scheduler only the flag is
+  // set (harmless for standalone modules and the naive kernel).
+  void markDirty() {
+    if (dirty_) return;
+    dirty_ = true;
+    if (scheduler_) scheduler_->enqueueDirty(this);
+  }
+  void clearDirty() { dirty_ = false; }
+  bool dirty() const { return dirty_; }
+
+  // True when evaluate() depends on registered state: the simulator re-seeds
+  // such modules after every clock edge.
+  bool isSequential() const { return sequential_; }
+
+  void bindScheduler(EvalScheduler* s) { scheduler_ = s; }
 
  protected:
   virtual void onReset() {}
@@ -46,9 +93,22 @@ class Module {
   // usual pattern is member-object children registered in the constructor.
   void addChild(Module& child) { children_.push_back(&child); }
 
+  // Declares that evaluate() reads `wire`: the event-driven kernel will
+  // re-evaluate this module whenever the wire changes value.  Call from the
+  // constructor, once per input wire.
+  void sensitive(const WireBase& wire);
+
+  // Declares that evaluate() depends on registered state (mutated by
+  // clockEdge() or external calls such as a queue push).  Call from the
+  // constructor.
+  void declareSequential() { sequential_ = true; }
+
  private:
   std::string name_;
   std::vector<Module*> children_;
+  EvalScheduler* scheduler_ = nullptr;
+  bool dirty_ = false;
+  bool sequential_ = false;
 };
 
 }  // namespace rasoc::sim

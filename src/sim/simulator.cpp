@@ -1,23 +1,97 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "sim/wire.hpp"
 
 namespace rasoc::sim {
 
 thread_local bool SettleContext::changed_ = false;
+thread_local bool SettleContext::inSettle_ = false;
+
+namespace {
+
+// Marks the settle phase for Wire::force's poke-window check; exception
+// safe so a combinational-loop throw doesn't leave the flag stuck.
+class SettleGuard {
+ public:
+  SettleGuard() { SettleContext::enterSettle(); }
+  ~SettleGuard() { SettleContext::exitSettle(); }
+  SettleGuard(const SettleGuard&) = delete;
+  SettleGuard& operator=(const SettleGuard&) = delete;
+};
+
+}  // namespace
+
+void Simulator::ensureCollected() {
+  if (!modulesStale_) return;
+  modules_.clear();
+  sequential_.clear();
+  for (Module* top : tops_) {
+    // Iterative preorder walk; mesh trees are shallow but wide.
+    std::vector<Module*> stack{top};
+    while (!stack.empty()) {
+      Module* m = stack.back();
+      stack.pop_back();
+      m->bindScheduler(this);
+      modules_.push_back(m);
+      if (m->isSequential()) sequential_.push_back(m);
+      const auto& children = m->children();
+      for (auto it = children.rbegin(); it != children.rend(); ++it)
+        stack.push_back(*it);
+    }
+  }
+  modulesStale_ = false;
+  // Newly collected modules have never been evaluated by this worklist:
+  // seed everything once so the next settle starts from a known state.
+  if (kernel_ == Kernel::EventDriven) seedAll();
+}
+
+void Simulator::seedAll() {
+  worklist_.clear();
+  for (Module* m : modules_) m->clearDirty();
+  for (Module* m : modules_) m->markDirty();
+}
+
+void Simulator::setKernel(Kernel kernel) {
+  if (kernel_ == kernel) return;
+  kernel_ = kernel;
+  if (kernel_ == Kernel::EventDriven) {
+    ensureCollected();
+    seedAll();
+  } else {
+    // The naive kernel ignores the worklist; drop any queued entries so a
+    // later switch back starts from a clean seed.
+    for (Module* m : worklist_) m->clearDirty();
+    worklist_.clear();
+  }
+}
 
 void Simulator::reset() {
   cycle_ = 0;
+  ensureCollected();
   for (Module* m : tops_) m->resetAll();
+  if (kernel_ == Kernel::EventDriven) seedAll();
   settle();
 }
 
 void Simulator::settle() {
+  ensureCollected();
+  SettleGuard guard;
+  if (kernel_ == Kernel::Naive) {
+    settleNaive();
+  } else {
+    settleEventDriven();
+  }
+}
+
+void Simulator::settleNaive() {
   for (int iter = 0; iter < maxSettleIterations_; ++iter) {
     SettleContext::clearChanged();
     for (Module* m : tops_) m->evaluateAll();
+    evaluateCalls_ += modules_.size();
     if (!SettleContext::changed()) return;
   }
   throw std::runtime_error(
@@ -26,8 +100,40 @@ void Simulator::settle() {
       " passes (combinational loop?)");
 }
 
+void Simulator::settleEventDriven() {
+  const std::uint64_t bound =
+      static_cast<std::uint64_t>(std::max(maxSettleIterations_, 1)) *
+      static_cast<std::uint64_t>(std::max<std::size_t>(modules_.size(), 1));
+  std::uint64_t evals = 0;
+  // The worklist grows while draining: evaluating a module may change wires
+  // and wake their fanout.  Indexed iteration keeps appended entries live.
+  for (std::size_t i = 0; i < worklist_.size(); ++i) {
+    Module* m = worklist_[i];
+    m->clearDirty();
+    m->evaluateOne();
+    if (++evals > bound) {
+      for (std::size_t j = i + 1; j < worklist_.size(); ++j)
+        worklist_[j]->clearDirty();
+      worklist_.clear();
+      evaluateCalls_ += evals;
+      throw std::runtime_error(
+          "Simulator::settle: event-driven worklist did not drain within " +
+          std::to_string(bound) + " evaluations (combinational loop?)");
+    }
+  }
+  worklist_.clear();
+  evaluateCalls_ += evals;
+}
+
 void Simulator::tick() {
+  ensureCollected();
   for (Module* m : tops_) m->clockEdgeAll();
+  if (kernel_ == Kernel::EventDriven) {
+    // Registered state changed: re-seed the modules whose evaluate()
+    // depends on it.  Purely combinational modules wake through wire
+    // fanout once these re-evaluate.
+    for (Module* m : sequential_) m->markDirty();
+  }
   ++cycle_;
   for (const auto& listener : tickListeners_) listener();
 }
@@ -48,8 +154,10 @@ bool Simulator::runUntil(const std::function<bool()>& pred,
     if (pred()) return true;
     tick();
   }
+  // Leave the network settled for post-mortem observation, but do not
+  // check the predicate again: it is evaluated exactly maxCycles times.
   settle();
-  return pred();
+  return false;
 }
 
 }  // namespace rasoc::sim

@@ -1,14 +1,30 @@
 // Two-phase clocked simulator.
 //
 // Each cycle:
-//   1. settle(): run every module's evaluate() repeatedly until no Wire
-//      changes (combinational fixpoint).  A bounded iteration count guards
-//      against combinational loops; exceeding it throws.
+//   1. settle(): bring the combinational network to a fixpoint (no Wire
+//      changes value).  A bounded evaluation count guards against
+//      combinational loops; exceeding it throws.
 //   2. tick(): run every module's clockEdge() once (synchronous state
 //      update), then increment the cycle counter.
 //
 // step() = settle() + tick().  Testbenches that poke inputs between cycles
-// should: poke wires -> step() -> observe.
+// should: poke wires -> step() -> observe.  Poking (set/force) is legal
+// only between cycles; Wire::force throws if called during a settle phase.
+//
+// Two settle kernels compute the same fixpoint:
+//
+//  * Kernel::Naive - re-runs every module's evaluate() in registration
+//    order until a full pass changes no wire.  Requires nothing from the
+//    modules beyond idempotent evaluate(); cost is
+//    O(modules x propagation depth) per cycle.
+//  * Kernel::EventDriven - keeps a dirty worklist seeded from sequential
+//    modules after each clock edge and from wires poked between cycles,
+//    and evaluates only modules whose declared inputs changed
+//    (Module::sensitive / Module::declareSequential).  Cost is
+//    proportional to actual signal activity.  Modules with incomplete
+//    sensitivity annotations produce stale outputs under this kernel; the
+//    naive kernel is the reference to A/B against (see
+//    tests/noc/kernel_equivalence_test.cpp).
 #pragma once
 
 #include <cstdint>
@@ -19,20 +35,36 @@
 
 namespace rasoc::sim {
 
-class Simulator {
+class Simulator final : private EvalScheduler {
  public:
+  enum class Kernel { Naive, EventDriven };
+
   Simulator() = default;
 
-  // Registers a top-level module.  Non-owning; the module must outlive the
-  // simulator's use of it.
-  void add(Module& m) { tops_.push_back(&m); }
+  // Registered modules keep a backpointer into this scheduler; moving or
+  // copying the simulator would dangle them.
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Registers a top-level module (and, transitively, its children).
+  // Non-owning; the module must outlive the simulator's use of it.
+  void add(Module& m) {
+    tops_.push_back(&m);
+    modulesStale_ = true;
+  }
+
+  // Selects the settle kernel.  Switching to EventDriven re-seeds every
+  // module so no stale state survives the transition.
+  void setKernel(Kernel kernel);
+  Kernel kernel() const { return kernel_; }
 
   // Resets registered state in every module and restarts the cycle count.
   void reset();
 
   // Runs evaluate() passes until the combinational network is stable.
-  // Throws std::runtime_error if no fixpoint is reached within
-  // maxSettleIterations() passes (combinational loop).
+  // Throws std::runtime_error if no fixpoint is reached within the
+  // evaluation bound derived from maxSettleIterations() (combinational
+  // loop).
   void settle();
 
   // Commits one clock edge.  Callers normally use step() instead.
@@ -45,8 +77,12 @@ class Simulator {
   void run(std::uint64_t n);
 
   // Steps until pred() is true after a settle phase, or maxCycles elapsed.
-  // Returns true if the predicate fired.  The cycle in which the predicate
-  // fires is *not* ticked, so registered state is left just before the edge.
+  // Returns true if the predicate fired.  The predicate is evaluated at
+  // most maxCycles times (once per cycle, post-settle); the cycle in which
+  // it fires is *not* ticked, so registered state is left just before the
+  // edge.  On timeout the network is left settled but the final state is
+  // not checked - a predicate first true after exactly maxCycles ticks
+  // reports failure, keeping the bound a bound.
   bool runUntil(const std::function<bool()>& pred, std::uint64_t maxCycles);
 
   // Registers a callback invoked after every committed clock edge (state
@@ -58,14 +94,44 @@ class Simulator {
 
   std::uint64_t cycle() const { return cycle_; }
 
+  // Naive kernel: maximum full evaluation passes per settle.  Event-driven
+  // kernel: the per-settle evaluation bound is maxSettleIterations() x the
+  // module count, so both kernels tolerate the same combinational depth.
   int maxSettleIterations() const { return maxSettleIterations_; }
   void setMaxSettleIterations(int n) { maxSettleIterations_ = n; }
 
+  // Total evaluate() calls issued by settle() since construction - the
+  // kernel-independent work metric bench_sim_speed reports.
+  std::uint64_t evaluateCalls() const { return evaluateCalls_; }
+
+  // Modules known to the simulator (tops plus transitive children).
+  std::size_t moduleCount() {
+    ensureCollected();
+    return modules_.size();
+  }
+
  private:
+  void enqueueDirty(Module* m) override {
+    if (kernel_ == Kernel::EventDriven) worklist_.push_back(m);
+  }
+
+  // Rebuilds the flattened module list (and scheduler backpointers) after
+  // add(); re-seeds the worklist so new modules get an initial evaluation.
+  void ensureCollected();
+  void seedAll();
+  void settleNaive();
+  void settleEventDriven();
+
   std::vector<Module*> tops_;
+  std::vector<Module*> modules_;     // flattened: tops + children
+  std::vector<Module*> sequential_;  // subset re-seeded every tick
+  std::vector<Module*> worklist_;    // dirty modules awaiting evaluation
   std::vector<std::function<void()>> tickListeners_;
   std::uint64_t cycle_ = 0;
+  std::uint64_t evaluateCalls_ = 0;
   int maxSettleIterations_ = 64;
+  Kernel kernel_ = Kernel::Naive;
+  bool modulesStale_ = true;
 };
 
 }  // namespace rasoc::sim

@@ -1,18 +1,32 @@
 // Combinational nets for the two-phase clocked simulator.
 //
 // A Wire<T> models a combinational net: any module may drive it during the
-// settle phase, and the simulator re-runs all evaluate() hooks until no wire
-// changes value (a fixpoint).  Change detection is centralized in
-// SettleContext so the simulator can cheaply test "did this pass change
-// anything" without enumerating every net.
+// settle phase, and the simulator re-evaluates modules until no wire changes
+// value (a fixpoint).  Two change-propagation mechanisms coexist:
+//
+//  * SettleContext carries a global (per-thread) "did this pass change
+//    anything" flag for the naive fixpoint kernel;
+//  * every wire additionally keeps a fanout list of modules registered as
+//    sensitive to it (Module::sensitive), which the event-driven kernel uses
+//    to re-evaluate only the modules whose inputs actually changed.
+//
+// Legal poke window: testbenches may set()/force() wires only *between*
+// cycles - after step()/settle() returns and before the next settle phase
+// begins.  A force() during the settle phase would bypass change tracking
+// and leave a stale "fixpoint", so it throws std::logic_error.
 #pragma once
 
+#include <stdexcept>
 #include <utility>
+#include <vector>
+
+#include "sim/module.hpp"
 
 namespace rasoc::sim {
 
-// Global (per-thread) change flag used by the settle loop.  The simulator is
-// single-threaded by design; a thread_local keeps independent simulators on
+// Global (per-thread) change flag used by the naive settle loop, plus the
+// in-settle marker that guards the poke window.  The simulator is
+// single-threaded by design; thread_locals keep independent simulators on
 // different threads from interfering.
 class SettleContext {
  public:
@@ -20,15 +34,39 @@ class SettleContext {
   static void markChanged() { changed_ = true; }
   static bool changed() { return changed_; }
 
+  static void enterSettle() { inSettle_ = true; }
+  static void exitSettle() { inSettle_ = false; }
+  static bool inSettle() { return inSettle_; }
+
  private:
   static thread_local bool changed_;
+  static thread_local bool inSettle_;
+};
+
+// Type-erased base: the fanout list of sensitive modules.  Registration is
+// const (sensitivity is bookkeeping, not value state) so modules can
+// subscribe to wires they only read.
+class WireBase {
+ public:
+  // Called by Module::sensitive(); not meant for direct use.
+  void addSensitive(Module* m) const { fanout_.push_back(m); }
+
+  std::size_t fanoutSize() const { return fanout_.size(); }
+
+ protected:
+  void notifySensitive() const {
+    for (Module* m : fanout_) m->markDirty();
+  }
+
+ private:
+  mutable std::vector<Module*> fanout_;
 };
 
 // A combinational net holding a value of type T.  T must be equality
-// comparable.  set() records a change in the SettleContext so the settle
-// loop knows another evaluation pass is needed.
+// comparable.  set() records a change in the SettleContext (naive kernel)
+// and wakes the fanout modules (event-driven kernel).
 template <typename T>
-class Wire {
+class Wire : public WireBase {
  public:
   Wire() = default;
   explicit Wire(T initial) : value_(std::move(initial)) {}
@@ -39,12 +77,25 @@ class Wire {
     if (!(value_ == v)) {
       value_ = v;
       SettleContext::markChanged();
+      notifySensitive();
     }
   }
 
   // Forces a value without marking the settle context; used by testbenches
-  // between cycles (before the settle phase starts).
-  void force(const T& v) { value_ = v; }
+  // between cycles (the legal poke window, see the header comment).  The
+  // fanout is still woken so the event-driven kernel re-evaluates readers
+  // on the next settle.  Throws std::logic_error when called during a
+  // settle phase: such a force would corrupt the fixpoint.
+  void force(const T& v) {
+    if (SettleContext::inSettle())
+      throw std::logic_error(
+          "Wire::force during the settle phase: poke wires only between "
+          "cycles (after step()/settle() returns)");
+    if (!(value_ == v)) {
+      value_ = v;
+      notifySensitive();
+    }
+  }
 
  private:
   T value_{};

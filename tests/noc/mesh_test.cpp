@@ -195,6 +195,20 @@ TEST(MeshTest, LinkUtilizationIsTrackedAndBounded) {
   EXPECT_EQ(mesh.linkCount(), 2u * (2 * 3 + 3 * 2));
 }
 
+TEST(MeshTest, LinkUtilizationIsZeroBeforeAnyCycleRuns) {
+  // Regression: utilization queries on a freshly built mesh (cycle 0) must
+  // return 0.0 instead of dividing by zero cycles.
+  Mesh mesh(config(3, 3));
+  EXPECT_EQ(mesh.simulator().cycle(), 0u);
+  EXPECT_DOUBLE_EQ(mesh.meanLinkUtilization(), 0.0);
+  EXPECT_DOUBLE_EQ(mesh.maxLinkUtilization(), 0.0);
+  EXPECT_DOUBLE_EQ(mesh.linkUtilization(NodeId{0, 0}, router::Port::East),
+                   0.0);
+  // After one cycle the denominators are live again.
+  mesh.run(1);
+  EXPECT_LE(mesh.maxLinkUtilization(), 1.0);
+}
+
 TEST(MeshTest, SelfSendThrows) {
   Mesh mesh(config(2, 2));
   EXPECT_THROW(mesh.ni(NodeId{0, 0}).send(NodeId{0, 0}, {1}),

@@ -14,21 +14,31 @@ namespace {
 class Increment : public Module {
  public:
   Increment(std::string name, const Wire<int>& x, Wire<int>& y)
-      : Module(std::move(name)), x_(&x), y_(&y) {}
+      : Module(std::move(name)), x_(&x), y_(&y) {
+    sensitive(x);
+  }
+
+  std::uint64_t evaluations() const { return evaluations_; }
 
  protected:
-  void evaluate() override { y_->set(x_->get() + 1); }
+  void evaluate() override {
+    ++evaluations_;
+    y_->set(x_->get() + 1);
+  }
 
  private:
   const Wire<int>* x_;
   Wire<int>* y_;
+  std::uint64_t evaluations_ = 0;
 };
 
 // Registered counter with combinational output wire.
 class Counter : public Module {
  public:
   Counter(std::string name, Wire<int>& out)
-      : Module(std::move(name)), out_(&out) {}
+      : Module(std::move(name)), out_(&out) {
+    declareSequential();
+  }
 
  protected:
   void onReset() override { value_ = 0; }
@@ -44,7 +54,9 @@ class Counter : public Module {
 class Inverter : public Module {
  public:
   Inverter(std::string name, Wire<bool>& y)
-      : Module(std::move(name)), y_(&y) {}
+      : Module(std::move(name)), y_(&y) {
+    sensitive(y);
+  }
 
  protected:
   void evaluate() override { y_->set(!y_->get()); }
@@ -127,6 +139,57 @@ TEST(SimulatorTest, RunUntilGivesUpAfterMaxCycles) {
   EXPECT_FALSE(sim.runUntil([&] { return out.get() == 1000; }, 10));
 }
 
+TEST(SimulatorTest, RunUntilChecksThePredicateExactlyMaxCyclesTimes) {
+  // The counter reaches 5 only after 5 ticks, i.e. in the 6th settle
+  // phase.  A budget of 5 cycles must NOT report success (the predicate is
+  // checked at cycles 0..4), and must not over-run the cycle bound.
+  Wire<int> out;
+  Counter counter("counter", out);
+  Simulator sim;
+  sim.add(counter);
+  sim.reset();
+  std::uint64_t checks = 0;
+  EXPECT_FALSE(sim.runUntil(
+      [&] {
+        ++checks;
+        return out.get() == 5;
+      },
+      5));
+  EXPECT_EQ(checks, 5u);
+  EXPECT_EQ(sim.cycle(), 5u);
+  // The timed-out state is left settled for observation.
+  EXPECT_EQ(out.get(), 5);
+
+  // One more cycle of budget catches it, without ticking the firing cycle.
+  sim.reset();
+  EXPECT_TRUE(sim.runUntil([&] { return out.get() == 5; }, 6));
+  EXPECT_EQ(sim.cycle(), 5u);
+}
+
+TEST(SimulatorTest, ForceDuringSettleThrows) {
+  // A module that pokes a foreign wire from evaluate() via force() would
+  // bypass change tracking and corrupt the fixpoint; the wire rejects it.
+  Wire<int> victim{0};
+  class Poker : public Module {
+   public:
+    Poker(std::string name, Wire<int>& victim)
+        : Module(std::move(name)), victim_(&victim) {}
+
+   protected:
+    void evaluate() override { victim_->force(1); }
+
+   private:
+    Wire<int>* victim_;
+  };
+  Poker poker("poker", victim);
+  Simulator sim;
+  sim.add(poker);
+  EXPECT_THROW(sim.settle(), std::logic_error);
+  // Outside the settle phase the poke window is open again.
+  EXPECT_NO_THROW(victim.force(2));
+  EXPECT_EQ(victim.get(), 2);
+}
+
 TEST(SimulatorTest, ChildModulesAreDriven) {
   // A composite whose child is the counter: reset/evaluate/clockEdge must
   // reach it through the parent.
@@ -170,6 +233,151 @@ TEST(SimulatorTest, MaxSettleIterationsIsConfigurable) {
   Simulator sim;
   sim.setMaxSettleIterations(7);
   EXPECT_EQ(sim.maxSettleIterations(), 7);
+}
+
+// --- event-driven kernel ------------------------------------------------
+
+TEST(EventDrivenKernelTest, SettlesChainedModulesAndTracksPokes) {
+  Wire<int> a{0}, b, c, d;
+  Increment m3("m3", c, d);  // deliberately registered in reverse order
+  Increment m2("m2", b, c);
+  Increment m1("m1", a, b);
+  Simulator sim;
+  sim.setKernel(Simulator::Kernel::EventDriven);
+  sim.add(m3);
+  sim.add(m2);
+  sim.add(m1);
+  sim.settle();
+  EXPECT_EQ(d.get(), 3);
+  // Both poke flavours wake the fanout for the next settle.
+  a.force(10);
+  sim.settle();
+  EXPECT_EQ(d.get(), 13);
+  a.set(20);
+  sim.settle();
+  EXPECT_EQ(d.get(), 23);
+}
+
+TEST(EventDrivenKernelTest, OnlyModulesWhoseInputsChangedAreReEvaluated) {
+  // Two independent chains; poking chain A must not re-evaluate chain B.
+  Wire<int> a{0}, aOut, b{0}, bOut;
+  Increment incA("incA", a, aOut);
+  Increment incB("incB", b, bOut);
+  Simulator sim;
+  sim.setKernel(Simulator::Kernel::EventDriven);
+  sim.add(incA);
+  sim.add(incB);
+  sim.settle();  // initial seed evaluates everything once
+  const std::uint64_t evalsB = incB.evaluations();
+  a.force(5);
+  sim.settle();
+  EXPECT_EQ(aOut.get(), 6);
+  EXPECT_EQ(incB.evaluations(), evalsB) << "untouched chain re-evaluated";
+  EXPECT_GT(incA.evaluations(), 1u);
+}
+
+TEST(EventDrivenKernelTest, SequentialModulesReSeedAfterEveryEdge) {
+  Wire<int> out, plusOne;
+  Counter counter("counter", out);
+  Increment inc("inc", out, plusOne);
+  Simulator sim;
+  sim.setKernel(Simulator::Kernel::EventDriven);
+  sim.add(counter);
+  sim.add(inc);
+  sim.reset();
+  sim.run(4);
+  sim.settle();
+  EXPECT_EQ(out.get(), 4);
+  EXPECT_EQ(plusOne.get(), 5);
+  EXPECT_EQ(sim.cycle(), 4u);
+}
+
+TEST(EventDrivenKernelTest, CombinationalLoopThrows) {
+  Wire<bool> y;
+  Inverter inv("inv", y);
+  Simulator sim;
+  sim.setKernel(Simulator::Kernel::EventDriven);
+  sim.add(inv);
+  EXPECT_THROW(sim.settle(), std::runtime_error);
+  // The failed settle drains its worklist (no stale dirty state), so the
+  // simulator stays usable; poking the loop again re-detects it instead of
+  // hanging.
+  EXPECT_NO_THROW(sim.settle());
+  y.force(!y.get());
+  EXPECT_THROW(sim.settle(), std::runtime_error);
+}
+
+TEST(EventDrivenKernelTest, KernelSwitchMidRunReSeedsEverything) {
+  Wire<int> out, plusOne;
+  Counter counter("counter", out);
+  Increment inc("inc", out, plusOne);
+  Simulator sim;
+  sim.add(counter);
+  sim.add(inc);
+  sim.reset();
+  sim.run(3);  // naive
+  sim.setKernel(Simulator::Kernel::EventDriven);
+  sim.run(3);
+  sim.settle();
+  EXPECT_EQ(out.get(), 6);
+  EXPECT_EQ(plusOne.get(), 7);
+  sim.setKernel(Simulator::Kernel::Naive);
+  sim.run(2);
+  sim.settle();
+  EXPECT_EQ(plusOne.get(), 9);
+}
+
+TEST(EventDrivenKernelTest, ModulesAddedMidRunAreSeeded) {
+  Wire<int> a{1}, aOut;
+  Increment inc("inc", a, aOut);
+  Simulator sim;
+  sim.setKernel(Simulator::Kernel::EventDriven);
+  sim.add(inc);
+  sim.settle();
+  EXPECT_EQ(aOut.get(), 2);
+  Wire<int> lateOut;
+  Increment inc2("inc2", aOut, lateOut);
+  sim.add(inc2);
+  sim.settle();  // collection re-seeds: the new module evaluates
+  EXPECT_EQ(lateOut.get(), 3);
+}
+
+TEST(EventDrivenKernelTest, MatchesNaiveKernelOnARandomizedCircuit) {
+  // Same circuit built twice, one simulator per kernel; identical stimulus
+  // must produce identical wire trajectories.
+  struct Rig {
+    Wire<int> in;
+    Wire<int> stage1, stage2, counterOut;
+    Counter counter;
+    Increment inc1, inc2;
+    Simulator sim;
+    explicit Rig(Simulator::Kernel kernel)
+        : counter("counter", counterOut),
+          inc1("inc1", in, stage1),
+          inc2("inc2", stage1, stage2) {
+      sim.setKernel(kernel);
+      sim.add(counter);
+      sim.add(inc1);
+      sim.add(inc2);
+      sim.reset();
+    }
+  };
+  Rig naive(Simulator::Kernel::Naive);
+  Rig event(Simulator::Kernel::EventDriven);
+  std::uint64_t lcg = 42;
+  for (int cycleNo = 0; cycleNo < 200; ++cycleNo) {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    const int stimulus = static_cast<int>(lcg >> 60);
+    naive.in.force(stimulus);
+    event.in.force(stimulus);
+    naive.sim.step();
+    event.sim.step();
+    naive.sim.settle();
+    event.sim.settle();
+    ASSERT_EQ(naive.stage2.get(), event.stage2.get()) << "cycle " << cycleNo;
+    ASSERT_EQ(naive.counterOut.get(), event.counterOut.get());
+    ASSERT_EQ(naive.sim.cycle(), event.sim.cycle());
+  }
 }
 
 }  // namespace
