@@ -1,14 +1,23 @@
 // Extension experiment: latency/throughput characterization of a RASoC
-// mesh across offered load, traffic patterns and buffer depths - the
+// network across offered load, traffic patterns and buffer depths - the
 // standard NoC evaluation the paper's follow-up work (SoCIN) publishes.
+//
+// The network topology is selectable (--topology=mesh|torus|ring, default
+// mesh); all three use 16 nodes so the columns are directly comparable.
+// Rings cannot express Transpose (non-square extent), so the ring sweep
+// substitutes BitComplement, the equivalent long-haul permutation.
 //
 // Besides the human-readable tables, one fully instrumented run per
 // traffic pattern is serialized as a machine-diffable RunReport JSON
-// artifact (path: argv[1], default bench_noc_loadsweep_report.json).
+// artifact (path: first non-flag argument, default
+// bench_noc_loadsweep_report.json).
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
+#include <memory>
 #include <string>
 
-#include "noc/mesh.hpp"
+#include "noc/network.hpp"
 #include "noc/observe.hpp"
 #include "noc/watchdog.hpp"
 #include "tech/report.hpp"
@@ -20,30 +29,58 @@ namespace {
 constexpr int kWarmup = 800;
 constexpr int kMeasure = 3000;
 
+std::string gTopology = "mesh";
+
+std::shared_ptr<const noc::Topology> makeBenchTopology() {
+  // 4x4 grid for mesh/torus, the same 16 nodes as a ring.
+  return noc::makeTopology(gTopology, 4, 4);
+}
+
+noc::NetworkConfig benchConfig(int p) {
+  noc::NetworkConfig cfg;
+  cfg.params.n = 16;
+  cfg.params.p = p;
+  // A 16-node ring routes offsets up to 14; the grids stay within 3.
+  if (gTopology == "ring") cfg.params.m = 10;
+  return cfg;
+}
+
+noc::TrafficConfig benchTraffic(noc::TrafficPattern pattern, double load) {
+  noc::TrafficConfig traffic;
+  traffic.pattern = pattern;
+  traffic.offeredLoad = load;
+  traffic.payloadFlits = 6;
+  traffic.seed = 99;
+  traffic.hotspot =
+      gTopology == "ring" ? noc::NodeId{5, 0} : noc::NodeId{1, 1};
+  traffic.hotspotFraction = 0.3;
+  return traffic;
+}
+
+std::vector<noc::TrafficPattern> benchPatterns() {
+  if (gTopology == "ring")
+    return {noc::TrafficPattern::UniformRandom,
+            noc::TrafficPattern::BitComplement,
+            noc::TrafficPattern::HotSpot};
+  return {noc::TrafficPattern::UniformRandom, noc::TrafficPattern::Transpose,
+          noc::TrafficPattern::HotSpot};
+}
+
 struct Point {
   double latency;
   double throughput;
 };
 
 Point run(noc::TrafficPattern pattern, double load, int p) {
-  noc::MeshConfig cfg;
-  cfg.shape = noc::MeshShape{4, 4};
-  cfg.params.n = 16;
-  cfg.params.p = p;
-  noc::Mesh mesh(cfg);
-  mesh.ledger().setWarmupCycles(kWarmup);
-  noc::TrafficConfig traffic;
-  traffic.pattern = pattern;
-  traffic.offeredLoad = load;
-  traffic.payloadFlits = 6;
-  traffic.seed = 99;
-  traffic.hotspot = noc::NodeId{1, 1};
-  traffic.hotspotFraction = 0.3;
-  mesh.attachTraffic(traffic);
-  mesh.run(kWarmup + kMeasure);
-  if (!mesh.healthy()) std::printf("!! unhealthy run\n");
-  return {mesh.ledger().packetLatency().mean(),
-          mesh.ledger().throughputFlitsPerCyclePerNode(kMeasure, 16)};
+  auto topo = makeBenchTopology();
+  noc::Network net(topo, benchConfig(p));
+  net.ledger().setWarmupCycles(kWarmup);
+  net.attachTraffic(benchTraffic(pattern, load));
+  net.run(kWarmup + kMeasure);
+  if (!net.healthy()) std::printf("!! unhealthy run\n");
+  return {net.ledger().packetLatency().mean(),
+          net.ledger().throughputFlitsPerCyclePerNode(kMeasure,
+                                                      topo->nodes())};
 }
 
 std::string fmt(double v, const char* f = "%.2f") {
@@ -54,44 +91,45 @@ std::string fmt(double v, const char* f = "%.2f") {
 
 // One instrumented run at the given load; returns the serialized report.
 std::string instrumentedReport(noc::TrafficPattern pattern, double load) {
-  noc::MeshConfig cfg;
-  cfg.shape = noc::MeshShape{4, 4};
-  cfg.params.n = 16;
-  cfg.params.p = 4;
-  noc::Mesh mesh(cfg);
+  noc::Network net(makeBenchTopology(), benchConfig(4));
   telemetry::MetricsRegistry registry;
-  mesh.enableTelemetry(registry);
-  noc::Watchdog watchdog("dog", mesh.ledger(), 500);
-  mesh.simulator().add(watchdog);
-  mesh.ledger().setWarmupCycles(kWarmup);
-  noc::TrafficConfig traffic;
-  traffic.pattern = pattern;
-  traffic.offeredLoad = load;
-  traffic.payloadFlits = 6;
-  traffic.seed = 99;
-  traffic.hotspot = noc::NodeId{1, 1};
-  traffic.hotspotFraction = 0.3;
-  mesh.attachTraffic(traffic);
-  mesh.run(kWarmup + kMeasure);
+  net.enableTelemetry(registry);
+  noc::Watchdog watchdog("dog", net.ledger(), 500);
+  net.simulator().add(watchdog);
+  net.ledger().setWarmupCycles(kWarmup);
+  net.attachTraffic(benchTraffic(pattern, load));
+  net.run(kWarmup + kMeasure);
   telemetry::RunReport report = noc::buildRunReport(
-      std::string("loadsweep.") + std::string(noc::name(pattern)), mesh,
+      std::string("loadsweep.") + std::string(noc::name(pattern)), net,
       &watchdog);
   report.set("run", "offered_load", load);
-  report.set("run", "seed", traffic.seed);
+  report.set("run", "seed", std::uint64_t{99});
   return report.toJson();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::printf(
-      "RASoC 4x4 mesh load sweep (n=16, 8-flit packets, %d measured "
-      "cycles)\n\n",
-      kMeasure);
+  std::string path = "bench_noc_loadsweep_report.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--topology=", 11) == 0) {
+      gTopology = argv[i] + 11;
+    } else {
+      path = argv[i];
+    }
+  }
+  if (gTopology != "mesh" && gTopology != "torus" && gTopology != "ring") {
+    std::printf("unknown --topology=%s (mesh|torus|ring)\n",
+                gTopology.c_str());
+    return 1;
+  }
 
-  for (noc::TrafficPattern pattern :
-       {noc::TrafficPattern::UniformRandom, noc::TrafficPattern::Transpose,
-        noc::TrafficPattern::HotSpot}) {
+  std::printf(
+      "RASoC %s load sweep (16 nodes, n=16, 8-flit packets, %d measured "
+      "cycles)\n\n",
+      makeBenchTopology()->describe().c_str(), kMeasure);
+
+  for (noc::TrafficPattern pattern : benchPatterns()) {
     std::printf("--- pattern: %s ---\n",
                 std::string(noc::name(pattern)).c_str());
     tech::Table table({"load", "lat p=2", "thru p=2", "lat p=4", "thru p=4",
@@ -112,12 +150,12 @@ int main(int argc, char** argv) {
   std::printf(
       "Shape checks: latency is flat near the zero-load value until the\n"
       "saturation knee, deeper buffers push the knee to higher loads, and\n"
-      "hotspot traffic saturates earliest.\n");
+      "hotspot traffic saturates earliest.  Torus wrap links cut the mean\n"
+      "distance, so its knee sits at a higher load than the mesh; the ring\n"
+      "has the least bisection and saturates first.\n");
 
   // JSON artifact: one instrumented mid-load run per pattern, concatenated
   // as a JSON array.
-  const std::string path =
-      argc > 1 ? argv[1] : "bench_noc_loadsweep_report.json";
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (!out) {
     std::printf("!! cannot write %s\n", path.c_str());
@@ -125,9 +163,7 @@ int main(int argc, char** argv) {
   }
   std::fputs("[\n", out);
   bool first = true;
-  for (noc::TrafficPattern pattern :
-       {noc::TrafficPattern::UniformRandom, noc::TrafficPattern::Transpose,
-        noc::TrafficPattern::HotSpot}) {
+  for (noc::TrafficPattern pattern : benchPatterns()) {
     if (!first) std::fputs(",\n", out);
     std::fputs(instrumentedReport(pattern, 0.20).c_str(), out);
     first = false;

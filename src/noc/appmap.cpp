@@ -5,7 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
-#include "noc/mesh.hpp"
+#include "noc/network.hpp"
 #include "noc/ni.hpp"
 
 namespace rasoc::noc {
@@ -44,7 +44,7 @@ void FlowReplayer::clockEdge() {
 }
 
 std::vector<std::unique_ptr<FlowReplayer>> attachFlows(
-    Mesh& mesh, const CoreGraph& graph, const MappingResult& mapping,
+    Network& network, const CoreGraph& graph, const MappingResult& mapping,
     int payloadFlits, std::uint64_t seed) {
   graph.validate();
   if (mapping.placement.size() != graph.cores.size())
@@ -61,9 +61,9 @@ std::vector<std::unique_ptr<FlowReplayer>> attachFlows(
     if (out.empty()) continue;
     const NodeId at = mapping.placement[core];
     auto replayer = std::make_unique<FlowReplayer>(
-        "flow:" + graph.cores[core].name, mesh.ni(at), std::move(out),
+        "flow:" + graph.cores[core].name, network.ni(at), std::move(out),
         payloadFlits, seed * 131 + core + 1);
-    mesh.simulator().add(*replayer);
+    network.simulator().add(*replayer);
     replayers.push_back(std::move(replayer));
   }
   return replayers;
@@ -98,10 +98,14 @@ double CoreGraph::trafficOf(int core) const {
   return total;
 }
 
-Mapper::Mapper(MeshShape shape, std::uint64_t seed)
-    : shape_(shape), rng_(seed) {
-  shape_.validate();
+Mapper::Mapper(std::shared_ptr<const Topology> topology, std::uint64_t seed)
+    : topology_(std::move(topology)), rng_(seed) {
+  if (!topology_) throw std::invalid_argument("mapper needs a topology");
+  topology_->validate();
 }
+
+Mapper::Mapper(MeshShape shape, std::uint64_t seed)
+    : Mapper(std::make_shared<MeshTopology>(shape), seed) {}
 
 std::vector<LinkId> Mapper::xyPath(NodeId src, NodeId dst) {
   std::vector<LinkId> path;
@@ -126,7 +130,7 @@ double Mapper::cost(const CoreGraph& graph,
   for (const CoreGraph::Flow& flow : graph.flows) {
     const NodeId a = placement[static_cast<std::size_t>(flow.src)];
     const NodeId b = placement[static_cast<std::size_t>(flow.dst)];
-    total += flow.bandwidth * static_cast<double>(xyHops(a, b));
+    total += flow.bandwidth * static_cast<double>(topology_->hops(a, b));
   }
   return total;
 }
@@ -138,9 +142,9 @@ MappingResult Mapper::evaluate(const CoreGraph& graph,
     throw std::invalid_argument("placement size must match core count");
   std::vector<int> used;
   for (NodeId n : placement) {
-    if (!shape_.contains(n))
-      throw std::invalid_argument("placement node outside the mesh");
-    used.push_back(shape_.indexOf(n));
+    if (!topology_->contains(n))
+      throw std::invalid_argument("placement node outside the topology");
+    used.push_back(topology_->indexOf(n));
   }
   std::sort(used.begin(), used.end());
   if (std::adjacent_find(used.begin(), used.end()) != used.end())
@@ -152,7 +156,7 @@ MappingResult Mapper::evaluate(const CoreGraph& graph,
   for (const CoreGraph::Flow& flow : graph.flows) {
     const NodeId a = result.placement[static_cast<std::size_t>(flow.src)];
     const NodeId b = result.placement[static_cast<std::size_t>(flow.dst)];
-    for (const LinkId& link : xyPath(a, b))
+    for (const LinkId& link : topology_->routePath(a, b))
       result.linkLoads[link] += flow.bandwidth;
   }
   for (const auto& [link, load] : result.linkLoads)
@@ -163,8 +167,8 @@ MappingResult Mapper::evaluate(const CoreGraph& graph,
 MappingResult Mapper::mapGreedy(const CoreGraph& graph) const {
   graph.validate();
   const int coreCount = static_cast<int>(graph.cores.size());
-  if (coreCount > shape_.nodes())
-    throw std::invalid_argument("more cores than mesh nodes");
+  if (coreCount > topology_->nodes())
+    throw std::invalid_argument("more cores than topology nodes");
 
   // Cores in descending traffic order.
   std::vector<int> order(static_cast<std::size_t>(coreCount));
@@ -173,12 +177,16 @@ MappingResult Mapper::mapGreedy(const CoreGraph& graph) const {
     return graph.trafficOf(a) > graph.trafficOf(b);
   });
 
-  // Nodes in ascending distance from the mesh centre, so the hottest cores
-  // sit where average distance to everyone else is least.
+  // Nodes in ascending distance from the extent centre, so the hottest
+  // cores sit where average distance to everyone else is least (on a
+  // torus/ring every node is equivalent; the ordering is then just a
+  // deterministic tie-break).
   std::vector<NodeId> nodes;
-  for (int i = 0; i < shape_.nodes(); ++i) nodes.push_back(shape_.nodeAt(i));
-  const double cx = (shape_.width - 1) / 2.0;
-  const double cy = (shape_.height - 1) / 2.0;
+  for (int i = 0; i < topology_->nodes(); ++i)
+    nodes.push_back(topology_->nodeAt(i));
+  const Extent extent = topology_->extent();
+  const double cx = (extent.width - 1) / 2.0;
+  const double cy = (extent.height - 1) / 2.0;
   std::stable_sort(nodes.begin(), nodes.end(), [&](NodeId a, NodeId b) {
     const double da = std::abs(a.x - cx) + std::abs(a.y - cy);
     const double db = std::abs(b.x - cx) + std::abs(b.y - cy);
@@ -199,7 +207,8 @@ MappingResult Mapper::mapAnnealed(const CoreGraph& graph, int iterations) {
 
   // Candidate nodes: all of them, so cores can also move to empty slots.
   std::vector<NodeId> nodes;
-  for (int i = 0; i < shape_.nodes(); ++i) nodes.push_back(shape_.nodeAt(i));
+  for (int i = 0; i < topology_->nodes(); ++i)
+    nodes.push_back(topology_->nodeAt(i));
 
   const double startTemp = std::max(1.0, currentCost / 4.0);
   for (int iter = 0; iter < iterations; ++iter) {

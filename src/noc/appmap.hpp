@@ -4,17 +4,18 @@
 // domain: design methodologies and SoC test planning").
 //
 // Given an application core graph (cores + directed communication flows
-// with bandwidth demands in flits/cycle), place the cores onto mesh nodes
-// so communication stays local:
+// with bandwidth demands in flits/cycle), place the cores onto topology
+// nodes so communication stays local:
 //
-//  * cost(placement) = sum over flows of bandwidth x XY-hop-count,
-//  * link loads are predicted by walking each flow's XY path and
-//    accumulating demand per directed link,
+//  * cost(placement) = sum over flows of bandwidth x routed hop count
+//    (Topology::hops, so torus/ring wrap links shorten distances),
+//  * link loads are predicted by walking each flow's deterministic route
+//    (Topology::routePath) and accumulating demand per directed link,
 //  * mapGreedy() seeds a placement by laying cores out in descending
-//    total-traffic order around the mesh centre; mapAnnealed() improves it
-//    with swap-based simulated annealing.
+//    total-traffic order around the extent centre; mapAnnealed() improves
+//    it with swap-based simulated annealing.
 //
-// The prediction is validated against the cycle-accurate mesh by
+// The prediction is validated against the cycle-accurate network by
 // attachFlows(), which replays the core graph as per-flow Bernoulli
 // traffic (see examples/app_mapping.cpp and tests/noc/appmap_test.cpp).
 #pragma once
@@ -53,21 +54,11 @@ struct CoreGraph {
   double trafficOf(int core) const;
 };
 
-// A directed mesh link: the channel leaving `from` through `port`.
-struct LinkId {
-  NodeId from;
-  router::Port port = router::Port::East;
-
-  bool operator<(const LinkId& o) const {
-    if (from.y != o.from.y) return from.y < o.from.y;
-    if (from.x != o.from.x) return from.x < o.from.x;
-    return router::index(port) < router::index(o.port);
-  }
-  bool operator==(const LinkId&) const = default;
-};
+// LinkId (the channel leaving `from` through `port`) lives in
+// noc/topology.hpp alongside the routing interface that produces it.
 
 struct MappingResult {
-  std::vector<NodeId> placement;  // core index -> mesh node
+  std::vector<NodeId> placement;  // core index -> topology node
   double hopBandwidth = 0.0;      // sum of bandwidth x hops
   double maxLinkLoad = 0.0;       // worst predicted link load (flits/cycle)
   std::map<LinkId, double> linkLoads;
@@ -103,34 +94,43 @@ class FlowReplayer : public sim::Module {
 };
 
 // Builds one FlowReplayer per core of a placed graph and registers them
-// with the mesh's simulator.  The returned modules must outlive the runs.
+// with the network's simulator.  The returned modules must outlive the
+// runs.
 std::vector<std::unique_ptr<FlowReplayer>> attachFlows(
-    class Mesh& mesh, const CoreGraph& graph, const MappingResult& mapping,
-    int payloadFlits = 6, std::uint64_t seed = 1);
+    class Network& network, const CoreGraph& graph,
+    const MappingResult& mapping, int payloadFlits = 6,
+    std::uint64_t seed = 1);
 
 class Mapper {
  public:
-  Mapper(MeshShape shape, std::uint64_t seed = 1);
+  // Places onto the nodes of `topology`, costing flows by its routed
+  // distances; the topology must outlive the mapper.
+  explicit Mapper(std::shared_ptr<const Topology> topology,
+                  std::uint64_t seed = 1);
 
-  // Traffic-descending placement spiralling out from the mesh centre.
+  // Convenience: a mapper over a standalone 2D mesh of `shape`.
+  explicit Mapper(MeshShape shape, std::uint64_t seed = 1);
+
+  // Traffic-descending placement spiralling out from the extent centre.
   MappingResult mapGreedy(const CoreGraph& graph) const;
 
   // Swap-based simulated annealing starting from the greedy placement.
   MappingResult mapAnnealed(const CoreGraph& graph, int iterations = 2000);
 
   // Scores an arbitrary placement (must be a permutation prefix of the
-  // mesh's nodes, one entry per core).
+  // topology's nodes, one entry per core).
   MappingResult evaluate(const CoreGraph& graph,
                          std::vector<NodeId> placement) const;
 
-  // The directed links an XY-routed packet src -> dst traverses.
+  // The directed links an XY-routed packet src -> dst traverses on a plain
+  // mesh (kept for callers reasoning about meshes without a topology).
   static std::vector<LinkId> xyPath(NodeId src, NodeId dst);
 
  private:
   double cost(const CoreGraph& graph,
               const std::vector<NodeId>& placement) const;
 
-  MeshShape shape_;
+  std::shared_ptr<const Topology> topology_;
   sim::Xoshiro256 rng_;
 };
 

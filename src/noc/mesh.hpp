@@ -1,23 +1,13 @@
-// Mesh builder: instantiates a W x H grid of RASoC routers with pruned
-// edge ports, wires neighbouring routers with links, attaches one network
-// interface per Local port, and optionally one traffic generator per node.
+// Mesh compatibility layer over the topology-driven Network builder: a
+// Mesh is a Network over a MeshTopology, configured with the historical
+// MeshConfig (shape + router parameters).  New code targeting other
+// topologies should construct a Network directly (see noc/network.hpp).
 #pragma once
 
-#include <map>
 #include <memory>
-#include <utility>
-#include <vector>
 
-#include "sim/simulator.hpp"
-#include "telemetry/metrics.hpp"
-
-#include "noc/ni.hpp"
-#include "noc/stats.hpp"
+#include "noc/network.hpp"
 #include "noc/topology.hpp"
-#include "noc/traffic.hpp"
-#include "router/faulty_link.hpp"
-#include "router/link.hpp"
-#include "router/rasoc.hpp"
 
 namespace rasoc::noc {
 
@@ -40,70 +30,32 @@ struct MeshConfig {
   // link (0 = ideal links, plain Link modules).
   double linkFaultRate = 0.0;
   std::uint64_t faultSeed = 0xfa17;
+
+  // The topology-agnostic part of this configuration.
+  NetworkConfig network() const {
+    NetworkConfig cfg;
+    cfg.params = params;
+    cfg.arbiter = arbiter;
+    cfg.kernel = kernel;
+    cfg.hlpParity = hlpParity;
+    cfg.linkFaultRate = linkFaultRate;
+    cfg.faultSeed = faultSeed;
+    return cfg;
+  }
 };
 
-class Mesh {
+class Mesh : public Network {
  public:
-  explicit Mesh(MeshConfig config);
+  explicit Mesh(MeshConfig config)
+      : Network(std::make_shared<MeshTopology>(config.shape),
+                config.network()),
+        meshConfig_(config) {}
 
-  // Adds one traffic generator per node (seeded per node from config.seed).
-  void attachTraffic(const TrafficConfig& traffic);
-
-  const MeshConfig& config() const { return config_; }
-  MeshShape shape() const { return config_.shape; }
-
-  sim::Simulator& simulator() { return sim_; }
-  const sim::Simulator& simulator() const { return sim_; }
-  router::Rasoc& router(NodeId n);
-  NetworkInterface& ni(NodeId n);
-  TrafficGenerator& generator(NodeId n);
-  DeliveryLedger& ledger() { return ledger_; }
-  const DeliveryLedger& ledger() const { return ledger_; }
-
-  // Opt-in observability: attaches the standard per-channel series of every
-  // router and NI to `registry` (naming convention in telemetry/metrics.hpp
-  // and noc/observe.hpp) and registers a per-cycle sampler for mesh-level
-  // gauges.  Call once, before running; the registry must outlive the mesh.
-  void enableTelemetry(telemetry::MetricsRegistry& registry);
-  const telemetry::MetricsRegistry* metrics() const { return metrics_; }
-
-  void reset();
-  void run(std::uint64_t cycles);
-
-  // Runs until every send queue is empty and every queued packet has been
-  // delivered, or maxCycles elapse.  Returns true when fully drained.
-  bool drain(std::uint64_t maxCycles);
-
-  // No misroutes, buffer overflows or misdeliveries anywhere.
-  bool healthy() const;
-
-  // Mean / peak utilization over the inter-router links.
-  double meanLinkUtilization() const;
-  double maxLinkUtilization() const;
-  std::size_t linkCount() const { return links_.size(); }
-
-  // Measured utilization of the directed link leaving `from` through
-  // `port` (throws for links that do not exist on this mesh).
-  double linkUtilization(NodeId from, router::Port port) const;
-
-  // Fault-injection / HLP diagnostics aggregated over links and NIs.
-  std::uint64_t flitsCorrupted() const;
-  std::uint64_t parityErrorsDetected() const;
-  std::uint64_t unattributedPackets() const;
+  const MeshConfig& config() const { return meshConfig_; }
+  MeshShape shape() const { return meshConfig_.shape; }
 
  private:
-  std::size_t indexOf(NodeId n) const;
-
-  MeshConfig config_;
-  sim::Simulator sim_;
-  DeliveryLedger ledger_;
-  std::vector<std::unique_ptr<router::Rasoc>> routers_;
-  std::vector<std::unique_ptr<NetworkInterface>> nis_;
-  std::vector<std::unique_ptr<router::Link>> links_;
-  std::map<std::pair<int, int>, router::Link*> linkIndex_;  // (node, port)
-  std::vector<router::FaultyLink*> faultyLinks_;  // views into links_
-  std::vector<std::unique_ptr<TrafficGenerator>> generators_;
-  telemetry::MetricsRegistry* metrics_ = nullptr;
+  MeshConfig meshConfig_;
 };
 
 }  // namespace rasoc::noc

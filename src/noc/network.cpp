@@ -1,0 +1,217 @@
+#include "noc/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "noc/observe.hpp"
+
+namespace rasoc::noc {
+
+using router::Port;
+
+namespace {
+
+std::string nodeName(const char* prefix, NodeId n) {
+  return std::string(prefix) + "(" + std::to_string(n.x) + "," +
+         std::to_string(n.y) + ")";
+}
+
+}  // namespace
+
+Network::Network(std::shared_ptr<const Topology> topology,
+                 NetworkConfig config)
+    : topology_(std::move(topology)), config_(config) {
+  if (!topology_) throw std::invalid_argument("network needs a topology");
+  topology_->validate();
+  topology_->checkAdjacency();
+
+  if (topology_->maxRibOffset() > router::ribMaxOffset(config_.params.m))
+    throw std::invalid_argument(
+        "topology offsets exceed the RIB range; increase m");
+
+  // Routers and NIs, with the per-node port set the topology prescribes.
+  for (int i = 0; i < topology_->nodes(); ++i) {
+    const NodeId n = topology_->nodeAt(i);
+    router::RouterParams params = config_.params;
+    params.portMask = topology_->portMask(n);
+    auto r = std::make_unique<router::Rasoc>(nodeName("r", n), params,
+                                             config_.arbiter);
+    NiOptions niOptions;
+    niOptions.hlpParity = config_.hlpParity;
+    auto ni = std::make_unique<NetworkInterface>(
+        nodeName("ni", n), params, topology_, n, r->in(Port::Local),
+        r->out(Port::Local), ledger_, niOptions);
+    sim_.add(*r);
+    sim_.add(*ni);
+    routers_.push_back(std::move(r));
+    nis_.push_back(std::move(ni));
+  }
+
+  // One directed link per (node, outgoing port) pair of the adjacency
+  // relation; fault-injecting when requested.  Enumerating every node's
+  // outgoing ports covers both directions of every physical connection.
+  for (int i = 0; i < topology_->nodes(); ++i) {
+    const NodeId from = topology_->nodeAt(i);
+    for (Port out : router::kAllPorts) {
+      if (out == Port::Local) continue;
+      const std::optional<NodeId> to = topology_->neighbor(from, out);
+      if (!to) continue;
+      const std::string linkName =
+          nodeName("link", from) + std::string(router::name(out));
+      std::unique_ptr<router::Link> link;
+      if (config_.linkFaultRate > 0.0) {
+        auto faulty = std::make_unique<router::FaultyLink>(
+            linkName, routers_[indexOf(from)]->out(out),
+            routers_[indexOf(*to)]->in(router::opposite(out)),
+            config_.params.n, config_.linkFaultRate,
+            config_.faultSeed + links_.size() * 131 + 7,
+            config_.params.flowControl);
+        faultyLinks_.push_back(faulty.get());
+        link = std::move(faulty);
+      } else {
+        link = std::make_unique<router::Link>(
+            linkName, routers_[indexOf(from)]->out(out),
+            routers_[indexOf(*to)]->in(router::opposite(out)),
+            config_.params.flowControl);
+      }
+      sim_.add(*link);
+      linkIndex_[{topology_->indexOf(from), router::index(out)}] = link.get();
+      links_.push_back(std::move(link));
+    }
+  }
+
+  // Worst-case combinational propagation spans the network diameter; give
+  // the naive settle loop generous headroom (the event-driven kernel
+  // derives its evaluation bound from the same knob).
+  const Extent extent = topology_->extent();
+  sim_.setMaxSettleIterations(32 + 8 * (extent.width + extent.height));
+  sim_.setKernel(config_.kernel);
+  sim_.reset();
+}
+
+void Network::attachTraffic(const TrafficConfig& traffic) {
+  if (!generators_.empty())
+    throw std::logic_error("traffic generators already attached");
+  validatePattern(traffic.pattern, *topology_, traffic);
+  for (int i = 0; i < topology_->nodes(); ++i) {
+    const NodeId n = topology_->nodeAt(i);
+    TrafficConfig cfg = traffic;
+    cfg.seed = traffic.seed * 7919 + static_cast<std::uint64_t>(i) + 1;
+    auto gen = std::make_unique<TrafficGenerator>(
+        nodeName("tg", n), topology_, n, *nis_[static_cast<std::size_t>(i)],
+        cfg);
+    sim_.add(*gen);
+    generators_.push_back(std::move(gen));
+  }
+}
+
+void Network::enableTelemetry(telemetry::MetricsRegistry& registry) {
+  if (metrics_) throw std::logic_error("telemetry already enabled");
+  metrics_ = &registry;
+  for (int i = 0; i < topology_->nodes(); ++i) {
+    const NodeId n = topology_->nodeAt(i);
+    routers_[static_cast<std::size_t>(i)]->attachMetrics(
+        registry, routerMetricPrefix(n));
+    const std::string prefix = niMetricPrefix(n) + ".";
+    NiMetrics nm;
+    nm.flitsInjected = &registry.counter(prefix + "flits_injected");
+    nm.flitsEjected = &registry.counter(prefix + "flits_ejected");
+    nm.backpressureCycles = &registry.counter(prefix + "backpressure_cycles");
+    nm.sendQueueFlits =
+        &registry.histogram(prefix + "send_queue_flits",
+                            telemetry::Histogram::linearBounds(16));
+    nis_[static_cast<std::size_t>(i)]->attachMetrics(nm);
+  }
+  // Network-level gauges, sampled once per committed cycle through the
+  // simulator tick hook.
+  telemetry::Gauge* inFlight = &registry.gauge("mesh.in_flight_packets");
+  telemetry::Gauge* queuedFlits = &registry.gauge("mesh.send_queue_flits");
+  sim_.addTickListener([this, inFlight, queuedFlits] {
+    inFlight->sample(static_cast<double>(ledger_.inFlight()));
+    std::size_t total = 0;
+    for (const auto& ni : nis_) total += ni->sendQueueFlits();
+    queuedFlits->sample(static_cast<double>(total));
+  });
+}
+
+std::size_t Network::indexOf(NodeId n) const {
+  return static_cast<std::size_t>(topology_->indexOf(n));
+}
+
+router::Rasoc& Network::router(NodeId n) { return *routers_[indexOf(n)]; }
+
+NetworkInterface& Network::ni(NodeId n) { return *nis_[indexOf(n)]; }
+
+TrafficGenerator& Network::generator(NodeId n) {
+  if (generators_.empty()) throw std::logic_error("no traffic attached");
+  return *generators_[indexOf(n)];
+}
+
+void Network::reset() { sim_.reset(); }
+
+void Network::run(std::uint64_t cycles) { sim_.run(cycles); }
+
+bool Network::drain(std::uint64_t maxCycles) {
+  return sim_.runUntil(
+      [&] {
+        if (ledger_.inFlight() != 0) return false;
+        for (const auto& ni : nis_)
+          if (!ni->idle()) return false;
+        return true;
+      },
+      maxCycles);
+}
+
+bool Network::healthy() const {
+  for (const auto& r : routers_)
+    if (r->misrouteDetected() || r->overflowDetected()) return false;
+  for (const auto& ni : nis_)
+    if (ni->misdeliveryDetected()) return false;
+  return true;
+}
+
+double Network::meanLinkUtilization() const {
+  if (links_.empty() || sim_.cycle() == 0) return 0.0;
+  double sum = 0.0;
+  for (const auto& link : links_) sum += link->utilization(sim_.cycle());
+  return sum / static_cast<double>(links_.size());
+}
+
+double Network::linkUtilization(NodeId from, router::Port port) const {
+  const auto it =
+      linkIndex_.find({topology_->indexOf(from), router::index(port)});
+  if (it == linkIndex_.end())
+    throw std::out_of_range("no such link on this network");
+  if (sim_.cycle() == 0) return 0.0;  // no cycles observed yet
+  return it->second->utilization(sim_.cycle());
+}
+
+std::uint64_t Network::flitsCorrupted() const {
+  std::uint64_t total = 0;
+  for (const router::FaultyLink* link : faultyLinks_)
+    total += link->flitsCorrupted();
+  return total;
+}
+
+std::uint64_t Network::parityErrorsDetected() const {
+  std::uint64_t total = 0;
+  for (const auto& ni : nis_) total += ni->parityErrors();
+  return total;
+}
+
+std::uint64_t Network::unattributedPackets() const {
+  std::uint64_t total = 0;
+  for (const auto& ni : nis_) total += ni->unattributedPackets();
+  return total;
+}
+
+double Network::maxLinkUtilization() const {
+  if (links_.empty() || sim_.cycle() == 0) return 0.0;
+  double peak = 0.0;
+  for (const auto& link : links_)
+    peak = std::max(peak, link->utilization(sim_.cycle()));
+  return peak;
+}
+
+}  // namespace rasoc::noc

@@ -1,0 +1,113 @@
+// Network builder: instantiates one RASoC router per topology node with
+// that node's pruned port set, wires every adjacent port pair with a link,
+// attaches one network interface per Local port, and optionally one traffic
+// generator per node.  All geometry comes from the Topology instance - the
+// builder itself contains no grid arithmetic.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "telemetry/metrics.hpp"
+
+#include "noc/ni.hpp"
+#include "noc/stats.hpp"
+#include "noc/topology.hpp"
+#include "noc/traffic.hpp"
+#include "router/faulty_link.hpp"
+#include "router/link.hpp"
+#include "router/rasoc.hpp"
+
+namespace rasoc::noc {
+
+struct NetworkConfig {
+  router::RouterParams params{};
+  router::ArbiterKind arbiter = router::ArbiterKind::RoundRobin;
+
+  // Settle kernel for the network's simulator.  EventDriven evaluates only
+  // modules whose inputs changed (see sim/simulator.hpp) and is the
+  // default; Naive is the reference fixpoint kernel the equivalence suite
+  // A/Bs against.
+  sim::Simulator::Kernel kernel = sim::Simulator::Kernel::EventDriven;
+
+  // HLP parity in every NI (paper Section 2 extension); costs one data bit
+  // per flit.
+  bool hlpParity = false;
+
+  // Per-flit probability of a single payload-bit flip on each inter-router
+  // link (0 = ideal links, plain Link modules).
+  double linkFaultRate = 0.0;
+  std::uint64_t faultSeed = 0xfa17;
+};
+
+class Network {
+ public:
+  Network(std::shared_ptr<const Topology> topology, NetworkConfig config);
+
+  // Adds one traffic generator per node (seeded per node from config.seed).
+  void attachTraffic(const TrafficConfig& traffic);
+
+  const NetworkConfig& config() const { return config_; }
+  const Topology& topology() const { return *topology_; }
+  std::shared_ptr<const Topology> topologyPtr() const { return topology_; }
+
+  sim::Simulator& simulator() { return sim_; }
+  const sim::Simulator& simulator() const { return sim_; }
+  router::Rasoc& router(NodeId n);
+  NetworkInterface& ni(NodeId n);
+  TrafficGenerator& generator(NodeId n);
+  DeliveryLedger& ledger() { return ledger_; }
+  const DeliveryLedger& ledger() const { return ledger_; }
+
+  // Opt-in observability: attaches the standard per-channel series of every
+  // router and NI to `registry` (naming convention in telemetry/metrics.hpp
+  // and noc/observe.hpp) and registers a per-cycle sampler for network-level
+  // gauges.  Call once, before running; the registry must outlive the
+  // network.
+  void enableTelemetry(telemetry::MetricsRegistry& registry);
+  const telemetry::MetricsRegistry* metrics() const { return metrics_; }
+
+  void reset();
+  void run(std::uint64_t cycles);
+
+  // Runs until every send queue is empty and every queued packet has been
+  // delivered, or maxCycles elapse.  Returns true when fully drained.
+  bool drain(std::uint64_t maxCycles);
+
+  // No misroutes, buffer overflows or misdeliveries anywhere.
+  bool healthy() const;
+
+  // Mean / peak utilization over the inter-router links.
+  double meanLinkUtilization() const;
+  double maxLinkUtilization() const;
+  std::size_t linkCount() const { return links_.size(); }
+
+  // Measured utilization of the directed link leaving `from` through
+  // `port` (throws for links that do not exist on this network).
+  double linkUtilization(NodeId from, router::Port port) const;
+
+  // Fault-injection / HLP diagnostics aggregated over links and NIs.
+  std::uint64_t flitsCorrupted() const;
+  std::uint64_t parityErrorsDetected() const;
+  std::uint64_t unattributedPackets() const;
+
+ private:
+  std::size_t indexOf(NodeId n) const;
+
+  std::shared_ptr<const Topology> topology_;
+  NetworkConfig config_;
+  sim::Simulator sim_;
+  DeliveryLedger ledger_;
+  std::vector<std::unique_ptr<router::Rasoc>> routers_;
+  std::vector<std::unique_ptr<NetworkInterface>> nis_;
+  std::vector<std::unique_ptr<router::Link>> links_;
+  std::map<std::pair<int, int>, router::Link*> linkIndex_;  // (node, port)
+  std::vector<router::FaultyLink*> faultyLinks_;  // views into links_
+  std::vector<std::unique_ptr<TrafficGenerator>> generators_;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
+};
+
+}  // namespace rasoc::noc

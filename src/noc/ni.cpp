@@ -10,28 +10,41 @@ using router::FlowControl;
 
 NetworkInterface::NetworkInterface(std::string name,
                                    const router::RouterParams& params,
-                                   MeshShape shape, NodeId self,
-                                   router::ChannelWires& toRouter,
+                                   std::shared_ptr<const Topology> topology,
+                                   NodeId self, router::ChannelWires& toRouter,
                                    router::ChannelWires& fromRouter,
                                    DeliveryLedger& ledger, NiOptions options)
     : Module(std::move(name)),
       params_(params),
       options_(options),
       flowControl_(params.flowControl),
-      shape_(shape),
+      topology_(std::move(topology)),
       self_(self),
       toRouter_(&toRouter),
       fromRouter_(&fromRouter),
       ledger_(&ledger) {
-  if (static_cast<std::uint64_t>(shape_.nodes()) >
+  if (!topology_) throw std::invalid_argument("NI needs a topology");
+  topology_->indexOf(self_);  // bounds-check our own address
+  if (static_cast<std::uint64_t>(topology_->nodes()) >
       static_cast<std::uint64_t>(router::dataMask(payloadBits())) + 1)
     throw std::invalid_argument(
-        "node index must fit in one payload flit; shrink the mesh or widen n");
+        "node index must fit in one payload flit; shrink the network or "
+        "widen n");
   // The send side of evaluate() streams from the registered queue/credit
   // state; the receive side echoes the router's val into ack.
   declareSequential();
   sensitive(fromRouter.val);
 }
+
+NetworkInterface::NetworkInterface(std::string name,
+                                   const router::RouterParams& params,
+                                   MeshShape shape, NodeId self,
+                                   router::ChannelWires& toRouter,
+                                   router::ChannelWires& fromRouter,
+                                   DeliveryLedger& ledger, NiOptions options)
+    : NetworkInterface(std::move(name), params,
+                       std::make_shared<MeshTopology>(shape), self, toRouter,
+                       fromRouter, ledger, options) {}
 
 int NetworkInterface::payloadBits() const {
   return options_.hlpParity ? params_.n - 1 : params_.n;
@@ -73,12 +86,13 @@ void NetworkInterface::send(NodeId dst,
   if (dst == self_)
     throw std::invalid_argument(
         "self-addressed packets are not routable (own-port request)");
-  if (!shape_.contains(dst)) throw std::invalid_argument("dst outside mesh");
+  if (!topology_->contains(dst))
+    throw std::invalid_argument("dst outside network");
 
   // Wire format: header + source-index flit + payload (last flit = eop).
   std::vector<std::uint32_t> words;
   words.reserve(payload.size() + 1);
-  words.push_back(static_cast<std::uint32_t>(shape_.indexOf(self_)));
+  words.push_back(static_cast<std::uint32_t>(topology_->indexOf(self_)));
   words.insert(words.end(), payload.begin(), payload.end());
   if (options_.hlpParity) {
     for (std::uint32_t& word : words) word = parityProtect(word);
@@ -86,7 +100,8 @@ void NetworkInterface::send(NodeId dst,
 
   OutPacket packet;
   packet.dst = dst;
-  packet.flits = router::makePacket(ribBetween(self_, dst), words, params_);
+  packet.flits =
+      router::makePacket(topology_->rib(self_, dst), words, params_);
 
   PacketRecord record;
   record.src = self_;
@@ -168,7 +183,7 @@ void NetworkInterface::clockEdge() {
       if (rxFlits_.size() < 2 || !rxFlits_.front().bop) {
         misdelivery_ = true;
       } else {
-        // Residual RIB must be zero: XY consumed the whole offset.
+        // Residual RIB must be zero: routing consumed the whole offset.
         const router::Rib residual =
             router::decodeRib(rxFlits_.front().data, params_.m);
         if (residual != router::Rib{0, 0}) misdelivery_ = true;
@@ -179,8 +194,14 @@ void NetworkInterface::clockEdge() {
         }
         const std::uint32_t mask = router::dataMask(payloadBits());
         const auto srcIndex = static_cast<int>(rxFlits_[1].data & mask);
-        const NodeId src = shape_.nodeAt(srcIndex);
-        if (!ledger_->tryDeliver(src, self_, cycle_)) ++unattributed_;
+        // Under fault injection the decoded source index can be garbage;
+        // count that as unattributed rather than tripping the bounds check.
+        if (srcIndex < 0 || srcIndex >= topology_->nodes()) {
+          ++unattributed_;
+        } else {
+          const NodeId src = topology_->nodeAt(srcIndex);
+          if (!ledger_->tryDeliver(src, self_, cycle_)) ++unattributed_;
+        }
         ++packetsReceived_;
         std::vector<std::uint32_t> payload;
         for (std::size_t i = 2; i < rxFlits_.size(); ++i)

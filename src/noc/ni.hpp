@@ -3,19 +3,20 @@
 // Sending: packets are queued, then streamed flit by flit over the local
 // input channel, honouring the link flow control (handshake or credits).
 // The wire format is:
-//   flit 0: header, bop set, low m bits = RIB for the XY path
+//   flit 0: header, bop set, low m bits = RIB computed by the topology
 //   flit 1: source node index (lets the destination close the ledger entry)
 //   flit 2..: payload words, the last one with eop set
 //
 // Receiving: the NI is always ready (in_ack = in_val); flits are collected
 // until eop, the source index is decoded, and the delivery ledger is
 // closed.  A sticky misdelivery flag records any packet whose residual RIB
-// is nonzero on arrival - the invariant that XY routing consumed the whole
-// offset.
+// is nonzero on arrival - the invariant that routing consumed the whole
+// offset the source computed.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "sim/module.hpp"
@@ -50,6 +51,16 @@ struct NiMetrics {
 
 class NetworkInterface : public sim::Module {
  public:
+  // The topology supplies the node indexing used by the source-index flit
+  // and the RIB written into every header; it must outlive the interface
+  // (the shared_ptr keeps it alive).
+  NetworkInterface(std::string name, const router::RouterParams& params,
+                   std::shared_ptr<const Topology> topology, NodeId self,
+                   router::ChannelWires& toRouter,
+                   router::ChannelWires& fromRouter, DeliveryLedger& ledger,
+                   NiOptions options = {});
+
+  // Convenience: an interface on a standalone 2D mesh of `shape`.
   NetworkInterface(std::string name, const router::RouterParams& params,
                    MeshShape shape, NodeId self,
                    router::ChannelWires& toRouter,
@@ -106,7 +117,7 @@ class NetworkInterface : public sim::Module {
   router::RouterParams params_;
   NiOptions options_;
   router::FlowControl flowControl_;
-  MeshShape shape_;
+  std::shared_ptr<const Topology> topology_;
   NodeId self_;
   router::ChannelWires* toRouter_;
   router::ChannelWires* fromRouter_;

@@ -21,11 +21,12 @@ std::string routerMetricPrefix(NodeId n) { return "r" + coord(n); }
 std::string niMetricPrefix(NodeId n) { return "ni" + coord(n); }
 
 telemetry::MeshHeatmap throughputHeatmap(
-    const telemetry::MetricsRegistry& registry, MeshShape shape,
+    const telemetry::MetricsRegistry& registry, const Topology& topology,
     std::uint64_t cycles) {
-  telemetry::MeshHeatmap map(shape.width, shape.height, "flits_per_cycle");
-  for (int i = 0; i < shape.nodes(); ++i) {
-    const NodeId n = shape.nodeAt(i);
+  const Extent extent = topology.extent();
+  telemetry::MeshHeatmap map(extent.width, extent.height, "flits_per_cycle");
+  for (int i = 0; i < topology.nodes(); ++i) {
+    const NodeId n = topology.nodeAt(i);
     map.set(n.x, n.y,
             safeRate(registry.counterValue(routerMetricPrefix(n) +
                                            ".flits_routed"),
@@ -34,17 +35,25 @@ telemetry::MeshHeatmap throughputHeatmap(
   return map;
 }
 
-telemetry::MeshHeatmap congestionHeatmap(
+telemetry::MeshHeatmap throughputHeatmap(
     const telemetry::MetricsRegistry& registry, MeshShape shape,
     std::uint64_t cycles) {
-  telemetry::MeshHeatmap map(shape.width, shape.height, "congestion");
-  for (int i = 0; i < shape.nodes(); ++i) {
-    const NodeId n = shape.nodeAt(i);
+  return throughputHeatmap(registry, MeshTopology(shape), cycles);
+}
+
+telemetry::MeshHeatmap congestionHeatmap(
+    const telemetry::MetricsRegistry& registry, const Topology& topology,
+    std::uint64_t cycles) {
+  const Extent extent = topology.extent();
+  telemetry::MeshHeatmap map(extent.width, extent.height, "congestion");
+  for (int i = 0; i < topology.nodes(); ++i) {
+    const NodeId n = topology.nodeAt(i);
     const std::string prefix = routerMetricPrefix(n) + ".";
+    const unsigned mask = topology.portMask(n);
     std::uint64_t lost = 0;
     int channels = 0;
     for (router::Port p : router::kAllPorts) {
-      if (((portMaskFor(shape, n) >> router::index(p)) & 1u) == 0) continue;
+      if (((mask >> router::index(p)) & 1u) == 0) continue;
       const std::string port(router::name(p));
       lost += registry.counterValue(prefix + port + "in.full_cycles");
       lost += registry.counterValue(prefix + port + "in.stall_cycles");
@@ -57,12 +66,19 @@ telemetry::MeshHeatmap congestionHeatmap(
   return map;
 }
 
-telemetry::MeshHeatmap backpressureHeatmap(
+telemetry::MeshHeatmap congestionHeatmap(
     const telemetry::MetricsRegistry& registry, MeshShape shape,
     std::uint64_t cycles) {
-  telemetry::MeshHeatmap map(shape.width, shape.height, "ni_backpressure");
-  for (int i = 0; i < shape.nodes(); ++i) {
-    const NodeId n = shape.nodeAt(i);
+  return congestionHeatmap(registry, MeshTopology(shape), cycles);
+}
+
+telemetry::MeshHeatmap backpressureHeatmap(
+    const telemetry::MetricsRegistry& registry, const Topology& topology,
+    std::uint64_t cycles) {
+  const Extent extent = topology.extent();
+  telemetry::MeshHeatmap map(extent.width, extent.height, "ni_backpressure");
+  for (int i = 0; i < topology.nodes(); ++i) {
+    const NodeId n = topology.nodeAt(i);
     map.set(n.x, n.y,
             safeRate(registry.counterValue(niMetricPrefix(n) +
                                            ".backpressure_cycles"),
@@ -71,14 +87,22 @@ telemetry::MeshHeatmap backpressureHeatmap(
   return map;
 }
 
-telemetry::RunReport buildRunReport(std::string name, const Mesh& mesh,
+telemetry::MeshHeatmap backpressureHeatmap(
+    const telemetry::MetricsRegistry& registry, MeshShape shape,
+    std::uint64_t cycles) {
+  return backpressureHeatmap(registry, MeshTopology(shape), cycles);
+}
+
+telemetry::RunReport buildRunReport(std::string name, const Network& network,
                                     const Watchdog* watchdog) {
   telemetry::RunReport report(std::move(name));
-  const MeshConfig& config = mesh.config();
-  const std::uint64_t cycles = mesh.simulator().cycle();
+  const NetworkConfig& config = network.config();
+  const Extent extent = network.topology().extent();
+  const std::uint64_t cycles = network.simulator().cycle();
 
-  report.set("run", "mesh", std::to_string(config.shape.width) + "x" +
-                                std::to_string(config.shape.height));
+  report.set("run", "mesh", std::to_string(extent.width) + "x" +
+                                std::to_string(extent.height));
+  report.set("run", "topology", network.topology().describe());
   report.set("run", "n", config.params.n);
   report.set("run", "m", config.params.m);
   report.set("run", "p", config.params.p);
@@ -89,14 +113,14 @@ telemetry::RunReport buildRunReport(std::string name, const Mesh& mesh,
                  : "credit");
   report.set("run", "routing", std::string(router::name(config.params.routing)));
   report.set("run", "cycles", cycles);
-  report.set("run", "links", static_cast<std::uint64_t>(mesh.linkCount()));
+  report.set("run", "links", static_cast<std::uint64_t>(network.linkCount()));
 
-  report.set("health", "healthy", mesh.healthy());
-  report.set("health", "flits_corrupted", mesh.flitsCorrupted());
-  report.set("health", "parity_errors", mesh.parityErrorsDetected());
-  report.set("health", "unattributed_packets", mesh.unattributedPackets());
+  report.set("health", "healthy", network.healthy());
+  report.set("health", "flits_corrupted", network.flitsCorrupted());
+  report.set("health", "parity_errors", network.parityErrorsDetected());
+  report.set("health", "unattributed_packets", network.unattributedPackets());
 
-  const DeliveryLedger& ledger = mesh.ledger();
+  const DeliveryLedger& ledger = network.ledger();
   report.set("ledger", "queued", ledger.queued());
   report.set("ledger", "delivered", ledger.delivered());
   report.set("ledger", "in_flight", ledger.inFlight());
@@ -111,13 +135,14 @@ telemetry::RunReport buildRunReport(std::string name, const Mesh& mesh,
     report.set("ledger", "packet_latency_p50", packet.percentile(0.5));
     report.set("ledger", "packet_latency_p99", packet.percentile(0.99));
   }
-  const LatencyStats& network = ledger.networkLatency();
-  report.set("ledger", "network_latency_mean", network.mean());
-  if (network.count() > 0)
-    report.set("ledger", "network_latency_p99", network.percentile(0.99));
+  const LatencyStats& networkLatency = ledger.networkLatency();
+  report.set("ledger", "network_latency_mean", networkLatency.mean());
+  if (networkLatency.count() > 0)
+    report.set("ledger", "network_latency_p99",
+               networkLatency.percentile(0.99));
 
-  report.set("links", "mean_utilization", mesh.meanLinkUtilization());
-  report.set("links", "max_utilization", mesh.maxLinkUtilization());
+  report.set("links", "mean_utilization", network.meanLinkUtilization());
+  report.set("links", "max_utilization", network.maxLinkUtilization());
 
   if (watchdog) {
     const WatchdogSnapshot& snapshot = watchdog->snapshot();
@@ -129,7 +154,7 @@ telemetry::RunReport buildRunReport(std::string name, const Mesh& mesh,
     report.set("watchdog", "in_flight_at_stall", snapshot.inFlightAtStall);
   }
 
-  if (mesh.metrics()) report.attachRegistry(*mesh.metrics());
+  if (network.metrics()) report.attachRegistry(*network.metrics());
   return report;
 }
 

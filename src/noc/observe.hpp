@@ -1,17 +1,20 @@
 // Observability glue between the NoC layer and the telemetry subsystem:
 // the metric naming convention, heatmap extraction from an instrumented
-// mesh's registry, and the standard RunReport for bench/example output.
+// network's registry, and the standard RunReport for bench/example output.
 //
-// Mesh::enableTelemetry registers, per router at (x,y):
+// Network::enableTelemetry registers, per router at (x,y):
 //   r<x>,<y>.flits_routed                     router-aggregate throughput
 //   r<x>,<y>.<P>in.{flits,full_cycles,stall_cycles,occupancy}
 //   r<x>,<y>.<P>out.{flits,busy_cycles,grants,conflict_cycles}
 // per network interface:
 //   ni<x>,<y>.{flits_injected,flits_ejected,backpressure_cycles,
 //              send_queue_flits}
-// and the mesh-level sampled gauges:
+// and the network-level sampled gauges:
 //   mesh.{in_flight_packets,send_queue_flits}
 // where <P> is a port letter (L,N,E,S,W); pruned-port series are absent.
+//
+// Heatmaps are laid out over the topology extent, so a ring renders as a
+// single row.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +25,7 @@
 #include "telemetry/report.hpp"
 
 #include "noc/mesh.hpp"
+#include "noc/network.hpp"
 #include "noc/watchdog.hpp"
 
 namespace rasoc::noc {
@@ -31,6 +35,9 @@ std::string niMetricPrefix(NodeId n);      // "ni<x>,<y>"
 
 // Per-router flits routed per cycle.
 telemetry::MeshHeatmap throughputHeatmap(
+    const telemetry::MetricsRegistry& registry, const Topology& topology,
+    std::uint64_t cycles);
+telemetry::MeshHeatmap throughputHeatmap(
     const telemetry::MetricsRegistry& registry, MeshShape shape,
     std::uint64_t cycles);
 
@@ -38,19 +45,26 @@ telemetry::MeshHeatmap throughputHeatmap(
 // head flits and arbitration conflicts, normalized by the router's
 // instantiated channel count and the observed cycles.
 telemetry::MeshHeatmap congestionHeatmap(
+    const telemetry::MetricsRegistry& registry, const Topology& topology,
+    std::uint64_t cycles);
+telemetry::MeshHeatmap congestionHeatmap(
     const telemetry::MetricsRegistry& registry, MeshShape shape,
     std::uint64_t cycles);
 
 // Fraction of cycles the local NI was ready to inject but held back.
 telemetry::MeshHeatmap backpressureHeatmap(
+    const telemetry::MetricsRegistry& registry, const Topology& topology,
+    std::uint64_t cycles);
+telemetry::MeshHeatmap backpressureHeatmap(
     const telemetry::MetricsRegistry& registry, MeshShape shape,
     std::uint64_t cycles);
 
-// The standard structured report: mesh configuration, health flags, ledger
-// statistics, optional watchdog snapshot, and - when the mesh was
-// instrumented - the full metrics registry.  Deterministic for a given
-// seeded run.
-telemetry::RunReport buildRunReport(std::string name, const Mesh& mesh,
+// The standard structured report: network configuration (the "mesh" key
+// holds the extent for backward compatibility; "topology" names the
+// instance), health flags, ledger statistics, optional watchdog snapshot,
+// and - when the network was instrumented - the full metrics registry.
+// Deterministic for a given seeded run.
+telemetry::RunReport buildRunReport(std::string name, const Network& network,
                                     const Watchdog* watchdog = nullptr);
 
 }  // namespace rasoc::noc

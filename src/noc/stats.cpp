@@ -82,14 +82,14 @@ std::string LatencyStats::histogram(int bins, int barWidth) const {
 }
 
 void DeliveryLedger::onQueued(PacketRecord record) {
-  const FlowKey key{shape_.indexOf(record.src), shape_.indexOf(record.dst)};
+  const FlowKey key = flowKey(record.src, record.dst);
   flows_[key].push_back(record);
   ++queuedCount_;
 }
 
 void DeliveryLedger::onHeaderInjected(NodeId src, NodeId dst,
                                       std::uint64_t cycle) {
-  const FlowKey key{shape_.indexOf(src), shape_.indexOf(dst)};
+  const FlowKey key = flowKey(src, dst);
   auto it = flows_.find(key);
   if (it == flows_.end() || it->second.empty())
     throw std::logic_error("header injected for an unknown flow");
@@ -105,7 +105,7 @@ void DeliveryLedger::onHeaderInjected(NodeId src, NodeId dst,
 
 PacketRecord DeliveryLedger::onDelivered(NodeId src, NodeId dst,
                                          std::uint64_t cycle) {
-  const FlowKey key{shape_.indexOf(src), shape_.indexOf(dst)};
+  const FlowKey key = flowKey(src, dst);
   auto it = flows_.find(key);
   if (it == flows_.end() || it->second.empty())
     throw std::logic_error("delivery for a flow with no open packets");
@@ -124,7 +124,7 @@ PacketRecord DeliveryLedger::onDelivered(NodeId src, NodeId dst,
 }
 
 bool DeliveryLedger::tryDeliver(NodeId src, NodeId dst, std::uint64_t cycle) {
-  const FlowKey key{shape_.indexOf(src), shape_.indexOf(dst)};
+  const FlowKey key = flowKey(src, dst);
   auto it = flows_.find(key);
   if (it == flows_.end() || it->second.empty() ||
       !it->second.front().injected)

@@ -13,6 +13,7 @@
 #include <deque>
 #include <map>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "noc/topology.hpp"
@@ -85,7 +86,12 @@ class DeliveryLedger {
                                         int nodes) const;
 
  private:
-  using FlowKey = std::pair<int, int>;  // (src index, dst index) keys
+  // Flow keys are raw endpoint coordinates so the ledger works for any
+  // topology's node space without knowing its extent.
+  using FlowKey = std::tuple<int, int, int, int>;  // (src.x,src.y,dst.x,dst.y)
+  static FlowKey flowKey(NodeId src, NodeId dst) {
+    return {src.x, src.y, dst.x, dst.y};
+  }
   std::map<FlowKey, std::deque<PacketRecord>> flows_;
   LatencyStats packetLatency_;
   LatencyStats networkLatency_;
@@ -94,8 +100,6 @@ class DeliveryLedger {
   std::uint64_t deliveredCount_ = 0;
   std::uint64_t flitsDelivered_ = 0;
   std::uint64_t flitsDeliveredAfterWarmup_ = 0;
-
-  MeshShape shape_{64, 64};  // only used to flatten flow keys
 };
 
 }  // namespace rasoc::noc

@@ -1,11 +1,29 @@
-// 2D mesh geometry: node coordinates, port pruning for edge routers, and
-// RIB computation for source-based XY routing.
+// Network topology layer: node geometry, per-node port pruning, adjacency,
+// and source-route (RIB) computation.
+//
+// RASoC itself is topology-agnostic - the router just follows the
+// signed-magnitude RIB in each header and prunes unused ports - so
+// everything grid-specific lives behind the Topology interface.  Instances
+// shipped here:
+//
+//   MeshTopology   - the paper's 2D mesh with pruned edge ports and XY
+//                    source routing (deadlock-free by dimension order).
+//   TorusTopology  - wraparound XY with source-chosen wrap direction,
+//                    restricted at a per-ring dateline (see the class
+//                    comment for the deadlock-freedom argument).
+//   RingTopology   - bidirectional ring using only the L/E/W ports, the
+//                    1D instance of the same dateline restriction.
 //
 // Coordinates: x grows East (column), y grows North (row).  Node (0,0) is
 // the south-west corner.
 #pragma once
 
+#include <memory>
+#include <optional>
 #include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "router/flit.hpp"
 #include "router/params.hpp"
@@ -19,6 +37,26 @@ struct NodeId {
   bool operator==(const NodeId&) const = default;
 };
 
+// Bounding box of a topology's coordinates, used by heatmaps and pattern
+// generators that need the grid dimensions.
+struct Extent {
+  int width = 0;
+  int height = 0;
+};
+
+// A directed link: the channel leaving `from` through `port`.
+struct LinkId {
+  NodeId from;
+  router::Port port = router::Port::East;
+
+  bool operator<(const LinkId& o) const {
+    if (from.y != o.from.y) return from.y < o.from.y;
+    if (from.x != o.from.x) return from.x < o.from.x;
+    return router::index(port) < router::index(o.port);
+  }
+  bool operator==(const LinkId&) const = default;
+};
+
 struct MeshShape {
   int width = 4;   // columns (East-West extent)
   int height = 4;  // rows (North-South extent)
@@ -29,9 +67,23 @@ struct MeshShape {
     return n.x >= 0 && n.x < width && n.y >= 0 && n.y < height;
   }
 
-  int indexOf(NodeId n) const { return n.y * width + n.x; }
+  // Throws std::out_of_range for nodes outside the shape: a silently
+  // wrapped index would alias a different node and corrupt whatever table
+  // it keys.
+  int indexOf(NodeId n) const {
+    if (!contains(n))
+      throw std::out_of_range("node (" + std::to_string(n.x) + "," +
+                              std::to_string(n.y) + ") outside " +
+                              std::to_string(width) + "x" +
+                              std::to_string(height) + " mesh");
+    return n.y * width + n.x;
+  }
 
   NodeId nodeAt(int index) const {
+    if (index < 0 || index >= nodes())
+      throw std::out_of_range("node index " + std::to_string(index) +
+                              " outside " + std::to_string(nodes()) +
+                              "-node mesh");
     return NodeId{index % width, index / width};
   }
 
@@ -53,16 +105,177 @@ inline unsigned portMaskFor(MeshShape shape, NodeId n) {
   return mask;
 }
 
-// Source-based XY routing information for a src -> dst packet.
+// Source-based XY routing information for a src -> dst packet on a mesh.
 inline router::Rib ribBetween(NodeId src, NodeId dst) {
   return router::Rib{dst.x - src.x, dst.y - src.y};
 }
 
-// Hop count of the XY path (router traversals, excluding the NIs).
+// Hop count of the mesh XY path (router traversals, excluding the NIs).
 inline int xyHops(NodeId src, NodeId dst) {
   const int dx = dst.x >= src.x ? dst.x - src.x : src.x - dst.x;
   const int dy = dst.y >= src.y ? dst.y - src.y : src.y - dst.y;
   return dx + dy + 1;  // +1: the destination router itself switches to L
 }
+
+// Abstract network topology.  An instance defines the node set, which
+// router ports each node instantiates, the links between them, and the RIB
+// a source NI writes into a header so the unmodified RASoC routing logic
+// delivers the packet.
+//
+// Contracts:
+//  * nodeAt/indexOf are inverse bijections over [0, nodes()) and throw
+//    std::out_of_range outside it (never wrap silently).
+//  * Adjacency is symmetric: neighbor(a, P) == b implies
+//    neighbor(b, opposite(P)) == a (checkAdjacency() verifies).
+//  * rib(src, dst) routes src -> dst along existing links for both XY and
+//    YX dimension orders, and fully consumes the offset at dst (the NI's
+//    residual-RIB-zero delivery invariant).
+//  * deadlockFreedom() states why saturated wormhole traffic cannot
+//    deadlock on this instance (or the routing restriction ensuring it).
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  virtual std::string_view kind() const = 0;  // "mesh" | "torus" | "ring"
+  virtual int nodes() const = 0;
+  virtual bool contains(NodeId n) const = 0;
+  virtual NodeId nodeAt(int index) const = 0;
+  virtual int indexOf(NodeId n) const = 0;
+  virtual Extent extent() const = 0;
+  virtual unsigned portMask(NodeId n) const = 0;
+  virtual std::optional<NodeId> neighbor(NodeId n, router::Port port)
+      const = 0;
+  virtual router::Rib rib(NodeId src, NodeId dst) const = 0;
+  virtual std::string_view deadlockFreedom() const = 0;
+  virtual void validate() const = 0;
+
+  // "mesh4x4", "torus8x8", "ring16" - stable id for reports and benches.
+  std::string describe() const;
+
+  // Links traversed by a src -> dst packet under the given dimension
+  // order, derived by walking the adjacency with the router's own routing
+  // function (so predictions can never diverge from the hardware).
+  std::vector<LinkId> routePath(
+      NodeId src, NodeId dst,
+      router::RoutingAlgorithm algorithm = router::RoutingAlgorithm::XY)
+      const;
+
+  // Router traversals of the XY route including the delivering router.
+  virtual int hops(NodeId src, NodeId dst) const;
+
+  // Largest per-axis RIB magnitude any route needs (checked against
+  // router::ribMaxOffset when a network is built).
+  virtual int maxRibOffset() const;
+
+  // Throws std::logic_error if any link lacks its reverse or a port mask
+  // disagrees with the adjacency.
+  void checkAdjacency() const;
+};
+
+// The paper's 2D mesh: pruned edge ports, minimal XY source routing.
+// Deadlock-free: dimension-ordered routing on a mesh admits no cyclic
+// channel dependency (turns from Y back to X never occur).
+class MeshTopology final : public Topology {
+ public:
+  explicit MeshTopology(MeshShape shape) : shape_(shape) {}
+  MeshTopology(int width, int height) : shape_{width, height} {}
+
+  MeshShape shape() const { return shape_; }
+
+  std::string_view kind() const override { return "mesh"; }
+  int nodes() const override { return shape_.nodes(); }
+  bool contains(NodeId n) const override { return shape_.contains(n); }
+  NodeId nodeAt(int index) const override { return shape_.nodeAt(index); }
+  int indexOf(NodeId n) const override { return shape_.indexOf(n); }
+  Extent extent() const override { return {shape_.width, shape_.height}; }
+  unsigned portMask(NodeId n) const override;
+  std::optional<NodeId> neighbor(NodeId n, router::Port port) const override;
+  router::Rib rib(NodeId src, NodeId dst) const override;
+  int hops(NodeId src, NodeId dst) const override;
+  int maxRibOffset() const override;
+  std::string_view deadlockFreedom() const override;
+  void validate() const override { shape_.validate(); }
+
+ private:
+  MeshShape shape_;
+};
+
+// 2D torus: every row and column closes into a ring, every router keeps
+// all five ports, and the source picks the wrap direction per axis.
+//
+// Deadlock freedom: routing is dimension-ordered (X ring fully, then Y
+// ring), so cross-dimension cycles cannot form; within each ring the
+// source applies a dateline restriction at coordinate 0 - no route may
+// travel *through* node 0 of its ring (starting or terminating there is
+// fine).  That excludes the channel-dependency edge closing each
+// direction's cycle (e.g. East wrap link -> East link out of node 0), so
+// the dependency graph is acyclic and wormhole traffic cannot deadlock.
+// Cost: routes whose minimal direction would cross the dateline interior
+// take the longer way around; everything else is minimal.
+class TorusTopology final : public Topology {
+ public:
+  TorusTopology(int width, int height) : shape_{width, height} {}
+  explicit TorusTopology(MeshShape shape) : shape_(shape) {}
+
+  std::string_view kind() const override { return "torus"; }
+  int nodes() const override { return shape_.nodes(); }
+  bool contains(NodeId n) const override { return shape_.contains(n); }
+  NodeId nodeAt(int index) const override { return shape_.nodeAt(index); }
+  int indexOf(NodeId n) const override { return shape_.indexOf(n); }
+  Extent extent() const override { return {shape_.width, shape_.height}; }
+  unsigned portMask(NodeId n) const override;
+  std::optional<NodeId> neighbor(NodeId n, router::Port port) const override;
+  router::Rib rib(NodeId src, NodeId dst) const override;
+  std::string_view deadlockFreedom() const override;
+  void validate() const override { shape_.validate(); }
+
+ private:
+  MeshShape shape_;
+};
+
+// Bidirectional ring of `count` nodes at (i, 0), the 1D torus: only the
+// L/E/W ports are instantiated (the port pruning the paper describes for
+// mesh edges, applied to a whole axis), East wraps i -> (i+1) mod N.
+//
+// Deadlock freedom: the same dateline restriction as TorusTopology, on the
+// single X ring - no route travels through node 0, which breaks the
+// East-channel and West-channel dependency cycles; the graph is acyclic.
+class RingTopology final : public Topology {
+ public:
+  explicit RingTopology(int count) : count_(count) {}
+
+  int count() const { return count_; }
+
+  std::string_view kind() const override { return "ring"; }
+  int nodes() const override { return count_; }
+  bool contains(NodeId n) const override {
+    return n.y == 0 && n.x >= 0 && n.x < count_;
+  }
+  NodeId nodeAt(int index) const override;
+  int indexOf(NodeId n) const override;
+  Extent extent() const override { return {count_, 1}; }
+  unsigned portMask(NodeId n) const override;
+  std::optional<NodeId> neighbor(NodeId n, router::Port port) const override;
+  router::Rib rib(NodeId src, NodeId dst) const override;
+  std::string_view deadlockFreedom() const override;
+  void validate() const override {
+    if (count_ < 1) throw std::invalid_argument("ring needs >= 1 node");
+  }
+
+ private:
+  int count_;
+};
+
+// Signed hop offset src -> dst along a ring of `size` nodes under the
+// dateline restriction at coordinate 0: positive = increasing direction
+// (East/North), negative = decreasing.  Minimal whenever the minimal
+// direction does not pass through 0 mid-route; ties prefer the direct
+// (non-wrapping) direction.
+int datelineOffset(int src, int dst, int size);
+
+// Builds the topology named by `kind` ("mesh" | "torus" | "ring") over a
+// WxH extent (a ring uses width*height nodes).  Throws on unknown names.
+std::shared_ptr<const Topology> makeTopology(std::string_view kind, int width,
+                                             int height);
 
 }  // namespace rasoc::noc

@@ -1,6 +1,7 @@
 #include "noc/traffic.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace rasoc::noc {
 
@@ -15,52 +16,103 @@ std::string_view name(TrafficPattern pattern) {
   return "?";
 }
 
-NodeId destinationFor(TrafficPattern pattern, NodeId src, MeshShape shape,
-                      sim::Xoshiro256& rng, const TrafficConfig& config) {
+void validatePattern(TrafficPattern pattern, const Topology& topology,
+                     const TrafficConfig& config) {
+  const Extent extent = topology.extent();
   switch (pattern) {
-    case TrafficPattern::UniformRandom: {
-      if (shape.nodes() < 2)
+    case TrafficPattern::UniformRandom:
+      if (topology.nodes() < 2)
         throw std::invalid_argument("uniform traffic needs >= 2 nodes");
-      // Uniform over the other nodes: draw from nodes-1 and skip self.
-      int pick = static_cast<int>(
-          rng.below(static_cast<std::uint64_t>(shape.nodes() - 1)));
-      if (pick >= shape.indexOf(src)) ++pick;
-      return shape.nodeAt(pick);
-    }
+      return;
     case TrafficPattern::Transpose:
-      if (shape.width != shape.height)
-        throw std::invalid_argument("transpose traffic needs a square mesh");
-      return NodeId{src.y, src.x};
+      if (extent.width != extent.height)
+        throw std::invalid_argument(
+            "transpose traffic needs a square extent, but " +
+            topology.describe() + " is " + std::to_string(extent.width) +
+            "x" + std::to_string(extent.height) +
+            "; use BitComplement on rings");
+      return;
     case TrafficPattern::BitComplement:
-      return NodeId{shape.width - 1 - src.x, shape.height - 1 - src.y};
-    case TrafficPattern::HotSpot: {
-      if (rng.chance(config.hotspotFraction)) return config.hotspot;
-      TrafficConfig uniform = config;
-      return destinationFor(TrafficPattern::UniformRandom, src, shape, rng,
-                            uniform);
-    }
+      return;  // the mirrored node exists in every extent
+    case TrafficPattern::HotSpot:
+      if (!topology.contains(config.hotspot))
+        throw std::invalid_argument(
+            "hotspot (" + std::to_string(config.hotspot.x) + "," +
+            std::to_string(config.hotspot.y) + ") is not a node of " +
+            topology.describe());
+      if (topology.nodes() < 2)
+        throw std::invalid_argument("hotspot traffic needs >= 2 nodes");
+      return;
     case TrafficPattern::NearestNeighbor:
-      return NodeId{(src.x + 1) % shape.width, src.y};
+      return;  // the eastward wrap target exists in every extent
   }
   throw std::logic_error("unknown traffic pattern");
 }
 
-TrafficGenerator::TrafficGenerator(std::string name, MeshShape shape,
+NodeId destinationFor(TrafficPattern pattern, NodeId src,
+                      const Topology& topology, sim::Xoshiro256& rng,
+                      const TrafficConfig& config) {
+  const Extent extent = topology.extent();
+  switch (pattern) {
+    case TrafficPattern::UniformRandom: {
+      if (topology.nodes() < 2)
+        throw std::invalid_argument("uniform traffic needs >= 2 nodes");
+      // Uniform over the other nodes: draw from nodes-1 and skip self.
+      int pick = static_cast<int>(
+          rng.below(static_cast<std::uint64_t>(topology.nodes() - 1)));
+      if (pick >= topology.indexOf(src)) ++pick;
+      return topology.nodeAt(pick);
+    }
+    case TrafficPattern::Transpose:
+      validatePattern(pattern, topology, config);
+      return NodeId{src.y, src.x};
+    case TrafficPattern::BitComplement:
+      return NodeId{extent.width - 1 - src.x, extent.height - 1 - src.y};
+    case TrafficPattern::HotSpot: {
+      validatePattern(pattern, topology, config);
+      if (rng.chance(config.hotspotFraction)) return config.hotspot;
+      TrafficConfig uniform = config;
+      return destinationFor(TrafficPattern::UniformRandom, src, topology, rng,
+                            uniform);
+    }
+    case TrafficPattern::NearestNeighbor:
+      return NodeId{(src.x + 1) % extent.width, src.y};
+  }
+  throw std::logic_error("unknown traffic pattern");
+}
+
+NodeId destinationFor(TrafficPattern pattern, NodeId src, MeshShape shape,
+                      sim::Xoshiro256& rng, const TrafficConfig& config) {
+  const MeshTopology topology(shape);
+  return destinationFor(pattern, src, topology, rng, config);
+}
+
+TrafficGenerator::TrafficGenerator(std::string name,
+                                   std::shared_ptr<const Topology> topology,
                                    NodeId self, NetworkInterface& ni,
                                    TrafficConfig config)
     : Module(std::move(name)),
-      shape_(shape),
+      topology_(std::move(topology)),
       self_(self),
       ni_(&ni),
       config_(config),
       packetProbability_(config.offeredLoad /
                          static_cast<double>(config.packetFlits())),
       rng_(config.seed) {
+  if (!topology_) throw std::invalid_argument("generator needs a topology");
   if (config_.offeredLoad < 0.0 || config_.offeredLoad > 1.0)
     throw std::invalid_argument("offered load must be in [0,1] flits/cycle");
   if (config_.payloadFlits < 1)
     throw std::invalid_argument("a packet needs at least one payload flit");
+  topology_->indexOf(self_);  // bounds-check our own address
+  validatePattern(config_.pattern, *topology_, config_);
 }
+
+TrafficGenerator::TrafficGenerator(std::string name, MeshShape shape,
+                                   NodeId self, NetworkInterface& ni,
+                                   TrafficConfig config)
+    : TrafficGenerator(std::move(name), std::make_shared<MeshTopology>(shape),
+                       self, ni, std::move(config)) {}
 
 void TrafficGenerator::onReset() {
   rng_ = sim::Xoshiro256(config_.seed);
@@ -74,7 +126,7 @@ void TrafficGenerator::clockEdge() {
     ++injectionsSkipped_;
     return;
   }
-  const NodeId dst = destinationFor(config_.pattern, self_, shape_, rng_,
+  const NodeId dst = destinationFor(config_.pattern, self_, *topology_, rng_,
                                     config_);
   if (dst == self_) return;  // pattern fixed point: nothing to send
   std::vector<std::uint32_t> payload;

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string_view>
 #include <vector>
 
@@ -42,14 +43,35 @@ struct TrafficConfig {
   int packetFlits() const { return payloadFlits + 2; }
 };
 
+// Throws std::invalid_argument when `pattern` cannot run on `topology`:
+// Transpose needs a square extent, UniformRandom needs at least two nodes,
+// and a HotSpot target must be a node of the topology.  Called by
+// Network::attachTraffic and the TrafficGenerator constructor so bad
+// configurations fail loudly before any packet is injected.
+void validatePattern(TrafficPattern pattern, const Topology& topology,
+                     const TrafficConfig& config);
+
 // Destination for one packet from `src` under a pattern; may return src for
 // patterns with fixed points (callers skip those injections).
+NodeId destinationFor(TrafficPattern pattern, NodeId src,
+                      const Topology& topology, sim::Xoshiro256& rng,
+                      const TrafficConfig& config);
+
+// Convenience for standalone 2D-mesh callers (delegates to the topology
+// overload; same draws from `rng`, so destinations are identical).
 NodeId destinationFor(TrafficPattern pattern, NodeId src, MeshShape shape,
                       sim::Xoshiro256& rng, const TrafficConfig& config);
 
 // Bernoulli packet source attached to one NI.
 class TrafficGenerator : public sim::Module {
  public:
+  // The topology defines the destination space; it must outlive the
+  // generator (the shared_ptr keeps it alive).
+  TrafficGenerator(std::string name,
+                   std::shared_ptr<const Topology> topology, NodeId self,
+                   NetworkInterface& ni, TrafficConfig config);
+
+  // Convenience: a generator on a standalone 2D mesh of `shape`.
   TrafficGenerator(std::string name, MeshShape shape, NodeId self,
                    NetworkInterface& ni, TrafficConfig config);
 
@@ -61,7 +83,7 @@ class TrafficGenerator : public sim::Module {
   void clockEdge() override;
 
  private:
-  MeshShape shape_;
+  std::shared_ptr<const Topology> topology_;
   NodeId self_;
   NetworkInterface* ni_;
   TrafficConfig config_;

@@ -55,7 +55,7 @@ void BistMonitor::clockEdge() {
   }
 }
 
-ExecutionResult runSchedule(noc::Mesh& mesh,
+ExecutionResult runSchedule(noc::Network& network,
                             const std::vector<CoreTestSpec>& cores,
                             const TestSchedule& schedule,
                             const TestPlanConfig& config,
@@ -77,30 +77,30 @@ ExecutionResult runSchedule(noc::Mesh& mesh,
   for (std::size_t p = 0; p < jobs.size(); ++p) {
     if (jobs[p].empty()) continue;
     auto driver = std::make_unique<TestPortDriver>(
-        "ate" + std::to_string(p), mesh.ni(config.accessPorts[p]),
+        "ate" + std::to_string(p), network.ni(config.accessPorts[p]),
         std::move(jobs[p]));
-    mesh.simulator().add(*driver);
+    network.simulator().add(*driver);
     drivers.push_back(std::move(driver));
   }
 
   std::vector<std::unique_ptr<BistMonitor>> monitors;
   for (const CoreTestSpec& core : cores) {
     auto monitor = std::make_unique<BistMonitor>(
-        "bist:" + core.name, mesh.ni(core.location), core.testPackets,
+        "bist:" + core.name, network.ni(core.location), core.testPackets,
         core.bistCycles);
-    mesh.simulator().add(*monitor);
+    network.simulator().add(*monitor);
     monitors.push_back(std::move(monitor));
   }
 
   ExecutionResult result;
-  result.completed = mesh.simulator().runUntil(
+  result.completed = network.simulator().runUntil(
       [&] {
         for (const auto& monitor : monitors)
           if (!monitor->done()) return false;
         return true;
       },
       maxCycles);
-  result.healthy = mesh.healthy();
+  result.healthy = network.healthy();
   for (const auto& monitor : monitors) {
     result.coreDoneCycle.push_back(monitor->doneCycle());
     result.measuredMakespan =

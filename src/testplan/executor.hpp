@@ -1,4 +1,4 @@
-// Schedule execution on the cycle-accurate RASoC mesh: test-port driver
+// Schedule execution on the cycle-accurate RASoC network: test-port driver
 // modules stream each core's stimuli packets at the planned start cycles,
 // BIST monitors track per-core completion, and the measured makespan
 // validates the planner's analytical estimate.
@@ -11,6 +11,7 @@
 #include "sim/module.hpp"
 
 #include "noc/mesh.hpp"
+#include "noc/network.hpp"
 #include "testplan/testplan.hpp"
 
 namespace rasoc::testplan {
@@ -65,14 +66,14 @@ class BistMonitor : public sim::Module {
 
 struct ExecutionResult {
   bool completed = false;  // every core finished within the cycle budget
-  bool healthy = false;    // mesh invariants held
+  bool healthy = false;    // network invariants held
   std::uint64_t measuredMakespan = 0;
   std::vector<std::uint64_t> coreDoneCycle;  // per spec index
 };
 
-// Replays `schedule` on `mesh` (which must match config.params/shape and
-// have no other traffic attached).  Runs until done or maxCycles.
-ExecutionResult runSchedule(noc::Mesh& mesh,
+// Replays `schedule` on `network` (which must match config.params/topology
+// and have no other traffic attached).  Runs until done or maxCycles.
+ExecutionResult runSchedule(noc::Network& network,
                             const std::vector<CoreTestSpec>& cores,
                             const TestSchedule& schedule,
                             const TestPlanConfig& config,

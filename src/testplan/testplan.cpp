@@ -30,9 +30,13 @@ std::uint64_t TestPlanner::transitCycles(const CoreTestSpec& core,
                                          int port) const {
   const noc::NodeId from =
       config_.accessPorts[static_cast<std::size_t>(port)];
-  // Header pipeline latency: ~3 cycles per router on the XY path (buffer
+  // Header pipeline latency: ~3 cycles per router on the path (buffer
   // write, arbitration, switch), see the zero-load measurements in
-  // tests/noc/mesh_test.cpp.
+  // tests/noc/mesh_test.cpp.  With a topology configured the routed hop
+  // count is used, so wrap links shorten the estimate.
+  if (config_.topology)
+    return 3ull * static_cast<std::uint64_t>(
+                      config_.topology->hops(from, core.location));
   return 3ull * static_cast<std::uint64_t>(noc::xyHops(from, core.location));
 }
 

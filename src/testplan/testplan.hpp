@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -45,7 +46,11 @@ struct CoreTestSpec {
 struct TestPlanConfig {
   std::vector<noc::NodeId> accessPorts;  // ATE attachment nodes
   double powerBudget = std::numeric_limits<double>::infinity();
-  router::RouterParams params{};  // the mesh's router configuration
+  router::RouterParams params{};  // the network's router configuration
+  // Topology of the target network; transit estimates use its routed hop
+  // counts (so torus/ring wrap links shorten sessions).  Null keeps the
+  // historical 2D-mesh XY-distance estimate.
+  std::shared_ptr<const noc::Topology> topology;
 };
 
 struct ScheduleEntry {

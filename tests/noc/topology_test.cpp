@@ -18,6 +18,18 @@ TEST(MeshShapeTest, IndexingRoundTrips) {
   EXPECT_FALSE(shape.contains(NodeId{-1, 0}));
 }
 
+TEST(MeshShapeTest, IndexingThrowsInsteadOfWrapping) {
+  // indexOf on an off-grid node used to flatten silently (aliasing another
+  // node); both lookups must throw instead.
+  const MeshShape shape{4, 3};
+  EXPECT_THROW(shape.indexOf(NodeId{4, 0}), std::out_of_range);
+  EXPECT_THROW(shape.indexOf(NodeId{0, 3}), std::out_of_range);
+  EXPECT_THROW(shape.indexOf(NodeId{-1, 2}), std::out_of_range);
+  EXPECT_THROW(shape.nodeAt(-1), std::out_of_range);
+  EXPECT_THROW(shape.nodeAt(12), std::out_of_range);
+  EXPECT_NO_THROW(shape.nodeAt(11));
+}
+
 TEST(MeshShapeTest, ValidationRejectsDegenerateShapes) {
   EXPECT_THROW((MeshShape{0, 4}.validate()), std::invalid_argument);
   EXPECT_THROW((MeshShape{4, 0}.validate()), std::invalid_argument);
@@ -64,6 +76,57 @@ TEST(XyHopsTest, CountsRouterTraversals) {
   EXPECT_EQ(xyHops(NodeId{0, 0}, NodeId{0, 1}), 2);  // src router + dst router
   EXPECT_EQ(xyHops(NodeId{0, 0}, NodeId{3, 3}), 7);
   EXPECT_EQ(xyHops(NodeId{2, 2}, NodeId{0, 0}), 5);
+}
+
+TEST(TorusTopologyTest, EveryRouterKeepsAllFivePorts) {
+  const TorusTopology torus(4, 4);
+  for (int i = 0; i < torus.nodes(); ++i)
+    EXPECT_EQ(torus.portMask(torus.nodeAt(i)), 0x1fu);
+  // Degenerate single-row torus has no vertical links to keep.
+  const TorusTopology flat(4, 1);
+  EXPECT_FALSE(flat.portMask(NodeId{0, 0}) &
+               (1u << router::index(Port::North)));
+  EXPECT_TRUE(flat.portMask(NodeId{0, 0}) &
+              (1u << router::index(Port::East)));
+}
+
+TEST(TorusTopologyTest, NeighborsWrapAround) {
+  const TorusTopology torus(4, 3);
+  EXPECT_EQ(torus.neighbor(NodeId{3, 0}, Port::East), (NodeId{0, 0}));
+  EXPECT_EQ(torus.neighbor(NodeId{0, 0}, Port::West), (NodeId{3, 0}));
+  EXPECT_EQ(torus.neighbor(NodeId{1, 2}, Port::North), (NodeId{1, 0}));
+  EXPECT_EQ(torus.neighbor(NodeId{1, 0}, Port::South), (NodeId{1, 2}));
+}
+
+TEST(RingTopologyTest, OnlyLocalEastWestArePresent) {
+  const RingTopology ring(6);
+  for (int i = 0; i < ring.nodes(); ++i) {
+    const unsigned mask = ring.portMask(ring.nodeAt(i));
+    EXPECT_EQ(mask, (1u << router::index(Port::Local)) |
+                        (1u << router::index(Port::East)) |
+                        (1u << router::index(Port::West)));
+  }
+  EXPECT_EQ(ring.neighbor(NodeId{5, 0}, Port::East), (NodeId{0, 0}));
+  EXPECT_EQ(ring.neighbor(NodeId{0, 0}, Port::West), (NodeId{5, 0}));
+  EXPECT_EQ(ring.neighbor(NodeId{2, 0}, Port::North), std::nullopt);
+  EXPECT_EQ(ring.extent().height, 1);
+}
+
+TEST(RingTopologyTest, RibIsOneDimensional) {
+  const RingTopology ring(8);
+  for (int s = 0; s < 8; ++s)
+    for (int d = 0; d < 8; ++d)
+      EXPECT_EQ(ring.rib(NodeId{s, 0}, NodeId{d, 0}).dy, 0);
+  EXPECT_EQ(ring.rib(NodeId{0, 0}, NodeId{5, 0}),
+            (router::Rib{datelineOffset(0, 5, 8), 0}));
+}
+
+TEST(TopologyRibRangeTest, MaxOffsetsStayWithinOneExtent) {
+  EXPECT_EQ(MeshTopology(8, 8).maxRibOffset(), 7);
+  // Dateline-restricted torus routes never exceed the mesh offset range.
+  EXPECT_LE(TorusTopology(8, 8).maxRibOffset(), 7);
+  // A ring's worst dateline detour spans nearly the whole ring.
+  EXPECT_EQ(RingTopology(8).maxRibOffset(), 6);
 }
 
 }  // namespace

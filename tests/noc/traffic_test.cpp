@@ -102,6 +102,74 @@ TEST(PatternNamesTest, AllNamed) {
   EXPECT_EQ(name(TrafficPattern::NearestNeighbor), "neighbor");
 }
 
+TEST(PatternValidationTest, TransposeRejectsNonSquareTopologies) {
+  TrafficConfig config;
+  config.pattern = TrafficPattern::Transpose;
+  EXPECT_NO_THROW(
+      validatePattern(config.pattern, MeshTopology(4, 4), config));
+  EXPECT_NO_THROW(
+      validatePattern(config.pattern, TorusTopology(3, 3), config));
+  EXPECT_THROW(validatePattern(config.pattern, MeshTopology(4, 2), config),
+               std::invalid_argument);
+  EXPECT_THROW(validatePattern(config.pattern, TorusTopology(2, 4), config),
+               std::invalid_argument);
+  // A ring's extent is Nx1: transpose is inexpressible, and the message
+  // should steer callers to the ring-capable pattern.
+  const RingTopology ring(8);
+  try {
+    validatePattern(config.pattern, ring, config);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("square"), std::string::npos) << what;
+    EXPECT_NE(what.find("ring8"), std::string::npos) << what;
+  }
+}
+
+TEST(PatternValidationTest, HotSpotTargetMustBeANode) {
+  TrafficConfig config;
+  config.pattern = TrafficPattern::HotSpot;
+  config.hotspot = NodeId{3, 3};
+  EXPECT_NO_THROW(
+      validatePattern(config.pattern, MeshTopology(4, 4), config));
+  EXPECT_THROW(validatePattern(config.pattern, RingTopology(8), config),
+               std::invalid_argument);
+  config.hotspot = NodeId{5, 0};
+  EXPECT_NO_THROW(validatePattern(config.pattern, RingTopology(8), config));
+}
+
+TEST(PatternValidationTest, RingFriendlyPatternsPass) {
+  TrafficConfig config;
+  const RingTopology ring(8);
+  EXPECT_NO_THROW(
+      validatePattern(TrafficPattern::UniformRandom, ring, config));
+  EXPECT_NO_THROW(
+      validatePattern(TrafficPattern::BitComplement, ring, config));
+  EXPECT_NO_THROW(
+      validatePattern(TrafficPattern::NearestNeighbor, ring, config));
+  sim::Xoshiro256 rng(4);
+  EXPECT_EQ(destinationFor(TrafficPattern::BitComplement, NodeId{1, 0}, ring,
+                           rng, config),
+            (NodeId{6, 0}));
+  EXPECT_EQ(destinationFor(TrafficPattern::NearestNeighbor, NodeId{7, 0},
+                           ring, rng, config),
+            (NodeId{0, 0}));
+}
+
+TEST(TrafficGeneratorTest, ConstructorValidatesThePattern) {
+  const MeshShape shape{4, 2};
+  router::RouterParams params;
+  router::Rasoc router("r", params);
+  DeliveryLedger ledger;
+  NetworkInterface ni("ni", params, shape, NodeId{0, 0},
+                      router.in(router::Port::Local),
+                      router.out(router::Port::Local), ledger);
+  TrafficConfig config;
+  config.pattern = TrafficPattern::Transpose;  // 4x2 is not square
+  EXPECT_THROW(TrafficGenerator("tg", shape, NodeId{0, 0}, ni, config),
+               std::invalid_argument);
+}
+
 TEST(TrafficGeneratorTest, RejectsInvalidConfigs) {
   const MeshShape shape{2, 2};
   router::RouterParams params;
