@@ -7,12 +7,19 @@
 // Rings cannot express Transpose (non-square extent), so the ring sweep
 // substitutes BitComplement, the equivalent long-haul permutation.
 //
+// The settle kernel is selectable too (--kernel=naive|event|parallel,
+// default event; --threads=N sizes the parallel kernel's partition).  All
+// kernels are cycle-exact against each other (tests/noc/
+// kernel_trichotomy_test.cpp), so the sweep numbers are identical and the
+// flag only changes wall-clock cost.
+//
 // Besides the human-readable tables, one fully instrumented run per
 // traffic pattern is serialized as a machine-diffable RunReport JSON
 // artifact (path: first non-flag argument, default
 // bench_noc_loadsweep_report.json).
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -30,10 +37,18 @@ constexpr int kWarmup = 800;
 constexpr int kMeasure = 3000;
 
 std::string gTopology = "mesh";
+std::string gKernel = "event";
+int gThreads = 2;
 
 std::shared_ptr<const noc::Topology> makeBenchTopology() {
   // 4x4 grid for mesh/torus, the same 16 nodes as a ring.
   return noc::makeTopology(gTopology, 4, 4);
+}
+
+sim::Simulator::Kernel benchKernel() {
+  if (gKernel == "naive") return sim::Simulator::Kernel::Naive;
+  if (gKernel == "parallel") return sim::Simulator::Kernel::ParallelEventDriven;
+  return sim::Simulator::Kernel::EventDriven;
 }
 
 noc::NetworkConfig benchConfig(int p) {
@@ -42,6 +57,8 @@ noc::NetworkConfig benchConfig(int p) {
   cfg.params.p = p;
   // A 16-node ring routes offsets up to 14; the grids stay within 3.
   if (gTopology == "ring") cfg.params.m = 10;
+  cfg.kernel = benchKernel();
+  cfg.threads = gThreads;
   return cfg;
 }
 
@@ -104,6 +121,9 @@ std::string instrumentedReport(noc::TrafficPattern pattern, double load) {
       &watchdog);
   report.set("run", "offered_load", load);
   report.set("run", "seed", std::uint64_t{99});
+  report.set("run", "kernel", gKernel);
+  if (benchKernel() == sim::Simulator::Kernel::ParallelEventDriven)
+    report.set("run", "threads", gThreads);
   return report.toJson();
 }
 
@@ -114,6 +134,10 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--topology=", 11) == 0) {
       gTopology = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--kernel=", 9) == 0) {
+      gKernel = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      gThreads = std::atoi(argv[i] + 10);
     } else {
       path = argv[i];
     }
@@ -123,11 +147,20 @@ int main(int argc, char** argv) {
                 gTopology.c_str());
     return 1;
   }
+  if (gKernel != "naive" && gKernel != "event" && gKernel != "parallel") {
+    std::printf("unknown --kernel=%s (naive|event|parallel)\n",
+                gKernel.c_str());
+    return 1;
+  }
+  if (gThreads < 1) {
+    std::printf("--threads=%d must be >= 1\n", gThreads);
+    return 1;
+  }
 
   std::printf(
       "RASoC %s load sweep (16 nodes, n=16, 8-flit packets, %d measured "
-      "cycles)\n\n",
-      makeBenchTopology()->describe().c_str(), kMeasure);
+      "cycles, %s kernel)\n\n",
+      makeBenchTopology()->describe().c_str(), kMeasure, gKernel.c_str());
 
   for (noc::TrafficPattern pattern : benchPatterns()) {
     std::printf("--- pattern: %s ---\n",

@@ -24,17 +24,26 @@ void BM_SingleRouterIdle(benchmark::State& state) {
 }
 BENCHMARK(BM_SingleRouterIdle);
 
-// Args: (side, kernel) with kernel 0 = naive fixpoint, 1 = event-driven.
-// Compare BM_MeshUnderLoad/8/0 against /8/1 for the scheduler speedup;
-// `evals_per_cycle` counts evaluate() calls and shows where it comes from.
+// Args: (side, kernel) with kernel 0 = naive fixpoint, 1 = event-driven,
+// 2 = parallel with 2 threads, 3 = parallel with 4 threads.  Compare
+// BM_MeshUnderLoad/8/0 against /8/1 for the scheduler speedup and /16/1
+// against /16/3 for the parallel speedup; `evals_per_cycle` counts
+// evaluate() calls and shows where it comes from.
 void BM_MeshUnderLoad(benchmark::State& state) {
   const int side = static_cast<int>(state.range(0));
   noc::MeshConfig cfg;
   cfg.shape = noc::MeshShape{side, side};
   cfg.params.n = 16;
   cfg.params.p = 4;
-  cfg.kernel = state.range(1) == 0 ? sim::Simulator::Kernel::Naive
-                                   : sim::Simulator::Kernel::EventDriven;
+  if (side > 8) cfg.params.m = 12;  // 16x16 offsets exceed the m=8 RIB range
+  switch (state.range(1)) {
+    case 0: cfg.kernel = sim::Simulator::Kernel::Naive; break;
+    case 1: cfg.kernel = sim::Simulator::Kernel::EventDriven; break;
+    default:
+      cfg.kernel = sim::Simulator::Kernel::ParallelEventDriven;
+      cfg.threads = state.range(1) == 2 ? 2 : 4;
+      break;
+  }
   noc::Mesh mesh(cfg);
   noc::TrafficConfig traffic;
   traffic.offeredLoad = 0.2;
@@ -50,7 +59,39 @@ void BM_MeshUnderLoad(benchmark::State& state) {
       benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_MeshUnderLoad)
-    ->ArgsProduct({{2, 4, 6, 8}, {0, 1}});
+    ->ArgsProduct({{2, 4, 6, 8}, {0, 1}})
+    ->ArgsProduct({{8, 16}, {2, 3}})
+    ->Args({16, 1});
+
+// Torus counterpart of BM_MeshUnderLoad (same arg encoding): the wrap
+// links add cross-partition frontier edges at both ends of every strip, the
+// parallel kernel's worst case for a contiguous-block partition.
+void BM_TorusUnderLoad(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  noc::NetworkConfig cfg;
+  cfg.params.n = 16;
+  cfg.params.p = 4;
+  if (side > 8) cfg.params.m = 12;  // 16x16 offsets exceed the m=8 RIB range
+  switch (state.range(1)) {
+    case 0: cfg.kernel = sim::Simulator::Kernel::Naive; break;
+    case 1: cfg.kernel = sim::Simulator::Kernel::EventDriven; break;
+    default:
+      cfg.kernel = sim::Simulator::Kernel::ParallelEventDriven;
+      cfg.threads = state.range(1) == 2 ? 2 : 4;
+      break;
+  }
+  noc::Network net(noc::makeTopology("torus", side, side), cfg);
+  noc::TrafficConfig traffic;
+  traffic.offeredLoad = 0.2;
+  traffic.payloadFlits = 6;
+  traffic.seed = 17;
+  net.attachTraffic(traffic);
+  for (auto _ : state) net.run(1);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["routers"] = side * side;
+}
+BENCHMARK(BM_TorusUnderLoad)
+    ->ArgsProduct({{8, 16}, {1, 2, 3}});
 
 // Same mesh with the telemetry subsystem attached: the delta against
 // BM_MeshUnderLoad is the full cost of leaving instrumentation enabled

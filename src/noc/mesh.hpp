@@ -22,6 +22,9 @@ struct MeshConfig {
   // A/Bs against.
   sim::Simulator::Kernel kernel = sim::Simulator::Kernel::EventDriven;
 
+  // Worker threads for Kernel::ParallelEventDriven (see NetworkConfig).
+  int threads = 1;
+
   // HLP parity in every NI (paper Section 2 extension); costs one data bit
   // per flit.
   bool hlpParity = false;
@@ -37,6 +40,7 @@ struct MeshConfig {
     cfg.params = params;
     cfg.arbiter = arbiter;
     cfg.kernel = kernel;
+    cfg.threads = threads;
     cfg.hlpParity = hlpParity;
     cfg.linkFaultRate = linkFaultRate;
     cfg.faultSeed = faultSeed;

@@ -17,6 +17,13 @@ std::string nodeName(const char* prefix, NodeId n) {
          std::to_string(n.y) + ")";
 }
 
+// Previous lifetime counters, so the parallel-kernel tick sampler can emit
+// per-cycle deltas.
+struct ParallelSample {
+  std::uint64_t frontier = 0;
+  std::vector<std::uint64_t> domains;
+};
+
 }  // namespace
 
 Network::Network(std::shared_ptr<const Topology> topology,
@@ -30,6 +37,14 @@ Network::Network(std::shared_ptr<const Topology> topology,
     throw std::invalid_argument(
         "topology offsets exceed the RIB range; increase m");
 
+  // Parallel kernel: one partition domain per worker thread, each node's
+  // modules hinted into the domain Topology::partition assigns to it.
+  if (config_.kernel == sim::Simulator::Kernel::ParallelEventDriven) {
+    config_.threads = std::max(config_.threads, 1);
+    nodeDomains_ = topology_->partition(config_.threads);
+    sim_.setThreads(config_.threads);
+  }
+
   // Routers and NIs, with the per-node port set the topology prescribes.
   for (int i = 0; i < topology_->nodes(); ++i) {
     const NodeId n = topology_->nodeAt(i);
@@ -42,6 +57,10 @@ Network::Network(std::shared_ptr<const Topology> topology,
     auto ni = std::make_unique<NetworkInterface>(
         nodeName("ni", n), params, topology_, n, r->in(Port::Local),
         r->out(Port::Local), ledger_, niOptions);
+    if (!nodeDomains_.empty()) {
+      r->setPartitionHint(nodeDomains_[static_cast<std::size_t>(i)]);
+      ni->setPartitionHint(nodeDomains_[static_cast<std::size_t>(i)]);
+    }
     sim_.add(*r);
     sim_.add(*ni);
     routers_.push_back(std::move(r));
@@ -75,6 +94,10 @@ Network::Network(std::shared_ptr<const Topology> topology,
             routers_[indexOf(*to)]->in(router::opposite(out)),
             config_.params.flowControl);
       }
+      // A link inherits its source node's domain; when the destination
+      // lives in another domain the partition classifies it frontier.
+      if (!nodeDomains_.empty())
+        link->setPartitionHint(nodeDomains_[static_cast<std::size_t>(i)]);
       sim_.add(*link);
       linkIndex_[{topology_->indexOf(from), router::index(out)}] = link.get();
       links_.push_back(std::move(link));
@@ -101,6 +124,8 @@ void Network::attachTraffic(const TrafficConfig& traffic) {
     auto gen = std::make_unique<TrafficGenerator>(
         nodeName("tg", n), topology_, n, *nis_[static_cast<std::size_t>(i)],
         cfg);
+    if (!nodeDomains_.empty())
+      gen->setPartitionHint(nodeDomains_[static_cast<std::size_t>(i)]);
     sim_.add(*gen);
     generators_.push_back(std::move(gen));
   }
@@ -133,6 +158,42 @@ void Network::enableTelemetry(telemetry::MetricsRegistry& registry) {
     for (const auto& ni : nis_) total += ni->sendQueueFlits();
     queuedFlits->sample(static_cast<double>(total));
   });
+  if (sim_.kernel() == sim::Simulator::Kernel::ParallelEventDriven) {
+    // Parallel-kernel health: frontier (sequential) work per cycle, the
+    // per-domain imbalance ratio (max/mean interior evaluations; 1.0 means
+    // perfectly balanced), and the partition's frontier-module count.
+    telemetry::Gauge* frontierEvals =
+        &registry.gauge("sim.parallel.frontier_evals");
+    telemetry::Gauge* imbalance =
+        &registry.gauge("sim.parallel.domain_imbalance");
+    telemetry::Gauge* frontierModules =
+        &registry.gauge("sim.parallel.frontier_modules");
+    auto last = std::make_shared<ParallelSample>();
+    sim_.addTickListener(
+        [this, frontierEvals, imbalance, frontierModules, last] {
+          const auto& stats = sim_.parallelStats();
+          frontierEvals->sample(
+              static_cast<double>(stats.frontierEvaluations - last->frontier));
+          last->frontier = stats.frontierEvaluations;
+          last->domains.resize(stats.domainEvaluations.size(), 0);
+          double sum = 0.0;
+          double peak = 0.0;
+          for (std::size_t d = 0; d < stats.domainEvaluations.size(); ++d) {
+            const double delta = static_cast<double>(
+                stats.domainEvaluations[d] - last->domains[d]);
+            last->domains[d] = stats.domainEvaluations[d];
+            sum += delta;
+            peak = std::max(peak, delta);
+          }
+          const double mean =
+              sum / static_cast<double>(
+                        std::max<std::size_t>(stats.domainEvaluations.size(),
+                                              1));
+          imbalance->sample(mean > 0.0 ? peak / mean : 1.0);
+          frontierModules->sample(
+              static_cast<double>(stats.frontierModules));
+        });
+  }
 }
 
 std::size_t Network::indexOf(NodeId n) const {

@@ -33,6 +33,13 @@ struct NetworkConfig {
   // A/Bs against.
   sim::Simulator::Kernel kernel = sim::Simulator::Kernel::EventDriven;
 
+  // Worker threads for Kernel::ParallelEventDriven (ignored by the other
+  // kernels).  The topology is split into this many contiguous node blocks
+  // (Topology::partition); each node's router, NI, traffic generator and
+  // outgoing links land in that node's domain, and links crossing a cut
+  // become the kernel's frontier modules.
+  int threads = 1;
+
   // HLP parity in every NI (paper Section 2 extension); costs one data bit
   // per flit.
   bool hlpParity = false;
@@ -99,6 +106,7 @@ class Network {
 
   std::shared_ptr<const Topology> topology_;
   NetworkConfig config_;
+  std::vector<int> nodeDomains_;  // parallel kernel only; else empty
   sim::Simulator sim_;
   DeliveryLedger ledger_;
   std::vector<std::unique_ptr<router::Rasoc>> routers_;

@@ -21,6 +21,9 @@ void Module::clockEdgeAll() {
   for (Module* child : children_) child->clockEdgeAll();
 }
 
-void Module::sensitive(const WireBase& wire) { wire.addSensitive(this); }
+void Module::sensitive(const WireBase& wire) {
+  reads_.push_back(&wire);
+  wire.addSensitive(this);
+}
 
 }  // namespace rasoc::sim

@@ -1,0 +1,118 @@
+#include "sim/partition.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "sim/module.hpp"
+#include "sim/wire.hpp"
+
+namespace rasoc::sim {
+
+namespace {
+
+// Arms the per-thread write recorder for one discovery evaluation;
+// exception safe so a throwing evaluate() cannot leave it stuck.
+class DiscoveryGuard {
+ public:
+  explicit DiscoveryGuard(std::vector<const WireBase*>* recorder) {
+    SettleContext::armWriteRecorder(recorder);
+  }
+  ~DiscoveryGuard() { SettleContext::armWriteRecorder(nullptr); }
+  DiscoveryGuard(const DiscoveryGuard&) = delete;
+  DiscoveryGuard& operator=(const DiscoveryGuard&) = delete;
+};
+
+// driverDomain sentinel: the wire is driven from more than one domain.
+constexpr int kMultipleDomains = -2;
+
+}  // namespace
+
+Partition buildPartition(const std::vector<Module*>& modules,
+                         const std::vector<int>& hints, int domains) {
+  if (domains < 1)
+    throw std::invalid_argument("buildPartition: need >= 1 domain");
+  if (hints.size() != modules.size())
+    throw std::logic_error("buildPartition: one hint per module required");
+
+  const std::size_t count = modules.size();
+  Partition part;
+  part.domains = domains;
+  part.domainOf.resize(count);
+  part.isFrontier.assign(count, 0);
+  part.writeSets.resize(count);
+  part.domainModules.assign(static_cast<std::size_t>(domains), 0);
+
+  std::unordered_map<const Module*, std::size_t> indexOf;
+  indexOf.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) indexOf.emplace(modules[i], i);
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const int d = hints[i] >= 0 ? hints[i] % domains : 0;
+    part.domainOf[i] = d;
+    ++part.domainModules[static_cast<std::size_t>(d)];
+  }
+
+  // Write-set discovery: one recorded evaluation per module (the kernel
+  // contract - evaluate() drives the same wires on every call - makes one
+  // call capture the whole set).  Values written here are scratch; the
+  // caller re-seeds and settles to the unique fixpoint afterwards.
+  std::unordered_map<const WireBase*, int> driverDomain;
+  std::vector<const WireBase*> writes;
+  for (std::size_t i = 0; i < count; ++i) {
+    writes.clear();
+    {
+      DiscoveryGuard guard(&writes);
+      modules[i]->evaluateOne();
+    }
+    std::sort(writes.begin(), writes.end(), std::less<const WireBase*>{});
+    writes.erase(std::unique(writes.begin(), writes.end()), writes.end());
+    part.writeSets[i] = writes;
+    for (const WireBase* w : writes) {
+      const auto [it, inserted] = driverDomain.emplace(w, part.domainOf[i]);
+      if (!inserted && it->second != part.domainOf[i])
+        it->second = kMultipleDomains;
+    }
+  }
+
+  // Classification per the interiority rule in the header comment.
+  std::vector<std::pair<int, int>> edges;
+  for (std::size_t i = 0; i < count; ++i) {
+    const int d = part.domainOf[i];
+    bool interior = true;
+    for (const WireBase* w : part.writeSets[i]) {
+      if (driverDomain.at(w) == kMultipleDomains) interior = false;
+      for (Module* reader : w->sensitiveModules()) {
+        const auto it = indexOf.find(reader);
+        if (it == indexOf.end()) {
+          // Reader registered with a different simulator: keep the write
+          // out of the parallel phase.
+          interior = false;
+          continue;
+        }
+        const int readerDomain = part.domainOf[it->second];
+        if (readerDomain != d) {
+          interior = false;
+          edges.emplace_back(d, readerDomain);
+        }
+      }
+    }
+    for (const WireBase* w : modules[i]->sensitivities()) {
+      const auto it = driverDomain.find(w);
+      if (it == driverDomain.end()) continue;  // undriven testbench input
+      if (it->second == d) continue;
+      interior = false;
+      if (it->second >= 0) edges.emplace_back(it->second, d);
+    }
+    part.isFrontier[i] = interior ? 0 : 1;
+    if (!interior) ++part.frontierModules;
+  }
+
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  part.frontierEdges = std::move(edges);
+  return part;
+}
+
+}  // namespace rasoc::sim

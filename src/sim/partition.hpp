@@ -1,0 +1,64 @@
+// Module-graph partitioning for Simulator::Kernel::ParallelEventDriven.
+//
+// The partition assigns every module to exactly one domain (one per worker
+// thread) and classifies each module as interior or frontier:
+//
+//  * interior - every wire the module drives is read only inside its own
+//    domain, and every wire its evaluate() reads (Module::sensitive) is
+//    driven only inside its own domain (or by nothing at all).  Interior
+//    modules are evaluated by their domain's thread during the parallel
+//    phase with no synchronization whatsoever: by construction no other
+//    thread ever touches the wires they access or the dirty flags they set.
+//  * frontier - everything else: links crossing a partition cut, modules
+//    reading cross-domain wires, wires with drivers in several domains.
+//    Frontier modules are evaluated only in the sequential reduction phase
+//    between parallel sweeps (deterministic, main thread).
+//
+// Write sets are discovered dynamically: each module is evaluated once with
+// a write recorder armed (SettleContext::armWriteRecorder), capturing every
+// Wire::set call whether or not the value changed.  This rests on an extra
+// module contract, mirroring the hardware rule that a combinational block
+// always drives its outputs: evaluate() must drive the same set of wires on
+// every call.  Debug builds re-record every parallel-phase evaluation and
+// throw std::logic_error on a containment violation; the ThreadSanitizer CI
+// job backstops the contract at the memory level.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace rasoc::sim {
+
+class Module;
+class WireBase;
+
+struct Partition {
+  int domains = 1;
+
+  // Per module (indexed like the simulator's flattened module list).
+  std::vector<int> domainOf;
+  std::vector<char> isFrontier;
+  std::vector<std::vector<const WireBase*>> writeSets;  // sorted, deduped
+
+  // Aggregates.
+  std::vector<std::size_t> domainModules;  // module count per domain
+  std::size_t frontierModules = 0;
+
+  // Directed cross-domain dataflow: (driver domain, reader domain) pairs,
+  // sorted and deduplicated.  A bidirectional cut appears as both (a,b)
+  // and (b,a).
+  std::vector<std::pair<int, int>> frontierEdges;
+};
+
+// Builds the partition.  hints[i] picks the domain for modules[i] (taken
+// modulo `domains`; a negative hint means unhinted and lands in domain 0).
+// Runs the write-set discovery pass: every module is evaluated exactly
+// once, so the caller must treat wire values as scratch afterwards
+// (re-seed and settle).  Readers registered on a driven wire but absent
+// from `modules` (a different simulator's modules) conservatively make the
+// driver frontier.
+Partition buildPartition(const std::vector<Module*>& modules,
+                         const std::vector<int>& hints, int domains);
+
+}  // namespace rasoc::sim

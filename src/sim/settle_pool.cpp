@@ -1,0 +1,59 @@
+#include "sim/settle_pool.hpp"
+
+namespace rasoc::sim {
+
+SettlePool::SettlePool(int workers) {
+  errors_.resize(static_cast<std::size_t>(workers));
+  threads_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i)
+    threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+SettlePool::~SettlePool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void SettlePool::run(const std::function<void(int)>& job) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  job_ = &job;
+  for (std::exception_ptr& e : errors_) e = nullptr;
+  remaining_ = workers();
+  ++generation_;
+  wake_.notify_all();
+  done_.wait(lock, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+  for (const std::exception_ptr& e : errors_)
+    if (e) std::rethrow_exception(e);
+}
+
+void SettlePool::workerLoop(int index) {
+  std::uint64_t seen = 0;
+  while (true) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    std::exception_ptr error;
+    try {
+      (*job)(index);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      errors_[static_cast<std::size_t>(index)] = error;
+      if (--remaining_ == 0) done_.notify_one();
+    }
+  }
+}
+
+}  // namespace rasoc::sim

@@ -1,0 +1,52 @@
+// Fixed-size worker pool for the parallel settle kernel.
+//
+// run(job) executes job(i) on worker i for every worker and returns once
+// all of them have finished - one barrier-delimited parallel phase.
+// Exceptions thrown by a job are captured and rethrown on the caller (the
+// lowest worker index wins when several throw, keeping the propagated
+// error deterministic).  Synchronization is one mutex plus two condvars:
+// settle phases are coarse (hundreds to thousands of evaluate() calls per
+// handoff), so lock-based signalling costs nothing measurable and keeps
+// every cross-thread access visibly synchronized for ThreadSanitizer.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rasoc::sim {
+
+class SettlePool {
+ public:
+  explicit SettlePool(int workers);
+  ~SettlePool();
+
+  SettlePool(const SettlePool&) = delete;
+  SettlePool& operator=(const SettlePool&) = delete;
+
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+  // Runs job(i) on worker i for every i in [0, workers()); blocks until
+  // all are done, then rethrows the first captured worker exception, if
+  // any.  Not reentrant; one run at a time.
+  void run(const std::function<void(int)>& job);
+
+ private:
+  void workerLoop(int index);
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::vector<std::exception_ptr> errors_;
+  std::uint64_t generation_ = 0;
+  int remaining_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace rasoc::sim

@@ -38,9 +38,21 @@ class SettleContext {
   static void exitSettle() { inSettle_ = false; }
   static bool inSettle() { return inSettle_; }
 
+  // Write-set recorder for the parallel kernel (see sim/partition.hpp):
+  // while a recorder is armed on this thread, every Wire::set call is
+  // appended to it - including value-unchanged calls, because partitioning
+  // cares about the driving relation, not about signal activity.
+  static void armWriteRecorder(std::vector<const WireBase*>* recorder) {
+    writeRecorder_ = recorder;
+  }
+  static void recordWrite(const WireBase* wire) {
+    if (writeRecorder_) writeRecorder_->push_back(wire);
+  }
+
  private:
   static thread_local bool changed_;
   static thread_local bool inSettle_;
+  static thread_local std::vector<const WireBase*>* writeRecorder_;
 };
 
 // Type-erased base: the fanout list of sensitive modules.  Registration is
@@ -52,6 +64,10 @@ class WireBase {
   void addSensitive(Module* m) const { fanout_.push_back(m); }
 
   std::size_t fanoutSize() const { return fanout_.size(); }
+
+  // The registered readers (Module::sensitive callers); the parallel
+  // kernel's partition classifier walks this to find cross-domain fanout.
+  const std::vector<Module*>& sensitiveModules() const { return fanout_; }
 
  protected:
   void notifySensitive() const {
@@ -74,6 +90,7 @@ class Wire : public WireBase {
   const T& get() const { return value_; }
 
   void set(const T& v) {
+    SettleContext::recordWrite(this);
     if (!(value_ == v)) {
       value_ = v;
       SettleContext::markChanged();

@@ -1,0 +1,391 @@
+// Unit tests for Simulator::Kernel::ParallelEventDriven: partition
+// construction (every module in exactly one domain, frontier edges
+// symmetric for bidirectional cuts), barrier-round settle semantics,
+// evaluateCalls() monotonicity across thread counts, combinational-loop
+// detection per domain and on the frontier, and the poke-window /
+// reconfiguration guards.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/module.hpp"
+#include "sim/simulator.hpp"
+#include "sim/wire.hpp"
+
+namespace rasoc::sim {
+namespace {
+
+// y = x + 1 combinationally.
+class Increment : public Module {
+ public:
+  Increment(std::string name, const Wire<int>& x, Wire<int>& y)
+      : Module(std::move(name)), x_(&x), y_(&y) {
+    sensitive(x);
+  }
+
+ protected:
+  void evaluate() override { y_->set(x_->get() + 1); }
+
+ private:
+  const Wire<int>* x_;
+  Wire<int>* y_;
+};
+
+// Registered counter with combinational output wire.
+class Counter : public Module {
+ public:
+  Counter(std::string name, Wire<int>& out)
+      : Module(std::move(name)), out_(&out) {
+    declareSequential();
+  }
+
+ protected:
+  void onReset() override { value_ = 0; }
+  void evaluate() override { out_->set(value_); }
+  void clockEdge() override { ++value_; }
+
+ private:
+  int value_ = 0;
+  Wire<int>* out_;
+};
+
+// Oscillating combinational loop: y = !y.
+class Inverter : public Module {
+ public:
+  Inverter(std::string name, Wire<bool>& y) : Module(std::move(name)), y_(&y) {
+    sensitive(y);
+  }
+
+ protected:
+  void evaluate() override { y_->set(!y_->get()); }
+
+ private:
+  Wire<bool>* y_;
+};
+
+// Calls Wire::force from inside evaluate() once armed - used to prove the
+// poke-window guard also fires on pool worker threads.
+class TriggeredPoker : public Module {
+ public:
+  TriggeredPoker(std::string name, const Wire<int>& trigger,
+                 Wire<int>& victim)
+      : Module(std::move(name)), trigger_(&trigger), victim_(&victim) {
+    sensitive(trigger);
+  }
+
+ protected:
+  void evaluate() override {
+    if (trigger_->get() != 0) victim_->force(1);
+  }
+
+ private:
+  const Wire<int>* trigger_;
+  Wire<int>* victim_;
+};
+
+// A chain of `length` Increments w[0] -> w[1] -> ... -> w[length], spread
+// over `threads` domains in contiguous blocks like Topology::partition.
+struct ChainRig {
+  std::vector<std::unique_ptr<Wire<int>>> wires;
+  std::vector<std::unique_ptr<Increment>> mods;
+  Simulator sim;
+
+  ChainRig(int length, Simulator::Kernel kernel, int threads) {
+    for (int i = 0; i <= length; ++i)
+      wires.push_back(std::make_unique<Wire<int>>(0));
+    for (int i = 0; i < length; ++i) {
+      mods.push_back(std::make_unique<Increment>(
+          "inc" + std::to_string(i), *wires[static_cast<std::size_t>(i)],
+          *wires[static_cast<std::size_t>(i) + 1]));
+      mods.back()->setPartitionHint(i * threads / length);
+      sim.add(*mods.back());
+    }
+    sim.setThreads(threads);
+    sim.setKernel(kernel);
+    sim.settle();
+  }
+
+  int out() const { return wires.back()->get(); }
+};
+
+TEST(ParallelPartitionTest, EveryModuleInExactlyOneDomain) {
+  ChainRig rig(6, Simulator::Kernel::ParallelEventDriven, 3);
+  const Partition& part = rig.sim.partition();
+  ASSERT_EQ(part.domains, 3);
+  ASSERT_EQ(part.domainOf.size(), 6u);
+  ASSERT_EQ(part.isFrontier.size(), 6u);
+  std::vector<std::size_t> counted(3, 0);
+  for (const int d : part.domainOf) {
+    ASSERT_GE(d, 0);
+    ASSERT_LT(d, 3);
+    ++counted[static_cast<std::size_t>(d)];
+  }
+  EXPECT_EQ(counted, part.domainModules);
+  EXPECT_EQ(std::accumulate(part.domainModules.begin(),
+                            part.domainModules.end(), std::size_t{0}),
+            6u);
+  std::size_t frontier = 0;
+  for (const char f : part.isFrontier) frontier += f != 0 ? 1 : 0;
+  EXPECT_EQ(frontier, part.frontierModules);
+  // Chain 0,0,1,1,2,2: the two writers/readers at each cut are frontier,
+  // the chain ends are interior.
+  EXPECT_EQ(part.isFrontier[0], 0);
+  EXPECT_EQ(part.isFrontier[1], 1);  // writes into domain 1
+  EXPECT_EQ(part.isFrontier[2], 1);  // reads from domain 0
+  EXPECT_EQ(part.isFrontier[3], 1);
+  EXPECT_EQ(part.isFrontier[4], 1);
+  EXPECT_EQ(part.isFrontier[5], 0);
+  using Edge = std::pair<int, int>;
+  EXPECT_EQ(part.frontierEdges, (std::vector<Edge>{{0, 1}, {1, 2}}));
+}
+
+TEST(ParallelPartitionTest, FrontierEdgesSymmetricOnBidirectionalCut) {
+  // Two independent chains crossing the same cut in opposite directions:
+  // the edge list must contain both (0,1) and (1,0).
+  Wire<int> a0, a1, a2, b0, b1, b2;
+  Increment fwd1("fwd1", a0, a1), fwd2("fwd2", a1, a2);
+  Increment rev1("rev1", b0, b1), rev2("rev2", b1, b2);
+  fwd1.setPartitionHint(0);
+  fwd2.setPartitionHint(1);
+  rev1.setPartitionHint(1);
+  rev2.setPartitionHint(0);
+  Simulator sim;
+  sim.add(fwd1);
+  sim.add(fwd2);
+  sim.add(rev1);
+  sim.add(rev2);
+  sim.setThreads(2);
+  sim.setKernel(Simulator::Kernel::ParallelEventDriven);
+  using Edge = std::pair<int, int>;
+  EXPECT_EQ(sim.partition().frontierEdges,
+            (std::vector<Edge>{{0, 1}, {1, 0}}));
+}
+
+TEST(ParallelPartitionTest, UnhintedModulesLandInDomainZero) {
+  Wire<int> a, b;
+  Increment inc("inc", a, b);  // no hint
+  Simulator sim;
+  sim.add(inc);
+  sim.setThreads(4);
+  sim.setKernel(Simulator::Kernel::ParallelEventDriven);
+  const Partition& part = sim.partition();
+  EXPECT_EQ(part.domainOf[0], 0);
+  EXPECT_EQ(part.domainModules,
+            (std::vector<std::size_t>{1, 0, 0, 0}));
+  EXPECT_EQ(part.frontierModules, 0u);
+  EXPECT_TRUE(part.frontierEdges.empty());
+}
+
+TEST(ParallelPartitionTest, AccessorRequiresParallelKernel) {
+  Simulator sim;
+  EXPECT_THROW(sim.partition(), std::logic_error);
+  sim.setKernel(Simulator::Kernel::EventDriven);
+  EXPECT_THROW(sim.partition(), std::logic_error);
+}
+
+TEST(ParallelKernelTest, BarrierRoundsPropagateAcrossDomainsInOneSettle) {
+  // A value poked into domain 0 must traverse all three domains - several
+  // barrier-separated rounds - within a single settle() call.
+  ChainRig rig(6, Simulator::Kernel::ParallelEventDriven, 3);
+  EXPECT_EQ(rig.out(), 6);
+  rig.wires[0]->force(10);
+  rig.sim.settle();
+  EXPECT_EQ(rig.out(), 16);
+  for (int i = 0; i <= 6; ++i)
+    EXPECT_EQ(rig.wires[static_cast<std::size_t>(i)]->get(), 10 + i)
+        << "wire " << i;
+  EXPECT_GT(rig.sim.parallelStats().rounds, 0u);
+}
+
+TEST(ParallelKernelTest, MatchesEventDrivenOnAPokedChainForAllThreadCounts) {
+  // Identical stimulus against an EventDriven reference: every wire value
+  // must match after every operation, for 1, 2, 3 and 4 threads.
+  const int length = 24;
+  for (const int threads : {1, 2, 3, 4}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    ChainRig reference(length, Simulator::Kernel::EventDriven, 1);
+    ChainRig parallel(length, Simulator::Kernel::ParallelEventDriven,
+                      threads);
+    const auto compareAll = [&] {
+      for (int i = 0; i <= length; ++i)
+        ASSERT_EQ(parallel.wires[static_cast<std::size_t>(i)]->get(),
+                  reference.wires[static_cast<std::size_t>(i)]->get())
+            << "wire " << i;
+    };
+    compareAll();
+    for (int round = 0; round < 8; ++round) {
+      const int pokeAt = (round * 7) % (length / 2);
+      const int value = round * 13 + 5;
+      reference.wires[static_cast<std::size_t>(pokeAt)]->force(value);
+      parallel.wires[static_cast<std::size_t>(pokeAt)]->force(value);
+      reference.sim.settle();
+      parallel.sim.settle();
+      compareAll();
+    }
+  }
+}
+
+TEST(ParallelKernelTest, SequentialModulesReSeedEveryCycle) {
+  // Counter (domain 0) -> two increments (domain 1): registered state must
+  // propagate across the cut after every tick, matching EventDriven.
+  struct CounterRig {
+    Wire<int> c0, c1, c2;
+    Counter counter{"counter", c0};
+    Increment inc1{"inc1", c0, c1};
+    Increment inc2{"inc2", c1, c2};
+    Simulator sim;
+
+    explicit CounterRig(Simulator::Kernel kernel, int threads) {
+      counter.setPartitionHint(0);
+      inc1.setPartitionHint(1);
+      inc2.setPartitionHint(1);
+      sim.add(counter);
+      sim.add(inc1);
+      sim.add(inc2);
+      sim.setThreads(threads);
+      sim.setKernel(kernel);
+      sim.reset();
+    }
+  };
+  CounterRig reference(Simulator::Kernel::EventDriven, 1);
+  CounterRig parallel(Simulator::Kernel::ParallelEventDriven, 2);
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    reference.sim.step();
+    parallel.sim.step();
+    reference.sim.settle();
+    parallel.sim.settle();
+    ASSERT_EQ(parallel.c2.get(), reference.c2.get()) << "cycle " << cycle;
+    ASSERT_EQ(parallel.c2.get(), cycle + 3);
+  }
+}
+
+TEST(ParallelKernelTest, EvaluateCallsMonotonicUnderAllThreadCounts) {
+  for (const int threads : {1, 2, 4}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    ChainRig rig(12, Simulator::Kernel::ParallelEventDriven, threads);
+    std::uint64_t last = rig.sim.evaluateCalls();
+    EXPECT_GT(last, 0u);  // discovery + initial settle did work
+    const auto expectMonotonic = [&] {
+      const std::uint64_t now = rig.sim.evaluateCalls();
+      EXPECT_GE(now, last);
+      last = now;
+    };
+    rig.sim.settle();  // already settled: no new work required, no decrease
+    expectMonotonic();
+    rig.wires[0]->force(5);
+    rig.sim.settle();
+    expectMonotonic();
+    rig.sim.step();
+    expectMonotonic();
+    rig.sim.run(3);
+    expectMonotonic();
+    EXPECT_GT(rig.sim.evaluateCalls(), 0u);
+    // The fold is deterministic: per-domain counters sum to the total the
+    // stats report.
+    const auto& stats = rig.sim.parallelStats();
+    const std::uint64_t domainTotal =
+        std::accumulate(stats.domainEvaluations.begin(),
+                        stats.domainEvaluations.end(), std::uint64_t{0});
+    EXPECT_EQ(domainTotal + stats.frontierEvaluations +
+                  rig.sim.moduleCount(),  // the discovery pass
+              rig.sim.evaluateCalls());
+  }
+}
+
+TEST(ParallelKernelTest, InteriorCombinationalLoopThrowsAndStaysUsable) {
+  Wire<bool> osc;
+  Wire<int> a, b;
+  Inverter inv("inv", osc);
+  Increment inc("inc", a, b);
+  inv.setPartitionHint(0);
+  inc.setPartitionHint(1);
+  Simulator sim;
+  sim.add(inv);
+  sim.add(inc);
+  sim.setThreads(2);
+  sim.setKernel(Simulator::Kernel::ParallelEventDriven);
+  EXPECT_THROW(sim.settle(), std::runtime_error);
+  // The throw cleaned every queued dirty flag: the simulator stays usable
+  // and a quiescent settle succeeds.
+  EXPECT_NO_THROW(sim.settle());
+  // Re-waking the oscillator finds the loop again.
+  osc.force(true);
+  EXPECT_THROW(sim.settle(), std::runtime_error);
+}
+
+TEST(ParallelKernelTest, CrossDomainCombinationalLoopThrows) {
+  // b = a + 1 in domain 0, a = b + 1 in domain 1: both modules are
+  // frontier, so the loop must trip the frontier-phase bound.
+  Wire<int> a, b;
+  Increment fwd("fwd", a, b);
+  Increment back("back", b, a);
+  fwd.setPartitionHint(0);
+  back.setPartitionHint(1);
+  Simulator sim;
+  sim.add(fwd);
+  sim.add(back);
+  sim.setThreads(2);
+  sim.setKernel(Simulator::Kernel::ParallelEventDriven);
+  EXPECT_THROW(sim.settle(), std::runtime_error);
+  EXPECT_NO_THROW(sim.settle());
+}
+
+TEST(ParallelKernelTest, ForceDuringParallelSettleThrows) {
+  // The poker stays quiet during the partition's discovery pass (trigger
+  // still 0) and fires inside the parallel phase, where Wire::force must
+  // throw - also on pool worker threads.
+  Wire<int> trigger, victim, a, b;
+  TriggeredPoker poker("poker", trigger, victim);
+  Increment inc("inc", a, b);
+  poker.setPartitionHint(0);
+  inc.setPartitionHint(1);
+  Simulator sim;
+  sim.add(poker);
+  sim.add(inc);
+  sim.setThreads(2);
+  sim.setKernel(Simulator::Kernel::ParallelEventDriven);
+  sim.settle();
+  trigger.force(1);
+  a.force(7);  // keeps domain 1 busy too, exercising the pool path
+  EXPECT_THROW(sim.settle(), std::logic_error);
+}
+
+TEST(ParallelKernelTest, ThreadAndKernelReconfigurationGuards) {
+  ChainRig rig(6, Simulator::Kernel::ParallelEventDriven, 2);
+  EXPECT_THROW(rig.sim.setThreads(0), std::invalid_argument);
+  rig.sim.run(1);
+  EXPECT_THROW(rig.sim.setThreads(4), std::logic_error);
+  EXPECT_THROW(rig.sim.setKernel(Simulator::Kernel::EventDriven),
+               std::logic_error);
+  EXPECT_NO_THROW(rig.sim.setThreads(2));  // unchanged count: no-op
+  EXPECT_EQ(rig.sim.threads(), 2);
+  rig.sim.reset();
+  EXPECT_NO_THROW(rig.sim.setThreads(4));  // reset reopens the window
+  rig.sim.settle();
+  EXPECT_EQ(rig.out(), 6);
+}
+
+TEST(ParallelKernelTest, ModulesAddedBetweenSettlesTriggerRepartition) {
+  Wire<int> a{1}, aOut, lateOut;
+  Increment inc("inc", a, aOut);
+  inc.setPartitionHint(0);
+  Simulator sim;
+  sim.add(inc);
+  sim.setThreads(2);
+  sim.setKernel(Simulator::Kernel::ParallelEventDriven);
+  sim.settle();
+  EXPECT_EQ(aOut.get(), 2);
+  Increment inc2("inc2", aOut, lateOut);
+  inc2.setPartitionHint(1);
+  sim.add(inc2);
+  sim.settle();  // re-collection rebuilds the partition and re-seeds
+  EXPECT_EQ(lateOut.get(), 3);
+  EXPECT_EQ(sim.partition().domainOf.size(), 2u);
+}
+
+}  // namespace
+}  // namespace rasoc::sim

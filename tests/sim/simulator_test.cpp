@@ -307,7 +307,10 @@ TEST(EventDrivenKernelTest, CombinationalLoopThrows) {
   EXPECT_THROW(sim.settle(), std::runtime_error);
 }
 
-TEST(EventDrivenKernelTest, KernelSwitchMidRunReSeedsEverything) {
+TEST(EventDrivenKernelTest, KernelSwitchMidRunIsRejected) {
+  // Regression: setKernel used to allow switching mid-run, handing the new
+  // kernel a stale worklist.  It must throw once a cycle has committed;
+  // reset() reopens the selection window.
   Wire<int> out, plusOne;
   Counter counter("counter", out);
   Increment inc("inc", out, plusOne);
@@ -316,15 +319,21 @@ TEST(EventDrivenKernelTest, KernelSwitchMidRunReSeedsEverything) {
   sim.add(inc);
   sim.reset();
   sim.run(3);  // naive
-  sim.setKernel(Simulator::Kernel::EventDriven);
+  EXPECT_THROW(sim.setKernel(Simulator::Kernel::EventDriven),
+               std::logic_error);
+  EXPECT_EQ(sim.kernel(), Simulator::Kernel::Naive);  // switch not applied
+  EXPECT_THROW(sim.setKernel(Simulator::Kernel::ParallelEventDriven),
+               std::logic_error);
+  sim.settle();
+  EXPECT_EQ(plusOne.get(), 4);  // the rejected switch did not disturb state
+  // Re-selecting the current kernel is a no-op, not an error.
+  EXPECT_NO_THROW(sim.setKernel(Simulator::Kernel::Naive));
+  sim.reset();
+  EXPECT_NO_THROW(sim.setKernel(Simulator::Kernel::EventDriven));
   sim.run(3);
   sim.settle();
-  EXPECT_EQ(out.get(), 6);
-  EXPECT_EQ(plusOne.get(), 7);
-  sim.setKernel(Simulator::Kernel::Naive);
-  sim.run(2);
-  sim.settle();
-  EXPECT_EQ(plusOne.get(), 9);
+  EXPECT_EQ(out.get(), 3);  // reset restarted the counter
+  EXPECT_EQ(plusOne.get(), 4);
 }
 
 TEST(EventDrivenKernelTest, ModulesAddedMidRunAreSeeded) {
