@@ -29,10 +29,16 @@ struct MeshConfig {
   // per flit.
   bool hlpParity = false;
 
+  // End-to-end NI retransmission protocol (see noc/reliable.hpp).
+  ReliabilityConfig reliability;
+
   // Per-flit probability of a single payload-bit flip on each inter-router
   // link (0 = ideal links, plain Link modules).
   double linkFaultRate = 0.0;
   std::uint64_t faultSeed = 0xfa17;
+
+  // Scheduled fault campaign (see noc/fault.hpp).
+  FaultPlan faultPlan;
 
   // The topology-agnostic part of this configuration.
   NetworkConfig network() const {
@@ -42,8 +48,10 @@ struct MeshConfig {
     cfg.kernel = kernel;
     cfg.threads = threads;
     cfg.hlpParity = hlpParity;
+    cfg.reliability = reliability;
     cfg.linkFaultRate = linkFaultRate;
     cfg.faultSeed = faultSeed;
+    cfg.faultPlan = faultPlan;
     return cfg;
   }
 };

@@ -37,6 +37,18 @@ Network::Network(std::shared_ptr<const Topology> topology,
     throw std::invalid_argument(
         "topology offsets exceed the RIB range; increase m");
 
+  if (!config_.faultPlan.empty()) {
+    config_.faultPlan.validate(*topology_);
+    if (config_.params.flowControl != router::FlowControl::Handshake) {
+      for (const FaultEvent& e : config_.faultPlan.events) {
+        if (e.kind != FaultKind::Corrupt)
+          throw std::invalid_argument(
+              "fault plan: stall/drop windows require handshake flow "
+              "control (the credit-based ack wire carries credit returns)");
+      }
+    }
+  }
+
   // Parallel kernel: one partition domain per worker thread, each node's
   // modules hinted into the domain Topology::partition assigns to it.
   if (config_.kernel == sim::Simulator::Kernel::ParallelEventDriven) {
@@ -54,6 +66,7 @@ Network::Network(std::shared_ptr<const Topology> topology,
                                              config_.arbiter);
     NiOptions niOptions;
     niOptions.hlpParity = config_.hlpParity;
+    niOptions.reliability = config_.reliability;
     auto ni = std::make_unique<NetworkInterface>(
         nodeName("ni", n), params, topology_, n, r->in(Port::Local),
         r->out(Port::Local), ledger_, niOptions);
@@ -78,15 +91,19 @@ Network::Network(std::shared_ptr<const Topology> topology,
       if (!to) continue;
       const std::string linkName =
           nodeName("link", from) + std::string(router::name(out));
+      const LinkId linkId{from, out};
+      std::vector<router::FaultWindow> windows =
+          config_.faultPlan.windowsFor(linkId);
       std::unique_ptr<router::Link> link;
-      if (config_.linkFaultRate > 0.0) {
+      if (config_.linkFaultRate > 0.0 || !windows.empty()) {
         auto faulty = std::make_unique<router::FaultyLink>(
             linkName, routers_[indexOf(from)]->out(out),
             routers_[indexOf(*to)]->in(router::opposite(out)),
             config_.params.n, config_.linkFaultRate,
             config_.faultSeed + links_.size() * 131 + 7,
             config_.params.flowControl);
-        faultyLinks_.push_back(faulty.get());
+        faulty->setWindows(std::move(windows));
+        faultyLinks_.emplace_back(linkId, faulty.get());
         link = std::move(faulty);
       } else {
         link = std::make_unique<router::Link>(
@@ -131,6 +148,10 @@ void Network::attachTraffic(const TrafficConfig& traffic) {
   }
 }
 
+void Network::pauseTraffic(bool paused) {
+  for (auto& gen : generators_) gen->setPaused(paused);
+}
+
 void Network::enableTelemetry(telemetry::MetricsRegistry& registry) {
   if (metrics_) throw std::logic_error("telemetry already enabled");
   metrics_ = &registry;
@@ -146,7 +167,22 @@ void Network::enableTelemetry(telemetry::MetricsRegistry& registry) {
     nm.sendQueueFlits =
         &registry.histogram(prefix + "send_queue_flits",
                             telemetry::Histogram::linearBounds(16));
+    if (config_.reliability.enabled) {
+      nm.retransmits = &registry.counter(prefix + "retransmits");
+      nm.timeouts = &registry.counter(prefix + "timeouts");
+      nm.duplicatesDropped =
+          &registry.counter(prefix + "duplicates_dropped");
+    }
     nis_[static_cast<std::size_t>(i)]->attachMetrics(nm);
+  }
+  // Per-link fault counters (only links that can actually fault).
+  for (const auto& [id, link] : faultyLinks_) {
+    const std::string prefix = linkMetricPrefix(id) + ".";
+    router::FaultyLinkMetrics fm;
+    fm.flitsCorrupted = &registry.counter(prefix + "flits_corrupted");
+    fm.flitsDropped = &registry.counter(prefix + "flits_dropped");
+    fm.stallCycles = &registry.counter(prefix + "stall_cycles");
+    link->attachMetrics(fm);
   }
   // Network-level gauges, sampled once per committed cycle through the
   // simulator tick hook.
@@ -158,6 +194,24 @@ void Network::enableTelemetry(telemetry::MetricsRegistry& registry) {
     for (const auto& ni : nis_) total += ni->sendQueueFlits();
     queuedFlits->sample(static_cast<double>(total));
   });
+  if (config_.reliability.enabled) {
+    telemetry::Gauge* unacked =
+        &registry.gauge("net.reliability.unacked_frames");
+    telemetry::Gauge* backlog =
+        &registry.gauge("net.reliability.backlog_frames");
+    sim_.addTickListener([this, unacked, backlog] {
+      std::size_t unackedTotal = 0;
+      std::size_t backlogTotal = 0;
+      for (const auto& ni : nis_) {
+        if (const ReliableTransport* t = ni->transport()) {
+          unackedTotal += t->unackedFrames();
+          backlogTotal += t->backlogFrames();
+        }
+      }
+      unacked->sample(static_cast<double>(unackedTotal));
+      backlog->sample(static_cast<double>(backlogTotal));
+    });
+  }
   if (sim_.kernel() == sim::Simulator::Kernel::ParallelEventDriven) {
     // Parallel-kernel health: frontier (sequential) work per cycle, the
     // per-domain imbalance ratio (max/mean interior evaluations; 1.0 means
@@ -250,9 +304,36 @@ double Network::linkUtilization(NodeId from, router::Port port) const {
 
 std::uint64_t Network::flitsCorrupted() const {
   std::uint64_t total = 0;
-  for (const router::FaultyLink* link : faultyLinks_)
-    total += link->flitsCorrupted();
+  for (const auto& [id, link] : faultyLinks_) total += link->flitsCorrupted();
   return total;
+}
+
+std::uint64_t Network::flitsDropped() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, link] : faultyLinks_) total += link->flitsDropped();
+  return total;
+}
+
+std::uint64_t Network::faultStallCycles() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, link] : faultyLinks_) total += link->stallCycles();
+  return total;
+}
+
+ReliabilityStats Network::reliabilityStats() const {
+  ReliabilityStats total;
+  for (const auto& ni : nis_) {
+    if (const ReliabilityStats* s = ni->reliabilityStats()) total += *s;
+  }
+  return total;
+}
+
+std::vector<std::string> Network::blockedLinkNames() const {
+  std::vector<std::string> names;
+  for (const auto& [key, link] : linkIndex_) {
+    if (link->blocked()) names.push_back(link->name());
+  }
+  return names;
 }
 
 std::uint64_t Network::parityErrorsDetected() const {

@@ -1,18 +1,21 @@
-// Network builder: instantiates one RASoC router per topology node with
-// that node's pruned port set, wires every adjacent port pair with a link,
-// attaches one network interface per Local port, and optionally one traffic
-// generator per node.  All geometry comes from the Topology instance - the
-// builder itself contains no grid arithmetic.
+/// \file
+/// Network builder: instantiates one RASoC router per topology node with
+/// that node's pruned port set, wires every adjacent port pair with a link,
+/// attaches one network interface per Local port, and optionally one
+/// traffic generator per node.  All geometry comes from the Topology
+/// instance — the builder itself contains no grid arithmetic.
 #pragma once
 
 #include <map>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "sim/simulator.hpp"
 #include "telemetry/metrics.hpp"
 
+#include "noc/fault.hpp"
 #include "noc/ni.hpp"
 #include "noc/stats.hpp"
 #include "noc/topology.hpp"
@@ -23,38 +26,56 @@
 
 namespace rasoc::noc {
 
+/// Everything a Network needs beyond its Topology.
 struct NetworkConfig {
+  /// Router geometry (flit width n, RIB width m, FIFO depth p, flow
+  /// control, routing algorithm); per-node port masks are filled in from
+  /// the topology.
   router::RouterParams params{};
   router::ArbiterKind arbiter = router::ArbiterKind::RoundRobin;
 
-  // Settle kernel for the network's simulator.  EventDriven evaluates only
-  // modules whose inputs changed (see sim/simulator.hpp) and is the
-  // default; Naive is the reference fixpoint kernel the equivalence suite
-  // A/Bs against.
+  /// Settle kernel for the network's simulator.  EventDriven evaluates only
+  /// modules whose inputs changed (see sim/simulator.hpp) and is the
+  /// default; Naive is the reference fixpoint kernel the equivalence suite
+  /// A/Bs against.
   sim::Simulator::Kernel kernel = sim::Simulator::Kernel::EventDriven;
 
-  // Worker threads for Kernel::ParallelEventDriven (ignored by the other
-  // kernels).  The topology is split into this many contiguous node blocks
-  // (Topology::partition); each node's router, NI, traffic generator and
-  // outgoing links land in that node's domain, and links crossing a cut
-  // become the kernel's frontier modules.
+  /// Worker threads for Kernel::ParallelEventDriven (ignored by the other
+  /// kernels).  The topology is split into this many contiguous node blocks
+  /// (Topology::partition); each node's router, NI, traffic generator and
+  /// outgoing links land in that node's domain, and links crossing a cut
+  /// become the kernel's frontier modules.
   int threads = 1;
 
-  // HLP parity in every NI (paper Section 2 extension); costs one data bit
-  // per flit.
+  /// HLP parity in every NI (paper Section 2 extension); costs one data bit
+  /// per flit.
   bool hlpParity = false;
 
-  // Per-flit probability of a single payload-bit flip on each inter-router
-  // link (0 = ideal links, plain Link modules).
+  /// End-to-end NI retransmission protocol (noc/reliable.hpp).  Default-off:
+  /// runs without it are bit-identical to the unprotected network.
+  ReliabilityConfig reliability;
+
+  /// Per-flit probability of a single payload-bit flip on each inter-router
+  /// link (0 = ideal links, plain Link modules).  Uniform background noise;
+  /// for windowed faults use `faultPlan`.
   double linkFaultRate = 0.0;
   std::uint64_t faultSeed = 0xfa17;
+
+  /// Scheduled fault campaign (noc/fault.hpp): links named by the plan are
+  /// built as FaultyLink with the plan's corruption / stuck-ack /
+  /// link-down windows.  Stall and outage windows require handshake flow
+  /// control (the builder throws otherwise).
+  FaultPlan faultPlan;
 };
 
+/// A complete simulated NoC: routers, links, NIs and (optionally) traffic
+/// generators over a Topology, plus the delivery ledger and telemetry
+/// plumbing shared by benches and tests.
 class Network {
  public:
   Network(std::shared_ptr<const Topology> topology, NetworkConfig config);
 
-  // Adds one traffic generator per node (seeded per node from config.seed).
+  /// Adds one traffic generator per node (seeded per node from config.seed).
   void attachTraffic(const TrafficConfig& traffic);
 
   const NetworkConfig& config() const { return config_; }
@@ -66,40 +87,57 @@ class Network {
   router::Rasoc& router(NodeId n);
   NetworkInterface& ni(NodeId n);
   TrafficGenerator& generator(NodeId n);
+
+  /// Pauses (or resumes) every attached traffic generator, so sweeps can
+  /// close the measurement window and drain() without racing generators
+  /// that never go idle.  No-op when no traffic is attached.
+  void pauseTraffic(bool paused);
   DeliveryLedger& ledger() { return ledger_; }
   const DeliveryLedger& ledger() const { return ledger_; }
 
-  // Opt-in observability: attaches the standard per-channel series of every
-  // router and NI to `registry` (naming convention in telemetry/metrics.hpp
-  // and noc/observe.hpp) and registers a per-cycle sampler for network-level
-  // gauges.  Call once, before running; the registry must outlive the
-  // network.
+  /// Opt-in observability: attaches the standard per-channel series of every
+  /// router and NI to `registry` (naming convention in telemetry/metrics.hpp
+  /// and noc/observe.hpp) and registers a per-cycle sampler for network-level
+  /// gauges.  Call once, before running; the registry must outlive the
+  /// network.
   void enableTelemetry(telemetry::MetricsRegistry& registry);
   const telemetry::MetricsRegistry* metrics() const { return metrics_; }
 
   void reset();
   void run(std::uint64_t cycles);
 
-  // Runs until every send queue is empty and every queued packet has been
-  // delivered, or maxCycles elapse.  Returns true when fully drained.
+  /// Runs until every send queue is empty, every queued packet has been
+  /// delivered and (under reliability) every frame is acknowledged, or
+  /// maxCycles elapse.  Returns true when fully drained.
   bool drain(std::uint64_t maxCycles);
 
-  // No misroutes, buffer overflows or misdeliveries anywhere.
+  /// No misroutes, buffer overflows or misdeliveries anywhere.
   bool healthy() const;
 
-  // Mean / peak utilization over the inter-router links.
+  /// Mean / peak utilization over the inter-router links.
   double meanLinkUtilization() const;
   double maxLinkUtilization() const;
   std::size_t linkCount() const { return links_.size(); }
 
-  // Measured utilization of the directed link leaving `from` through
-  // `port` (throws for links that do not exist on this network).
+  /// Measured utilization of the directed link leaving `from` through
+  /// `port` (throws for links that do not exist on this network).
   double linkUtilization(NodeId from, router::Port port) const;
 
-  // Fault-injection / HLP diagnostics aggregated over links and NIs.
+  /// Fault-injection / HLP diagnostics aggregated over links and NIs.
   std::uint64_t flitsCorrupted() const;
+  std::uint64_t flitsDropped() const;
+  std::uint64_t faultStallCycles() const;
   std::uint64_t parityErrorsDetected() const;
   std::uint64_t unattributedPackets() const;
+
+  /// Reliability protocol counters summed over every NI (all-zero when the
+  /// protocol is disabled).
+  ReliabilityStats reliabilityStats() const;
+
+  /// Names of links currently offering a flit the far side is not
+  /// accepting, in deterministic (node, port) order.  Feed to a Watchdog as
+  /// its diagnostics callback so stall reports name the wedged links.
+  std::vector<std::string> blockedLinkNames() const;
 
  private:
   std::size_t indexOf(NodeId n) const;
@@ -113,7 +151,8 @@ class Network {
   std::vector<std::unique_ptr<NetworkInterface>> nis_;
   std::vector<std::unique_ptr<router::Link>> links_;
   std::map<std::pair<int, int>, router::Link*> linkIndex_;  // (node, port)
-  std::vector<router::FaultyLink*> faultyLinks_;  // views into links_
+  // Views into links_, with the topology-level id for metric naming.
+  std::vector<std::pair<LinkId, router::FaultyLink*>> faultyLinks_;
   std::vector<std::unique_ptr<TrafficGenerator>> generators_;
   telemetry::MetricsRegistry* metrics_ = nullptr;
 };

@@ -30,6 +30,11 @@ NetworkInterface::NetworkInterface(std::string name,
     throw std::invalid_argument(
         "node index must fit in one payload flit; shrink the network or "
         "widen n");
+  if (options_.reliability.enabled) {
+    options_.reliability.validate(payloadBits());
+    transport_ = std::make_unique<ReliableTransport>(
+        options_.reliability, topology_, self_, payloadBits());
+  }
   // The send side of evaluate() streams from the registered queue/credit
   // state; the receive side echoes the router's val into ack.
   declareSequential();
@@ -79,6 +84,8 @@ void NetworkInterface::onReset() {
   parityErrors_ = 0;
   unattributed_ = 0;
   misdelivery_ = false;
+  if (transport_) transport_->reset();
+  lastMetricStats_ = ReliabilityStats{};
 }
 
 void NetworkInterface::send(NodeId dst,
@@ -88,6 +95,23 @@ void NetworkInterface::send(NodeId dst,
         "self-addressed packets are not routable (own-port request)");
   if (!topology_->contains(dst))
     throw std::invalid_argument("dst outside network");
+
+  if (transport_) {
+    // The ledger tracks the application packet once, at submission; frames
+    // (first transmissions, retransmissions, ACKs) are protocol overhead.
+    // `flits` uses the unprotected wire size so goodput numbers stay
+    // comparable with reliability on and off.
+    PacketRecord record;
+    record.src = self_;
+    record.dst = dst;
+    record.createdCycle = cycle_;
+    record.flits = static_cast<int>(payload.size()) + 2;
+    ledger_->onQueued(record);
+    transport_->submit(dst, payload);
+    pumpTransport();
+    markDirty();
+    return;
+  }
 
   // Wire format: header + source-index flit + payload (last flit = eop).
   std::vector<std::uint32_t> words;
@@ -148,11 +172,15 @@ void NetworkInterface::clockEdge() {
   if (sent) {
     OutPacket& packet = sendQueue_.front();
     const Flit& flit = packet.flits[packet.next];
-    if (flit.bop) ledger_->onHeaderInjected(self_, packet.dst, cycle_);
+    if (flit.bop && packet.tracked)
+      ledger_->onHeaderInjected(self_, packet.dst, cycle_);
     ++packet.next;
     --sendQueueFlits_;
     if (packet.next == packet.flits.size()) {
       ++packetsSent_;
+      // The frame is fully on the wire: arm its retransmission timer.
+      if (transport_ && packet.frameId != 0)
+        transport_->onFrameSent(packet.frameId, cycle_);
       sendQueue_.pop_front();
     }
   }
@@ -187,32 +215,104 @@ void NetworkInterface::clockEdge() {
         const router::Rib residual =
             router::decodeRib(rxFlits_.front().data, params_.m);
         if (residual != router::Rib{0, 0}) misdelivery_ = true;
+        bool parityBad = false;
         if (options_.hlpParity) {
           for (std::size_t i = 1; i < rxFlits_.size(); ++i) {
-            if (!parityOk(rxFlits_[i].data)) ++parityErrors_;
+            if (!parityOk(rxFlits_[i].data)) {
+              ++parityErrors_;
+              parityBad = true;
+            }
           }
         }
         const std::uint32_t mask = router::dataMask(payloadBits());
-        const auto srcIndex = static_cast<int>(rxFlits_[1].data & mask);
-        // Under fault injection the decoded source index can be garbage;
-        // count that as unattributed rather than tripping the bounds check.
-        if (srcIndex < 0 || srcIndex >= topology_->nodes()) {
-          ++unattributed_;
+        if (transport_) {
+          // Reliability path: hand the checksummed frame to the transport,
+          // which validates it, dedups, reorders and ACKs.  Deliveries are
+          // collected in the pump below.  Parity-flagged frames never reach
+          // the transport: parity catches any single-bit flip per flit
+          // (strictly stronger than the frame checksum, whose additive sum
+          // can cancel across two corrupted flits), and dropping here turns
+          // detection into recovery — the sender retransmits whatever is
+          // never acknowledged.
+          if (!parityBad) {
+            std::vector<std::uint32_t> words;
+            words.reserve(rxFlits_.size() - 1);
+            for (std::size_t i = 1; i < rxFlits_.size(); ++i)
+              words.push_back(rxFlits_[i].data & mask);
+            transport_->onWireWords(words, cycle_);
+          }
         } else {
-          const NodeId src = topology_->nodeAt(srcIndex);
-          if (!ledger_->tryDeliver(src, self_, cycle_)) ++unattributed_;
+          const auto srcIndex = static_cast<int>(rxFlits_[1].data & mask);
+          // Under fault injection the decoded source index can be garbage;
+          // count that as unattributed rather than tripping the bounds
+          // check.
+          if (srcIndex < 0 || srcIndex >= topology_->nodes()) {
+            ++unattributed_;
+          } else {
+            const NodeId src = topology_->nodeAt(srcIndex);
+            if (!ledger_->tryDeliver(src, self_, cycle_)) ++unattributed_;
+          }
+          ++packetsReceived_;
+          std::vector<std::uint32_t> payload;
+          for (std::size_t i = 2; i < rxFlits_.size(); ++i)
+            payload.push_back(rxFlits_[i].data & mask);
+          received_.push_back(std::move(payload));
         }
-        ++packetsReceived_;
-        std::vector<std::uint32_t> payload;
-        for (std::size_t i = 2; i < rxFlits_.size(); ++i)
-          payload.push_back(rxFlits_[i].data & mask);
-        received_.push_back(std::move(payload));
       }
       rxFlits_.clear();
     }
   }
 
+  if (transport_) {
+    transport_->onCycle(cycle_);
+    pumpTransport();
+    if (metricsAttached_) {
+      const ReliabilityStats& s = transport_->stats();
+      if (metrics_.retransmits)
+        metrics_.retransmits->inc(s.retransmissions -
+                                  lastMetricStats_.retransmissions);
+      if (metrics_.timeouts)
+        metrics_.timeouts->inc(s.timeouts - lastMetricStats_.timeouts);
+      if (metrics_.duplicatesDropped)
+        metrics_.duplicatesDropped->inc(s.duplicatesDropped -
+                                        lastMetricStats_.duplicatesDropped);
+      lastMetricStats_ = s;
+    }
+  }
+
   ++cycle_;
+}
+
+void NetworkInterface::enqueueFrame(ReliableTransport::WireFrame&& frame) {
+  std::vector<std::uint32_t> words;
+  words.reserve(frame.words.size() + 1);
+  words.push_back(static_cast<std::uint32_t>(topology_->indexOf(self_)));
+  words.insert(words.end(), frame.words.begin(), frame.words.end());
+  if (options_.hlpParity) {
+    for (std::uint32_t& word : words) word = parityProtect(word);
+  }
+  OutPacket packet;
+  packet.dst = frame.dst;
+  packet.frameId = frame.frameId;
+  packet.tracked = frame.firstTransmission;
+  packet.flits =
+      router::makePacket(topology_->rib(self_, frame.dst), words, params_);
+  sendQueueFlits_ += packet.flits.size();
+  sendQueue_.push_back(std::move(packet));
+  markDirty();
+}
+
+void NetworkInterface::pumpTransport() {
+  for (auto& frame : transport_->takeFrames())
+    enqueueFrame(std::move(frame));
+  for (auto& delivery : transport_->takeDeliveries()) {
+    // Attribution is checksum-verified, so a failed ledger close would mean
+    // a protocol bug rather than wire noise; count it like the unprotected
+    // path does.
+    if (!ledger_->tryDeliver(delivery.src, self_, cycle_)) ++unattributed_;
+    ++packetsReceived_;
+    received_.push_back(std::move(delivery.payload));
+  }
 }
 
 }  // namespace rasoc::noc

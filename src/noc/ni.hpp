@@ -1,17 +1,26 @@
-// Network interface: the "processing core" side of a router's Local port.
-//
-// Sending: packets are queued, then streamed flit by flit over the local
-// input channel, honouring the link flow control (handshake or credits).
-// The wire format is:
-//   flit 0: header, bop set, low m bits = RIB computed by the topology
-//   flit 1: source node index (lets the destination close the ledger entry)
-//   flit 2..: payload words, the last one with eop set
-//
-// Receiving: the NI is always ready (in_ack = in_val); flits are collected
-// until eop, the source index is decoded, and the delivery ledger is
-// closed.  A sticky misdelivery flag records any packet whose residual RIB
-// is nonzero on arrival - the invariant that routing consumed the whole
-// offset the source computed.
+/// \file
+/// Network interface: the "processing core" side of a router's Local port.
+///
+/// Sending: packets are queued, then streamed flit by flit over the local
+/// input channel, honouring the link flow control (handshake or credits).
+/// The wire format is:
+///   - flit 0: header, bop set, low m bits = RIB computed by the topology
+///   - flit 1: source node index (lets the destination close the ledger
+///     entry)
+///   - flit 2..: payload words, the last one with eop set
+///
+/// Receiving: the NI is always ready (in_ack = in_val); flits are collected
+/// until eop, the source index is decoded, and the delivery ledger is
+/// closed.  A sticky misdelivery flag records any packet whose residual RIB
+/// is nonzero on arrival — the invariant that routing consumed the whole
+/// offset the source computed.
+///
+/// With NiOptions::reliability enabled the NI additionally runs the
+/// end-to-end protocol in noc/reliable.hpp: application payloads flow
+/// through a ReliableTransport that frames them with sequence numbers and
+/// checksums, retransmits on timeout, and releases them in order exactly
+/// once at the receiver.  The option is off by default and the default wire
+/// format and cycle behavior are bit-identical to the unprotected NI.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +31,7 @@
 #include "sim/module.hpp"
 #include "telemetry/metrics.hpp"
 
+#include "noc/reliable.hpp"
 #include "noc/stats.hpp"
 #include "noc/topology.hpp"
 #include "router/channel.hpp"
@@ -30,66 +40,90 @@
 
 namespace rasoc::noc {
 
-// Optional NI behaviours beyond the base wire protocol.
+/// Optional NI behaviours beyond the base wire protocol.
 struct NiOptions {
-  // Higher Level Protocol parity (paper Section 2: "the n data bits can be
-  // extended to include HLP signals, like the ones typically used for data
-  // integrity control").  The top data bit of every non-header flit
-  // carries even parity over the lower n-1 bits; the receiver checks it
-  // and counts violations.  Headers stay unprotected because their RIB is
-  // legitimately rewritten at every hop.
+  /// Higher Level Protocol parity (paper Section 2: "the n data bits can be
+  /// extended to include HLP signals, like the ones typically used for data
+  /// integrity control").  The top data bit of every non-header flit
+  /// carries even parity over the lower n-1 bits; the receiver checks it
+  /// and counts violations.  Headers stay unprotected because their RIB is
+  /// legitimately rewritten at every hop.
   bool hlpParity = false;
+
+  /// End-to-end retransmission protocol (see noc/reliable.hpp).  Costs one
+  /// control word and one checksum word per packet plus ACK/NACK traffic;
+  /// leaves default runs untouched when disabled.
+  ReliabilityConfig reliability;
 };
 
-// Opt-in injection-side instrumentation (telemetry subsystem).
+/// Opt-in injection-side instrumentation (telemetry subsystem).
 struct NiMetrics {
-  telemetry::Counter* flitsInjected = nullptr;       // flits into the router
-  telemetry::Counter* flitsEjected = nullptr;        // flits out of the router
-  telemetry::Counter* backpressureCycles = nullptr;  // pending flit held back
-  telemetry::Histogram* sendQueueFlits = nullptr;    // per-cycle queue depth
+  telemetry::Counter* flitsInjected = nullptr;       ///< flits into the router
+  telemetry::Counter* flitsEjected = nullptr;        ///< flits out of the router
+  telemetry::Counter* backpressureCycles = nullptr;  ///< pending flit held back
+  telemetry::Histogram* sendQueueFlits = nullptr;    ///< per-cycle queue depth
+  // Reliability protocol counters (incremented only when it is enabled).
+  telemetry::Counter* retransmits = nullptr;
+  telemetry::Counter* timeouts = nullptr;
+  telemetry::Counter* duplicatesDropped = nullptr;
 };
 
+/// One node's traffic endpoint: queues outbound packets, streams them into
+/// the router's Local port, reassembles inbound flits and closes delivery
+/// ledger entries.
 class NetworkInterface : public sim::Module {
  public:
-  // The topology supplies the node indexing used by the source-index flit
-  // and the RIB written into every header; it must outlive the interface
-  // (the shared_ptr keeps it alive).
+  /// The topology supplies the node indexing used by the source-index flit
+  /// and the RIB written into every header; it must outlive the interface
+  /// (the shared_ptr keeps it alive).
   NetworkInterface(std::string name, const router::RouterParams& params,
                    std::shared_ptr<const Topology> topology, NodeId self,
                    router::ChannelWires& toRouter,
                    router::ChannelWires& fromRouter, DeliveryLedger& ledger,
                    NiOptions options = {});
 
-  // Convenience: an interface on a standalone 2D mesh of `shape`.
+  /// Convenience: an interface on a standalone 2D mesh of `shape`.
   NetworkInterface(std::string name, const router::RouterParams& params,
                    MeshShape shape, NodeId self,
                    router::ChannelWires& toRouter,
                    router::ChannelWires& fromRouter, DeliveryLedger& ledger,
                    NiOptions options = {});
 
-  // Queues a packet of `payload` words for `dst` (throws on dst == self:
-  // an input channel may never request its own port).
+  /// Queues a packet of `payload` words for `dst` (throws on dst == self:
+  /// an input channel may never request its own port).  With reliability
+  /// enabled the payload is handed to the transport, which frames it and
+  /// may delay it in a per-destination window backlog.
   void send(NodeId dst, const std::vector<std::uint32_t>& payload);
 
+  /// Flits currently queued for the wire (all frame types).
   std::size_t sendQueueFlits() const { return sendQueueFlits_; }
-  std::size_t sendQueuePackets() const { return sendQueue_.size(); }
-  bool idle() const { return sendQueue_.empty(); }
+  /// Packets queued for the wire plus, under reliability, backlogged
+  /// payloads waiting for window space (traffic generators throttle on it).
+  std::size_t sendQueuePackets() const {
+    return sendQueue_.size() +
+           (transport_ ? transport_->backlogFrames() : 0);
+  }
+  /// Nothing queued and (under reliability) no frame awaiting an ACK.
+  bool idle() const {
+    return sendQueue_.empty() && (!transport_ || transport_->idle());
+  }
 
   std::uint64_t packetsSent() const { return packetsSent_; }
   std::uint64_t packetsReceived() const { return packetsReceived_; }
   bool misdeliveryDetected() const { return misdelivery_; }
 
-  // HLP parity diagnostics (always zero when hlpParity is off).
+  /// HLP parity diagnostics (always zero when hlpParity is off).
   std::uint64_t parityErrors() const { return parityErrors_; }
-  // Packets whose ledger entry could not be closed (source-index flit
-  // corrupted beyond attribution); only possible under fault injection.
+  /// Packets whose ledger entry could not be closed (source-index flit
+  /// corrupted beyond attribution); only possible under fault injection.
   std::uint64_t unattributedPackets() const { return unattributed_; }
 
-  // Usable payload bits per flit (n, minus one when parity is enabled).
+  /// Usable payload bits per flit (n, minus one when parity is enabled).
   int payloadBits() const;
 
-  // Payload words of every received packet, in arrival order (the source
-  // index flit is stripped).  Tests use this to check payload integrity.
+  /// Payload words of every received packet, in arrival order (the source
+  /// index flit is stripped; under reliability, protocol framing too).
+  /// Tests use this to check payload integrity.
   const std::vector<std::vector<std::uint32_t>>& received() const {
     return received_;
   }
@@ -97,7 +131,14 @@ class NetworkInterface : public sim::Module {
 
   std::uint64_t cycle() const { return cycle_; }
 
-  // Enables instrumentation; the metrics must outlive the interface.
+  /// Reliability protocol counters, or nullptr when the protocol is off.
+  const ReliabilityStats* reliabilityStats() const {
+    return transport_ ? &transport_->stats() : nullptr;
+  }
+  /// The protocol engine, or nullptr when the protocol is off (tests).
+  const ReliableTransport* transport() const { return transport_.get(); }
+
+  /// Enables instrumentation; the metrics must outlive the interface.
   void attachMetrics(const NiMetrics& metrics);
 
  protected:
@@ -114,6 +155,9 @@ class NetworkInterface : public sim::Module {
   std::uint32_t parityProtect(std::uint32_t word) const;
   bool parityOk(std::uint32_t word) const;
 
+  void enqueueFrame(ReliableTransport::WireFrame&& frame);
+  void pumpTransport();
+
   router::RouterParams params_;
   NiOptions options_;
   router::FlowControl flowControl_;
@@ -122,12 +166,18 @@ class NetworkInterface : public sim::Module {
   router::ChannelWires* toRouter_;
   router::ChannelWires* fromRouter_;
   DeliveryLedger* ledger_;
+  std::unique_ptr<ReliableTransport> transport_;  // null when disabled
 
   // Send side.
   struct OutPacket {
     NodeId dst;
     std::vector<router::Flit> flits;
     std::size_t next = 0;
+    // Reliability bookkeeping: `frameId` != 0 reports back to the
+    // transport when fully streamed; `tracked` marks packets the delivery
+    // ledger accounts (first transmissions — never ACKs/retransmissions).
+    std::uint64_t frameId = 0;
+    bool tracked = true;
   };
   std::deque<OutPacket> sendQueue_;
   std::size_t sendQueueFlits_ = 0;
@@ -146,6 +196,7 @@ class NetworkInterface : public sim::Module {
 
   NiMetrics metrics_;
   bool metricsAttached_ = false;
+  ReliabilityStats lastMetricStats_;  // previous totals for counter deltas
 };
 
 }  // namespace rasoc::noc

@@ -20,6 +20,10 @@ std::string routerMetricPrefix(NodeId n) { return "r" + coord(n); }
 
 std::string niMetricPrefix(NodeId n) { return "ni" + coord(n); }
 
+std::string linkMetricPrefix(const LinkId& l) {
+  return "link" + coord(l.from) + std::string(router::name(l.port));
+}
+
 telemetry::MeshHeatmap throughputHeatmap(
     const telemetry::MetricsRegistry& registry, const Topology& topology,
     std::uint64_t cycles) {
@@ -93,6 +97,27 @@ telemetry::MeshHeatmap backpressureHeatmap(
   return backpressureHeatmap(registry, MeshTopology(shape), cycles);
 }
 
+telemetry::MeshHeatmap faultHeatmap(
+    const telemetry::MetricsRegistry& registry, const Topology& topology,
+    std::uint64_t cycles) {
+  const Extent extent = topology.extent();
+  telemetry::MeshHeatmap map(extent.width, extent.height, "link_faults");
+  for (int i = 0; i < topology.nodes(); ++i) {
+    const NodeId n = topology.nodeAt(i);
+    std::uint64_t events = 0;
+    for (router::Port p : router::kAllPorts) {
+      if (p == router::Port::Local) continue;
+      if (!topology.neighbor(n, p)) continue;
+      const std::string prefix = linkMetricPrefix({n, p}) + ".";
+      events += registry.counterValue(prefix + "flits_corrupted");
+      events += registry.counterValue(prefix + "flits_dropped");
+      events += registry.counterValue(prefix + "stall_cycles");
+    }
+    map.set(n.x, n.y, safeRate(events, static_cast<double>(cycles)));
+  }
+  return map;
+}
+
 telemetry::RunReport buildRunReport(std::string name, const Network& network,
                                     const Watchdog* watchdog) {
   telemetry::RunReport report(std::move(name));
@@ -117,8 +142,24 @@ telemetry::RunReport buildRunReport(std::string name, const Network& network,
 
   report.set("health", "healthy", network.healthy());
   report.set("health", "flits_corrupted", network.flitsCorrupted());
+  report.set("health", "flits_dropped", network.flitsDropped());
+  report.set("health", "fault_stall_cycles", network.faultStallCycles());
   report.set("health", "parity_errors", network.parityErrorsDetected());
   report.set("health", "unattributed_packets", network.unattributedPackets());
+
+  if (config.reliability.enabled) {
+    const ReliabilityStats rs = network.reliabilityStats();
+    report.set("reliability", "data_frames", rs.dataFramesSent);
+    report.set("reliability", "retransmissions", rs.retransmissions);
+    report.set("reliability", "timeouts", rs.timeouts);
+    report.set("reliability", "acks_sent", rs.acksSent);
+    report.set("reliability", "nacks_sent", rs.nacksSent);
+    report.set("reliability", "duplicates_dropped", rs.duplicatesDropped);
+    report.set("reliability", "out_of_order_buffered", rs.outOfOrderBuffered);
+    report.set("reliability", "malformed_frames", rs.malformedFrames);
+    report.set("reliability", "payloads_delivered", rs.payloadsDelivered);
+    report.set("reliability", "abandoned", rs.abandoned);
+  }
 
   const DeliveryLedger& ledger = network.ledger();
   report.set("ledger", "queued", ledger.queued());
@@ -152,6 +193,16 @@ telemetry::RunReport buildRunReport(std::string name, const Network& network,
                snapshot.lastDeliveryCycle);
     report.set("watchdog", "stall_cycle", snapshot.stallCycle);
     report.set("watchdog", "in_flight_at_stall", snapshot.inFlightAtStall);
+    report.set("watchdog", "blocked_links",
+               static_cast<std::uint64_t>(snapshot.blockedLinks.size()));
+    std::string joined;
+    for (std::size_t i = 0;
+         i < snapshot.blockedLinks.size() && i < 8; ++i) {
+      if (!joined.empty()) joined += ",";
+      joined += snapshot.blockedLinks[i];
+    }
+    if (snapshot.blockedLinks.size() > 8) joined += ",...";
+    report.set("watchdog", "blocked_link_names", joined);
   }
 
   if (network.metrics()) report.attachRegistry(*network.metrics());

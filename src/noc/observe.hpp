@@ -1,20 +1,25 @@
-// Observability glue between the NoC layer and the telemetry subsystem:
-// the metric naming convention, heatmap extraction from an instrumented
-// network's registry, and the standard RunReport for bench/example output.
-//
-// Network::enableTelemetry registers, per router at (x,y):
-//   r<x>,<y>.flits_routed                     router-aggregate throughput
-//   r<x>,<y>.<P>in.{flits,full_cycles,stall_cycles,occupancy}
-//   r<x>,<y>.<P>out.{flits,busy_cycles,grants,conflict_cycles}
-// per network interface:
-//   ni<x>,<y>.{flits_injected,flits_ejected,backpressure_cycles,
-//              send_queue_flits}
-// and the network-level sampled gauges:
-//   mesh.{in_flight_packets,send_queue_flits}
-// where <P> is a port letter (L,N,E,S,W); pruned-port series are absent.
-//
-// Heatmaps are laid out over the topology extent, so a ring renders as a
-// single row.
+/// \file
+/// Observability glue between the NoC layer and the telemetry subsystem:
+/// the metric naming convention, heatmap extraction from an instrumented
+/// network's registry, and the standard RunReport for bench/example output.
+///
+/// Network::enableTelemetry registers, per router at (x,y):
+///   - `r<x>,<y>.flits_routed` — router-aggregate throughput
+///   - `r<x>,<y>.<P>in.{flits,full_cycles,stall_cycles,occupancy}`
+///   - `r<x>,<y>.<P>out.{flits,busy_cycles,grants,conflict_cycles}`
+/// per network interface:
+///   - `ni<x>,<y>.{flits_injected,flits_ejected,backpressure_cycles,
+///     send_queue_flits}` plus, with reliability enabled,
+///     `{retransmits,timeouts,duplicates_dropped}`
+/// per fault-capable link (linkFaultRate > 0 or named by a FaultPlan):
+///   - `link<x>,<y><P>.{flits_corrupted,flits_dropped,stall_cycles}`
+/// and the network-level sampled gauges:
+///   - `mesh.{in_flight_packets,send_queue_flits}` and, with reliability,
+///     `net.reliability.{unacked_frames,backlog_frames}`
+/// where <P> is a port letter (L,N,E,S,W); pruned-port series are absent.
+///
+/// Heatmaps are laid out over the topology extent, so a ring renders as a
+/// single row.
 #pragma once
 
 #include <cstdint>
@@ -30,8 +35,9 @@
 
 namespace rasoc::noc {
 
-std::string routerMetricPrefix(NodeId n);  // "r<x>,<y>"
-std::string niMetricPrefix(NodeId n);      // "ni<x>,<y>"
+std::string routerMetricPrefix(NodeId n);      // "r<x>,<y>"
+std::string niMetricPrefix(NodeId n);          // "ni<x>,<y>"
+std::string linkMetricPrefix(const LinkId& l); // "link<x>,<y><P>"
 
 // Per-router flits routed per cycle.
 telemetry::MeshHeatmap throughputHeatmap(
@@ -57,6 +63,14 @@ telemetry::MeshHeatmap backpressureHeatmap(
     std::uint64_t cycles);
 telemetry::MeshHeatmap backpressureHeatmap(
     const telemetry::MetricsRegistry& registry, MeshShape shape,
+    std::uint64_t cycles);
+
+// Fault events per cycle charged to each node's outgoing links: corrupted
+// plus dropped flits plus stall cycles, summed over the node's fault-capable
+// links (zero elsewhere).  Localizes which region of a campaign's faults
+// actually bit.
+telemetry::MeshHeatmap faultHeatmap(
+    const telemetry::MetricsRegistry& registry, const Topology& topology,
     std::uint64_t cycles);
 
 // The standard structured report: network configuration (the "mesh" key

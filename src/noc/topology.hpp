@@ -1,21 +1,22 @@
-// Network topology layer: node geometry, per-node port pruning, adjacency,
-// and source-route (RIB) computation.
-//
-// RASoC itself is topology-agnostic - the router just follows the
-// signed-magnitude RIB in each header and prunes unused ports - so
-// everything grid-specific lives behind the Topology interface.  Instances
-// shipped here:
-//
-//   MeshTopology   - the paper's 2D mesh with pruned edge ports and XY
-//                    source routing (deadlock-free by dimension order).
-//   TorusTopology  - wraparound XY with source-chosen wrap direction,
-//                    restricted at a per-ring dateline (see the class
-//                    comment for the deadlock-freedom argument).
-//   RingTopology   - bidirectional ring using only the L/E/W ports, the
-//                    1D instance of the same dateline restriction.
-//
-// Coordinates: x grows East (column), y grows North (row).  Node (0,0) is
-// the south-west corner.
+/// \file
+/// Network topology layer: node geometry, per-node port pruning, adjacency,
+/// and source-route (RIB) computation.
+///
+/// RASoC itself is topology-agnostic - the router just follows the
+/// signed-magnitude RIB in each header and prunes unused ports - so
+/// everything grid-specific lives behind the Topology interface.  Instances
+/// shipped here:
+///
+///   MeshTopology   - the paper's 2D mesh with pruned edge ports and XY
+///                    source routing (deadlock-free by dimension order).
+///   TorusTopology  - wraparound XY with source-chosen wrap direction,
+///                    restricted at a per-ring dateline (see the class
+///                    comment for the deadlock-freedom argument).
+///   RingTopology   - bidirectional ring using only the L/E/W ports, the
+///                    1D instance of the same dateline restriction.
+///
+/// Coordinates: x grows East (column), y grows North (row).  Node (0,0) is
+/// the south-west corner.
 #pragma once
 
 #include <memory>
@@ -37,14 +38,14 @@ struct NodeId {
   bool operator==(const NodeId&) const = default;
 };
 
-// Bounding box of a topology's coordinates, used by heatmaps and pattern
-// generators that need the grid dimensions.
+/// Bounding box of a topology's coordinates, used by heatmaps and pattern
+/// generators that need the grid dimensions.
 struct Extent {
   int width = 0;
   int height = 0;
 };
 
-// A directed link: the channel leaving `from` through `port`.
+/// A directed link: the channel leaving `from` through `port`.
 struct LinkId {
   NodeId from;
   router::Port port = router::Port::East;
@@ -67,9 +68,9 @@ struct MeshShape {
     return n.x >= 0 && n.x < width && n.y >= 0 && n.y < height;
   }
 
-  // Throws std::out_of_range for nodes outside the shape: a silently
-  // wrapped index would alias a different node and corrupt whatever table
-  // it keys.
+  /// Throws std::out_of_range for nodes outside the shape: a silently
+  /// wrapped index would alias a different node and corrupt whatever table
+  /// it keys.
   int indexOf(NodeId n) const {
     if (!contains(n))
       throw std::out_of_range("node (" + std::to_string(n.x) + "," +
@@ -93,8 +94,8 @@ struct MeshShape {
   }
 };
 
-// Ports a router needs at a given mesh position ("one or two of them need
-// not be implemented, reducing the network area").
+/// Ports a router needs at a given mesh position ("one or two of them need
+/// not be implemented, reducing the network area").
 inline unsigned portMaskFor(MeshShape shape, NodeId n) {
   using router::Port;
   unsigned mask = 1u << router::index(Port::Local);
@@ -105,33 +106,33 @@ inline unsigned portMaskFor(MeshShape shape, NodeId n) {
   return mask;
 }
 
-// Source-based XY routing information for a src -> dst packet on a mesh.
+/// Source-based XY routing information for a src -> dst packet on a mesh.
 inline router::Rib ribBetween(NodeId src, NodeId dst) {
   return router::Rib{dst.x - src.x, dst.y - src.y};
 }
 
-// Hop count of the mesh XY path (router traversals, excluding the NIs).
+/// Hop count of the mesh XY path (router traversals, excluding the NIs).
 inline int xyHops(NodeId src, NodeId dst) {
   const int dx = dst.x >= src.x ? dst.x - src.x : src.x - dst.x;
   const int dy = dst.y >= src.y ? dst.y - src.y : src.y - dst.y;
   return dx + dy + 1;  // +1: the destination router itself switches to L
 }
 
-// Abstract network topology.  An instance defines the node set, which
-// router ports each node instantiates, the links between them, and the RIB
-// a source NI writes into a header so the unmodified RASoC routing logic
-// delivers the packet.
-//
-// Contracts:
-//  * nodeAt/indexOf are inverse bijections over [0, nodes()) and throw
-//    std::out_of_range outside it (never wrap silently).
-//  * Adjacency is symmetric: neighbor(a, P) == b implies
-//    neighbor(b, opposite(P)) == a (checkAdjacency() verifies).
-//  * rib(src, dst) routes src -> dst along existing links for both XY and
-//    YX dimension orders, and fully consumes the offset at dst (the NI's
-//    residual-RIB-zero delivery invariant).
-//  * deadlockFreedom() states why saturated wormhole traffic cannot
-//    deadlock on this instance (or the routing restriction ensuring it).
+/// Abstract network topology.  An instance defines the node set, which
+/// router ports each node instantiates, the links between them, and the RIB
+/// a source NI writes into a header so the unmodified RASoC routing logic
+/// delivers the packet.
+///
+/// Contracts:
+///  * nodeAt/indexOf are inverse bijections over [0, nodes()) and throw
+///    std::out_of_range outside it (never wrap silently).
+///  * Adjacency is symmetric: neighbor(a, P) == b implies
+///    neighbor(b, opposite(P)) == a (checkAdjacency() verifies).
+///  * rib(src, dst) routes src -> dst along existing links for both XY and
+///    YX dimension orders, and fully consumes the offset at dst (the NI's
+///    residual-RIB-zero delivery invariant).
+///  * deadlockFreedom() states why saturated wormhole traffic cannot
+///    deadlock on this instance (or the routing restriction ensuring it).
 class Topology {
  public:
   virtual ~Topology() = default;
@@ -149,40 +150,40 @@ class Topology {
   virtual std::string_view deadlockFreedom() const = 0;
   virtual void validate() const = 0;
 
-  // "mesh4x4", "torus8x8", "ring16" - stable id for reports and benches.
+  /// "mesh4x4", "torus8x8", "ring16" - stable id for reports and benches.
   std::string describe() const;
 
-  // Links traversed by a src -> dst packet under the given dimension
-  // order, derived by walking the adjacency with the router's own routing
-  // function (so predictions can never diverge from the hardware).
+  /// Links traversed by a src -> dst packet under the given dimension
+  /// order, derived by walking the adjacency with the router's own routing
+  /// function (so predictions can never diverge from the hardware).
   std::vector<LinkId> routePath(
       NodeId src, NodeId dst,
       router::RoutingAlgorithm algorithm = router::RoutingAlgorithm::XY)
       const;
 
-  // Router traversals of the XY route including the delivering router.
+  /// Router traversals of the XY route including the delivering router.
   virtual int hops(NodeId src, NodeId dst) const;
 
-  // Largest per-axis RIB magnitude any route needs (checked against
-  // router::ribMaxOffset when a network is built).
+  /// Largest per-axis RIB magnitude any route needs (checked against
+  /// router::ribMaxOffset when a network is built).
   virtual int maxRibOffset() const;
 
-  // Assigns every node (by index) to one of `parts` domains for the
-  // parallel settle kernel (Simulator::Kernel::ParallelEventDriven).  The
-  // default splits the row-major node order into balanced contiguous
-  // blocks - horizontal strips on grids, arcs on rings - so each domain's
-  // frontier is a small number of cut links.  Throws for parts < 1; with
-  // more parts than nodes the surplus domains stay empty.
+  /// Assigns every node (by index) to one of `parts` domains for the
+  /// parallel settle kernel (Simulator::Kernel::ParallelEventDriven).  The
+  /// default splits the row-major node order into balanced contiguous
+  /// blocks - horizontal strips on grids, arcs on rings - so each domain's
+  /// frontier is a small number of cut links.  Throws for parts < 1; with
+  /// more parts than nodes the surplus domains stay empty.
   virtual std::vector<int> partition(int parts) const;
 
-  // Throws std::logic_error if any link lacks its reverse or a port mask
-  // disagrees with the adjacency.
+  /// Throws std::logic_error if any link lacks its reverse or a port mask
+  /// disagrees with the adjacency.
   void checkAdjacency() const;
 };
 
-// The paper's 2D mesh: pruned edge ports, minimal XY source routing.
-// Deadlock-free: dimension-ordered routing on a mesh admits no cyclic
-// channel dependency (turns from Y back to X never occur).
+/// The paper's 2D mesh: pruned edge ports, minimal XY source routing.
+/// Deadlock-free: dimension-ordered routing on a mesh admits no cyclic
+/// channel dependency (turns from Y back to X never occur).
 class MeshTopology final : public Topology {
  public:
   explicit MeshTopology(MeshShape shape) : shape_(shape) {}
@@ -208,18 +209,18 @@ class MeshTopology final : public Topology {
   MeshShape shape_;
 };
 
-// 2D torus: every row and column closes into a ring, every router keeps
-// all five ports, and the source picks the wrap direction per axis.
-//
-// Deadlock freedom: routing is dimension-ordered (X ring fully, then Y
-// ring), so cross-dimension cycles cannot form; within each ring the
-// source applies a dateline restriction at coordinate 0 - no route may
-// travel *through* node 0 of its ring (starting or terminating there is
-// fine).  That excludes the channel-dependency edge closing each
-// direction's cycle (e.g. East wrap link -> East link out of node 0), so
-// the dependency graph is acyclic and wormhole traffic cannot deadlock.
-// Cost: routes whose minimal direction would cross the dateline interior
-// take the longer way around; everything else is minimal.
+/// 2D torus: every row and column closes into a ring, every router keeps
+/// all five ports, and the source picks the wrap direction per axis.
+///
+/// Deadlock freedom: routing is dimension-ordered (X ring fully, then Y
+/// ring), so cross-dimension cycles cannot form; within each ring the
+/// source applies a dateline restriction at coordinate 0 - no route may
+/// travel *through* node 0 of its ring (starting or terminating there is
+/// fine).  That excludes the channel-dependency edge closing each
+/// direction's cycle (e.g. East wrap link -> East link out of node 0), so
+/// the dependency graph is acyclic and wormhole traffic cannot deadlock.
+/// Cost: routes whose minimal direction would cross the dateline interior
+/// take the longer way around; everything else is minimal.
 class TorusTopology final : public Topology {
  public:
   TorusTopology(int width, int height) : shape_{width, height} {}
@@ -241,13 +242,13 @@ class TorusTopology final : public Topology {
   MeshShape shape_;
 };
 
-// Bidirectional ring of `count` nodes at (i, 0), the 1D torus: only the
-// L/E/W ports are instantiated (the port pruning the paper describes for
-// mesh edges, applied to a whole axis), East wraps i -> (i+1) mod N.
-//
-// Deadlock freedom: the same dateline restriction as TorusTopology, on the
-// single X ring - no route travels through node 0, which breaks the
-// East-channel and West-channel dependency cycles; the graph is acyclic.
+/// Bidirectional ring of `count` nodes at (i, 0), the 1D torus: only the
+/// L/E/W ports are instantiated (the port pruning the paper describes for
+/// mesh edges, applied to a whole axis), East wraps i -> (i+1) mod N.
+///
+/// Deadlock freedom: the same dateline restriction as TorusTopology, on the
+/// single X ring - no route travels through node 0, which breaks the
+/// East-channel and West-channel dependency cycles; the graph is acyclic.
 class RingTopology final : public Topology {
  public:
   explicit RingTopology(int count) : count_(count) {}
@@ -274,15 +275,15 @@ class RingTopology final : public Topology {
   int count_;
 };
 
-// Signed hop offset src -> dst along a ring of `size` nodes under the
-// dateline restriction at coordinate 0: positive = increasing direction
-// (East/North), negative = decreasing.  Minimal whenever the minimal
-// direction does not pass through 0 mid-route; ties prefer the direct
-// (non-wrapping) direction.
+/// Signed hop offset src -> dst along a ring of `size` nodes under the
+/// dateline restriction at coordinate 0: positive = increasing direction
+/// (East/North), negative = decreasing.  Minimal whenever the minimal
+/// direction does not pass through 0 mid-route; ties prefer the direct
+/// (non-wrapping) direction.
 int datelineOffset(int src, int dst, int size);
 
-// Builds the topology named by `kind` ("mesh" | "torus" | "ring") over a
-// WxH extent (a ring uses width*height nodes).  Throws on unknown names.
+/// Builds the topology named by `kind` ("mesh" | "torus" | "ring") over a
+/// WxH extent (a ring uses width*height nodes).  Throws on unknown names.
 std::shared_ptr<const Topology> makeTopology(std::string_view kind, int width,
                                              int height);
 

@@ -118,9 +118,11 @@ void TrafficGenerator::onReset() {
   rng_ = sim::Xoshiro256(config_.seed);
   packetsGenerated_ = 0;
   injectionsSkipped_ = 0;
+  paused_ = false;
 }
 
 void TrafficGenerator::clockEdge() {
+  if (paused_) return;
   if (!rng_.chance(packetProbability_)) return;
   if (ni_->sendQueuePackets() >= config_.maxQueuedPackets) {
     ++injectionsSkipped_;

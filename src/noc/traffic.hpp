@@ -78,6 +78,12 @@ class TrafficGenerator : public sim::Module {
   std::uint64_t packetsGenerated() const { return packetsGenerated_; }
   std::uint64_t injectionsSkipped() const { return injectionsSkipped_; }
 
+  // Stops offering load while paused (no injections, no RNG draws).  Lets
+  // sweeps end the measurement window and drain the network instead of
+  // racing generators that never go idle.  Cleared by reset.
+  void setPaused(bool paused) { paused_ = paused; }
+  bool paused() const { return paused_; }
+
  protected:
   void onReset() override;
   void clockEdge() override;
@@ -91,6 +97,7 @@ class TrafficGenerator : public sim::Module {
   sim::Xoshiro256 rng_;
   std::uint64_t packetsGenerated_ = 0;
   std::uint64_t injectionsSkipped_ = 0;
+  bool paused_ = false;
 };
 
 }  // namespace rasoc::noc

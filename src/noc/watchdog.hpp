@@ -1,18 +1,25 @@
-// Progress watchdog: detects global stalls (deadlock/livelock symptoms).
-//
-// XY routing on a mesh is provably deadlock-free, so a healthy RASoC NoC
-// must keep delivering packets whenever any are in flight.  The watchdog
-// observes the delivery ledger each cycle and raises a sticky flag if no
-// packet completes for `timeout` consecutive cycles while at least one is
-// outstanding - the invariant saturation tests assert.
-//
-// Beyond the sticky flag it captures a diagnostic snapshot for run reports:
-// the cycle of the last observed delivery, the cycle the stall flag was
-// raised and how many packets were in flight at that moment - the first
-// questions a post-mortem asks.
+/// \file
+/// Progress watchdog: detects global stalls (deadlock/livelock symptoms).
+///
+/// XY routing on a mesh is provably deadlock-free, so a healthy RASoC NoC
+/// must keep delivering packets whenever any are in flight.  The watchdog
+/// observes the delivery ledger each cycle and raises a sticky flag if no
+/// packet completes for `timeout` consecutive cycles while at least one is
+/// outstanding — the invariant saturation tests assert.
+///
+/// Beyond the sticky flag it captures a diagnostic snapshot for run
+/// reports: the cycle of the last observed delivery, the cycle the stall
+/// flag was raised, how many packets were in flight at that moment, and —
+/// when a diagnostics callback is supplied — the names of the links
+/// blocked at that instant (wire Network::blockedLinkNames in), so a
+/// fault-campaign hang names the wedged link instead of just the cycle.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "sim/module.hpp"
 
@@ -23,18 +30,28 @@ namespace rasoc::noc {
 struct WatchdogSnapshot {
   bool stalled = false;
   std::uint64_t longestStall = 0;
-  // Watchdog-local cycle of the last delivery it observed (0 when none).
+  /// Watchdog-local cycle of the last delivery it observed (0 when none).
   std::uint64_t lastDeliveryCycle = 0;
-  // State captured when the stall flag was first raised; zero until then.
+  /// State captured when the stall flag was first raised; zero until then.
   std::uint64_t stallCycle = 0;
   std::uint64_t inFlightAtStall = 0;
+  /// Links offering a flit nobody accepted, at the stall instant (empty
+  /// without a diagnostics callback).
+  std::vector<std::string> blockedLinks;
 };
 
 class Watchdog : public sim::Module {
  public:
+  /// Invoked once, at the cycle the stall flag rises, to capture what is
+  /// blocked; e.g. `[&net] { return net.blockedLinkNames(); }`.
+  using Diagnostics = std::function<std::vector<std::string>()>;
+
   Watchdog(std::string name, const DeliveryLedger& ledger,
-           std::uint64_t timeout)
-      : Module(std::move(name)), ledger_(&ledger), timeout_(timeout) {}
+           std::uint64_t timeout, Diagnostics diagnostics = {})
+      : Module(std::move(name)),
+        ledger_(&ledger),
+        timeout_(timeout),
+        diagnostics_(std::move(diagnostics)) {}
 
   bool stallDetected() const { return snapshot_.stalled; }
   std::uint64_t longestStall() const { return snapshot_.longestStall; }
@@ -64,12 +81,14 @@ class Watchdog : public sim::Module {
       snapshot_.stalled = true;
       snapshot_.stallCycle = cycle_;
       snapshot_.inFlightAtStall = ledger_->inFlight();
+      if (diagnostics_) snapshot_.blockedLinks = diagnostics_();
     }
   }
 
  private:
   const DeliveryLedger* ledger_;
   std::uint64_t timeout_;
+  Diagnostics diagnostics_;
   std::uint64_t lastDelivered_ = 0;
   std::uint64_t idleCycles_ = 0;
   std::uint64_t cycle_ = 0;

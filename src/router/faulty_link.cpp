@@ -1,5 +1,6 @@
 #include "router/faulty_link.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace rasoc::router {
@@ -16,24 +17,120 @@ FaultyLink::FaultyLink(std::string name, ChannelWires& src, ChannelWires& dst,
     throw std::invalid_argument("FaultyLink: dataBits must be 1..32");
   if (flipProbability_ < 0.0 || flipProbability_ > 1.0)
     throw std::invalid_argument("FaultyLink: probability must be in [0,1]");
-  // transformData() mixes in the armed mask, re-drawn at every transfer, so
-  // evaluate() depends on registered state on top of Link's wire inputs.
+  // transformData() mixes in the armed mask, re-drawn at every transfer, and
+  // stall/drop windows key off a registered cycle counter, so evaluate()
+  // depends on registered state on top of Link's wire inputs.
   declareSequential();
+  recomputeActive();
   arm();
+}
+
+void FaultyLink::setWindows(std::vector<FaultWindow> windows) {
+  for (const auto& w : windows) {
+    if (w.rate < 0.0 || w.rate > 1.0)
+      throw std::invalid_argument("FaultyLink: window rate must be in [0,1]");
+    if (w.kind != FaultWindow::Kind::Corrupt &&
+        flowControl() != FlowControl::Handshake)
+      throw std::invalid_argument(
+          "FaultyLink: stall/drop windows require handshake flow control "
+          "(the credit-based ack wire carries credit returns)");
+  }
+  windows_ = std::move(windows);
+  stallActive_ = false;
+  downActive_ = false;
+  corruptRate_ = 0.0;
+  recomputeActive();
 }
 
 void FaultyLink::onReset() {
   rng_ = sim::Xoshiro256(seed_);
   flitsCorrupted_ = 0;
+  flitsDropped_ = 0;
+  stallCycles_ = 0;
+  cycle_ = 0;
+  droppedThisEdge_ = false;
+  stallActive_ = false;
+  downActive_ = false;
+  corruptRate_ = 0.0;
+  recomputeActive();
   arm();
 }
 
+void FaultyLink::recomputeActive() {
+  stallActive_ = false;
+  downActive_ = false;
+  double rate = flipProbability_;
+  for (const auto& w : windows_) {
+    if (cycle_ < w.start || cycle_ - w.start >= w.duration) continue;
+    switch (w.kind) {
+      case FaultWindow::Kind::Corrupt:
+        rate = std::max(rate, w.rate);
+        break;
+      case FaultWindow::Kind::StuckAck:
+        stallActive_ = true;
+        break;
+      case FaultWindow::Kind::LinkDown:
+        downActive_ = true;
+        break;
+    }
+  }
+  if (rate != corruptRate_) {
+    corruptRate_ = rate;
+    // Re-draw the armed mask under the new probability so a window's rate
+    // cannot leak past its end via a stale mask.  Only reachable with a
+    // schedule present, so window-less links keep the historical RNG stream.
+    if (!windows_.empty()) arm();
+  }
+}
+
 void FaultyLink::arm() {
-  if (rng_.chance(flipProbability_)) {
+  if (rng_.chance(corruptRate_)) {
     armedMask_ = 1u << rng_.below(static_cast<std::uint64_t>(dataBits_));
   } else {
     armedMask_ = 0;
   }
+}
+
+void FaultyLink::evaluate() {
+  if (stallActive_ || downActive_) {
+    const bool bop = srcWires().flit.bop.get();
+    const bool eop = srcWires().flit.eop.get();
+    const bool body = !bop && !eop;
+    dstWires().flit.data.set(0);
+    dstWires().flit.bop.set(false);
+    dstWires().flit.eop.set(false);
+    dstWires().val.set(false);
+    if (!stallActive_ && body) {
+      // Link down: consume the offered body flit without presenting it.
+      srcWires().ack.set(srcWires().val.get());
+    } else {
+      // Full stall: nothing moves; both endpoints wait.
+      srcWires().ack.set(false);
+    }
+    return;
+  }
+  Link::evaluate();
+}
+
+void FaultyLink::clockEdge() {
+  const bool val = srcWires().val.get();
+  const bool bop = srcWires().flit.bop.get();
+  const bool eop = srcWires().flit.eop.get();
+  const bool body = !bop && !eop;
+  droppedThisEdge_ = downActive_ && !stallActive_ && body && val;
+  const bool blockedByFault = val && (stallActive_ || (downActive_ && !body));
+  Link::clockEdge();
+  if (droppedThisEdge_) {
+    ++flitsDropped_;
+    if (metrics_.flitsDropped) metrics_.flitsDropped->inc();
+  }
+  if (blockedByFault) {
+    ++stallCycles_;
+    if (metrics_.stallCycles) metrics_.stallCycles->inc();
+  }
+  droppedThisEdge_ = false;
+  ++cycle_;
+  recomputeActive();
 }
 
 std::uint32_t FaultyLink::transformData(std::uint32_t data, bool bop,
@@ -46,7 +143,15 @@ std::uint32_t FaultyLink::transformData(std::uint32_t data, bool bop,
 void FaultyLink::onTransfer(bool bop) {
   // Headers pass clean and do not consume the armed mask.
   if (bop) return;
-  if (armedMask_ != 0) ++flitsCorrupted_;
+  if (droppedThisEdge_) {
+    // The flit never reached the far side; the armed mask was not applied.
+    arm();
+    return;
+  }
+  if (armedMask_ != 0) {
+    ++flitsCorrupted_;
+    if (metrics_.flitsCorrupted) metrics_.flitsCorrupted->inc();
+  }
   arm();
 }
 

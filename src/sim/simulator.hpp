@@ -1,46 +1,47 @@
-// Two-phase clocked simulator.
-//
-// Each cycle:
-//   1. settle(): bring the combinational network to a fixpoint (no Wire
-//      changes value).  A bounded evaluation count guards against
-//      combinational loops; exceeding it throws.
-//   2. tick(): run every module's clockEdge() once (synchronous state
-//      update), then increment the cycle counter.
-//
-// step() = settle() + tick().  Testbenches that poke inputs between cycles
-// should: poke wires -> step() -> observe.  Poking (set/force) is legal
-// only between cycles; Wire::force throws if called during a settle phase.
-//
-// Three settle kernels compute the same fixpoint:
-//
-//  * Kernel::Naive - re-runs every module's evaluate() in registration
-//    order until a full pass changes no wire.  Requires nothing from the
-//    modules beyond idempotent evaluate(); cost is
-//    O(modules x propagation depth) per cycle.
-//  * Kernel::EventDriven - keeps a dirty worklist seeded from sequential
-//    modules after each clock edge and from wires poked between cycles,
-//    and evaluates only modules whose declared inputs changed
-//    (Module::sensitive / Module::declareSequential).  Cost is
-//    proportional to actual signal activity.  Modules with incomplete
-//    sensitivity annotations produce stale outputs under this kernel; the
-//    naive kernel is the reference to A/B against (see
-//    tests/noc/kernel_equivalence_test.cpp).
-//  * Kernel::ParallelEventDriven - the event-driven worklist sharded into
-//    setThreads() per-thread domains (placement guided by
-//    Module::setPartitionHint, interior/frontier classification in
-//    sim/partition.hpp).  A settle is a sequence of rounds: every domain
-//    sweeps its private worklist in parallel, a barrier ends the round,
-//    and the frontier modules whose wires cross domains are evaluated in
-//    one deterministic sequential reduction before the next round.
-//    Interior modules touch only single-domain wires, so the parallel
-//    phase is race-free by construction (no atomics; DESIGN.md carries the
-//    full argument), and because evaluate() is pure and idempotent the
-//    fixpoint - and with it every simulation result - is bit-identical to
-//    EventDriven for every thread count (tests/noc/kernel_trichotomy_test
-//    and the differential fuzz suite enforce this).  Extra module
-//    contract: evaluate() must drive the same wire set on every call;
-//    write sets are discovered once at partition build, and debug builds
-//    re-check every parallel evaluation against them.
+/// \file
+/// Two-phase clocked simulator.
+///
+/// Each cycle:
+///   1. settle(): bring the combinational network to a fixpoint (no Wire
+///      changes value).  A bounded evaluation count guards against
+///      combinational loops; exceeding it throws.
+///   2. tick(): run every module's clockEdge() once (synchronous state
+///      update), then increment the cycle counter.
+///
+/// step() = settle() + tick().  Testbenches that poke inputs between cycles
+/// should: poke wires -> step() -> observe.  Poking (set/force) is legal
+/// only between cycles; Wire::force throws if called during a settle phase.
+///
+/// Three settle kernels compute the same fixpoint:
+///
+///  * Kernel::Naive - re-runs every module's evaluate() in registration
+///    order until a full pass changes no wire.  Requires nothing from the
+///    modules beyond idempotent evaluate(); cost is
+///    O(modules x propagation depth) per cycle.
+///  * Kernel::EventDriven - keeps a dirty worklist seeded from sequential
+///    modules after each clock edge and from wires poked between cycles,
+///    and evaluates only modules whose declared inputs changed
+///    (Module::sensitive / Module::declareSequential).  Cost is
+///    proportional to actual signal activity.  Modules with incomplete
+///    sensitivity annotations produce stale outputs under this kernel; the
+///    naive kernel is the reference to A/B against (see
+///    tests/noc/kernel_equivalence_test.cpp).
+///  * Kernel::ParallelEventDriven - the event-driven worklist sharded into
+///    setThreads() per-thread domains (placement guided by
+///    Module::setPartitionHint, interior/frontier classification in
+///    sim/partition.hpp).  A settle is a sequence of rounds: every domain
+///    sweeps its private worklist in parallel, a barrier ends the round,
+///    and the frontier modules whose wires cross domains are evaluated in
+///    one deterministic sequential reduction before the next round.
+///    Interior modules touch only single-domain wires, so the parallel
+///    phase is race-free by construction (no atomics; DESIGN.md carries the
+///    full argument), and because evaluate() is pure and idempotent the
+///    fixpoint - and with it every simulation result - is bit-identical to
+///    EventDriven for every thread count (tests/noc/kernel_trichotomy_test
+///    and the differential fuzz suite enforce this).  Extra module
+///    contract: evaluate() must drive the same wire set on every call;
+///    write sets are discovered once at partition build, and debug builds
+///    re-check every parallel evaluation against them.
 #pragma once
 
 #include <cstdint>
@@ -59,9 +60,9 @@ class Simulator final : private EvalScheduler {
  public:
   enum class Kernel { Naive, EventDriven, ParallelEventDriven };
 
-  // Lifetime work counters of the parallel kernel, folded in fixed domain
-  // order at the end of every settle (never in thread-completion order, so
-  // they are deterministic for a given thread count).
+  /// Lifetime work counters of the parallel kernel, folded in fixed domain
+  /// order at the end of every settle (never in thread-completion order, so
+  /// they are deterministic for a given thread count).
   struct ParallelKernelStats {
     std::uint64_t rounds = 0;  // barrier-delimited parallel phases
     std::uint64_t frontierEvaluations = 0;
@@ -73,101 +74,101 @@ class Simulator final : private EvalScheduler {
   Simulator();
   ~Simulator();
 
-  // Registered modules keep a backpointer into this scheduler; moving or
-  // copying the simulator would dangle them.
+  /// Registered modules keep a backpointer into this scheduler; moving or
+  /// copying the simulator would dangle them.
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  // Registers a top-level module (and, transitively, its children).
-  // Non-owning; the module must outlive the simulator's use of it.
+  /// Registers a top-level module (and, transitively, its children).
+  /// Non-owning; the module must outlive the simulator's use of it.
   void add(Module& m) {
     tops_.push_back(&m);
     modulesStale_ = true;
   }
 
-  // Selects the settle kernel.  Legal only before the first cycle (or
-  // after reset()): a mid-run switch would hand the new kernel a stale
-  // worklist, so it throws std::logic_error once cycle() is nonzero.
+  /// Selects the settle kernel.  Legal only before the first cycle (or
+  /// after reset()): a mid-run switch would hand the new kernel a stale
+  /// worklist, so it throws std::logic_error once cycle() is nonzero.
   void setKernel(Kernel kernel);
   Kernel kernel() const { return kernel_; }
 
-  // Worker-thread count for Kernel::ParallelEventDriven (ignored by the
-  // other kernels; 1 runs the same sharded algorithm inline).  Changing it
-  // repartitions the module graph, so like setKernel it throws
-  // std::logic_error after the first cycle.
+  /// Worker-thread count for Kernel::ParallelEventDriven (ignored by the
+  /// other kernels; 1 runs the same sharded algorithm inline).  Changing it
+  /// repartitions the module graph, so like setKernel it throws
+  /// std::logic_error after the first cycle.
   void setThreads(int n);
   int threads() const { return threads_; }
 
-  // The parallel kernel's module partition, built on first use (the build
-  // evaluates every module once for write-set discovery).  Throws
-  // std::logic_error under the other kernels.
+  /// The parallel kernel's module partition, built on first use (the build
+  /// evaluates every module once for write-set discovery).  Throws
+  /// std::logic_error under the other kernels.
   const Partition& partition();
 
   const ParallelKernelStats& parallelStats() const { return parallelStats_; }
 
-  // Resets registered state in every module and restarts the cycle count.
+  /// Resets registered state in every module and restarts the cycle count.
   void reset();
 
-  // Runs evaluate() passes until the combinational network is stable.
-  // Throws std::runtime_error if no fixpoint is reached within the
-  // evaluation bound derived from maxSettleIterations() (combinational
-  // loop).
+  /// Runs evaluate() passes until the combinational network is stable.
+  /// Throws std::runtime_error if no fixpoint is reached within the
+  /// evaluation bound derived from maxSettleIterations() (combinational
+  /// loop).
   void settle();
 
-  // Commits one clock edge.  Callers normally use step() instead.
+  /// Commits one clock edge.  Callers normally use step() instead.
   void tick();
 
-  // One full cycle: settle + clock edge.
+  /// One full cycle: settle + clock edge.
   void step();
 
-  // Runs n full cycles.
+  /// Runs n full cycles.
   void run(std::uint64_t n);
 
-  // Steps until pred() is true after a settle phase, or maxCycles elapsed.
-  // Returns true if the predicate fired.  The predicate is evaluated at
-  // most maxCycles times (once per cycle, post-settle); the cycle in which
-  // it fires is *not* ticked, so registered state is left just before the
-  // edge.  On timeout the network is left settled but the final state is
-  // not checked - a predicate first true after exactly maxCycles ticks
-  // reports failure, keeping the bound a bound.
+  /// Steps until pred() is true after a settle phase, or maxCycles elapsed.
+  /// Returns true if the predicate fired.  The predicate is evaluated at
+  /// most maxCycles times (once per cycle, post-settle); the cycle in which
+  /// it fires is *not* ticked, so registered state is left just before the
+  /// edge.  On timeout the network is left settled but the final state is
+  /// not checked - a predicate first true after exactly maxCycles ticks
+  /// reports failure, keeping the bound a bound.
   bool runUntil(const std::function<bool()>& pred, std::uint64_t maxCycles);
 
-  // Registers a callback invoked after every committed clock edge (state
-  // post-edge, cycle() already advanced).  Samplers - per-cycle telemetry
-  // gauges, waveform capture - hook here without becoming modules.
+  /// Registers a callback invoked after every committed clock edge (state
+  /// post-edge, cycle() already advanced).  Samplers - per-cycle telemetry
+  /// gauges, waveform capture - hook here without becoming modules.
   void addTickListener(std::function<void()> listener) {
     tickListeners_.push_back(std::move(listener));
   }
 
   std::uint64_t cycle() const { return cycle_; }
 
-  // Naive kernel: maximum full evaluation passes per settle.  Event-driven
-  // kernels: the per-settle evaluation bound is maxSettleIterations() x the
-  // module count (per domain and for the frontier, under the parallel
-  // kernel), so all kernels tolerate the same combinational depth.
+  /// Naive kernel: maximum full evaluation passes per settle.  Event-driven
+  /// kernels: the per-settle evaluation bound is maxSettleIterations() x the
+  /// module count (per domain and for the frontier, under the parallel
+  /// kernel), so all kernels tolerate the same combinational depth.
   int maxSettleIterations() const { return maxSettleIterations_; }
   void setMaxSettleIterations(int n) { maxSettleIterations_ = n; }
 
-  // Total evaluate() calls issued by settle() since construction - the
-  // kernel-independent work metric bench_sim_speed reports.  Monotone
-  // non-decreasing and deterministic for a given kernel and thread count
-  // (the parallel kernel folds per-domain counts in fixed domain order);
-  // different thread counts partition differently and may report different
-  // totals for identical simulation results.
+  /// Total evaluate() calls issued by settle() since construction - the
+  /// kernel-independent work metric bench_sim_speed reports.  Monotone
+  /// non-decreasing and deterministic for a given kernel and thread count
+  /// (the parallel kernel folds per-domain counts in fixed domain order);
+  /// different thread counts partition differently and may report different
+  /// totals for identical simulation results.
   std::uint64_t evaluateCalls() const { return evaluateCalls_; }
 
-  // Modules known to the simulator (tops plus transitive children).
+  /// Modules known to the simulator (tops plus transitive children).
   std::size_t moduleCount() {
     ensureCollected();
     return modules_.size();
   }
 
  private:
-  // Where enqueueDirty routes a woken module while the parallel kernel is
-  // inside a settle phase.  At most one route is active per thread
-  // (thread_local), so concurrent domain sweeps never see each other's
-  // lists; with no route active (between cycles, clock edges) wakes fall
-  // through to the shared pending worklist.
+  /// Where enqueueDirty routes a woken module while the parallel kernel is
+  /// inside a settle phase.  At most one route is active per thread
+  /// (thread_local), so concurrent domain sweeps never see each other's
+  /// lists; with no route active (between cycles, clock edges) wakes fall
+  /// through to the shared pending worklist.
   struct EnqueueRoute {
     Simulator* owner = nullptr;
     std::vector<Module*>* interiorSink = nullptr;  // same-domain interior
@@ -177,7 +178,7 @@ class Simulator final : private EvalScheduler {
 
   class RouteGuard;
 
-  // Per-domain working state for one settle of the parallel kernel.
+  /// Per-domain working state for one settle of the parallel kernel.
   struct DomainRun {
     std::vector<Module*> run;       // this round's worklist
     std::vector<Module*> next;      // interior wakes from the frontier phase
@@ -188,8 +189,8 @@ class Simulator final : private EvalScheduler {
 
   void enqueueDirty(Module* m) override;
 
-  // Rebuilds the flattened module list (and scheduler backpointers) after
-  // add(); re-seeds the worklist so new modules get an initial evaluation.
+  /// Rebuilds the flattened module list (and scheduler backpointers) after
+  /// add(); re-seeds the worklist so new modules get an initial evaluation.
   void ensureCollected();
   void seedAll();
   void settleNaive();
