@@ -19,6 +19,11 @@
 // each), --kernel=naive|event|parallel, --threads=N, plus --quick for a
 // reduced CI smoke grid.  First non-flag argument is the RunReport JSON
 // artifact path (default bench_noc_faultsweep_report.json).
+//
+// --trace=<path> flit-traces the instrumented *reliable* run and writes
+// its Chrome/Perfetto JSON there (--trace-sample=K thins it): the flow
+// tracks show injection, the faulted hop's drop/corrupt/stall instants,
+// the NACK/retransmit control frames and the exactly-once ejection.
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +37,7 @@
 #include "noc/observe.hpp"
 #include "noc/watchdog.hpp"
 #include "tech/report.hpp"
+#include "telemetry/trace_event.hpp"
 
 using namespace rasoc;
 
@@ -41,6 +47,8 @@ std::string gTopology = "mesh";
 std::string gKernel = "event";
 int gThreads = 2;
 bool gQuick = false;
+std::string gTracePath;  // empty = flit tracing off
+std::uint64_t gTraceSample = 1;
 
 int measureCycles() { return gQuick ? 800 : 3000; }
 
@@ -164,19 +172,28 @@ std::string fmt(double v, const char* f = "%.4f") {
 
 std::string fmtU(std::uint64_t v) { return std::to_string(v); }
 
-std::string instrumentedReport(double intensity, double load, bool reliable) {
+std::string instrumentedReport(double intensity, double load, bool reliable,
+                               std::string* traceJson = nullptr) {
   auto topology = makeBenchTopology();
   noc::Network net(topology, benchConfig(intensity, reliable));
   telemetry::MetricsRegistry registry;
   net.enableTelemetry(registry);
+  noc::FlowTracer* tracer = nullptr;
+  if (traceJson) {
+    noc::TraceConfig traceConfig;
+    traceConfig.sampleEvery = gTraceSample;
+    tracer = &net.enableTracing(traceConfig);
+  }
   noc::Watchdog watchdog("dog", net.ledger(), 500,
-                         [&net] { return net.blockedLinkNames(); });
+                         [&net] { return net.blockedLinkNames(); },
+                         [&net] { return net.blockedLinkTraceDump(); });
   net.simulator().add(watchdog);
   net.attachTraffic(benchTraffic(load));
   const int cycles = measureCycles();
   net.run(static_cast<std::uint64_t>(cycles));
   net.pauseTraffic(true);
   net.drain(static_cast<std::uint64_t>(cycles) * 20);
+  if (tracer) *traceJson = tracer->perfettoJson();
   telemetry::RunReport report = noc::buildRunReport(
       std::string("faultsweep.") + (reliable ? "reliable" : "unprotected"),
       net, &watchdog);
@@ -200,9 +217,18 @@ int main(int argc, char** argv) {
       gThreads = std::atoi(argv[i] + 10);
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       gQuick = true;
+    } else if (std::strncmp(argv[i], "--trace-sample=", 15) == 0) {
+      gTraceSample = std::strtoull(argv[i] + 15, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      gTracePath = argv[i] + 8;
     } else {
       path = argv[i];
     }
+  }
+  if (gTraceSample < 1) {
+    std::printf("--trace-sample=%llu must be >= 1\n",
+                static_cast<unsigned long long>(gTraceSample));
+    return 1;
   }
   if (gTopology != "mesh" && gTopology != "torus" && gTopology != "ring") {
     std::printf("unknown --topology=%s (mesh|torus|ring)\n",
@@ -284,11 +310,34 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fputs("[\n", out);
-  std::fputs(instrumentedReport(midRate, midLoad, true).c_str(), out);
+  std::string traceJson;
+  std::fputs(instrumentedReport(midRate, midLoad, true,
+                                gTracePath.empty() ? nullptr : &traceJson)
+                 .c_str(),
+             out);
   std::fputs(",\n", out);
   std::fputs(instrumentedReport(midRate, midLoad, false).c_str(), out);
   std::fputs("]\n", out);
   std::fclose(out);
   std::printf("\nRunReport JSON written to %s\n", path.c_str());
+
+  if (!gTracePath.empty()) {
+    std::string error;
+    if (!telemetry::validatePerfettoJson(traceJson, &error)) {
+      std::printf("!! Perfetto trace failed schema validation: %s\n",
+                  error.c_str());
+      return 1;
+    }
+    std::FILE* traceOut = std::fopen(gTracePath.c_str(), "w");
+    if (!traceOut) {
+      std::printf("!! cannot write %s\n", gTracePath.c_str());
+      return 1;
+    }
+    std::fputs(traceJson.c_str(), traceOut);
+    std::fclose(traceOut);
+    std::printf("Perfetto trace written to %s (%zu bytes, sample=%llu)\n",
+                gTracePath.c_str(), traceJson.size(),
+                static_cast<unsigned long long>(gTraceSample));
+  }
   return exitCode;
 }

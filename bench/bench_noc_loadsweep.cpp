@@ -17,6 +17,11 @@
 // traffic pattern is serialized as a machine-diffable RunReport JSON
 // artifact (path: first non-flag argument, default
 // bench_noc_loadsweep_report.json).
+//
+// --trace=<path> additionally traces the instrumented hotspot run at
+// flit-level (noc/flow_trace.hpp) and writes the Chrome/Perfetto JSON
+// there (open in ui.perfetto.dev); --trace-sample=K thins it to every
+// K-th flow.  The export is schema-validated in-process before writing.
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +33,7 @@
 #include "noc/observe.hpp"
 #include "noc/watchdog.hpp"
 #include "tech/report.hpp"
+#include "telemetry/trace_event.hpp"
 
 using namespace rasoc;
 
@@ -39,6 +45,8 @@ constexpr int kMeasure = 3000;
 std::string gTopology = "mesh";
 std::string gKernel = "event";
 int gThreads = 2;
+std::string gTracePath;  // empty = flit tracing off
+std::uint64_t gTraceSample = 1;
 
 std::shared_ptr<const noc::Topology> makeBenchTopology() {
   // 4x4 grid for mesh/torus, the same 16 nodes as a ring.
@@ -107,15 +115,27 @@ std::string fmt(double v, const char* f = "%.2f") {
 }
 
 // One instrumented run at the given load; returns the serialized report.
-std::string instrumentedReport(noc::TrafficPattern pattern, double load) {
+// When `traceJson` is non-null the run is flit-traced and the Perfetto
+// export is stored there.
+std::string instrumentedReport(noc::TrafficPattern pattern, double load,
+                               std::string* traceJson = nullptr) {
   noc::Network net(makeBenchTopology(), benchConfig(4));
   telemetry::MetricsRegistry registry;
   net.enableTelemetry(registry);
-  noc::Watchdog watchdog("dog", net.ledger(), 500);
+  noc::FlowTracer* tracer = nullptr;
+  if (traceJson) {
+    noc::TraceConfig traceConfig;
+    traceConfig.sampleEvery = gTraceSample;
+    tracer = &net.enableTracing(traceConfig);
+  }
+  noc::Watchdog watchdog("dog", net.ledger(), 500,
+                         [&net] { return net.blockedLinkNames(); },
+                         [&net] { return net.blockedLinkTraceDump(); });
   net.simulator().add(watchdog);
   net.ledger().setWarmupCycles(kWarmup);
   net.attachTraffic(benchTraffic(pattern, load));
   net.run(kWarmup + kMeasure);
+  if (tracer) *traceJson = tracer->perfettoJson();
   telemetry::RunReport report = noc::buildRunReport(
       std::string("loadsweep.") + std::string(noc::name(pattern)), net,
       &watchdog);
@@ -138,9 +158,18 @@ int main(int argc, char** argv) {
       gKernel = argv[i] + 9;
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       gThreads = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--trace-sample=", 15) == 0) {
+      gTraceSample = std::strtoull(argv[i] + 15, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      gTracePath = argv[i] + 8;
     } else {
       path = argv[i];
     }
+  }
+  if (gTraceSample < 1) {
+    std::printf("--trace-sample=%llu must be >= 1\n",
+                static_cast<unsigned long long>(gTraceSample));
+    return 1;
   }
   if (gTopology != "mesh" && gTopology != "torus" && gTopology != "ring") {
     std::printf("unknown --topology=%s (mesh|torus|ring)\n",
@@ -196,13 +225,40 @@ int main(int argc, char** argv) {
   }
   std::fputs("[\n", out);
   bool first = true;
+  std::string traceJson;
   for (noc::TrafficPattern pattern : benchPatterns()) {
     if (!first) std::fputs(",\n", out);
-    std::fputs(instrumentedReport(pattern, 0.20).c_str(), out);
+    // The hotspot run is the interesting one to trace: its congestion tree
+    // shows up as hop_blocked time on the flow tracks.
+    const bool traceThis =
+        !gTracePath.empty() && pattern == noc::TrafficPattern::HotSpot;
+    std::fputs(
+        instrumentedReport(pattern, 0.20, traceThis ? &traceJson : nullptr)
+            .c_str(),
+        out);
     first = false;
   }
   std::fputs("]\n", out);
   std::fclose(out);
   std::printf("\nRunReport JSON written to %s\n", path.c_str());
+
+  if (!gTracePath.empty()) {
+    std::string error;
+    if (!telemetry::validatePerfettoJson(traceJson, &error)) {
+      std::printf("!! Perfetto trace failed schema validation: %s\n",
+                  error.c_str());
+      return 1;
+    }
+    std::FILE* traceOut = std::fopen(gTracePath.c_str(), "w");
+    if (!traceOut) {
+      std::printf("!! cannot write %s\n", gTracePath.c_str());
+      return 1;
+    }
+    std::fputs(traceJson.c_str(), traceOut);
+    std::fclose(traceOut);
+    std::printf("Perfetto trace written to %s (%zu bytes, sample=%llu)\n",
+                gTracePath.c_str(), traceJson.size(),
+                static_cast<unsigned long long>(gTraceSample));
+  }
   return 0;
 }

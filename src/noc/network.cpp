@@ -263,7 +263,44 @@ TrafficGenerator& Network::generator(NodeId n) {
   return *generators_[indexOf(n)];
 }
 
-void Network::reset() { sim_.reset(); }
+FlowTracer& Network::enableTracing(TraceConfig config) {
+  if (tracer_) throw std::logic_error("tracing already enabled");
+  if (sim_.cycle() != 0)
+    throw std::logic_error(
+        "enableTracing must be called before the first cycle");
+  for (const auto& ni : nis_) {
+    if (ni->sendQueuePackets() != 0)
+      throw std::logic_error(
+          "enableTracing must be called before any packet is queued");
+  }
+  tracer_ = std::make_unique<FlowTracer>(*this, config);
+  for (auto& ni : nis_) ni->setTracer(tracer_.get());
+  if (config.profileKernel) sim_.enableProfiling();
+  sim_.addTickListener([this] { tracer_->onTick(); });
+  return *tracer_;
+}
+
+std::vector<std::string> Network::blockedLinkTraceDump(
+    std::size_t perLink) const {
+  std::vector<std::string> lines;
+  if (!tracer_) return lines;
+  for (const auto& [key, link] : linkIndex_) {
+    if (!link->blocked()) continue;
+    lines.push_back(link->name() + ":");
+    const auto events =
+        tracer_->recentLinkEvents(topology_->nodeAt(key.first),
+                                  static_cast<Port>(key.second), perLink);
+    if (events.empty()) lines.push_back("  (no traced events)");
+    for (const auto& ev : events)
+      lines.push_back("  " + telemetry::describe(ev));
+  }
+  return lines;
+}
+
+void Network::reset() {
+  sim_.reset();
+  if (tracer_) tracer_->clear();
+}
 
 void Network::run(std::uint64_t cycles) { sim_.run(cycles); }
 

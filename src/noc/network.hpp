@@ -16,6 +16,7 @@
 #include "telemetry/metrics.hpp"
 
 #include "noc/fault.hpp"
+#include "noc/flow_trace.hpp"
 #include "noc/ni.hpp"
 #include "noc/stats.hpp"
 #include "noc/topology.hpp"
@@ -103,6 +104,27 @@ class Network {
   void enableTelemetry(telemetry::MetricsRegistry& registry);
   const telemetry::MetricsRegistry* metrics() const { return metrics_; }
 
+  /// Opt-in flit-level lifecycle tracing (noc/flow_trace.hpp): hooks every
+  /// NI and registers the reconstruction tick listener.  Zero cost when not
+  /// called — no router or NI carries trace code on its hot path.  Must run
+  /// before the first cycle and before any packet is queued (the tracer's
+  /// shadow queues start aligned with the empty network); throws
+  /// std::logic_error otherwise or when called twice.
+  FlowTracer& enableTracing(TraceConfig config = {});
+  FlowTracer* tracer() { return tracer_.get(); }
+  const FlowTracer* tracer() const { return tracer_.get(); }
+
+  /// Stall forensics for watchdog snapshots: for every currently blocked
+  /// link, its name followed by the last `perLink` retained trace events
+  /// touching either endpoint.  Empty when tracing is off.
+  std::vector<std::string> blockedLinkTraceDump(std::size_t perLink = 8) const;
+
+  /// Fault-injecting links with their topology ids (empty on ideal links).
+  const std::vector<std::pair<LinkId, router::FaultyLink*>>& faultyLinks()
+      const {
+    return faultyLinks_;
+  }
+
   void reset();
   void run(std::uint64_t cycles);
 
@@ -155,6 +177,7 @@ class Network {
   std::vector<std::pair<LinkId, router::FaultyLink*>> faultyLinks_;
   std::vector<std::unique_ptr<TrafficGenerator>> generators_;
   telemetry::MetricsRegistry* metrics_ = nullptr;
+  std::unique_ptr<FlowTracer> tracer_;
 };
 
 }  // namespace rasoc::noc

@@ -3,6 +3,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "noc/flow_trace.hpp"
+
 namespace rasoc::noc {
 
 using router::Flit;
@@ -133,6 +135,10 @@ void NetworkInterface::send(NodeId dst,
   record.createdCycle = cycle_;
   record.flits = static_cast<int>(packet.flits.size());
   ledger_->onQueued(record);
+
+  if (tracer_)
+    tracer_->onPacketQueued(self_, dst, telemetry::TraceEventKind::PacketQueued,
+                            static_cast<int>(packet.flits.size()));
 
   sendQueueFlits_ += packet.flits.size();
   sendQueue_.push_back(std::move(packet));
@@ -297,6 +303,18 @@ void NetworkInterface::enqueueFrame(ReliableTransport::WireFrame&& frame) {
   packet.tracked = frame.firstTransmission;
   packet.flits =
       router::makePacket(topology_->rib(self_, frame.dst), words, params_);
+  if (tracer_) {
+    using telemetry::TraceEventKind;
+    TraceEventKind kind = TraceEventKind::PacketQueued;
+    if (frame.type == FrameType::Ack)
+      kind = TraceEventKind::AckQueued;
+    else if (frame.type == FrameType::Nack)
+      kind = TraceEventKind::NackQueued;
+    else if (!frame.firstTransmission)
+      kind = TraceEventKind::RetransmitQueued;
+    tracer_->onPacketQueued(self_, frame.dst, kind,
+                            static_cast<int>(packet.flits.size()));
+  }
   sendQueueFlits_ += packet.flits.size();
   sendQueue_.push_back(std::move(packet));
   markDirty();

@@ -40,6 +40,8 @@
 
 namespace rasoc::noc {
 
+class FlowTracer;
+
 /// Optional NI behaviours beyond the base wire protocol.
 struct NiOptions {
   /// Higher Level Protocol parity (paper Section 2: "the n data bits can be
@@ -141,6 +143,12 @@ class NetworkInterface : public sim::Module {
   /// Enables instrumentation; the metrics must outlive the interface.
   void attachMetrics(const NiMetrics& metrics);
 
+  /// Attaches the flow tracer (Network::enableTracing).  The NI reports
+  /// only wire-packet enqueues — everything downstream is reconstructed
+  /// from wires and counters — but must do so before any packet is queued
+  /// so the tracer's shadow stream stays aligned with sendQueue_.
+  void setTracer(FlowTracer* tracer) { tracer_ = tracer; }
+
  protected:
   void onReset() override;
   void evaluate() override;
@@ -196,6 +204,7 @@ class NetworkInterface : public sim::Module {
 
   NiMetrics metrics_;
   bool metricsAttached_ = false;
+  FlowTracer* tracer_ = nullptr;
   ReliabilityStats lastMetricStats_;  // previous totals for counter deltas
 };
 

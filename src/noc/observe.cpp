@@ -185,6 +185,8 @@ telemetry::RunReport buildRunReport(std::string name, const Network& network,
   report.set("links", "mean_utilization", network.meanLinkUtilization());
   report.set("links", "max_utilization", network.maxLinkUtilization());
 
+  if (const FlowTracer* tracer = network.tracer()) tracer->writeReport(report);
+
   if (watchdog) {
     const WatchdogSnapshot& snapshot = watchdog->snapshot();
     report.set("watchdog", "stalled", snapshot.stalled);
@@ -203,6 +205,16 @@ telemetry::RunReport buildRunReport(std::string name, const Network& network,
     }
     if (snapshot.blockedLinks.size() > 8) joined += ",...";
     report.set("watchdog", "blocked_link_names", joined);
+    report.set("watchdog", "recent_trace_events",
+               static_cast<std::uint64_t>(snapshot.recentEvents.size()));
+    std::string recent;
+    for (std::size_t i = 0; i < snapshot.recentEvents.size() && i < 12; ++i) {
+      if (!recent.empty()) recent += " | ";
+      recent += snapshot.recentEvents[i];
+    }
+    if (snapshot.recentEvents.size() > 12) recent += " | ...";
+    if (!recent.empty())
+      report.set("watchdog", "recent_trace_lines", recent);
   }
 
   if (network.metrics()) report.attachRegistry(*network.metrics());

@@ -159,7 +159,8 @@ void ReliableTransport::emitControl(int dstIndex, FrameType type,
   words.push_back(control);
   words.push_back(checksum(selfIndex_, words));
   pendingFrames_.push_back({topology_->nodeAt(dstIndex), std::move(words),
-                            /*frameId=*/0, /*firstTransmission=*/false});
+                            /*frameId=*/0, /*firstTransmission=*/false,
+                            type});
   if (type == FrameType::Ack) ++stats_.acksSent;
   if (type == FrameType::Nack) ++stats_.nacksSent;
 }

@@ -113,12 +113,16 @@ class ReliableTransport {
   /// onFrameSent() when the last flit leaves, which arms the
   /// retransmission timer.  `firstTransmission` marks frames the delivery
   /// ledger should track (retransmissions and control frames are protocol
-  /// overhead, invisible to the ledger).
+  /// overhead, invisible to the ledger).  `type` is the frame's protocol
+  /// role; combined with `firstTransmission` it tells the flow tracer
+  /// whether this wire packet is a first DATA send, a retransmission, or
+  /// ACK/NACK overhead.
   struct WireFrame {
     NodeId dst;
     std::vector<std::uint32_t> words;
     std::uint64_t frameId = 0;
     bool firstTransmission = false;
+    FrameType type = FrameType::Data;
   };
 
   /// An application payload released in order, exactly once.

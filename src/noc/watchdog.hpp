@@ -38,6 +38,11 @@ struct WatchdogSnapshot {
   /// Links offering a flit nobody accepted, at the stall instant (empty
   /// without a diagnostics callback).
   std::vector<std::string> blockedLinks;
+  /// With a trace-dump callback: for each blocked link, the last few flit
+  /// lifecycle events that touched it, rendered one per line (wire
+  /// Network::blockedLinkTraceDump in).  Shows *what* each wedged link was
+  /// doing when the network stopped, not just its name.
+  std::vector<std::string> recentEvents;
 };
 
 class Watchdog : public sim::Module {
@@ -46,12 +51,18 @@ class Watchdog : public sim::Module {
   /// blocked; e.g. `[&net] { return net.blockedLinkNames(); }`.
   using Diagnostics = std::function<std::vector<std::string>()>;
 
+  /// Invoked once alongside Diagnostics to capture the trace history of the
+  /// blocked links; e.g. `[&net] { return net.blockedLinkTraceDump(); }`.
+  using TraceDump = std::function<std::vector<std::string>()>;
+
   Watchdog(std::string name, const DeliveryLedger& ledger,
-           std::uint64_t timeout, Diagnostics diagnostics = {})
+           std::uint64_t timeout, Diagnostics diagnostics = {},
+           TraceDump traceDump = {})
       : Module(std::move(name)),
         ledger_(&ledger),
         timeout_(timeout),
-        diagnostics_(std::move(diagnostics)) {}
+        diagnostics_(std::move(diagnostics)),
+        traceDump_(std::move(traceDump)) {}
 
   bool stallDetected() const { return snapshot_.stalled; }
   std::uint64_t longestStall() const { return snapshot_.longestStall; }
@@ -82,6 +93,7 @@ class Watchdog : public sim::Module {
       snapshot_.stallCycle = cycle_;
       snapshot_.inFlightAtStall = ledger_->inFlight();
       if (diagnostics_) snapshot_.blockedLinks = diagnostics_();
+      if (traceDump_) snapshot_.recentEvents = traceDump_();
     }
   }
 
@@ -89,6 +101,7 @@ class Watchdog : public sim::Module {
   const DeliveryLedger* ledger_;
   std::uint64_t timeout_;
   Diagnostics diagnostics_;
+  TraceDump traceDump_;
   std::uint64_t lastDelivered_ = 0;
   std::uint64_t idleCycles_ = 0;
   std::uint64_t cycle_ = 0;

@@ -40,6 +40,15 @@ class InputChannel : public sim::Module {
   // Number of flits accepted from the link since reset.
   std::uint64_t flitsAccepted() const { return flitsAccepted_; }
 
+  // Read-only observation points for the flow tracer, which reconstructs
+  // flit movement from settled wires between settle() and tick() instead of
+  // instrumenting the channel blocks.  Valid pre-edge only.
+  //
+  // True when the buffer head will be read out at the coming edge.
+  bool dequeueFired() const { return rd_.get() && rok_.get(); }
+  // The external input link wires this channel samples.
+  const ChannelWires& inWires() const { return *in_; }
+
   // Enables instrumentation; the metrics must outlive the channel.
   void attachMetrics(const InputChannelMetrics& metrics);
 

@@ -42,6 +42,17 @@ class OutputChannel : public sim::Module {
   // Number of flits sent over the link since reset.
   std::uint64_t flitsSent() const { return flitsSent_; }
 
+  // Read-only observation points for the flow tracer (pre-edge wires; see
+  // InputChannel for the reconstruction contract).
+  const ChannelWires& outWires() const { return *out_; }
+  // Combinational connection/selection nets driven by the OC this cycle.
+  bool connectedWire() const { return connected_.get(); }
+  int selWire() const { return sel_.get(); }
+  // The shared crossbar nets, for replaying request/grant decisions.
+  const std::array<CrossbarWires, kNumPorts>& xbarWires() const {
+    return *xbar_;
+  }
+
   // Enables instrumentation; the metrics must outlive the channel.
   void attachMetrics(const OutputChannelMetrics& metrics);
 

@@ -105,6 +105,12 @@ class Module {
   bool isFrontier() const { return frontier_; }
   std::size_t moduleIndex() const { return moduleIndex_; }
 
+  // Index in the simulator's flattened module list, written whenever the
+  // list is (re)collected so every kernel - not just the parallel one,
+  // whose setPlacement() also writes it - can attribute per-module work
+  // (Simulator::enableProfiling).
+  void setModuleIndex(std::size_t index) { moduleIndex_ = index; }
+
   // Wires declared via sensitive() - the read set the partition classifier
   // pairs with the discovered write sets.
   const std::vector<const WireBase*>& sensitivities() const { return reads_; }

@@ -95,6 +95,7 @@ void Simulator::ensureCollected() {
       const int hint =
           m->partitionHint() >= 0 ? m->partitionHint() : inherited;
       m->bindScheduler(this);
+      m->setModuleIndex(modules_.size());
       modules_.push_back(m);
       hints_.push_back(hint);
       if (m->isSequential()) sequential_.push_back(m);
@@ -105,6 +106,13 @@ void Simulator::ensureCollected() {
   }
   modulesStale_ = false;
   partitionStale_ = true;
+  if (profileBase_) {
+    // Late add()s (e.g. traffic generators attached after construction)
+    // append to the flatten, so existing counts keep their slots; new
+    // modules get zeroed ones.  Re-point the base: resize may reallocate.
+    profileCounts_.resize(modules_.size(), 0);
+    profileBase_ = profileCounts_.data();
+  }
   // Newly collected modules have never been evaluated by this worklist:
   // seed everything once so the next settle starts from a known state.
   // (The parallel kernel seeds when it rebuilds its partition.)
@@ -194,7 +202,17 @@ void Simulator::settle() {
 void Simulator::settleNaive() {
   for (int iter = 0; iter < maxSettleIterations_; ++iter) {
     SettleContext::clearChanged();
-    for (Module* m : tops_) m->evaluateAll();
+    if (profileBase_) {
+      // modules_ is the preorder flatten of tops_, so this sweep evaluates
+      // in exactly the order evaluateAll() would - it just goes module by
+      // module so each evaluation can be attributed.
+      for (Module* m : modules_) {
+        m->evaluateOne();
+        ++profileBase_[m->moduleIndex()];
+      }
+    } else {
+      for (Module* m : tops_) m->evaluateAll();
+    }
     evaluateCalls_ += modules_.size();
     if (!SettleContext::changed()) return;
   }
@@ -215,6 +233,7 @@ void Simulator::settleEventDriven() {
     Module* m = worklist_[i];
     m->clearDirty();
     m->evaluateOne();
+    if (profileBase_) ++profileBase_[m->moduleIndex()];
     if (++evals > bound) {
       for (std::size_t j = i + 1; j < worklist_.size(); ++j)
         worklist_[j]->clearDirty();
@@ -238,6 +257,8 @@ void Simulator::ensurePartitionBuilt() {
   // fixpoint (evaluate() is idempotent).
   partition_ = buildPartition(modules_, hints_, threads_);
   evaluateCalls_ += modules_.size();
+  if (profileBase_)
+    for (std::size_t i = 0; i < modules_.size(); ++i) ++profileBase_[i];
   for (std::size_t i = 0; i < modules_.size(); ++i)
     modules_[i]->setPlacement(partition_.domainOf[i],
                               partition_.isFrontier[i] != 0, i);
@@ -337,6 +358,7 @@ void Simulator::runParallelRounds() {
         Module* m = frontierRun_[i];
         m->clearDirty();
         m->evaluateOne();
+        if (profileBase_) ++profileBase_[m->moduleIndex()];
         if (++frontierEvalsThisSettle_ > frontierBound)
           throw std::runtime_error(
               "Simulator::settle: frontier worklist did not drain within " +
@@ -381,6 +403,9 @@ void Simulator::drainDomain(int d) {
 #else
     m->evaluateOne();
 #endif
+    // Interior modules are evaluated only by their owning domain's thread,
+    // so this slot has a single writer for the whole parallel phase.
+    if (profileBase_) ++profileBase_[m->moduleIndex()];
     if (++dr.evals > bound) {
       // This domain's modules are touched by this thread only; clear the
       // undrained tail's flags here, flag the overrun, and let the main
@@ -433,6 +458,30 @@ void Simulator::validateWrites(
           "must drive the same wires on every call (see sim/partition.hpp)");
 }
 #endif
+
+void Simulator::enableProfiling() {
+  ensureCollected();
+  if (profileBase_) return;
+  profileCounts_.assign(modules_.size(), 0);
+  profileBase_ = profileCounts_.data();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Simulator::hottestModules(
+    std::size_t n) {
+  ensureCollected();
+  std::vector<std::size_t> order(profileCounts_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    if (profileCounts_[a] != profileCounts_[b])
+      return profileCounts_[a] > profileCounts_[b];
+    return a < b;
+  });
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(std::min(n, order.size()));
+  for (std::size_t i = 0; i < order.size() && out.size() < n; ++i)
+    out.emplace_back(modules_[order[i]]->name(), profileCounts_[order[i]]);
+  return out;
+}
 
 void Simulator::enqueueDirty(Module* m) {
   switch (kernel_) {

@@ -47,6 +47,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/module.hpp"
@@ -157,6 +158,29 @@ class Simulator final : private EvalScheduler {
   /// totals for identical simulation results.
   std::uint64_t evaluateCalls() const { return evaluateCalls_; }
 
+  /// Turns on per-module evaluate() attribution for whichever kernel is
+  /// active.  Off by default: the settle loops then pay one null-pointer
+  /// test per evaluation and write nothing, so unprofiled runs keep their
+  /// exact behaviour.  Counts accumulate from the call onward and survive
+  /// reset(); modules added later extend the table with zeroed slots.
+  /// Race-free under the parallel kernel: each interior module is evaluated
+  /// only by its owning domain's thread and frontier modules only by the
+  /// sequential phase, so every counter slot has a single writer per settle.
+  void enableProfiling();
+  bool profilingEnabled() const { return profileBase_ != nullptr; }
+
+  /// Per-module evaluate() counts since enableProfiling(), indexed by
+  /// Module::moduleIndex().  Empty when profiling is off.
+  const std::vector<std::uint64_t>& profileCounts() const {
+    return profileCounts_;
+  }
+
+  /// The up-to-n costliest modules as (name, evaluate count), highest
+  /// count first; ties break toward the lower module index so the ranking
+  /// is deterministic.
+  std::vector<std::pair<std::string, std::uint64_t>> hottestModules(
+      std::size_t n);
+
   /// Modules known to the simulator (tops plus transitive children).
   std::size_t moduleCount() {
     ensureCollected();
@@ -219,6 +243,10 @@ class Simulator final : private EvalScheduler {
   std::vector<Module*> frontierRun_;
   std::unique_ptr<SettlePool> pool_;
   ParallelKernelStats parallelStats_;
+  std::vector<std::uint64_t> profileCounts_;  // one slot per module index
+  /// profileCounts_.data() when profiling, else nullptr - the single flag
+  /// the settle loops test.  Re-pointed whenever the table reallocates.
+  std::uint64_t* profileBase_ = nullptr;
   std::uint64_t cycle_ = 0;
   std::uint64_t evaluateCalls_ = 0;
   std::uint64_t frontierEvalsThisSettle_ = 0;
