@@ -16,7 +16,8 @@
 // transport, and retransmission turns detection into recovery.
 //
 // Flags follow bench_noc_loadsweep: --topology=mesh|torus|ring (16 nodes
-// each), --kernel=naive|event|parallel, --threads=N, plus --quick for a
+// each), --kernel=naive|event|parallel|compiled, --threads=N, plus
+// --quick for a
 // reduced CI smoke grid.  First non-flag argument is the RunReport JSON
 // artifact path (default bench_noc_faultsweep_report.json).
 //
@@ -69,6 +70,7 @@ std::shared_ptr<const noc::Topology> makeBenchTopology() {
 sim::Simulator::Kernel benchKernel() {
   if (gKernel == "naive") return sim::Simulator::Kernel::Naive;
   if (gKernel == "parallel") return sim::Simulator::Kernel::ParallelEventDriven;
+  if (gKernel == "compiled") return sim::Simulator::Kernel::Compiled;
   return sim::Simulator::Kernel::EventDriven;
 }
 
@@ -173,7 +175,8 @@ std::string fmt(double v, const char* f = "%.4f") {
 std::string fmtU(std::uint64_t v) { return std::to_string(v); }
 
 std::string instrumentedReport(double intensity, double load, bool reliable,
-                               std::string* traceJson = nullptr) {
+                               std::string* traceJson = nullptr,
+                               std::string* kernelJson = nullptr) {
   auto topology = makeBenchTopology();
   noc::Network net(topology, benchConfig(intensity, reliable));
   telemetry::MetricsRegistry registry;
@@ -193,7 +196,10 @@ std::string instrumentedReport(double intensity, double load, bool reliable,
   net.run(static_cast<std::uint64_t>(cycles));
   net.pauseTraffic(true);
   net.drain(static_cast<std::uint64_t>(cycles) * 20);
-  if (tracer) *traceJson = tracer->perfettoJson();
+  if (tracer) {
+    *traceJson = tracer->perfettoJson();
+    if (kernelJson) *kernelJson = tracer->kernelProfileJson();
+  }
   telemetry::RunReport report = noc::buildRunReport(
       std::string("faultsweep.") + (reliable ? "reliable" : "unprotected"),
       net, &watchdog);
@@ -235,8 +241,9 @@ int main(int argc, char** argv) {
                 gTopology.c_str());
     return 1;
   }
-  if (gKernel != "naive" && gKernel != "event" && gKernel != "parallel") {
-    std::printf("unknown --kernel=%s (naive|event|parallel)\n",
+  if (gKernel != "naive" && gKernel != "event" && gKernel != "parallel" &&
+      gKernel != "compiled") {
+    std::printf("unknown --kernel=%s (naive|event|parallel|compiled)\n",
                 gKernel.c_str());
     return 1;
   }
@@ -311,8 +318,10 @@ int main(int argc, char** argv) {
   }
   std::fputs("[\n", out);
   std::string traceJson;
+  std::string kernelJson;
   std::fputs(instrumentedReport(midRate, midLoad, true,
-                                gTracePath.empty() ? nullptr : &traceJson)
+                                gTracePath.empty() ? nullptr : &traceJson,
+                                gTracePath.empty() ? nullptr : &kernelJson)
                  .c_str(),
              out);
   std::fputs(",\n", out);
@@ -338,6 +347,24 @@ int main(int argc, char** argv) {
     std::printf("Perfetto trace written to %s (%zu bytes, sample=%llu)\n",
                 gTracePath.c_str(), traceJson.size(),
                 static_cast<unsigned long long>(gTraceSample));
+
+    // Kernel-profile counters are kernel-dependent, so they ship as a
+    // sidecar and the machine trace stays byte-identical across kernels.
+    const std::string kernelPath = gTracePath + ".kernel.json";
+    if (!telemetry::validatePerfettoJson(kernelJson, &error)) {
+      std::printf("!! kernel-profile sidecar failed schema validation: %s\n",
+                  error.c_str());
+      return 1;
+    }
+    std::FILE* kernelOut = std::fopen(kernelPath.c_str(), "w");
+    if (!kernelOut) {
+      std::printf("!! cannot write %s\n", kernelPath.c_str());
+      return 1;
+    }
+    std::fputs(kernelJson.c_str(), kernelOut);
+    std::fclose(kernelOut);
+    std::printf("Kernel-profile sidecar written to %s (%zu bytes)\n",
+                kernelPath.c_str(), kernelJson.size());
   }
   return exitCode;
 }

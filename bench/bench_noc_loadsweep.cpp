@@ -7,11 +7,11 @@
 // Rings cannot express Transpose (non-square extent), so the ring sweep
 // substitutes BitComplement, the equivalent long-haul permutation.
 //
-// The settle kernel is selectable too (--kernel=naive|event|parallel,
-// default event; --threads=N sizes the parallel kernel's partition).  All
-// kernels are cycle-exact against each other (tests/noc/
-// kernel_trichotomy_test.cpp), so the sweep numbers are identical and the
-// flag only changes wall-clock cost.
+// The settle kernel is selectable too
+// (--kernel=naive|event|parallel|compiled, default event; --threads=N
+// sizes the parallel kernel's partition).  All kernels are cycle-exact
+// against each other (tests/noc/kernel_trichotomy_test.cpp), so the sweep
+// numbers are identical and the flag only changes wall-clock cost.
 //
 // Besides the human-readable tables, one fully instrumented run per
 // traffic pattern is serialized as a machine-diffable RunReport JSON
@@ -56,6 +56,7 @@ std::shared_ptr<const noc::Topology> makeBenchTopology() {
 sim::Simulator::Kernel benchKernel() {
   if (gKernel == "naive") return sim::Simulator::Kernel::Naive;
   if (gKernel == "parallel") return sim::Simulator::Kernel::ParallelEventDriven;
+  if (gKernel == "compiled") return sim::Simulator::Kernel::Compiled;
   return sim::Simulator::Kernel::EventDriven;
 }
 
@@ -116,9 +117,11 @@ std::string fmt(double v, const char* f = "%.2f") {
 
 // One instrumented run at the given load; returns the serialized report.
 // When `traceJson` is non-null the run is flit-traced and the Perfetto
-// export is stored there.
+// export is stored there, with the kernel-profile counter sidecar in
+// `kernelJson` (kernel-dependent by nature, hence the separate file).
 std::string instrumentedReport(noc::TrafficPattern pattern, double load,
-                               std::string* traceJson = nullptr) {
+                               std::string* traceJson = nullptr,
+                               std::string* kernelJson = nullptr) {
   noc::Network net(makeBenchTopology(), benchConfig(4));
   telemetry::MetricsRegistry registry;
   net.enableTelemetry(registry);
@@ -135,7 +138,10 @@ std::string instrumentedReport(noc::TrafficPattern pattern, double load,
   net.ledger().setWarmupCycles(kWarmup);
   net.attachTraffic(benchTraffic(pattern, load));
   net.run(kWarmup + kMeasure);
-  if (tracer) *traceJson = tracer->perfettoJson();
+  if (tracer) {
+    *traceJson = tracer->perfettoJson();
+    if (kernelJson) *kernelJson = tracer->kernelProfileJson();
+  }
   telemetry::RunReport report = noc::buildRunReport(
       std::string("loadsweep.") + std::string(noc::name(pattern)), net,
       &watchdog);
@@ -176,8 +182,9 @@ int main(int argc, char** argv) {
                 gTopology.c_str());
     return 1;
   }
-  if (gKernel != "naive" && gKernel != "event" && gKernel != "parallel") {
-    std::printf("unknown --kernel=%s (naive|event|parallel)\n",
+  if (gKernel != "naive" && gKernel != "event" && gKernel != "parallel" &&
+      gKernel != "compiled") {
+    std::printf("unknown --kernel=%s (naive|event|parallel|compiled)\n",
                 gKernel.c_str());
     return 1;
   }
@@ -226,16 +233,18 @@ int main(int argc, char** argv) {
   std::fputs("[\n", out);
   bool first = true;
   std::string traceJson;
+  std::string kernelJson;
   for (noc::TrafficPattern pattern : benchPatterns()) {
     if (!first) std::fputs(",\n", out);
     // The hotspot run is the interesting one to trace: its congestion tree
     // shows up as hop_blocked time on the flow tracks.
     const bool traceThis =
         !gTracePath.empty() && pattern == noc::TrafficPattern::HotSpot;
-    std::fputs(
-        instrumentedReport(pattern, 0.20, traceThis ? &traceJson : nullptr)
-            .c_str(),
-        out);
+    std::fputs(instrumentedReport(pattern, 0.20,
+                                  traceThis ? &traceJson : nullptr,
+                                  traceThis ? &kernelJson : nullptr)
+                   .c_str(),
+               out);
     first = false;
   }
   std::fputs("]\n", out);
@@ -259,6 +268,25 @@ int main(int argc, char** argv) {
     std::printf("Perfetto trace written to %s (%zu bytes, sample=%llu)\n",
                 gTracePath.c_str(), traceJson.size(),
                 static_cast<unsigned long long>(gTraceSample));
+
+    // Kernel-profile counters go in a sidecar: they are a property of the
+    // settle kernel, so keeping them out of the machine trace preserves
+    // its byte-identity across --kernel choices.
+    const std::string kernelPath = gTracePath + ".kernel.json";
+    if (!telemetry::validatePerfettoJson(kernelJson, &error)) {
+      std::printf("!! kernel-profile sidecar failed schema validation: %s\n",
+                  error.c_str());
+      return 1;
+    }
+    std::FILE* kernelOut = std::fopen(kernelPath.c_str(), "w");
+    if (!kernelOut) {
+      std::printf("!! cannot write %s\n", kernelPath.c_str());
+      return 1;
+    }
+    std::fputs(kernelJson.c_str(), kernelOut);
+    std::fclose(kernelOut);
+    std::printf("Kernel-profile sidecar written to %s (%zu bytes)\n",
+                kernelPath.c_str(), kernelJson.size());
   }
   return 0;
 }

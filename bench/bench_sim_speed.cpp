@@ -25,10 +25,12 @@ void BM_SingleRouterIdle(benchmark::State& state) {
 BENCHMARK(BM_SingleRouterIdle);
 
 // Args: (side, kernel) with kernel 0 = naive fixpoint, 1 = event-driven,
-// 2 = parallel with 2 threads, 3 = parallel with 4 threads.  Compare
-// BM_MeshUnderLoad/8/0 against /8/1 for the scheduler speedup and /16/1
-// against /16/3 for the parallel speedup; `evals_per_cycle` counts
-// evaluate() calls and shows where it comes from.
+// 2 = parallel with 2 threads, 3 = parallel with 4 threads, 4 = compiled
+// (word-packed arena + levelized op tape).  Compare BM_MeshUnderLoad/8/0
+// against /8/1 for the scheduler speedup, /16/1 against /16/3 for the
+// parallel speedup and /8/1 against /8/4 for the lowering speedup;
+// `evals_per_cycle` counts evaluate() calls and shows where it comes from
+// (near zero under the compiled kernel: only fallback thunks evaluate).
 void BM_MeshUnderLoad(benchmark::State& state) {
   const int side = static_cast<int>(state.range(0));
   noc::MeshConfig cfg;
@@ -39,6 +41,7 @@ void BM_MeshUnderLoad(benchmark::State& state) {
   switch (state.range(1)) {
     case 0: cfg.kernel = sim::Simulator::Kernel::Naive; break;
     case 1: cfg.kernel = sim::Simulator::Kernel::EventDriven; break;
+    case 4: cfg.kernel = sim::Simulator::Kernel::Compiled; break;
     default:
       cfg.kernel = sim::Simulator::Kernel::ParallelEventDriven;
       cfg.threads = state.range(1) == 2 ? 2 : 4;
@@ -61,7 +64,8 @@ void BM_MeshUnderLoad(benchmark::State& state) {
 BENCHMARK(BM_MeshUnderLoad)
     ->ArgsProduct({{2, 4, 6, 8}, {0, 1}})
     ->ArgsProduct({{8, 16}, {2, 3}})
-    ->Args({16, 1});
+    ->Args({16, 1})
+    ->ArgsProduct({{8, 16, 32}, {4}});
 
 // Torus counterpart of BM_MeshUnderLoad (same arg encoding): the wrap
 // links add cross-partition frontier edges at both ends of every strip, the
@@ -75,6 +79,7 @@ void BM_TorusUnderLoad(benchmark::State& state) {
   switch (state.range(1)) {
     case 0: cfg.kernel = sim::Simulator::Kernel::Naive; break;
     case 1: cfg.kernel = sim::Simulator::Kernel::EventDriven; break;
+    case 4: cfg.kernel = sim::Simulator::Kernel::Compiled; break;
     default:
       cfg.kernel = sim::Simulator::Kernel::ParallelEventDriven;
       cfg.threads = state.range(1) == 2 ? 2 : 4;
@@ -91,7 +96,7 @@ void BM_TorusUnderLoad(benchmark::State& state) {
   state.counters["routers"] = side * side;
 }
 BENCHMARK(BM_TorusUnderLoad)
-    ->ArgsProduct({{8, 16}, {1, 2, 3}});
+    ->ArgsProduct({{8, 16}, {1, 2, 3, 4}});
 
 // Same mesh with the telemetry subsystem attached: the delta against
 // BM_MeshUnderLoad is the full cost of leaving instrumentation enabled

@@ -433,10 +433,10 @@ std::string FlowTracer::perfettoJson() const {
   telemetry::PerfettoWriter w;
   const Topology& topo = net_->topology();
 
-  // Metadata: the kernel counter group, one process per router (tracks per
-  // port), one process per flow source (tracks per destination).
-  const bool profiled = config_.profileKernel && !kernelSamples_.empty();
-  if (profiled) w.processName(kKernelPid, "settle kernel");
+  // Metadata: one process per router (tracks per port), one process per
+  // flow source (tracks per destination).  Kernel-profile counters are
+  // deliberately absent — they live in kernelProfileJson() so this export
+  // stays byte-identical across settle kernels even with profiling on.
   for (int n = 0; n < nodes_; ++n) {
     const NodeId node = topo.nodeAt(n);
     w.processName(kRouterPidBase + n,
@@ -461,22 +461,6 @@ std::string FlowTracer::perfettoJson() const {
     if (flowSrcs.insert(src).second)
       w.processName(kFlowPidBase + src, "flows from " + std::to_string(src));
     w.threadName(kFlowPidBase + src, dst + 1, "to " + std::to_string(dst));
-  }
-
-  // Kernel counter tracks.
-  for (const KernelSample& ks : kernelSamples_) {
-    w.counter(kKernelPid, ks.cycle, "evals/cycle",
-              {{"evals", static_cast<double>(ks.evals)}});
-    if (!ks.domains.empty()) {
-      std::vector<std::pair<std::string, double>> series;
-      series.reserve(ks.domains.size());
-      for (std::size_t d = 0; d < ks.domains.size(); ++d)
-        series.emplace_back("d" + std::to_string(d),
-                            static_cast<double>(ks.domains[d]));
-      w.counter(kKernelPid, ks.cycle, "domain evals/cycle", series);
-      w.counter(kKernelPid, ks.cycle, "frontier evals/cycle",
-                {{"frontier", static_cast<double>(ks.frontier)}});
-    }
   }
 
   // One span per completed packet on its flow track.
@@ -555,6 +539,28 @@ std::string FlowTracer::perfettoJson() const {
   return w.toJson();
 }
 
+std::string FlowTracer::kernelProfileJson() const {
+  telemetry::PerfettoWriter w;
+  if (config_.profileKernel && !kernelSamples_.empty()) {
+    w.processName(kKernelPid, "settle kernel");
+    for (const KernelSample& ks : kernelSamples_) {
+      w.counter(kKernelPid, ks.cycle, "evals/cycle",
+                {{"evals", static_cast<double>(ks.evals)}});
+      if (!ks.domains.empty()) {
+        std::vector<std::pair<std::string, double>> series;
+        series.reserve(ks.domains.size());
+        for (std::size_t d = 0; d < ks.domains.size(); ++d)
+          series.emplace_back("d" + std::to_string(d),
+                              static_cast<double>(ks.domains[d]));
+        w.counter(kKernelPid, ks.cycle, "domain evals/cycle", series);
+        w.counter(kKernelPid, ks.cycle, "frontier evals/cycle",
+                  {{"frontier", static_cast<double>(ks.frontier)}});
+      }
+    }
+  }
+  return w.toJson();
+}
+
 namespace {
 
 void statRow(telemetry::RunReport& report, const std::string& key,
@@ -583,13 +589,17 @@ void FlowTracer::writeReport(telemetry::RunReport& report) const {
   statRow(report, "hop_min", decomp_.hopMin);
   statRow(report, "hop_blocked", decomp_.hopBlocked);
   statRow(report, "drain", decomp_.drain);
+  // Kernel-dependent numbers go in their own section so the `trace`
+  // section compares byte-equal across kernels.
   if (config_.profileKernel && net_->simulator().profilingEnabled()) {
     const auto hottest = net_->simulator().hottestModules(5);
-    report.set("trace", "profiled_modules",
+    report.set("kernel_profile", "profiled_modules",
                static_cast<std::uint64_t>(
                    net_->simulator().profileCounts().size()));
+    report.set("kernel_profile", "samples",
+               static_cast<std::uint64_t>(kernelSamples_.size()));
     for (std::size_t i = 0; i < hottest.size(); ++i)
-      report.set("trace", "hot_module_" + std::to_string(i),
+      report.set("kernel_profile", "hot_module_" + std::to_string(i),
                  hottest[i].first + "=" + std::to_string(hottest[i].second));
   }
 }

@@ -28,10 +28,16 @@
 ///
 /// Outputs: a bounded TraceSink ring (telemetry/trace_event.hpp), a
 /// Chrome/Perfetto JSON export (one track per router port, one per
-/// traced flow, counter tracks for the settle kernel), a per-flow latency
-/// decomposition (source queueing / hop minimum / hop blocked / drain)
-/// whose components sum *exactly* to the traced end-to-end latency, and a
-/// `trace` RunReport section.
+/// traced flow), a per-flow latency decomposition (source queueing / hop
+/// minimum / hop blocked / drain) whose components sum *exactly* to the
+/// traced end-to-end latency, and a `trace` RunReport section.  Kernel
+/// profiling data (evaluations per cycle, frontier, domain imbalance,
+/// hottest modules) is a property of the *kernel*, not of the simulated
+/// machine, so it is kept strictly outside the traced event stream: it
+/// exports through the separate kernelProfileJson() sidecar and the
+/// `kernel_profile` report section, keeping perfettoJson() and the
+/// `trace` section byte-identical across every kernel even with
+/// profiling enabled.
 #pragma once
 
 #include <cstdint>
@@ -71,7 +77,10 @@ struct TraceConfig {
 
   /// Also profile the settle kernel: per-module evaluate() counts
   /// (Simulator::enableProfiling) plus a per-cycle evaluation/frontier/
-  /// domain-imbalance timeline on the Perfetto export.
+  /// domain-imbalance timeline.  Profile data never touches the traced
+  /// event stream — it exports through kernelProfileJson() and the
+  /// `kernel_profile` report section — so enabling this does not perturb
+  /// cross-kernel byte-identity of perfettoJson().
   bool profileKernel = true;
 
   /// Completed per-packet spans retained for the Perfetto flow tracks and
@@ -145,12 +154,21 @@ class FlowTracer {
   std::uint64_t packetsCompleted() const { return packetsCompleted_; }
 
   /// Chrome/Perfetto trace_events JSON of everything currently retained
-  /// (loadable in ui.perfetto.dev).  Deterministic for a seeded run.
+  /// (loadable in ui.perfetto.dev).  Deterministic for a seeded run and
+  /// byte-identical across settle kernels, with or without profiling.
   std::string perfettoJson() const;
 
-  /// Fills the `trace` section of a RunReport: ring occupancy, packet
-  /// counts, per-component latency percentiles, and (when profiling) the
-  /// hottest modules.  Deterministic.
+  /// Chrome/Perfetto JSON of the kernel-profile counter tracks
+  /// (evaluations / frontier / per-domain per cycle).  Kernel-dependent
+  /// by nature — keep it a sidecar next to the machine trace, never
+  /// merged into it.  Empty-trace JSON when profileKernel is off or no
+  /// samples were taken.
+  std::string kernelProfileJson() const;
+
+  /// Fills the `trace` section of a RunReport (ring occupancy, packet
+  /// counts, per-component latency percentiles — kernel-independent) and,
+  /// when profiling, a separate `kernel_profile` section (hottest
+  /// modules, sample count).  Deterministic.
   void writeReport(telemetry::RunReport& report) const;
 
   /// Human-readable per-component latency table (examples, logs).

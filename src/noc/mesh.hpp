@@ -16,11 +16,12 @@ struct MeshConfig {
   router::RouterParams params{};
   router::ArbiterKind arbiter = router::ArbiterKind::RoundRobin;
 
-  // Settle kernel for the mesh's simulator.  EventDriven evaluates only
-  // modules whose inputs changed (see sim/simulator.hpp) and is the
-  // default; Naive is the reference fixpoint kernel the equivalence suite
+  // Settle kernel for the mesh's simulator.  Compiled lowers the mesh to a
+  // word-packed state arena plus a levelized op tape (see sim/compile.hpp)
+  // and is the default; EventDriven evaluates only modules whose inputs
+  // changed; Naive is the reference fixpoint kernel the equivalence suite
   // A/Bs against.
-  sim::Simulator::Kernel kernel = sim::Simulator::Kernel::EventDriven;
+  sim::Simulator::Kernel kernel = sim::Simulator::Kernel::Compiled;
 
   // Worker threads for Kernel::ParallelEventDriven (see NetworkConfig).
   int threads = 1;

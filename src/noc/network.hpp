@@ -35,11 +35,13 @@ struct NetworkConfig {
   router::RouterParams params{};
   router::ArbiterKind arbiter = router::ArbiterKind::RoundRobin;
 
-  /// Settle kernel for the network's simulator.  EventDriven evaluates only
-  /// modules whose inputs changed (see sim/simulator.hpp) and is the
-  /// default; Naive is the reference fixpoint kernel the equivalence suite
-  /// A/Bs against.
-  sim::Simulator::Kernel kernel = sim::Simulator::Kernel::EventDriven;
+  /// Settle kernel for the network's simulator.  Compiled lowers the
+  /// elaborated network to a word-packed state arena plus a levelized op
+  /// tape (see sim/compile.hpp) and is the default; EventDriven evaluates
+  /// only modules whose inputs changed; Naive is the reference fixpoint
+  /// kernel the equivalence suite A/Bs against.  All four are proven
+  /// bit-identical by noc_kernel_trichotomy_test.
+  sim::Simulator::Kernel kernel = sim::Simulator::Kernel::Compiled;
 
   /// Worker threads for Kernel::ParallelEventDriven (ignored by the other
   /// kernels).  The topology is split into this many contiguous node blocks

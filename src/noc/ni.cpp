@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "noc/flow_trace.hpp"
+#include "sim/compile.hpp"
 
 namespace rasoc::noc {
 
@@ -331,6 +332,15 @@ void NetworkInterface::pumpTransport() {
     ++packetsReceived_;
     received_.push_back(std::move(delivery.payload));
   }
+}
+
+bool NetworkInterface::describe(sim::Lowering& lw) {
+  lw.thunkDeclared(*this, {&fromRouter_->val},
+                   {&toRouter_->flit.data, &toRouter_->flit.bop,
+                    &toRouter_->flit.eop, &toRouter_->val,
+                    &fromRouter_->ack});
+  lw.edgeCall(*this);
+  return true;
 }
 
 }  // namespace rasoc::noc

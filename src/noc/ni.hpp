@@ -149,6 +149,11 @@ class NetworkInterface : public sim::Module {
   /// so the tracer's shadow stream stays aligned with sendQueue_.
   void setTracer(FlowTracer* tracer) { tracer_ = tracer; }
 
+  /// Compiled-kernel lowering: the NI walks deque/transport state, so it
+  /// stays behavioural — a declared thunk (skipping write discovery so the
+  /// send queue is untouched at compile time) plus a clockEdge() call.
+  bool describe(sim::Lowering& lw) override;
+
  protected:
   void onReset() override;
   void evaluate() override;

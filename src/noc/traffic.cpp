@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "sim/compile.hpp"
+
 namespace rasoc::noc {
 
 std::string_view name(TrafficPattern pattern) {
@@ -137,6 +139,11 @@ void TrafficGenerator::clockEdge() {
     payload.push_back(static_cast<std::uint32_t>(rng_.next()));
   ni_->send(dst, payload);
   ++packetsGenerated_;
+}
+
+bool TrafficGenerator::describe(sim::Lowering& lw) {
+  lw.edgeCall(*this);
+  return true;
 }
 
 }  // namespace rasoc::noc

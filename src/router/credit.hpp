@@ -46,6 +46,15 @@ class CreditOfc : public sim::Module {
 
   int credits() const { return credits_; }
 
+  // The exact clockEdge() body with the wire values passed in: the
+  // compiled kernel's fused edge op (router/output_channel.cpp) reads
+  // rokSel and the credit-return line from the state arena and steps the
+  // counter through here.
+  void creditEdge(bool rokSel, bool creditReturn) {
+    const bool sent = rokSel && credits_ > 0;
+    credits_ += (creditReturn ? 1 : 0) - (sent ? 1 : 0);
+  }
+
  protected:
   void onReset() override { credits_ = initialCredits_; }
 
@@ -58,9 +67,7 @@ class CreditOfc : public sim::Module {
   }
 
   void clockEdge() override {
-    const bool sent = rokSel_->get() && credits_ > 0;
-    const bool returned = creditReturn_->get();
-    credits_ += (returned ? 1 : 0) - (sent ? 1 : 0);
+    creditEdge(rokSel_->get(), creditReturn_->get());
   }
 
  private:

@@ -84,6 +84,11 @@ class FaultyLink : public Link {
   /// window.
   std::uint64_t stallCycles() const { return stallCycles_; }
 
+  /// Fault behaviour (RNG draws, window masking) stays behavioural under
+  /// the compiled kernel: the base Link's typeid guard already falls back,
+  /// this override just makes the choice explicit.
+  bool describe(sim::Lowering&) override { return false; }
+
  protected:
   void onReset() override;
   void evaluate() override;

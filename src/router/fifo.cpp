@@ -30,20 +30,12 @@ void InputBuffer::evaluate() {
 }
 
 void InputBuffer::clockEdge() {
-  const bool writeRequested = wr_->get();
-  const bool doRead = rd_->get() && !empty();
   // A simultaneous read frees the slot the write needs, so write-while-full
-  // is legal exactly when a read drains this edge (as on real FIFOs).
-  const bool doWrite = writeRequested && (!full() || doRead);
-  if (writeRequested && full() && !doRead) overflow_ = true;
-
-  Flit incoming;
-  if (doWrite) {
-    incoming.data = din_->data.get() & mask_;
-    incoming.bop = din_->bop.get();
-    incoming.eop = din_->eop.get();
-  }
-  commit(doWrite ? &incoming : nullptr, doRead);
+  // is legal exactly when a read drains this edge (as on real FIFOs);
+  // commitEdge carries that rule for both the behavioural and compiled
+  // kernels.
+  commitEdge(wr_->get(), rd_->get(), din_->data.get(), din_->bop.get(),
+             din_->eop.get());
 }
 
 std::unique_ptr<InputBuffer> InputBuffer::create(

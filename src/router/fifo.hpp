@@ -49,6 +49,31 @@ class InputBuffer : public sim::Module {
   // violation under credit-based flow control; impossible under handshake).
   bool overflowDetected() const { return overflow_; }
 
+  // Raw view of the backing store for the compiled kernel's fused publish
+  // op (router/input_channel.cpp).  The head flit is slots[*rptr] when
+  // rptr is non-null (ring buffer), slots[*count - 1] otherwise (shift
+  // register).  Pointers are valid until the next onReset(), which may
+  // reallocate the store - the simulator recompiles after reset, so a
+  // program never outlives its view.
+  struct CompiledView {
+    const Flit* slots = nullptr;
+    const int* count = nullptr;
+    const int* rptr = nullptr;
+  };
+  virtual CompiledView compiledView() const = 0;
+
+  // The exact clockEdge() body with the wire values passed in: the
+  // compiled kernel's fused edge op reads wr/rd/din from the state arena
+  // and commits through here.
+  void commitEdge(bool wr, bool rd, std::uint32_t data, bool bop, bool eop) {
+    const bool doRead = rd && !empty();
+    const bool doWrite = wr && (!full() || doRead);
+    if (wr && full() && !doRead) overflow_ = true;
+    Flit incoming;
+    if (doWrite) incoming = {data & mask_, bop, eop};
+    commit(doWrite ? &incoming : nullptr, doRead);
+  }
+
   // Builds the implementation selected by params.fifoImpl.
   static std::unique_ptr<InputBuffer> create(
       std::string name, const RouterParams& params, const FlitWires& din,
@@ -84,6 +109,9 @@ class FfFifo final : public InputBuffer {
   using InputBuffer::InputBuffer;
 
   int occupancy() const override { return count_; }
+  CompiledView compiledView() const override {
+    return {stages_.data(), &count_, nullptr};
+  }
 
  protected:
   void onReset() override;
@@ -101,6 +129,9 @@ class EabFifo final : public InputBuffer {
   using InputBuffer::InputBuffer;
 
   int occupancy() const override { return count_; }
+  CompiledView compiledView() const override {
+    return {mem_.data(), &count_, &rptr_};
+  }
 
  protected:
   void onReset() override;

@@ -43,6 +43,18 @@ class InputController : public sim::Module {
   Port requestedTarget() const { return target_; }
   bool misrouteDetected() const { return misroute_; }
 
+  // Compiled-kernel hooks (router/input_channel.cpp): the fused routing op
+  // reproduces evaluate() over the arena, so it needs the routing
+  // parameters and a way to keep the observability state current.
+  int ribBits() const { return m_; }
+  std::uint32_t dataMaskValue() const { return mask_; }
+  RoutingAlgorithm routingAlgorithm() const { return routing_; }
+  void noteDecision(bool requesting, Port target) {
+    requesting_ = requesting;
+    target_ = target;
+    if (requesting && target == ownPort_) misroute_ = true;
+  }
+
  protected:
   void onReset() override;
   void evaluate() override;

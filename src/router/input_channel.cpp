@@ -1,5 +1,7 @@
 #include "router/input_channel.hpp"
 
+#include "sim/compile.hpp"
+
 namespace rasoc::router {
 
 InputChannel::InputChannel(std::string name, const RouterParams& params,
@@ -13,7 +15,8 @@ InputChannel::InputChannel(std::string name, const RouterParams& params,
                               ibDout_, wok_, rok_)),
       ic_(this->name() + ".ic", params, ownPort, ibDout_, rok_, xbar),
       irs_(this->name() + ".irs", xbar, rd_),
-      in_(&in) {
+      in_(&in),
+      xbar_(&xbar) {
   addChild(ifc_);
   addChild(*ib_);
   addChild(ic_);
@@ -30,6 +33,8 @@ InputChannel::InputChannel(std::string name, const RouterParams& params,
 void InputChannel::attachMetrics(const InputChannelMetrics& metrics) {
   metrics_ = metrics;
   metricsAttached_ = true;
+  // The compiled edge lowering depends on whether metrics accounting runs.
+  noteDescribeChanged();
 }
 
 void InputChannel::clockEdge() {
@@ -42,6 +47,240 @@ void InputChannel::clockEdge() {
     metrics_.stallCycles->inc();
   if (metrics_.occupancy)
     metrics_.occupancy->observe(static_cast<double>(ib_->occupancy()));
+}
+
+// --- compiled-kernel lowering ------------------------------------------
+//
+// The whole IFC + IB + IC + IRS (+ credit tap) subtree lowers to three
+// combinational arena ops plus one edge op:
+//
+//   publish  - IB evaluate() (wok/rok/dout from registered FIFO state) fused
+//              with the IC routing function (x_dout/x_rok/x_req).  Reads
+//              nothing combinational, so it levelizes to the front.
+//   flowCtl  - the IFC: wr (and, under handshake, in_ack) from in_val/wok.
+//   readSw   - the IRS OR-reduce of gnt&rd (plus, under credit flow
+//              control, the credit-return pulse on in_ack).  Kept separate
+//              from flowCtl: fusing them would tie the in_ack driver to the
+//              gnt/rd readers and manufacture a false combinational cycle
+//              through the neighbouring router's ack chain.
+//   edge     - flit-accept counting plus the FIFO commit, reading wr/rd/din
+//              from the settled arena exactly as clockEdge() reads wires.
+
+// Each op carries exactly the slices it touches: op contexts are the
+// interpreter's dominant memory traffic, so smaller structs mean fewer
+// cache lines streamed per simulated cycle.
+
+namespace {
+
+struct InChanPublishCtx {
+  // FIFO view (registered state, read directly).
+  const Flit* slots = nullptr;
+  const int* count = nullptr;
+  const int* rptr = nullptr;  // null: shift register, head = slots[count-1]
+  int depth = 0;
+  // Routing parameters and observability sink.
+  int m = 0;
+  std::uint32_t mask = 0;
+  RoutingAlgorithm routing = RoutingAlgorithm::XY;
+  InputController* ic = nullptr;
+  sim::Slice wok, rok, xrok;
+  std::uint32_t doutWord = 0, xbarWord = 0;
+  sim::Slice req[kNumPorts];
+};
+
+struct InChanFlowHsCtx {
+  sim::Slice inVal, wok, inAck, wr;
+};
+
+struct InChanFlowCrCtx {
+  sim::Slice inVal, wr;
+};
+
+struct InChanRsCtx {
+  sim::Slice gnt[kNumPorts], rdIn[kNumPorts];
+  sim::Slice rd;
+};
+
+struct InChanRsCrCtx {
+  InChanRsCtx rs;
+  sim::Slice rok, inAck;
+};
+
+struct InChanCommitCtx {
+  InputBuffer* ib = nullptr;
+  sim::Slice wr, rd;
+  std::uint32_t inWord = 0;
+};
+
+struct InChanEdgeCtx {
+  InChanCommitCtx commit;
+  const int* count = nullptr;
+  int depth = 0;
+  std::uint64_t* flitsAccepted = nullptr;
+};
+
+// IB publish + IC routing (ic.cpp InputController::evaluate over the
+// arena, with the buffer head read straight from the FIFO store).
+void inChanPublish(std::uint64_t* w, void* vctx) {
+  auto* c = static_cast<InChanPublishCtx*>(vctx);
+  const int count = *c->count;
+  const bool empty = count == 0;
+  sim::opPutBit(w, c->wok, count < c->depth);
+  sim::opPutBit(w, c->rok, !empty);
+  Flit h;
+  if (!empty) h = c->rptr ? c->slots[*c->rptr] : c->slots[count - 1];
+  sim::opPutFlit(w, c->doutWord, h.data, h.bop, h.eop);
+
+  const bool headerVisible = !empty && h.bop;
+  Port target = Port::Local;
+  std::uint32_t forwarded = h.data;
+  if (headerVisible) {
+    const Rib rib = decodeRib(h.data, c->m);
+    target = route(c->routing, rib);
+    forwarded = updateHeader(h.data, consumeHop(rib, target), c->m) & c->mask;
+  }
+  for (int o = 0; o < kNumPorts; ++o)
+    sim::opPutBit(w, c->req[o], headerVisible && o == index(target));
+  sim::opPutFlit(w, c->xbarWord, forwarded, h.bop, h.eop);
+  sim::opPutBit(w, c->xrok, !empty);
+  c->ic->noteDecision(headerVisible, target);
+}
+
+// IFC, handshake mode: accept when offered and space is available.
+void inChanFlowHandshake(std::uint64_t* w, void* vctx) {
+  auto* c = static_cast<InChanFlowHsCtx*>(vctx);
+  const bool accept = sim::opBit(w, c->inVal) && sim::opBit(w, c->wok);
+  sim::opPutBit(w, c->inAck, accept);
+  sim::opPutBit(w, c->wr, accept);
+}
+
+// IFC, credit mode: space is guaranteed by the sender's credit counter.
+void inChanFlowCredit(std::uint64_t* w, void* vctx) {
+  auto* c = static_cast<InChanFlowCrCtx*>(vctx);
+  sim::opPutBit(w, c->wr, sim::opBit(w, c->inVal));
+}
+
+inline bool irsRead(const std::uint64_t* w, const InChanRsCtx* c) {
+  bool read = false;
+  for (int o = 0; o < kNumPorts; ++o)
+    read = read || (sim::opBit(w, c->gnt[o]) && sim::opBit(w, c->rdIn[o]));
+  return read;
+}
+
+// IRS: connect the granted output's read command to the buffer.
+void inChanReadSwitch(std::uint64_t* w, void* vctx) {
+  auto* c = static_cast<InChanRsCtx*>(vctx);
+  sim::opPutBit(w, c->rd, irsRead(w, c));
+}
+
+// IRS + credit-return tap: the ack wire pulses when a flit leaves.
+void inChanReadSwitchCredit(std::uint64_t* w, void* vctx) {
+  auto* c = static_cast<InChanRsCrCtx*>(vctx);
+  const bool read = irsRead(w, &c->rs);
+  sim::opPutBit(w, c->rs.rd, read);
+  sim::opPutBit(w, c->inAck, read && sim::opBit(w, c->rok));
+}
+
+// FIFO commit only (the metrics path lets clockEdge() do the accounting).
+void inChanCommit(std::uint64_t* w, void* vctx) {
+  auto* c = static_cast<InChanCommitCtx*>(vctx);
+  c->ib->commitEdge(sim::opBit(w, c->wr), sim::opBit(w, c->rd),
+                    sim::opFlitData(w, c->inWord),
+                    sim::opFlitBop(w, c->inWord),
+                    sim::opFlitEop(w, c->inWord));
+}
+
+// Accept counting + FIFO commit, in clockEdgeAll() order (channel before
+// buffer child, so the occupancy test sees pre-commit state).
+void inChanEdge(std::uint64_t* w, void* vctx) {
+  auto* c = static_cast<InChanEdgeCtx*>(vctx);
+  if (sim::opBit(w, c->commit.wr) && *c->count < c->depth)
+    ++*c->flitsAccepted;
+  inChanCommit(w, &c->commit);
+}
+
+}  // namespace
+
+bool InputChannel::describe(sim::Lowering& lw) {
+  const InputBuffer::CompiledView view = ib_->compiledView();
+
+  InChanPublishCtx pub;
+  pub.slots = view.slots;
+  pub.count = view.count;
+  pub.rptr = view.rptr;
+  pub.depth = ib_->depth();
+  pub.m = ic_.ribBits();
+  pub.mask = ic_.dataMaskValue();
+  pub.routing = ic_.routingAlgorithm();
+  pub.ic = &ic_;
+  pub.wok = lw.bit(wok_);
+  pub.rok = lw.bit(rok_);
+  pub.xrok = lw.bit(xbar_->rok);
+  pub.doutWord = lw.flitWord(ibDout_.data, ibDout_.bop, ibDout_.eop);
+  pub.xbarWord = lw.flitWord(xbar_->flit.data, xbar_->flit.bop,
+                             xbar_->flit.eop);
+  for (int o = 0; o < kNumPorts; ++o) pub.req[o] = lw.bit(xbar_->req[o]);
+
+  std::vector<const sim::WireBase*> pubWrites = {
+      &wok_,          &rok_,          &ibDout_.data,      &ibDout_.bop,
+      &ibDout_.eop,   &xbar_->rok,    &xbar_->flit.data,  &xbar_->flit.bop,
+      &xbar_->flit.eop};
+  for (int o = 0; o < kNumPorts; ++o) pubWrites.push_back(&xbar_->req[o]);
+  lw.op(&inChanPublish, lw.ctx(pub), {}, std::move(pubWrites));
+
+  InChanRsCtx rs;
+  for (int o = 0; o < kNumPorts; ++o) {
+    rs.gnt[o] = lw.bit(xbar_->gnt[o]);
+    rs.rdIn[o] = lw.bit(xbar_->rd[o]);
+  }
+  rs.rd = lw.bit(rd_);
+
+  std::vector<const sim::WireBase*> irsReads;
+  for (int o = 0; o < kNumPorts; ++o) {
+    irsReads.push_back(&xbar_->gnt[o]);
+    irsReads.push_back(&xbar_->rd[o]);
+  }
+  if (creditTap_ == nullptr) {
+    InChanFlowHsCtx flow;
+    flow.inVal = lw.bit(in_->val);
+    flow.wok = pub.wok;
+    flow.inAck = lw.bit(in_->ack);
+    flow.wr = lw.bit(wr_);
+    lw.op(&inChanFlowHandshake, lw.ctx(flow), {&in_->val, &wok_},
+          {&in_->ack, &wr_});
+    lw.op(&inChanReadSwitch, lw.ctx(rs), std::move(irsReads), {&rd_});
+  } else {
+    InChanFlowCrCtx flow;
+    flow.inVal = lw.bit(in_->val);
+    flow.wr = lw.bit(wr_);
+    lw.op(&inChanFlowCredit, lw.ctx(flow), {&in_->val}, {&wr_});
+    InChanRsCrCtx rsc;
+    rsc.rs = rs;
+    rsc.rok = pub.rok;
+    rsc.inAck = lw.bit(in_->ack);
+    irsReads.push_back(&rok_);
+    lw.op(&inChanReadSwitchCredit, lw.ctx(rsc), std::move(irsReads),
+          {&rd_, &in_->ack});
+  }
+
+  InChanCommitCtx commit;
+  commit.ib = ib_.get();
+  commit.wr = lw.bit(wr_);
+  commit.rd = rs.rd;
+  commit.inWord = lw.flitWord(in_->flit.data, in_->flit.bop, in_->flit.eop);
+
+  if (metricsAttached_) {
+    lw.edgeCall(*this);  // accept counter + metrics via clockEdge()
+    lw.edgeOp(&inChanCommit, lw.ctx(commit));
+  } else {
+    InChanEdgeCtx edge;
+    edge.commit = commit;
+    edge.count = view.count;
+    edge.depth = ib_->depth();
+    edge.flitsAccepted = &flitsAccepted_;
+    lw.edgeOp(&inChanEdge, lw.ctx(edge));
+  }
+  return true;
 }
 
 }  // namespace rasoc::router

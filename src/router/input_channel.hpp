@@ -52,6 +52,11 @@ class InputChannel : public sim::Module {
   // Enables instrumentation; the metrics must outlive the channel.
   void attachMetrics(const InputChannelMetrics& metrics);
 
+  // Compiled-kernel lowering: replaces the IFC/IB/IC/IRS subtree with
+  // three fused arena ops (FIFO publish + routing, link-side flow control,
+  // read switch) and a fused edge op (router/input_channel.cpp).
+  bool describe(sim::Lowering& lw) override;
+
  protected:
   void clockEdge() override;
 
@@ -74,6 +79,7 @@ class InputChannel : public sim::Module {
 
   std::uint64_t flitsAccepted_ = 0;
   const ChannelWires* in_;
+  const CrossbarWires* xbar_;
   InputChannelMetrics metrics_;
   bool metricsAttached_ = false;
 };

@@ -1,5 +1,10 @@
 #include "router/link.hpp"
 
+#include <memory>
+#include <typeinfo>
+
+#include "sim/compile.hpp"
+
 namespace rasoc::router {
 
 Link::Link(std::string name, ChannelWires& src, ChannelWires& dst,
@@ -33,6 +38,84 @@ void Link::clockEdge() {
     ++flitsTransferred_;
     onTransfer(src_->flit.bop.get());
   }
+}
+
+// --- compiled-kernel lowering ------------------------------------------
+//
+// Forward (flit + val) and reverse (ack) directions are separate ops:
+// fusing them would tie the downstream val driver to the downstream ack
+// reader and manufacture a false combinational cycle through the
+// receiving router's flow controller.
+
+// Each op carries exactly the slices it touches: op contexts are the
+// interpreter's dominant memory traffic, so smaller structs mean fewer
+// cache lines streamed per simulated cycle.
+
+namespace {
+
+struct LinkFwdCtx {
+  std::uint32_t srcWord = 0, dstWord = 0;
+  sim::Slice srcVal, dstVal;
+};
+
+struct LinkRevCtx {
+  sim::Slice srcAck, dstAck;
+};
+
+struct LinkEdgeCtx {
+  sim::Slice srcVal, srcAck;
+  bool handshake = true;
+  std::uint64_t* flits = nullptr;
+};
+
+void linkForward(std::uint64_t* w, void* vctx) {
+  auto* c = static_cast<LinkFwdCtx*>(vctx);
+  sim::opCopyFlit(w, c->dstWord, c->srcWord);
+  sim::opPutBit(w, c->dstVal, sim::opBit(w, c->srcVal));
+}
+
+void linkReverse(std::uint64_t* w, void* vctx) {
+  auto* c = static_cast<LinkRevCtx*>(vctx);
+  sim::opPutBit(w, c->srcAck, sim::opBit(w, c->dstAck));
+}
+
+void linkEdge(std::uint64_t* w, void* vctx) {
+  auto* c = static_cast<LinkEdgeCtx*>(vctx);
+  const bool transferred =
+      c->handshake ? (sim::opBit(w, c->srcVal) && sim::opBit(w, c->srcAck))
+                   : sim::opBit(w, c->srcVal);
+  if (transferred) ++*c->flits;
+}
+
+}  // namespace
+
+bool Link::describe(sim::Lowering& lw) {
+  // Subclasses override transformData/onTransfer/evaluate (fault
+  // injection); only an exact Link is pass-through wiring.  They run as
+  // behavioural thunks instead.
+  if (typeid(*this) != typeid(Link)) return false;
+
+  LinkFwdCtx fwd;
+  fwd.srcWord = lw.flitWord(src_->flit.data, src_->flit.bop, src_->flit.eop);
+  fwd.dstWord = lw.flitWord(dst_->flit.data, dst_->flit.bop, dst_->flit.eop);
+  fwd.srcVal = lw.bit(src_->val);
+  fwd.dstVal = lw.bit(dst_->val);
+  lw.op(&linkForward, lw.ctx(fwd),
+        {&src_->flit.data, &src_->flit.bop, &src_->flit.eop, &src_->val},
+        {&dst_->flit.data, &dst_->flit.bop, &dst_->flit.eop, &dst_->val});
+
+  LinkRevCtx rev;
+  rev.srcAck = lw.bit(src_->ack);
+  rev.dstAck = lw.bit(dst_->ack);
+  lw.op(&linkReverse, lw.ctx(rev), {&dst_->ack}, {&src_->ack});
+
+  LinkEdgeCtx edge;
+  edge.srcVal = fwd.srcVal;
+  edge.srcAck = rev.srcAck;
+  edge.handshake = flowControl_ == FlowControl::Handshake;
+  edge.flits = &flitsTransferred_;
+  lw.edgeOp(&linkEdge, lw.ctx(edge));
+  return true;
 }
 
 }  // namespace rasoc::router

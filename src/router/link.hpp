@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "sim/module.hpp"
 
@@ -50,6 +51,12 @@ class Link : public sim::Module {
     return flowControl_ == FlowControl::Handshake && src_->val.get() &&
            !src_->ack.get();
   }
+
+  /// Compiled-kernel lowering: a plain link is two masked word copies (flit
+  /// + val downstream, ack upstream) and a counting edge op.  Subclasses
+  /// with fault behaviour fall back to behavioural thunks (link.cpp guards
+  /// on the dynamic type).
+  bool describe(sim::Lowering& lw) override;
 
  protected:
   void evaluate() override;

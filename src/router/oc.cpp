@@ -39,6 +39,15 @@ void OutputController::evaluate() {
 
 void OutputController::clockEdge() {
   const int own = index(ownPort_);
+  bool req[kNumPorts];
+  for (int i = 0; i < kNumPorts; ++i)
+    req[i] = (*xbar_)[static_cast<std::size_t>(i)].req[own].get();
+  edgeStep(req, outEop_->get(), rokSel_->get(), xRd_->get());
+}
+
+void OutputController::edgeStep(const bool req[kNumPorts], bool outEop,
+                                bool rokSel, bool xRd) {
+  const int own = index(ownPort_);
   if (!connected_) {
     // Scan the other input ports starting after the round-robin pointer
     // (fixed priority always restarts at port 0).
@@ -46,7 +55,7 @@ void OutputController::clockEdge() {
     for (int k = 1; k <= kNumPorts; ++k) {
       const int i = ((start + k) % kNumPorts + kNumPorts) % kNumPorts;
       if (i == own) continue;
-      if ((*xbar_)[static_cast<std::size_t>(i)].req[own].get()) {
+      if (req[i]) {
         connected_ = true;
         sel_ = i;
         rrPtr_ = i;
@@ -57,7 +66,7 @@ void OutputController::clockEdge() {
   } else {
     // Tear the connection down once the trailer flit is actually
     // transferred (present at the head and read toward the link).
-    if (outEop_->get() && rokSel_->get() && xRd_->get()) {
+    if (outEop && rokSel && xRd) {
       connected_ = false;
     }
   }

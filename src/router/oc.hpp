@@ -45,6 +45,13 @@ class OutputController : public sim::Module {
   Port selectedInput() const { return static_cast<Port>(sel_); }
   std::uint64_t grantsIssued() const { return grantsIssued_; }
 
+  // The exact clockEdge() body with the wire values passed in: the
+  // compiled kernel's fused edge op (router/output_channel.cpp) reads the
+  // request/teardown nets from the state arena and steps the arbiter
+  // through here.
+  void edgeStep(const bool req[kNumPorts], bool outEop, bool rokSel,
+                bool xRd);
+
  protected:
   void onReset() override;
   void evaluate() override;

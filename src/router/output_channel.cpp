@@ -1,5 +1,7 @@
 #include "router/output_channel.hpp"
 
+#include "sim/compile.hpp"
+
 namespace rasoc::router {
 
 OutputChannel::OutputChannel(std::string name, const RouterParams& params,
@@ -34,6 +36,8 @@ OutputChannel::OutputChannel(std::string name, const RouterParams& params,
 void OutputChannel::attachMetrics(const OutputChannelMetrics& metrics) {
   metrics_ = metrics;
   metricsAttached_ = true;
+  // The compiled edge lowering depends on whether metrics accounting runs.
+  noteDescribeChanged();
 }
 
 void OutputChannel::clockEdge() {
@@ -65,6 +69,214 @@ void OutputChannel::clockEdge() {
     --waiting;  // one requester is served by this edge's grant
   }
   if (metrics_.conflictCycles && waiting > 0) metrics_.conflictCycles->inc();
+}
+
+// --- compiled-kernel lowering ------------------------------------------
+//
+// The OC + ODS + ORS + OFC subtree lowers to two combinational arena ops
+// plus one edge op:
+//
+//   publish  - OC evaluate() (registered connection state onto the
+//              connected/sel/gnt nets) fused with the ODS flit mux, the
+//              ORS rok mux and, under handshake flow control, the OFC's
+//              out_val = rok_sel wire.
+//   flowRsp  - the flow-control response: under handshake, out_ack fanned
+//              out to x_rd and every input's rd line; under credit flow
+//              control the credit-gated send driving out_val/x_rd/rd.
+//   edge     - flit-sent counting, the OC arbitration step and, in credit
+//              mode, the credit counter update - all reading the settled
+//              arena exactly as the behavioural clockEdge() chain reads
+//              wires, in the same order (channel counters, then OC, then
+//              OFC).
+
+// Each op carries exactly the slices it touches: op contexts are the
+// interpreter's dominant memory traffic, so smaller structs mean fewer
+// cache lines streamed per simulated cycle.
+
+namespace {
+
+struct OutChanPublishCtx {
+  OutputController* oc = nullptr;
+  bool handshake = true;
+  sim::Slice connected, sel, rokSel, outVal;
+  std::uint32_t outWord = 0;
+  std::uint32_t xWord[kNumPorts] = {};
+  sim::Slice xrok[kNumPorts];
+  sim::Slice gnt[kNumPorts];
+};
+
+struct OutChanFlowHsCtx {
+  sim::Slice outAck, xRd;
+  sim::Slice rdOut[kNumPorts];
+};
+
+struct OutChanFlowCrCtx {
+  CreditOfc* credit = nullptr;
+  sim::Slice rokSel, outVal, xRd;
+  sim::Slice rdOut[kNumPorts];
+};
+
+struct OutChanBlocksEdgeCtx {
+  OutputController* oc = nullptr;
+  CreditOfc* credit = nullptr;  // null under handshake flow control
+  sim::Slice rokSel, xRd, outAck;
+  std::uint32_t outWord = 0;
+  sim::Slice req[kNumPorts];
+};
+
+struct OutChanEdgeCtx {
+  OutChanBlocksEdgeCtx blocks;
+  bool handshake = true;
+  sim::Slice outVal;
+  std::uint64_t* flitsSent = nullptr;
+};
+
+// OC publish + ODS + ORS (+ handshake out_val).
+void outChanPublish(std::uint64_t* w, void* vctx) {
+  auto* c = static_cast<OutChanPublishCtx*>(vctx);
+  const bool connected = c->oc->isConnected();
+  const int sel = index(c->oc->selectedInput());
+  sim::opPutBit(w, c->connected, connected);
+  sim::opPutWord32(w, c->sel, static_cast<std::uint32_t>(sel));
+  for (int i = 0; i < kNumPorts; ++i)
+    sim::opPutBit(w, c->gnt[i], connected && i == sel);
+  if (connected)
+    sim::opCopyFlit(w, c->outWord, c->xWord[sel]);
+  else
+    sim::opPutFlit(w, c->outWord, 0, false, false);
+  const bool rokSel = connected && sim::opBit(w, c->xrok[sel]);
+  sim::opPutBit(w, c->rokSel, rokSel);
+  if (c->handshake) sim::opPutBit(w, c->outVal, rokSel);
+}
+
+// Handshake OFC response: out_ack -> x_rd, broadcast to every rd line.
+void outChanFlowHandshake(std::uint64_t* w, void* vctx) {
+  auto* c = static_cast<OutChanFlowHsCtx*>(vctx);
+  const bool rd = sim::opBit(w, c->outAck);
+  sim::opPutBit(w, c->xRd, rd);
+  for (int i = 0; i < kNumPorts; ++i) sim::opPutBit(w, c->rdOut[i], rd);
+}
+
+// Credit OFC: send whenever the selected input is ready and credit remains.
+void outChanFlowCredit(std::uint64_t* w, void* vctx) {
+  auto* c = static_cast<OutChanFlowCrCtx*>(vctx);
+  const bool send = sim::opBit(w, c->rokSel) && c->credit->credits() > 0;
+  sim::opPutBit(w, c->outVal, send);
+  sim::opPutBit(w, c->xRd, send);
+  for (int i = 0; i < kNumPorts; ++i) sim::opPutBit(w, c->rdOut[i], send);
+}
+
+// OC arbitration + credit counter only (the metrics path lets clockEdge()
+// do the counter/metrics accounting first).
+void outChanBlocksEdge(std::uint64_t* w, void* vctx) {
+  auto* c = static_cast<OutChanBlocksEdgeCtx*>(vctx);
+  bool req[kNumPorts];
+  for (int i = 0; i < kNumPorts; ++i) req[i] = sim::opBit(w, c->req[i]);
+  c->oc->edgeStep(req, sim::opFlitEop(w, c->outWord),
+                  sim::opBit(w, c->rokSel), sim::opBit(w, c->xRd));
+  if (c->credit)
+    c->credit->creditEdge(sim::opBit(w, c->rokSel),
+                          sim::opBit(w, c->outAck));
+}
+
+// Sent counting + arbitration + credits, in clockEdgeAll() order.
+void outChanEdge(std::uint64_t* w, void* vctx) {
+  auto* c = static_cast<OutChanEdgeCtx*>(vctx);
+  const bool transferred =
+      c->handshake
+          ? (sim::opBit(w, c->outVal) && sim::opBit(w, c->blocks.outAck))
+          : sim::opBit(w, c->outVal);
+  if (transferred) ++*c->flitsSent;
+  outChanBlocksEdge(w, &c->blocks);
+}
+
+}  // namespace
+
+bool OutputChannel::describe(sim::Lowering& lw) {
+  const bool handshake = flowControl_ == FlowControl::Handshake;
+  const int own = index(ownPort_);
+
+  OutChanPublishCtx pub;
+  pub.oc = &oc_;
+  pub.handshake = handshake;
+  pub.connected = lw.bit(connected_);
+  pub.sel = lw.word32(sel_);
+  pub.rokSel = lw.bit(rokSel_);
+  pub.outVal = lw.bit(out_->val);
+  pub.outWord = lw.flitWord(out_->flit.data, out_->flit.bop, out_->flit.eop);
+  for (int i = 0; i < kNumPorts; ++i) {
+    CrossbarWires& x = (*xbar_)[static_cast<std::size_t>(i)];
+    pub.xWord[i] = lw.flitWord(x.flit.data, x.flit.bop, x.flit.eop);
+    pub.xrok[i] = lw.bit(x.rok);
+    pub.gnt[i] = lw.bit(x.gnt[static_cast<std::size_t>(own)]);
+  }
+
+  std::vector<const sim::WireBase*> pubReads;
+  std::vector<const sim::WireBase*> pubWrites = {
+      &connected_,      &sel_,           &out_->flit.data,
+      &out_->flit.bop,  &out_->flit.eop, &rokSel_};
+  std::vector<const sim::WireBase*> rdWrites = {&xRd_};
+  for (int i = 0; i < kNumPorts; ++i) {
+    CrossbarWires& x = (*xbar_)[static_cast<std::size_t>(i)];
+    pubReads.push_back(&x.flit.data);
+    pubReads.push_back(&x.flit.bop);
+    pubReads.push_back(&x.flit.eop);
+    pubReads.push_back(&x.rok);
+    pubWrites.push_back(&x.gnt[static_cast<std::size_t>(own)]);
+    rdWrites.push_back(&x.rd[static_cast<std::size_t>(own)]);
+  }
+  if (handshake) pubWrites.push_back(&out_->val);
+  lw.op(&outChanPublish, lw.ctx(pub), std::move(pubReads),
+        std::move(pubWrites));
+
+  if (handshake) {
+    OutChanFlowHsCtx flow;
+    flow.outAck = lw.bit(out_->ack);
+    flow.xRd = lw.bit(xRd_);
+    for (int i = 0; i < kNumPorts; ++i) {
+      CrossbarWires& x = (*xbar_)[static_cast<std::size_t>(i)];
+      flow.rdOut[i] = lw.bit(x.rd[static_cast<std::size_t>(own)]);
+    }
+    lw.op(&outChanFlowHandshake, lw.ctx(flow), {&out_->ack},
+          std::move(rdWrites));
+  } else {
+    OutChanFlowCrCtx flow;
+    flow.credit = creditOfc_.get();
+    flow.rokSel = pub.rokSel;
+    flow.outVal = pub.outVal;
+    flow.xRd = lw.bit(xRd_);
+    for (int i = 0; i < kNumPorts; ++i) {
+      CrossbarWires& x = (*xbar_)[static_cast<std::size_t>(i)];
+      flow.rdOut[i] = lw.bit(x.rd[static_cast<std::size_t>(own)]);
+    }
+    rdWrites.push_back(&out_->val);
+    lw.op(&outChanFlowCredit, lw.ctx(flow), {&rokSel_}, std::move(rdWrites));
+  }
+
+  OutChanBlocksEdgeCtx blocks;
+  blocks.oc = &oc_;
+  blocks.credit = creditOfc_.get();
+  blocks.rokSel = pub.rokSel;
+  blocks.xRd = lw.bit(xRd_);
+  blocks.outAck = lw.bit(out_->ack);
+  blocks.outWord = pub.outWord;
+  for (int i = 0; i < kNumPorts; ++i) {
+    CrossbarWires& x = (*xbar_)[static_cast<std::size_t>(i)];
+    blocks.req[i] = lw.bit(x.req[static_cast<std::size_t>(own)]);
+  }
+
+  if (metricsAttached_) {
+    lw.edgeCall(*this);  // sent counter + metrics via clockEdge()
+    lw.edgeOp(&outChanBlocksEdge, lw.ctx(blocks));
+  } else {
+    OutChanEdgeCtx edge;
+    edge.blocks = blocks;
+    edge.handshake = handshake;
+    edge.outVal = pub.outVal;
+    edge.flitsSent = &flitsSent_;
+    lw.edgeOp(&outChanEdge, lw.ctx(edge));
+  }
+  return true;
 }
 
 }  // namespace rasoc::router

@@ -56,6 +56,11 @@ class OutputChannel : public sim::Module {
   // Enables instrumentation; the metrics must outlive the channel.
   void attachMetrics(const OutputChannelMetrics& metrics);
 
+  // Compiled-kernel lowering: replaces the OC/ODS/ORS/OFC subtree with two
+  // fused arena ops (grant publish + output mux, flow-control response) and
+  // a fused edge op (router/output_channel.cpp).
+  bool describe(sim::Lowering& lw) override;
+
  protected:
   void clockEdge() override;
 

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "sim/compile.hpp"
+
 namespace rasoc::router {
 
 Rasoc::Rasoc(std::string name, RouterParams params, ArbiterKind arbiter)
@@ -95,6 +97,11 @@ bool Rasoc::overflowDetected() const {
   for (const auto& in : inputs_)
     if (in && in->buffer().overflowDetected()) return true;
   return false;
+}
+
+bool Rasoc::describe(sim::Lowering& lw) {
+  lw.descendChildren();
+  return true;
 }
 
 }  // namespace rasoc::router

@@ -53,6 +53,11 @@ class Rasoc : public sim::Module {
   void attachMetrics(telemetry::MetricsRegistry& registry,
                      const std::string& prefix);
 
+  // Compiled-kernel lowering: the router top is a structural shell (no
+  // evaluate/clockEdge of its own), so lowering just recurses into the
+  // channel modules without spending a fallback thunk on the shell.
+  bool describe(sim::Lowering& lw) override;
+
  private:
   void requirePort(Port p) const;
 

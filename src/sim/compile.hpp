@@ -1,0 +1,394 @@
+// Compiled settle kernel: one-time lowering of the elaborated module tree
+// into a word-packed state arena plus a levelized op tape.
+//
+// The behavioural kernels (Naive, EventDriven, ParallelEventDriven) pay a
+// virtual evaluate() per module per settle round plus per-Wire fanout
+// bookkeeping.  Kernel::Compiled instead runs a single lowering pass at
+// elaboration time:
+//
+//  * every wire an op touches is assigned a (word, bit-offset) slice of a
+//    contiguous std::uint64_t arena - bools are 1 bit, 32-bit values are a
+//    32-bit slice, and a flit (data, bop, eop) trio shares one word so flit
+//    moves are single masked word copies;
+//  * every module contributes, via Module::describe(), either word-level
+//    ops (plain function pointers over the arena, no virtual dispatch) or a
+//    fallback thunk wrapping its behavioural evaluate() - so migration is
+//    incremental and unported modules stay exact;
+//  * the resulting units are levelized: Tarjan SCCs over the wire-level
+//    driver/reader relation, scheduled in topological order.  Acyclic
+//    stretches run exactly once per settle; genuine cycles (e.g. a fault
+//    thunk handshaking with a lowered channel) iterate to a local fixpoint
+//    bounded by Simulator::maxSettleIterations.
+//
+// The clock edge lowers the same way: an edge tape in clockEdgeAll()
+// preorder whose entries are either word/member-level edge ops or
+// clockEdgeOne() calls.  Edge ops mutate registered state and counters
+// only, never wires, so tick listeners and FlowTracer observe the same
+// pre-edge settled wires as under the behavioural kernels.
+//
+// Wire<->arena coherence: bound wires write through to their slice on
+// set()/force() (the poke window keeps working) and read through on get()
+// (Wire::refreshFromArena), so every reader of wire state - telemetry,
+// tracers, testbenches - sees settled values with no kernel-specific code
+// and the settle loop never pays a flush pass for wires nobody reads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/wire.hpp"
+
+namespace rasoc::sim {
+
+// A bit-addressed view into the arena: word index plus bit offset, packed
+// into four bytes ((word << 6) | shift, good to 64M words) so op context
+// structs - the interpreter's main memory traffic - stay dense.
+struct Slice {
+  std::uint32_t packed = 0;
+
+  Slice() = default;
+  Slice(std::uint32_t word, unsigned shift)
+      : packed((word << 6) | (shift & 63u)) {}
+  std::uint32_t word() const { return packed >> 6; }
+  unsigned shift() const { return packed & 63u; }
+};
+
+// Op functions are plain function pointers over the raw arena.  `ctx`
+// points at a context struct owned by the describing module (slices,
+// parameters, raw pointers to registered state); it must stay valid until
+// the program is rebuilt, which the module guarantees by owning it.
+using OpFn = void (*)(std::uint64_t* words, void* ctx);
+
+// --- arena accessors for op functions --------------------------------------
+
+inline bool opBit(const std::uint64_t* words, Slice s) {
+  return ((words[s.word()] >> s.shift()) & 1u) != 0;
+}
+inline void opPutBit(std::uint64_t* words, Slice s, bool v) {
+  const std::uint64_t m = std::uint64_t{1} << s.shift();
+  words[s.word()] = (words[s.word()] & ~m) | (v ? m : 0);
+}
+inline std::uint32_t opWord32(const std::uint64_t* words, Slice s) {
+  return static_cast<std::uint32_t>(words[s.word()] >> s.shift());
+}
+inline void opPutWord32(std::uint64_t* words, Slice s, std::uint32_t v) {
+  const std::uint64_t m = std::uint64_t{0xffffffff} << s.shift();
+  words[s.word()] =
+      (words[s.word()] & ~m) | (static_cast<std::uint64_t>(v) << s.shift());
+}
+
+// Flit words: data in bits [0,32), bop at 32, eop at 33.  Allocated as a
+// dedicated word per flit so a flit move is one masked copy.
+inline constexpr unsigned kFlitBopShift = 32;
+inline constexpr unsigned kFlitEopShift = 33;
+inline constexpr std::uint64_t kFlitWordMask = 0x3ffffffffull;
+
+inline std::uint32_t opFlitData(const std::uint64_t* words, std::uint32_t w) {
+  return static_cast<std::uint32_t>(words[w]);
+}
+inline bool opFlitBop(const std::uint64_t* words, std::uint32_t w) {
+  return ((words[w] >> kFlitBopShift) & 1u) != 0;
+}
+inline bool opFlitEop(const std::uint64_t* words, std::uint32_t w) {
+  return ((words[w] >> kFlitEopShift) & 1u) != 0;
+}
+inline void opPutFlit(std::uint64_t* words, std::uint32_t w,
+                      std::uint32_t data, bool bop, bool eop) {
+  words[w] = (words[w] & ~kFlitWordMask) | data |
+             (bop ? std::uint64_t{1} << kFlitBopShift : 0) |
+             (eop ? std::uint64_t{1} << kFlitEopShift : 0);
+}
+inline void opCopyFlit(std::uint64_t* words, std::uint32_t dst,
+                       std::uint32_t src) {
+  words[dst] = (words[dst] & ~kFlitWordMask) | (words[src] & kFlitWordMask);
+}
+
+class CompiledProgram;
+
+// The interface Module::describe() implementations program against.  All
+// slice methods are idempotent per wire identity: the first caller
+// allocates, later callers get the same slice, so producer and consumer
+// modules agree on placement without coordination.
+class Lowering {
+ public:
+  // --- slice allocation / lookup ---------------------------------------
+  Slice bit(const Wire<bool>& w) { return slice(w, 1); }
+  Slice word32(const Wire<std::uint32_t>& w) { return slice(w, 32); }
+  Slice word32(const Wire<int>& w) { return slice(w, 32); }
+
+  // Co-allocates a (data, bop, eop) trio in one fresh word (shifts 0 / 32 /
+  // 33) and returns the word index.  Throws std::logic_error if any member
+  // was previously placed with a different layout - describe()
+  // implementations must route every flit through flitWord().
+  std::uint32_t flitWord(const Wire<std::uint32_t>& data,
+                         const Wire<bool>& bop, const Wire<bool>& eop);
+
+  // --- settle-phase units -----------------------------------------------
+  //
+  // The read/write lists drive levelization only; they must name every
+  // *wire* the op reads or writes through the arena.  Registered state read
+  // through raw pointers needs no declaration (it only changes at edges).
+  void op(OpFn fn, void* ctx, std::vector<const WireBase*> reads,
+          std::vector<const WireBase*> writes);
+
+  // Fallback thunk around m.evaluate().  Reads default to the module's
+  // declared sensitivities; the write set is discovered by running
+  // evaluate() once under the write recorder (same stable-write-set
+  // contract the parallel kernel's partitioner relies on).
+  void thunk(Module& m);
+
+  // Thunk with an explicitly declared write set: skips discovery, so no
+  // scratch evaluate() runs at compile time.
+  void thunkDeclared(Module& m, std::vector<const WireBase*> reads,
+                     std::vector<const WireBase*> writes);
+
+  // --- edge tape --------------------------------------------------------
+  //
+  // Emitted in call order; the compiler walks the tree in clockEdgeAll()
+  // preorder so fused edge ops land exactly where the behavioural
+  // clockEdge() calls would.  Edge ops must not write wires or the arena's
+  // combinational slices.
+  void edgeOp(OpFn fn, void* ctx);
+  void edgeCall(Module& m);
+
+  // Requests recursion into the current module's children even though
+  // describe() returns true (structural shells like the router top).
+  void descendChildren() { descend_ = true; }
+
+  // Copies a trivially-copyable op context into program-owned storage and
+  // returns a stable pointer.  Contexts live exactly as long as the
+  // program, so describe() implementations need not keep their own copy
+  // alive; the contiguous arena also keeps the interpreter's context loads
+  // prefetchable instead of scattering them across the heap.
+  template <typename T>
+  T* ctx(const T& proto) {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                  std::is_trivially_destructible_v<T>);
+    void* p = allocCtx(sizeof(T), alignof(T));
+    std::memcpy(p, &proto, sizeof(T));
+    return static_cast<T*>(p);
+  }
+
+ private:
+  friend class CompiledProgram;
+  explicit Lowering(CompiledProgram& prog) : prog_(prog) {}
+
+  template <typename T>
+  Slice slice(const Wire<T>& w, int width);
+  void* allocCtx(std::size_t size, std::size_t align);
+  bool descendRequested() const { return descend_; }
+  void beginModule(Module& m);
+
+  CompiledProgram& prog_;
+  Module* current_ = nullptr;
+  std::uint32_t currentIndex_ = 0;
+  bool descend_ = false;
+};
+
+class CompiledProgram {
+ public:
+  // Lowers `tops` (the simulator's top-level modules, in collection order)
+  // into a runnable program.  Module indices must be up to date
+  // (Simulator::ensureCollected) because units carry them for profiling
+  // attribution.
+  static std::unique_ptr<CompiledProgram> build(
+      const std::vector<Module*>& tops);
+
+  ~CompiledProgram() = default;
+  CompiledProgram(const CompiledProgram&) = delete;
+  CompiledProgram& operator=(const CompiledProgram&) = delete;
+
+  // One settle pass: runs the schedule, iterating cyclic segments to a
+  // fixpoint bounded by maxIterationsPerSegment.  Returns the number of
+  // units executed (ops + thunk evaluations, including iteration repeats).
+  // When profileBase is non-null, each execution increments
+  // profileBase[unit.moduleIndex].
+  std::uint64_t settle(std::uint64_t maxIterationsPerSegment,
+                       std::uint64_t* profileBase);
+
+  // One clock edge: runs the edge tape (registered state and counters
+  // only; wires are untouched, matching the clockEdge() contract).
+  void edge();
+
+  // Materializes every bound wire's final arena value into the wire, then
+  // detaches it from the arena (get() reads the cached value once the
+  // binding is gone).  Call before rebuilding or leaving Kernel::Compiled,
+  // while the wires are still alive; the destructor deliberately does not
+  // touch wires (they may already be gone when the simulator is torn down).
+  void unbindWires() const;
+
+  // --- introspection (tests, stats, docs) -------------------------------
+  std::size_t wordCount() const { return wordCount_; }
+  std::size_t unitCount() const { return units_.size(); }
+  std::size_t opCount() const { return opCount_; }
+  std::size_t thunkCount() const { return units_.size() - opCount_; }
+  std::size_t edgeItemCount() const { return edges_.size(); }
+  std::size_t segmentCount() const { return segments_.size(); }
+  std::size_t iterateSegmentCount() const { return iterateSegments_; }
+  std::uint64_t discoveryEvaluations() const { return discoveryEvals_; }
+
+ private:
+  friend class Lowering;
+  CompiledProgram() = default;
+
+  // A wire's slice plus the transfer machinery between the Wire object and
+  // the arena.  `value` points at the wire's stored value (bool for
+  // width-1 slices, a 4-byte integral otherwise), so the unbind-time
+  // materialization is a direct store of the arena bits - no per-wire call.
+  struct Binding {
+    const WireBase* wire;
+    void* value;                       // Wire<T>::arenaValueSlot()
+    std::uint32_t word;
+    std::uint8_t shift;
+    std::uint8_t width;                // 1 or 32
+    void (*store)(const WireBase*);    // wire -> arena (Wire::syncArena)
+  };
+
+  // Pre-schedule unit as emitted by Lowering.
+  struct UnitDraft {
+    OpFn fn = nullptr;
+    void* ctx = nullptr;
+    Module* thunk = nullptr;
+    std::vector<const WireBase*> reads;
+    std::vector<const WireBase*> writes;
+    std::uint32_t moduleIndex = 0;
+  };
+
+  // Scheduled unit: op (fn != nullptr) or behavioural thunk (whose wire
+  // reads refresh from the arena inside Wire::get, needing no pre-flush).
+  struct ExecUnit {
+    OpFn fn;
+    void* ctx;
+    Module* thunk;
+    std::uint32_t moduleIndex;
+  };
+
+  // A run of scheduled units.  iterate=false: one pass (topologically
+  // safe).  iterate=true: a genuine SCC; repeat until neither the watched
+  // arena words nor any Wire changes.
+  struct Segment {
+    std::uint32_t begin;
+    std::uint32_t end;
+    std::uint32_t watchBegin;
+    std::uint32_t watchEnd;
+    bool iterate;
+  };
+
+  struct EdgeItem {
+    OpFn fn;
+    void* ctx;
+    Module* call;
+  };
+
+  // Batched interpreter stream: a maximal stretch of identical-fn ops whose
+  // packed contexts sit at a fixed stride (count == 1 covers everything
+  // else, including thunks/calls with fn == nullptr).  The run loop hoists
+  // the fn load and unit bookkeeping out of the hot call sequence; since
+  // execution order is exactly the unit order, results are bit-identical.
+  struct Run {
+    OpFn fn;
+    void* ctx;
+    Module* behavioural;  // thunk (settle) or clockEdge target (edge tape)
+    std::uint32_t stride;
+    std::uint32_t count;
+  };
+
+  std::uint32_t newWord() { return wordCount_++; }
+  void* allocCtx(std::size_t size, std::size_t align);
+  void walk(Lowering& lw, Module& m);
+  void finalize();
+  void scheduleUnits();
+  void runUnit(const ExecUnit& u, std::uint64_t* profileBase);
+  [[noreturn]] void throwUnsettled(std::uint64_t bound) const;
+
+  // Arena: the authoritative packed signal state while the program is
+  // bound (wires read through to it, see wire.hpp).
+  std::vector<std::uint64_t> cur_;
+  std::uint32_t wordCount_ = 0;
+
+  // Packing cursors for the slice allocator.
+  std::int64_t bitWord_ = -1;
+  unsigned bitUsed_ = 0;
+  std::int64_t halfWord_ = -1;
+  unsigned halfUsed_ = 0;
+
+  std::vector<Binding> bindings_;
+  std::unordered_map<const WireBase*, std::size_t> bindingIndex_;
+
+  std::vector<UnitDraft> drafts_;
+  std::vector<ExecUnit> units_;
+  std::vector<Segment> segments_;
+  std::vector<std::uint32_t> watchWords_;  // arena words (iterate segments)
+  std::vector<std::uint64_t> watchScratch_;
+  std::vector<EdgeItem> edges_;
+
+  // Batched streams (see Run).  Linear segments execute runs_ via
+  // segRuns_[segment] = [begin, end); profiling falls back to the per-unit
+  // walk for attribution.  Iterate segments always walk units (they are
+  // small and need per-pass change tracking anyway).
+  std::vector<Run> runs_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> segRuns_;
+  std::vector<Run> edgeRuns_;
+  void buildRuns();
+
+  // Op context arena (Lowering::ctx): chunked so pointers stay stable as
+  // it grows; freed wholesale with the program.  After scheduling,
+  // packContexts() re-copies each unit's context into execution order
+  // (duplicating shared contexts - they are immutable at run time), so the
+  // interpreter streams contexts sequentially instead of hopping through
+  // describe-order allocations.
+  std::vector<std::unique_ptr<unsigned char[]>> ctxChunks_;
+  std::size_t ctxChunkUsed_ = 0;
+  std::size_t ctxChunkCap_ = 0;
+  std::unordered_map<const void*, std::uint32_t> ctxSize_;
+  void packContexts();
+
+  std::size_t opCount_ = 0;
+  std::size_t iterateSegments_ = 0;
+  std::uint64_t discoveryEvals_ = 0;
+};
+
+template <typename T>
+Slice Lowering::slice(const Wire<T>& w, int width) {
+  auto [it, inserted] =
+      prog_.bindingIndex_.try_emplace(&w, prog_.bindings_.size());
+  if (!inserted) {
+    const CompiledProgram::Binding& b = prog_.bindings_[it->second];
+    if (b.width != width)
+      throw std::logic_error("Lowering: wire placed with conflicting widths");
+    return {b.word, b.shift};
+  }
+  std::uint32_t word;
+  std::uint8_t shift;
+  if (width == 1) {
+    if (prog_.bitWord_ < 0 || prog_.bitUsed_ == 64) {
+      prog_.bitWord_ = prog_.newWord();
+      prog_.bitUsed_ = 0;
+    }
+    word = static_cast<std::uint32_t>(prog_.bitWord_);
+    shift = static_cast<std::uint8_t>(prog_.bitUsed_++);
+  } else {
+    if (prog_.halfWord_ < 0 || prog_.halfUsed_ == 2) {
+      prog_.halfWord_ = prog_.newWord();
+      prog_.halfUsed_ = 0;
+    }
+    word = static_cast<std::uint32_t>(prog_.halfWord_);
+    shift = static_cast<std::uint8_t>(32 * prog_.halfUsed_++);
+  }
+  static_assert(std::is_same_v<T, bool> || sizeof(T) == 4,
+                "flush tables store raw 4-byte integrals");
+  prog_.bindings_.push_back(
+      {&w, w.arenaValueSlot(), word, shift, static_cast<std::uint8_t>(width),
+       [](const WireBase* wb) {
+         static_cast<const Wire<T>*>(wb)->syncArena();
+       }});
+  return {word, shift};
+}
+
+}  // namespace rasoc::sim

@@ -30,6 +30,7 @@
 
 namespace rasoc::sim {
 
+class Lowering;
 class Module;
 class WireBase;
 
@@ -39,6 +40,13 @@ class WireBase;
 class EvalScheduler {
  public:
   virtual void enqueueDirty(Module* m) = 0;
+
+  // A module's lowering (Module::describe) depends on attached state, e.g.
+  // telemetry hooks that change which edge path a channel takes.  Modules
+  // call noteDescribeChanged() when that state changes; the compiled kernel
+  // reacts by rebuilding its program before the next settle.  Default:
+  // ignore (every other kernel re-reads the module each cycle anyway).
+  virtual void describeChanged() {}
 
  protected:
   ~EvalScheduler() = default;
@@ -62,6 +70,22 @@ class Module {
   // Single-module evaluate, used by the event-driven kernel's worklist
   // (children are scheduled independently).
   void evaluateOne() { evaluate(); }
+
+  // Single-module clock edge, used by the compiled kernel's edge tape when
+  // a module keeps its behavioural clockEdge() (children are separate tape
+  // entries, emitted in clockEdgeAll() preorder).
+  void clockEdgeOne() { clockEdge(); }
+
+  // --- compiled-kernel lowering hook (see sim/compile.hpp) --------------
+
+  // Contributes word-level ops for this module (and, by covenant, its
+  // entire subtree) to the compiled kernel's program.  Return true when the
+  // subtree is covered by the emitted units; call Lowering::descendChildren
+  // first if the children should still lower themselves.  Returning false
+  // (the default) makes the compiler wrap this module's evaluate() in a
+  // fallback thunk, append its clockEdge() to the edge tape, and recurse -
+  // behaviourally exact, just slower, so migration is incremental.
+  virtual bool describe(Lowering&) { return false; }
 
   const std::vector<Module*>& children() const { return children_; }
 
@@ -133,6 +157,12 @@ class Module {
   // clockEdge() or external calls such as a queue push).  Call from the
   // constructor.
   void declareSequential() { sequential_ = true; }
+
+  // Tells the bound scheduler that this module's describe() output is no
+  // longer valid (e.g. telemetry was attached after the first compile).
+  void noteDescribeChanged() {
+    if (scheduler_) scheduler_->describeChanged();
+  }
 
  private:
   std::string name_;

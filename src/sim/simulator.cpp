@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "sim/compile.hpp"
 #include "sim/settle_pool.hpp"
 #include "sim/wire.hpp"
 
@@ -106,6 +107,7 @@ void Simulator::ensureCollected() {
   }
   modulesStale_ = false;
   partitionStale_ = true;
+  compiledStale_ = true;
   if (profileBase_) {
     // Late add()s (e.g. traffic generators attached after construction)
     // append to the flatten, so existing counts keep their slots; new
@@ -133,6 +135,14 @@ void Simulator::setKernel(Kernel kernel) {
         std::to_string(cycle_) +
         " would hand the new kernel a stale worklist; select the kernel "
         "before the first cycle, or reset() first");
+  if (kernel == Kernel::Compiled && threads_ > 1)
+    throw std::logic_error(
+        "Simulator::setKernel: Kernel::Compiled is single-threaded (its op "
+        "tape runs on the calling thread); setThreads(1) first or use "
+        "Kernel::ParallelEventDriven for multi-threaded settling");
+  // Leaving the compiled kernel: detach the wires from the arena while
+  // they are certainly alive, and drop the program.
+  if (kernel_ == Kernel::Compiled) releaseProgram();
   kernel_ = kernel;
   switch (kernel_) {
     case Kernel::EventDriven:
@@ -149,6 +159,13 @@ void Simulator::setKernel(Kernel kernel) {
       for (Module* m : worklist_) m->clearDirty();
       worklist_.clear();
       break;
+    case Kernel::Compiled:
+      // The program is built lazily on first settle; the worklist is
+      // ignored (the full tape runs every settle, like the naive sweep).
+      for (Module* m : worklist_) m->clearDirty();
+      worklist_.clear();
+      compiledStale_ = true;
+      break;
   }
 }
 
@@ -156,6 +173,11 @@ void Simulator::setThreads(int n) {
   if (n < 1)
     throw std::invalid_argument("Simulator::setThreads: need >= 1 thread");
   if (n == threads_) return;
+  if (kernel_ == Kernel::Compiled && n > 1)
+    throw std::logic_error(
+        "Simulator::setThreads: Kernel::Compiled is single-threaded (its op "
+        "tape runs on the calling thread); switch kernels before raising "
+        "the thread count");
   if (cycle_ != 0)
     throw std::logic_error(
         "Simulator::setThreads: thread-count change at cycle " +
@@ -179,7 +201,11 @@ void Simulator::reset() {
   cycle_ = 0;
   ensureCollected();
   for (Module* m : tops_) m->resetAll();
-  if (kernel_ != Kernel::Naive) seedAll();
+  // Registered state just changed wholesale (FIFO backing stores may even
+  // have reallocated), so a compiled program's raw state pointers are
+  // stale: recompile on the next settle.
+  compiledStale_ = true;
+  if (kernel_ != Kernel::Naive && kernel_ != Kernel::Compiled) seedAll();
   settle();
 }
 
@@ -195,6 +221,9 @@ void Simulator::settle() {
       break;
     case Kernel::ParallelEventDriven:
       settleParallel();
+      break;
+    case Kernel::Compiled:
+      settleCompiled();
       break;
   }
 }
@@ -246,6 +275,35 @@ void Simulator::settleEventDriven() {
   }
   worklist_.clear();
   evaluateCalls_ += evals;
+}
+
+void Simulator::releaseProgram() {
+  if (!program_) return;
+  program_->unbindWires();
+  program_.reset();
+}
+
+void Simulator::ensureProgramBuilt() {
+  if (program_ && !compiledStale_) return;
+  // Unbind the previous program's wires first: the build's write-set
+  // discovery evaluates fallback modules, and those scratch writes must
+  // not land in a dying arena.
+  releaseProgram();
+  program_ = CompiledProgram::build(tops_);
+  // Discovery evaluations are settle work, same as the partition build.
+  evaluateCalls_ += program_->discoveryEvaluations();
+  compiledStale_ = false;
+}
+
+void Simulator::settleCompiled() {
+  ensureProgramBuilt();
+  // Pokes and clock-edge re-seeds are already reflected in the arena
+  // (wires write through); the tape re-derives everything else.  Any
+  // queued worklist entries are stale bookkeeping here.
+  worklist_.clear();
+  evaluateCalls_ += program_->settle(
+      static_cast<std::uint64_t>(std::max(maxSettleIterations_, 1)),
+      profileBase_);
 }
 
 void Simulator::ensurePartitionBuilt() {
@@ -486,6 +544,8 @@ std::vector<std::pair<std::string, std::uint64_t>> Simulator::hottestModules(
 void Simulator::enqueueDirty(Module* m) {
   switch (kernel_) {
     case Kernel::Naive:
+    case Kernel::Compiled:
+      // Both kernels re-derive every wire each settle; no worklist needed.
       return;
     case Kernel::EventDriven:
       worklist_.push_back(m);
@@ -515,8 +575,17 @@ void Simulator::enqueueDirty(Module* m) {
 
 void Simulator::tick() {
   ensureCollected();
-  for (Module* m : tops_) m->clockEdgeAll();
-  if (kernel_ != Kernel::Naive) {
+  if (kernel_ == Kernel::Compiled && program_ && !compiledStale_) {
+    // The edge tape replays clockEdgeAll() in preorder with fused edge ops
+    // where modules lowered their edges.  A stale or missing program (tick
+    // before any settle, or right after add()) falls through to the
+    // behavioural walk, which is always exact.
+    program_->edge();
+  } else {
+    for (Module* m : tops_) m->clockEdgeAll();
+  }
+  if (kernel_ == Kernel::EventDriven ||
+      kernel_ == Kernel::ParallelEventDriven) {
     // Registered state changed: re-seed the modules whose evaluate()
     // depends on it.  Purely combinational modules wake through wire
     // fanout once these re-evaluate.

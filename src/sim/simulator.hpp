@@ -42,6 +42,18 @@
 ///    contract: evaluate() must drive the same wire set on every call;
 ///    write sets are discovered once at partition build, and debug builds
 ///    re-check every parallel evaluation against them.
+///  * Kernel::Compiled - lowers the module tree once into a word-packed
+///    state arena plus a levelized op tape (sim/compile.hpp) and settles by
+///    interpreting the flat op arrays: no virtual dispatch, no per-wire
+///    fanout scans, one topologically ordered pass (cyclic stretches, e.g.
+///    fault thunks, iterate locally).  Modules lower themselves through
+///    Module::describe(); undescribed modules run behaviourally as fallback
+///    thunks, so the kernel is exact for arbitrary module soups.  Wires
+///    write through to the arena on set()/force() (the poke window keeps
+///    working) and settled words are flushed back, so all wire-level
+///    observers behave as under the other kernels.  Single-threaded:
+///    setThreads(>1) with this kernel throws.  The program is rebuilt
+///    automatically after add(), reset(), or a telemetry attach.
 #pragma once
 
 #include <cstdint>
@@ -55,11 +67,12 @@
 
 namespace rasoc::sim {
 
+class CompiledProgram;
 class SettlePool;
 
 class Simulator final : private EvalScheduler {
  public:
-  enum class Kernel { Naive, EventDriven, ParallelEventDriven };
+  enum class Kernel { Naive, EventDriven, ParallelEventDriven, Compiled };
 
   /// Lifetime work counters of the parallel kernel, folded in fixed domain
   /// order at the end of every settle (never in thread-completion order, so
@@ -85,6 +98,7 @@ class Simulator final : private EvalScheduler {
   void add(Module& m) {
     tops_.push_back(&m);
     modulesStale_ = true;
+    compiledStale_ = true;
   }
 
   /// Selects the settle kernel.  Legal only before the first cycle (or
@@ -106,6 +120,11 @@ class Simulator final : private EvalScheduler {
   const Partition& partition();
 
   const ParallelKernelStats& parallelStats() const { return parallelStats_; }
+
+  /// The compiled kernel's current program, or nullptr when no program is
+  /// built (other kernel active, or no settle yet).  Introspection only
+  /// (unit/word/segment counts for tests and stats).
+  const CompiledProgram* compiledProgram() const { return program_.get(); }
 
   /// Resets registered state in every module and restarts the cycle count.
   void reset();
@@ -212,6 +231,7 @@ class Simulator final : private EvalScheduler {
   };
 
   void enqueueDirty(Module* m) override;
+  void describeChanged() override { compiledStale_ = true; }
 
   /// Rebuilds the flattened module list (and scheduler backpointers) after
   /// add(); re-seeds the worklist so new modules get an initial evaluation.
@@ -220,6 +240,9 @@ class Simulator final : private EvalScheduler {
   void settleNaive();
   void settleEventDriven();
   void settleParallel();
+  void settleCompiled();
+  void ensureProgramBuilt();
+  void releaseProgram();
   void ensurePartitionBuilt();
   void runParallelRounds();
   void drainDomain(int d);
@@ -242,6 +265,7 @@ class Simulator final : private EvalScheduler {
   std::vector<DomainRun> domains_;
   std::vector<Module*> frontierRun_;
   std::unique_ptr<SettlePool> pool_;
+  std::unique_ptr<CompiledProgram> program_;
   ParallelKernelStats parallelStats_;
   std::vector<std::uint64_t> profileCounts_;  // one slot per module index
   /// profileCounts_.data() when profiling, else nullptr - the single flag
@@ -255,6 +279,7 @@ class Simulator final : private EvalScheduler {
   Kernel kernel_ = Kernel::Naive;
   bool modulesStale_ = true;
   bool partitionStale_ = true;
+  bool compiledStale_ = true;
 };
 
 }  // namespace rasoc::sim

@@ -16,7 +16,9 @@
 // and leave a stale "fixpoint", so it throws std::logic_error.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -69,13 +71,49 @@ class WireBase {
   // kernel's partition classifier walks this to find cross-domain fanout.
   const std::vector<Module*>& sensitiveModules() const { return fanout_; }
 
+  // --- compiled-kernel arena binding (sim/compile.hpp) ---------------------
+  //
+  // Under Kernel::Compiled the wire's value is mirrored into a (word, shift)
+  // slice of the word-packed state arena.  set()/force() write through to
+  // the slice, so the arena never goes stale between settles even when a
+  // testbench pokes wires or a fallback thunk drives them; reads refresh
+  // from the slice (Wire::get), so settled op results are visible without
+  // any flush pass.
+  //
+  // Binding is const for the same reason addSensitive() is: it is kernel
+  // bookkeeping layered onto the net, not value state.  Lifetime contract
+  // (mirrors the Module scheduler backpointer): the CompiledProgram unbinds
+  // wires when it is rebuilt or the simulator leaves Kernel::Compiled; a
+  // wire destroyed together with its simulator may keep a dangling binding,
+  // which is only ever dereferenced by set()/force() on that wire.
+  void bindArena(std::uint64_t* word, unsigned shift,
+                 std::uint64_t mask) const {
+    arenaWord_ = word;
+    arenaShift_ = static_cast<std::uint8_t>(shift);
+    arenaMask_ = mask;
+  }
+  void unbindArena() const { arenaWord_ = nullptr; }
+  bool arenaBound() const { return arenaWord_ != nullptr; }
+
  protected:
   void notifySensitive() const {
     for (Module* m : fanout_) m->markDirty();
   }
 
+  void storeArenaBits(std::uint64_t bits) const {
+    *arenaWord_ = (*arenaWord_ & ~arenaMask_) |
+                  ((bits << arenaShift_) & arenaMask_);
+  }
+  std::uint64_t loadArenaBits() const {
+    return (*arenaWord_ & arenaMask_) >> arenaShift_;
+  }
+
  private:
   mutable std::vector<Module*> fanout_;
+  // Arena slice (null word pointer = unbound).  Mutable: see bindArena().
+  mutable std::uint64_t* arenaWord_ = nullptr;
+  mutable std::uint64_t arenaMask_ = 0;
+  mutable std::uint8_t arenaShift_ = 0;
 };
 
 // A combinational net holding a value of type T.  T must be equality
@@ -87,12 +125,22 @@ class Wire : public WireBase {
   Wire() = default;
   explicit Wire(T initial) : value_(std::move(initial)) {}
 
-  const T& get() const { return value_; }
+  // Under Kernel::Compiled the arena is authoritative between settles; a
+  // bound wire refreshes its cached value from its slice on every read, so
+  // observers (thunks, tick listeners, telemetry, testbenches) see settled
+  // state without the kernel ever flushing wires it computed.  Unbound
+  // wires (the behavioural kernels) pay one predictable null check.
+  const T& get() const {
+    refreshFromArena();
+    return value_;
+  }
 
   void set(const T& v) {
     SettleContext::recordWrite(this);
+    refreshFromArena();
     if (!(value_ == v)) {
       value_ = v;
+      syncArena();
       SettleContext::markChanged();
       notifySensitive();
     }
@@ -108,14 +156,64 @@ class Wire : public WireBase {
       throw std::logic_error(
           "Wire::force during the settle phase: poke wires only between "
           "cycles (after step()/settle() returns)");
+    refreshFromArena();
     if (!(value_ == v)) {
       value_ = v;
+      syncArena();
       notifySensitive();
     }
   }
 
+  // Copies the current value into the bound arena slice (no-op when
+  // unbound).  The compiled kernel calls this once per wire at program
+  // build time; afterwards set()/force() keep the slice fresh.
+  void syncArena() const {
+    if constexpr (std::is_integral_v<T>) {
+      if (arenaBound()) storeArenaBits(toBits(value_));
+    }
+  }
+
+  // Raw pointer to the stored value, for the compiled kernel's
+  // unbind-time materialization (which stores final arena bits directly
+  // before detaching, so get() stays correct once the binding is gone).
+  // Same bookkeeping-on-a-const-net rationale as bindArena().
+  T* arenaValueSlot() const { return const_cast<T*>(&value_); }
+
  private:
-  T value_{};
+  // Adopts the arena value when bound (no-op otherwise).  The fanout is
+  // deliberately NOT woken: the compiled settle ignores the worklist (the
+  // full tape runs every settle), and kernel switches are only legal at
+  // cycle 0, where the new kernel re-seeds every module anyway.  Only
+  // integral wires are ever bound.
+  void refreshFromArena() const {
+    if constexpr (std::is_integral_v<T>) {
+      if (arenaBound()) value_ = fromBits(loadArenaBits());
+    }
+  }
+
+  static std::uint64_t toBits(const T& v) {
+    if constexpr (std::is_same_v<T, bool>) {
+      return v ? 1u : 0u;
+    } else if constexpr (std::is_integral_v<T>) {
+      // 32-bit slices store the zero-extended two's-complement pattern.
+      return static_cast<std::uint32_t>(v);
+    } else {
+      return 0;
+    }
+  }
+  static T fromBits(std::uint64_t bits) {
+    if constexpr (std::is_same_v<T, bool>) {
+      return bits != 0;
+    } else if constexpr (std::is_integral_v<T>) {
+      return static_cast<T>(static_cast<std::uint32_t>(bits));
+    } else {
+      return T{};
+    }
+  }
+
+  // Mutable: a bound wire's authoritative state lives in the arena and
+  // value_ is a read-through cache refreshed inside const get().
+  mutable T value_{};
 };
 
 }  // namespace rasoc::sim

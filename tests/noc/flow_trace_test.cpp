@@ -2,11 +2,14 @@
 //
 //  1. Non-interference: with tracing enabled, the 8x8 mesh golden
 //     fingerprints (network_topology_test.cpp / kernel_trichotomy_test.cpp)
-//     reproduce bit-identically under all three settle kernels, and a
-//     traced run matches an untraced twin counter for counter.
+//     reproduce bit-identically under every settle kernel (naive,
+//     event-driven, parallel, compiled), and a traced run matches an
+//     untraced twin counter for counter.
 //  2. Determinism: the reconstructed event stream, the Perfetto JSON and
 //     the latency decomposition are byte/value-identical across kernels
-//     and thread counts for a fixed seed.
+//     and thread counts for a fixed seed — including with kernel
+//     profiling enabled, since profile data lives strictly outside the
+//     traced event stream (kernelProfileJson / kernel_profile section).
 //  3. Semantics: the per-flow decomposition sums exactly to the traced
 //     end-to-end latency; a fault + reliability scenario shows the full
 //     retransmission lifecycle (drop at the faulted hop, NACK/retransmit
@@ -45,6 +48,7 @@ const KernelPick kAllKernels[] = {
     {Simulator::Kernel::EventDriven, 1, "event"},
     {Simulator::Kernel::ParallelEventDriven, 2, "parallel2"},
     {Simulator::Kernel::ParallelEventDriven, 4, "parallel4"},
+    {Simulator::Kernel::Compiled, 1, "compiled"},
 };
 
 std::unique_ptr<Network> makeNet(const std::shared_ptr<const Topology>& topo,
@@ -104,7 +108,7 @@ const Golden kTracedGoldens[] = {
 
 TEST(FlowTraceGoldenTest, TracedRunsReproduceGoldenFingerprints) {
   for (const KernelPick& pick :
-       {kAllKernels[0], kAllKernels[1], kAllKernels[2]}) {
+       {kAllKernels[0], kAllKernels[1], kAllKernels[2], kAllKernels[4]}) {
     for (const Golden& g : kTracedGoldens) {
       SCOPED_TRACE(std::string(pick.label) + " " +
                    std::string(name(g.pattern)));
@@ -175,6 +179,7 @@ TEST(FlowTraceTest, EnableTracingGuardsAgainstLateAttachment) {
 struct TracedRun {
   std::vector<TraceEvent> events;
   std::string json;
+  std::string kernelJson;
   std::uint64_t traced = 0;
   std::uint64_t completed = 0;
   std::vector<FlowTracer::FlowSpan> spans;
@@ -187,6 +192,7 @@ TracedRun runTraced(const KernelPick& pick, TraceConfig config = {}) {
   TracedRun out;
   out.events = tracer.sink().snapshot();
   out.json = tracer.perfettoJson();
+  out.kernelJson = tracer.kernelProfileJson();
   out.traced = tracer.packetsTraced();
   out.completed = tracer.packetsCompleted();
   out.spans = tracer.flowSpans();
@@ -194,17 +200,17 @@ TracedRun runTraced(const KernelPick& pick, TraceConfig config = {}) {
 }
 
 TEST(FlowTraceTest, EventStreamIsIdenticalAcrossKernelsAndThreadCounts) {
-  // The kernel-profile counter track is intentionally kernel-specific (a
-  // naive settle evaluates every module, an event-driven one only the poked
-  // set), so byte-identical JSON is claimed for the flit trace alone.
-  TraceConfig noProfile;
-  noProfile.profileKernel = false;
-  const TracedRun ref = runTraced(kAllKernels[0], noProfile);
+  // Profiling stays ON here on purpose: kernel-profile data (which *is*
+  // kernel-specific — a naive settle evaluates every module, an
+  // event-driven one only the poked set) records outside the traced event
+  // stream, so the machine trace must be byte-identical across kernels
+  // even with profiling enabled.
+  const TracedRun ref = runTraced(kAllKernels[0]);
   EXPECT_GT(ref.events.size(), 0u);
   EXPECT_GT(ref.completed, 0u);
   for (std::size_t k = 1; k < std::size(kAllKernels); ++k) {
     SCOPED_TRACE(kAllKernels[k].label);
-    const TracedRun run = runTraced(kAllKernels[k], noProfile);
+    const TracedRun run = runTraced(kAllKernels[k]);
     ASSERT_EQ(ref.events.size(), run.events.size());
     for (std::size_t i = 0; i < ref.events.size(); ++i)
       ASSERT_EQ(ref.events[i], run.events[i])
@@ -220,11 +226,31 @@ TEST(FlowTraceTest, PerfettoJsonValidatesAndNamesTracks) {
   const TracedRun run = runTraced(kAllKernels[1]);
   std::string error;
   ASSERT_TRUE(telemetry::validatePerfettoJson(run.json, &error)) << error;
-  // One track group per router, one per flow, counters for the kernel.
+  // One track group per router, one per flow.  Kernel counters must NOT
+  // appear here — they live in the kernelProfileJson() sidecar.
   EXPECT_NE(run.json.find("\"r0 (0,0)\""), std::string::npos);
   EXPECT_NE(run.json.find("flows from "), std::string::npos);
-  EXPECT_NE(run.json.find("evals/cycle"), std::string::npos);
-  EXPECT_NE(run.json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_EQ(run.json.find("evals/cycle"), std::string::npos);
+  ASSERT_TRUE(telemetry::validatePerfettoJson(run.kernelJson, &error))
+      << error;
+  EXPECT_NE(run.kernelJson.find("settle kernel"), std::string::npos);
+  EXPECT_NE(run.kernelJson.find("evals/cycle"), std::string::npos);
+  EXPECT_NE(run.kernelJson.find("\"ph\":\"C\""), std::string::npos);
+}
+
+TEST(FlowTraceTest, KernelProfileSidecarIsKernelSpecificButDeterministic) {
+  // The sidecar is the one artifact allowed to differ per kernel; per
+  // kernel it must still be reproducible, and it must be empty-trace JSON
+  // with profiling off.
+  const TracedRun event = runTraced(kAllKernels[1]);
+  EXPECT_EQ(event.kernelJson, runTraced(kAllKernels[1]).kernelJson);
+  const TracedRun naive = runTraced(kAllKernels[0]);
+  EXPECT_NE(event.kernelJson, naive.kernelJson)
+      << "naive evaluates everything, event-driven only the woken set";
+  TraceConfig noProfile;
+  noProfile.profileKernel = false;
+  const TracedRun off = runTraced(kAllKernels[1], noProfile);
+  EXPECT_EQ(off.kernelJson.find("evals/cycle"), std::string::npos);
 }
 
 TEST(FlowTraceTest, SamplingThinsTheTraceWithoutPerturbingResults) {
@@ -248,14 +274,13 @@ TEST(FlowTraceTest, SamplingThinsTheTraceWithoutPerturbingResults) {
 }
 
 TEST(FlowTraceTest, ResetClearsTraceStateAndReproducesTheRun) {
-  // profileKernel off: the evaluation timeline's first sample depends on
-  // whether the seed settle ran at construction or at reset(), which is
-  // outside the trace's determinism contract.
-  TraceConfig noProfile;
-  noProfile.profileKernel = false;
+  // Profiling on: the evaluation timeline's first sample depends on
+  // whether the seed settle ran at construction or at reset(), but that
+  // only perturbs the sidecar — perfettoJson() no longer contains any
+  // kernel-profile data, so it must reproduce exactly.
   auto net = makeNet(makeTopology("mesh", 4, 4), kAllKernels[1],
                      smallTraffic());
-  FlowTracer& tracer = net->enableTracing(noProfile);
+  FlowTracer& tracer = net->enableTracing();
   net->run(400);
   const std::uint64_t firstTraced = tracer.packetsTraced();
   const std::string firstJson = tracer.perfettoJson();
@@ -342,6 +367,8 @@ TEST(FlowTraceTest, ReportGainsDeterministicTraceSection) {
   EXPECT_NE(json.find("\"trace\""), std::string::npos) << json;
   EXPECT_NE(json.find("packets_traced"), std::string::npos);
   EXPECT_NE(json.find("end_to_end_p99"), std::string::npos);
+  // Kernel-dependent numbers live in their own section, not in `trace`.
+  EXPECT_NE(json.find("\"kernel_profile\""), std::string::npos) << json;
   EXPECT_NE(json.find("hot_module_0"), std::string::npos);
 }
 

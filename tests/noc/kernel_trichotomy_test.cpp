@@ -1,17 +1,24 @@
-// Three-kernel differential harness: Naive, EventDriven and
-// ParallelEventDriven networks built from identical configurations must
-// stay cycle-for-cycle identical.  The parallel kernel's claim is strong -
-// bit-identical results regardless of thread count - so this suite pins it
-// three ways:
+// Four-kernel differential harness: Naive, EventDriven,
+// ParallelEventDriven and Compiled networks built from identical
+// configurations must stay cycle-for-cycle identical.  The parallel
+// kernel's claim is strong - bit-identical results regardless of thread
+// count - and the compiled kernel's claim is stronger still (a whole
+// different execution substrate: word-packed arena + levelized op tape),
+// so this suite pins the matrix four ways:
 //
 //  1. The golden cycle fingerprints recorded for the event-driven kernel in
 //     network_topology_test.cpp must reproduce exactly under the parallel
-//     kernel at 2 and 4 threads (same queued/delivered/flit counts and the
-//     same latency means to the last ulp).
-//  2. Lockstep trichotomy runs on mesh, torus and ring topologies compare
-//     all three kernels per cycle against the naive reference.
+//     kernel at 2 and 4 threads and under the compiled kernel (same
+//     queued/delivered/flit counts and the same latency means to the last
+//     ulp).
+//  2. Lockstep runs on mesh, torus and ring topologies compare all four
+//     kernels per cycle against the naive reference.
 //  3. A saturated flood-and-drain must complete in the same cycle with the
 //     same delivery count under every kernel.
+//  4. A fault campaign (background corruption + scheduled stall/outage
+//     windows) must produce identical recovery behaviour under the
+//     compiled kernel, whose fault links run as behavioural thunks inside
+//     iterated segments.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -21,6 +28,7 @@
 
 #include "noc/network.hpp"
 #include "noc/topology.hpp"
+#include "sim/compile.hpp"
 
 namespace rasoc::noc {
 namespace {
@@ -158,6 +166,36 @@ INSTANTIATE_TEST_SUITE_P(Threads, ParallelGoldenTest, ::testing::Values(2, 4),
                            return "threads" + std::to_string(info.param);
                          });
 
+TEST(CompiledGoldenTest, MeshFingerprintsMatchEventDrivenGoldens) {
+  for (const Golden& g : kMeshGoldens) {
+    SCOPED_TRACE("pattern " + std::string(name(g.pattern)) + " load " +
+                 std::to_string(g.load));
+    TrafficConfig traffic;
+    traffic.pattern = g.pattern;
+    traffic.offeredLoad = g.load;
+    traffic.payloadFlits = 4;
+    traffic.seed = 2026;
+    auto net = makeNet(std::make_shared<MeshTopology>(MeshShape{8, 8}),
+                       Simulator::Kernel::Compiled, 1, traffic);
+    net->run(2000);
+    EXPECT_EQ(net->ledger().queued(), g.queued);
+    EXPECT_EQ(net->ledger().delivered(), g.delivered);
+    EXPECT_EQ(net->ledger().flitsDelivered(), g.flits);
+    EXPECT_DOUBLE_EQ(net->ledger().packetLatency().mean(), g.latMean);
+    EXPECT_DOUBLE_EQ(net->ledger().networkLatency().mean(), g.netMean);
+    EXPECT_TRUE(net->healthy());
+    // The run must actually have executed a lowered program, with the
+    // router subtrees as word-level ops (thunks cover only the NIs) and no
+    // iterated segments (a fault-free network is acyclic at op granularity).
+    const sim::CompiledProgram* prog = net->simulator().compiledProgram();
+    ASSERT_NE(prog, nullptr);
+    EXPECT_GT(prog->opCount(), 0u);
+    EXPECT_GT(prog->thunkCount(), 0u);
+    EXPECT_LT(prog->thunkCount(), prog->opCount() / 4);
+    EXPECT_EQ(prog->iterateSegmentCount(), 0u);
+  }
+}
+
 // --- lockstep trichotomy ---------------------------------------------------
 
 TEST(KernelTrichotomyTest, TorusUniformRandomLockstep) {
@@ -174,6 +212,7 @@ TEST(KernelTrichotomyTest, TorusUniformRandomLockstep) {
       makeNet(topo, Simulator::Kernel::ParallelEventDriven, 2, traffic));
   nets.push_back(
       makeNet(topo, Simulator::Kernel::ParallelEventDriven, 4, traffic));
+  nets.push_back(makeNet(topo, Simulator::Kernel::Compiled, 1, traffic));
   runLockstep(nets, 1200, 300);
 }
 
@@ -191,6 +230,7 @@ TEST(KernelTrichotomyTest, RingBitComplementLockstep) {
   nets.push_back(makeNet(topo, Simulator::Kernel::EventDriven, 1, traffic));
   nets.push_back(
       makeNet(topo, Simulator::Kernel::ParallelEventDriven, 3, traffic));
+  nets.push_back(makeNet(topo, Simulator::Kernel::Compiled, 1, traffic));
   runLockstep(nets, 1500, 300);
 }
 
@@ -210,7 +250,79 @@ TEST(KernelTrichotomyTest, MeshSaturatedTransposeLockstep) {
       makeNet(topo, Simulator::Kernel::ParallelEventDriven, 2, traffic));
   nets.push_back(
       makeNet(topo, Simulator::Kernel::ParallelEventDriven, 4, traffic));
+  nets.push_back(makeNet(topo, Simulator::Kernel::Compiled, 1, traffic));
   runLockstep(nets, 1000, 250);
+}
+
+// --- fault-campaign agreement ----------------------------------------------
+
+TEST(KernelTrichotomyTest, FaultCampaignLockstepCompiledVsEventDriven) {
+  // Under a fault campaign every link is a FaultyLink, so the compiled
+  // program is mostly behavioural thunks handshaking with lowered channel
+  // ops - the configuration that exercises iterated (cyclic) segments and
+  // the thunk pre-flush path hardest.
+  const auto topo = makeTopology("mesh", 4, 4);
+  CampaignConfig campaign;
+  campaign.horizon = 1500;
+  campaign.corruptRate = 0.02;
+  campaign.corruptLinkFraction = 0.5;
+  campaign.stallEvents = 2;
+  campaign.dropEvents = 2;
+  campaign.minDuration = 16;
+  campaign.maxDuration = 48;
+  campaign.seed = 0xc0ffee;
+  ReliabilityConfig reliability;
+  reliability.enabled = true;
+  reliability.seqBits = 6;
+  reliability.window = 8;
+  reliability.rtoInitial = 64;
+  reliability.rtoMax = 1024;
+  reliability.nackMinInterval = 16;
+  std::vector<std::unique_ptr<Network>> nets;
+  for (const Simulator::Kernel kernel :
+       {Simulator::Kernel::EventDriven, Simulator::Kernel::Compiled}) {
+    NetworkConfig cfg;
+    cfg.params.n = 16;
+    cfg.params.p = 4;
+    cfg.kernel = kernel;
+    cfg.reliability = reliability;
+    cfg.faultPlan = makeFaultPlan(*topo, campaign);
+    auto net = std::make_unique<Network>(topo, cfg);
+    TrafficConfig traffic;
+    traffic.offeredLoad = 0.1;
+    traffic.payloadFlits = 4;
+    traffic.seed = 11;
+    net->attachTraffic(traffic);
+    nets.push_back(std::move(net));
+  }
+  Network& ref = *nets[0];
+  Network& compiled = *nets[1];
+  for (std::uint64_t c = 0; c < 1500; ++c) {
+    ref.run(1);
+    compiled.run(1);
+    ASSERT_EQ(ref.ledger().queued(), compiled.ledger().queued())
+        << "cycle " << c;
+    ASSERT_EQ(ref.ledger().delivered(), compiled.ledger().delivered())
+        << "cycle " << c;
+    ASSERT_EQ(ref.flitsCorrupted(), compiled.flitsCorrupted())
+        << "cycle " << c;
+    ASSERT_EQ(ref.flitsDropped(), compiled.flitsDropped()) << "cycle " << c;
+    ASSERT_EQ(ref.faultStallCycles(), compiled.faultStallCycles())
+        << "cycle " << c;
+  }
+  EXPECT_GT(ref.flitsCorrupted() + ref.flitsDropped() + ref.faultStallCycles(),
+            0u)
+      << "the campaign must actually have perturbed the run";
+  for (int i = 0; i < topo->nodes(); ++i) {
+    const NodeId n = topo->nodeAt(i);
+    ASSERT_EQ(ref.ni(n).received(), compiled.ni(n).received())
+        << "node " << i;
+  }
+  // The stalled handshakes must have been settled through iterated
+  // segments, proving the cyclic path is actually exercised.
+  const sim::CompiledProgram* prog = compiled.simulator().compiledProgram();
+  ASSERT_NE(prog, nullptr);
+  EXPECT_GT(prog->iterateSegmentCount(), 0u);
 }
 
 // --- drain agreement -------------------------------------------------------
@@ -235,7 +347,8 @@ TEST(KernelTrichotomyTest, FloodDrainCompletesIdenticallyUnderAllKernels) {
     const KernelPick picks[] = {{Simulator::Kernel::Naive, 1},
                                 {Simulator::Kernel::EventDriven, 1},
                                 {Simulator::Kernel::ParallelEventDriven, 2},
-                                {Simulator::Kernel::ParallelEventDriven, 3}};
+                                {Simulator::Kernel::ParallelEventDriven, 3},
+                                {Simulator::Kernel::Compiled, 1}};
     for (const KernelPick& pick : picks) {
       NetworkConfig cfg;
       cfg.kernel = pick.kernel;

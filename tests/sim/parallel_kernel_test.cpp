@@ -369,6 +369,28 @@ TEST(ParallelKernelTest, ThreadAndKernelReconfigurationGuards) {
   EXPECT_EQ(rig.out(), 6);
 }
 
+TEST(ParallelKernelTest, CompiledKernelIsSingleThreadedBothWays) {
+  // The compiled kernel's op tape runs on the calling thread, so the
+  // validation must be symmetric: selecting it with workers configured
+  // throws, and raising the worker count under it throws.
+  {
+    Simulator sim;
+    sim.setThreads(2);
+    EXPECT_THROW(sim.setKernel(Simulator::Kernel::Compiled),
+                 std::logic_error);
+  }
+  {
+    Simulator sim;
+    sim.setKernel(Simulator::Kernel::Compiled);
+    EXPECT_THROW(sim.setThreads(2), std::logic_error);
+    EXPECT_NO_THROW(sim.setThreads(1));  // unchanged count: no-op
+    EXPECT_EQ(sim.threads(), 1);
+    // Switching away from the compiled kernel reopens multi-threading.
+    sim.setKernel(Simulator::Kernel::ParallelEventDriven);
+    EXPECT_NO_THROW(sim.setThreads(2));
+  }
+}
+
 TEST(ParallelKernelTest, ModulesAddedBetweenSettlesTriggerRepartition) {
   Wire<int> a{1}, aOut, lateOut;
   Increment inc("inc", a, aOut);
