@@ -45,6 +45,7 @@ constexpr int kMeasure = 3000;
 std::string gTopology = "mesh";
 std::string gKernel = "event";
 int gThreads = 2;
+int gVcs = 1;
 std::string gTracePath;  // empty = flit tracing off
 std::uint64_t gTraceSample = 1;
 
@@ -60,10 +61,11 @@ sim::Simulator::Kernel benchKernel() {
   return sim::Simulator::Kernel::EventDriven;
 }
 
-noc::NetworkConfig benchConfig(int p) {
+noc::NetworkConfig benchConfig(int p, int vcs = 0) {
   noc::NetworkConfig cfg;
   cfg.params.n = 16;
   cfg.params.p = p;
+  cfg.params.numVCs = vcs > 0 ? vcs : gVcs;
   // A 16-node ring routes offsets up to 14; the grids stay within 3.
   if (gTopology == "ring") cfg.params.m = 10;
   cfg.kernel = benchKernel();
@@ -97,9 +99,9 @@ struct Point {
   double throughput;
 };
 
-Point run(noc::TrafficPattern pattern, double load, int p) {
+Point run(noc::TrafficPattern pattern, double load, int p, int vcs = 0) {
   auto topo = makeBenchTopology();
-  noc::Network net(topo, benchConfig(p));
+  noc::Network net(topo, benchConfig(p, vcs));
   net.ledger().setWarmupCycles(kWarmup);
   net.attachTraffic(benchTraffic(pattern, load));
   net.run(kWarmup + kMeasure);
@@ -164,6 +166,8 @@ int main(int argc, char** argv) {
       gKernel = argv[i] + 9;
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       gThreads = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--vcs=", 6) == 0) {
+      gVcs = std::atoi(argv[i] + 6);
     } else if (std::strncmp(argv[i], "--trace-sample=", 15) == 0) {
       gTraceSample = std::strtoull(argv[i] + 15, nullptr, 10);
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
@@ -192,6 +196,15 @@ int main(int argc, char** argv) {
     std::printf("--threads=%d must be >= 1\n", gThreads);
     return 1;
   }
+  if (gVcs != 1 && gVcs != 2 && gVcs != 4) {
+    std::printf("--vcs=%d must be 1, 2 or 4\n", gVcs);
+    return 1;
+  }
+  if (gVcs > 1 && !gTracePath.empty()) {
+    std::printf("--trace is incompatible with --vcs>1 (flit tracing does "
+                "not support virtual channels)\n");
+    return 1;
+  }
 
   std::printf(
       "RASoC %s load sweep (16 nodes, n=16, 8-flit packets, %d measured "
@@ -207,6 +220,28 @@ int main(int argc, char** argv) {
       std::vector<std::string> row{fmt(load)};
       for (int p : {2, 4, 8}) {
         const Point point = run(pattern, load, p);
+        row.push_back(fmt(point.latency));
+        row.push_back(fmt(point.throughput, "%.4f"));
+      }
+      table.addRow(row);
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\n");
+  }
+
+  // Virtual-channel latency-throughput comparison (EXPERIMENTS.md): the
+  // same sweep at VC counts 1, 2 and 4.  On the wrapping topologies VC >= 2
+  // also switches the routes from non-wrapping to minimal-with-escape, so
+  // the ring/torus rows show the wrap shortcut, not just the extra lanes.
+  std::printf("--- virtual channels (UniformRandom, p=4) ---\n");
+  {
+    tech::Table table({"load", "lat vc1", "thru vc1", "lat vc2", "thru vc2",
+                       "lat vc4", "thru vc4"});
+    for (double load : {0.05, 0.20, 0.35, 0.50}) {
+      std::vector<std::string> row{fmt(load)};
+      for (int vcs : {1, 2, 4}) {
+        const Point point =
+            run(noc::TrafficPattern::UniformRandom, load, 4, vcs);
         row.push_back(fmt(point.latency));
         row.push_back(fmt(point.throughput, "%.4f"));
       }

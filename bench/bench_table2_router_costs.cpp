@@ -57,6 +57,36 @@ int main() {
       tech::percent(largestEab.mem, mapper.device().memoryBits).c_str(),
       mapper.device().memoryBits);
 
+  // Beyond the paper: virtual-channel cost deltas.  The 2004 router has no
+  // VCs; this extends the same analytical model to the VC'd channels
+  // (per-VC buffers and routing state, input overlay glue, output-side
+  // allocator — src/softcore/netlists.cpp) so the area price of VC counts
+  // the later SoCIN/ParIS papers discuss is measurable per configuration.
+  std::printf("\nVirtual-channel extension (EAB FIFOs, p = 4): LC/Reg/Mem "
+              "vs VC count.\n");
+  tech::Table vcTable({"width", "VCs", "LC", "Reg", "Mem", "dLC", "dReg",
+                       "dMem"});
+  for (int n : {8, 16, 32}) {
+    tech::Cost base;
+    for (int vcs : {1, 2, 4}) {
+      router::RouterParams params;
+      params.n = n;
+      params.p = 4;
+      params.fifoImpl = router::FifoImpl::Eab;
+      params.numVCs = vcs;
+      const tech::Cost cost =
+          softcore::elaborateRouter(params).totalCost(mapper);
+      if (vcs == 1) base = cost;
+      vcTable.addRow({std::to_string(n) + "-bit", std::to_string(vcs),
+                      std::to_string(cost.lc), std::to_string(cost.reg),
+                      std::to_string(cost.mem),
+                      std::to_string(cost.lc - base.lc),
+                      std::to_string(cost.reg - base.reg),
+                      std::to_string(cost.mem - base.mem)});
+    }
+  }
+  std::fputs(vcTable.render().c_str(), stdout);
+
   // Closing the loop: the smallest configuration also exists as an actual
   // LUT/FF netlist (src/gates), equivalence-checked against the
   // behavioural model.  Its census brackets the analytical estimate (the

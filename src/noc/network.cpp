@@ -39,7 +39,11 @@ Network::Network(std::shared_ptr<const Topology> topology,
 
   if (!config_.faultPlan.empty()) {
     config_.faultPlan.validate(*topology_);
-    if (config_.params.flowControl != router::FlowControl::Handshake) {
+    // With VCs every window kind is legal under either flow control: the
+    // faulted link masks the per-VC vcFree levels instead of the ack wire
+    // (router/faulty_link.hpp).
+    if (config_.params.flowControl != router::FlowControl::Handshake &&
+        config_.params.numVCs == 1) {
       for (const FaultEvent& e : config_.faultPlan.events) {
         if (e.kind != FaultKind::Corrupt)
           throw std::invalid_argument(
@@ -57,16 +61,33 @@ Network::Network(std::shared_ptr<const Topology> topology,
     sim_.setThreads(config_.threads);
   }
 
+  // Wrap probe: a West (resp. South) link out of node (0,0) only exists on
+  // a wrapping axis.  Feeds each router's VcGeometry so escape-VC dateline
+  // classes are computed locally, and picks the NI injection VC (the first
+  // adaptive one, keeping escape VCs clear for in-flight traffic).
+  const Extent ext = topology_->extent();
+  const NodeId origin = topology_->nodeAt(0);
+  const bool wrapX =
+      ext.width > 1 && topology_->neighbor(origin, Port::West).has_value();
+  const bool wrapY =
+      ext.height > 1 && topology_->neighbor(origin, Port::South).has_value();
+  const int escapeVCs = (wrapX || wrapY) ? 2 : 1;
+  const int injectVc =
+      config_.params.numVCs > escapeVCs ? escapeVCs : 0;
+
   // Routers and NIs, with the per-node port set the topology prescribes.
   for (int i = 0; i < topology_->nodes(); ++i) {
     const NodeId n = topology_->nodeAt(i);
     router::RouterParams params = config_.params;
     params.portMask = topology_->portMask(n);
+    const router::VcGeometry geometry{n.x,        n.y,  ext.width,
+                                      ext.height, wrapX, wrapY};
     auto r = std::make_unique<router::Rasoc>(nodeName("r", n), params,
-                                             config_.arbiter);
+                                             config_.arbiter, geometry);
     NiOptions niOptions;
     niOptions.hlpParity = config_.hlpParity;
     niOptions.reliability = config_.reliability;
+    niOptions.injectVc = injectVc;
     auto ni = std::make_unique<NetworkInterface>(
         nodeName("ni", n), params, topology_, n, r->in(Port::Local),
         r->out(Port::Local), ledger_, niOptions);
@@ -101,7 +122,7 @@ Network::Network(std::shared_ptr<const Topology> topology,
             routers_[indexOf(*to)]->in(router::opposite(out)),
             config_.params.n, config_.linkFaultRate,
             config_.faultSeed + links_.size() * 131 + 7,
-            config_.params.flowControl);
+            config_.params.flowControl, config_.params.numVCs);
         faulty->setWindows(std::move(windows));
         faultyLinks_.emplace_back(linkId, faulty.get());
         link = std::move(faulty);
@@ -109,7 +130,7 @@ Network::Network(std::shared_ptr<const Topology> topology,
         link = std::make_unique<router::Link>(
             linkName, routers_[indexOf(from)]->out(out),
             routers_[indexOf(*to)]->in(router::opposite(out)),
-            config_.params.flowControl);
+            config_.params.flowControl, config_.params.numVCs);
       }
       // A link inherits its source node's domain; when the destination
       // lives in another domain the partition classifies it frontier.
@@ -183,6 +204,21 @@ void Network::enableTelemetry(telemetry::MetricsRegistry& registry) {
     fm.flitsDropped = &registry.counter(prefix + "flits_dropped");
     fm.stallCycles = &registry.counter(prefix + "stall_cycles");
     link->attachMetrics(fm);
+  }
+  // Per-VC buffered-flit gauges: the occupancy heatmap's time series.
+  if (config_.params.numVCs > 1) {
+    std::vector<telemetry::Gauge*> vcGauges;
+    for (int v = 0; v < config_.params.numVCs; ++v)
+      vcGauges.push_back(
+          &registry.gauge("net.vc" + std::to_string(v) + ".buffered_flits"));
+    sim_.addTickListener([this, vcGauges] {
+      for (int v = 0; v < config_.params.numVCs; ++v) {
+        long total = 0;
+        for (int c : vcOccupancy(v)) total += c;
+        vcGauges[static_cast<std::size_t>(v)]->sample(
+            static_cast<double>(total));
+      }
+    });
   }
   // Network-level gauges, sampled once per committed cycle through the
   // simulator tick hook.
@@ -265,6 +301,10 @@ TrafficGenerator& Network::generator(NodeId n) {
 
 FlowTracer& Network::enableTracing(TraceConfig config) {
   if (tracer_) throw std::logic_error("tracing already enabled");
+  if (config_.params.numVCs > 1)
+    throw std::logic_error(
+        "flow tracing does not support numVCs > 1 yet: the reconstruction "
+        "contract (noc/flow_trace.hpp) assumes one FIFO per input port");
   if (sim_.cycle() != 0)
     throw std::logic_error(
         "enableTracing must be called before the first cycle");
@@ -337,6 +377,22 @@ double Network::linkUtilization(NodeId from, router::Port port) const {
     throw std::out_of_range("no such link on this network");
   if (sim_.cycle() == 0) return 0.0;  // no cycles observed yet
   return it->second->utilization(sim_.cycle());
+}
+
+std::vector<int> Network::vcOccupancy(int v) const {
+  if (config_.params.numVCs <= 1)
+    throw std::logic_error("vcOccupancy requires numVCs > 1");
+  if (v < 0 || v >= config_.params.numVCs)
+    throw std::out_of_range("vcOccupancy: VC outside [0, numVCs)");
+  std::vector<int> per(routers_.size(), 0);
+  for (std::size_t i = 0; i < routers_.size(); ++i) {
+    const router::Rasoc& r = *routers_[i];
+    for (Port p : router::kAllPorts) {
+      if (!r.params().hasPort(p)) continue;
+      per[i] += r.vcInputChannel(p).occupancy(v);
+    }
+  }
+  return per;
 }
 
 std::uint64_t Network::flitsCorrupted() const {

@@ -147,6 +147,12 @@ class Network {
   /// `port` (throws for links that do not exist on this network).
   double linkUtilization(NodeId from, router::Port port) const;
 
+  /// numVCs > 1 only (throws otherwise): flits currently buffered on
+  /// virtual channel `v`, per node in row-major node order, summed over
+  /// each node's input ports.  Occupancy heatmaps and credit-conservation
+  /// checks read this between cycles.
+  std::vector<int> vcOccupancy(int v) const;
+
   /// Fault-injection / HLP diagnostics aggregated over links and NIs.
   std::uint64_t flitsCorrupted() const;
   std::uint64_t flitsDropped() const;

@@ -42,6 +42,14 @@ NetworkInterface::NetworkInterface(std::string name,
   // state; the receive side echoes the router's val into ack.
   declareSequential();
   sensitive(fromRouter.val);
+  if (vcMode()) {
+    if (options_.injectVc < 0 || options_.injectVc >= params_.numVCs)
+      throw std::invalid_argument("NI injectVc outside [0, numVCs)");
+    sensitive(fromRouter.vc);
+    if (!creditMode())
+      sensitive(
+          toRouter.vcFree[static_cast<std::size_t>(options_.injectVc)]);
+  }
 }
 
 NetworkInterface::NetworkInterface(std::string name,
@@ -79,6 +87,8 @@ void NetworkInterface::onReset() {
   sendQueue_.clear();
   sendQueueFlits_ = 0;
   credits_ = params_.p;
+  vcCredits_.fill(params_.p);
+  for (auto& buf : rxVc_) buf.clear();
   rxFlits_.clear();
   received_.clear();
   cycle_ = 0;
@@ -128,7 +138,8 @@ void NetworkInterface::send(NodeId dst,
   OutPacket packet;
   packet.dst = dst;
   packet.flits =
-      router::makePacket(topology_->rib(self_, dst), words, params_);
+      router::makePacket(topology_->ribFor(self_, dst, params_.numVCs), words,
+                         params_, vcMode() ? options_.injectVc : 0);
 
   PacketRecord record;
   record.src = self_;
@@ -149,10 +160,23 @@ void NetworkInterface::send(NodeId dst,
 }
 
 void NetworkInterface::evaluate() {
-  // Send side: present the next flit whenever one is pending (and, under
-  // credit flow control, a buffer slot is guaranteed downstream).
+  // Send side: present the next flit whenever one is pending and the flow
+  // control permits it.  numVCs == 1: a credit (credit mode) or always
+  // (handshake, the ack completes the transfer).  numVCs > 1: the inject
+  // VC's advertised space (on/off level) or an in-hand per-VC credit — the
+  // transfer is then unconditional.
   const bool havePending = !sendQueue_.empty();
-  const bool canSend = havePending && (!creditMode() || credits_ > 0);
+  const int injectVc = vcMode() ? options_.injectVc : 0;
+  bool canSend = havePending;
+  if (vcMode()) {
+    canSend =
+        canSend &&
+        (creditMode()
+             ? vcCredits_[static_cast<std::size_t>(injectVc)] > 0
+             : toRouter_->vcFree[static_cast<std::size_t>(injectVc)].get());
+  } else if (creditMode()) {
+    canSend = canSend && credits_ > 0;
+  }
   if (canSend) {
     const OutPacket& packet = sendQueue_.front();
     const Flit& flit = packet.flits[packet.next];
@@ -166,16 +190,33 @@ void NetworkInterface::evaluate() {
     toRouter_->flit.eop.set(false);
     toRouter_->val.set(false);
   }
+  if (vcMode()) toRouter_->vc.set(canSend ? injectVc : 0);
 
-  // Receive side: always ready.  In handshake mode this acknowledges the
-  // incoming flit; in credit mode the same pulse returns the credit.
+  // Receive side: always ready.
+  if (vcMode()) {
+    // Every VC has unbounded reassembly space here, so all vcFree levels
+    // stay up; in credit mode the flit is consumed the cycle it lands, so
+    // its credit returns immediately on the arriving VC's vcAck line.
+    for (int v = 0; v < params_.numVCs; ++v) {
+      fromRouter_->vcFree[static_cast<std::size_t>(v)].set(true);
+      if (creditMode())
+        fromRouter_->vcAck[static_cast<std::size_t>(v)].set(
+            fromRouter_->val.get() && fromRouter_->vc.get() == v);
+    }
+    return;
+  }
+  // In handshake mode this acknowledges the incoming flit; in credit mode
+  // the same pulse returns the credit.
   fromRouter_->ack.set(fromRouter_->val.get());
 }
 
 void NetworkInterface::clockEdge() {
   // --- send side ---------------------------------------------------------
   const bool presented = toRouter_->val.get();
-  const bool sent = presented && (creditMode() || toRouter_->ack.get());
+  // With VCs a presented flit always lands (evaluate() only raises val
+  // against advertised space or a credit in hand).
+  const bool sent =
+      presented && (vcMode() || creditMode() || toRouter_->ack.get());
   if (sent) {
     OutPacket& packet = sendQueue_.front();
     const Flit& flit = packet.flits[packet.next];
@@ -192,7 +233,12 @@ void NetworkInterface::clockEdge() {
     }
   }
   if (creditMode()) {
-    credits_ += (toRouter_->ack.get() ? 1 : 0) - (sent ? 1 : 0);
+    if (vcMode()) {
+      const auto v = static_cast<std::size_t>(options_.injectVc);
+      vcCredits_[v] += (toRouter_->vcAck[v].get() ? 1 : 0) - (sent ? 1 : 0);
+    } else {
+      credits_ += (toRouter_->ack.get() ? 1 : 0) - (sent ? 1 : 0);
+    }
   }
 
   if (metricsAttached_) {
@@ -212,62 +258,12 @@ void NetworkInterface::clockEdge() {
     flit.data = fromRouter_->flit.data.get();
     flit.bop = fromRouter_->flit.bop.get();
     flit.eop = fromRouter_->flit.eop.get();
-    if (flit.bop) rxFlits_.clear();
-    rxFlits_.push_back(flit);
-    if (flit.eop) {
-      if (rxFlits_.size() < 2 || !rxFlits_.front().bop) {
-        misdelivery_ = true;
-      } else {
-        // Residual RIB must be zero: routing consumed the whole offset.
-        const router::Rib residual =
-            router::decodeRib(rxFlits_.front().data, params_.m);
-        if (residual != router::Rib{0, 0}) misdelivery_ = true;
-        bool parityBad = false;
-        if (options_.hlpParity) {
-          for (std::size_t i = 1; i < rxFlits_.size(); ++i) {
-            if (!parityOk(rxFlits_[i].data)) {
-              ++parityErrors_;
-              parityBad = true;
-            }
-          }
-        }
-        const std::uint32_t mask = router::dataMask(payloadBits());
-        if (transport_) {
-          // Reliability path: hand the checksummed frame to the transport,
-          // which validates it, dedups, reorders and ACKs.  Deliveries are
-          // collected in the pump below.  Parity-flagged frames never reach
-          // the transport: parity catches any single-bit flip per flit
-          // (strictly stronger than the frame checksum, whose additive sum
-          // can cancel across two corrupted flits), and dropping here turns
-          // detection into recovery — the sender retransmits whatever is
-          // never acknowledged.
-          if (!parityBad) {
-            std::vector<std::uint32_t> words;
-            words.reserve(rxFlits_.size() - 1);
-            for (std::size_t i = 1; i < rxFlits_.size(); ++i)
-              words.push_back(rxFlits_[i].data & mask);
-            transport_->onWireWords(words, cycle_);
-          }
-        } else {
-          const auto srcIndex = static_cast<int>(rxFlits_[1].data & mask);
-          // Under fault injection the decoded source index can be garbage;
-          // count that as unattributed rather than tripping the bounds
-          // check.
-          if (srcIndex < 0 || srcIndex >= topology_->nodes()) {
-            ++unattributed_;
-          } else {
-            const NodeId src = topology_->nodeAt(srcIndex);
-            if (!ledger_->tryDeliver(src, self_, cycle_)) ++unattributed_;
-          }
-          ++packetsReceived_;
-          std::vector<std::uint32_t> payload;
-          for (std::size_t i = 2; i < rxFlits_.size(); ++i)
-            payload.push_back(rxFlits_[i].data & mask);
-          received_.push_back(std::move(payload));
-        }
-      }
-      rxFlits_.clear();
-    }
+    // Packets on different VCs interleave flit-by-flit on the physical
+    // link, so each VC reassembles in its own buffer.
+    std::vector<Flit>& buf =
+        vcMode() ? rxVc_[static_cast<std::size_t>(fromRouter_->vc.get())]
+                 : rxFlits_;
+    acceptRxFlit(flit, buf);
   }
 
   if (transport_) {
@@ -290,6 +286,63 @@ void NetworkInterface::clockEdge() {
   ++cycle_;
 }
 
+void NetworkInterface::acceptRxFlit(const Flit& flit,
+                                    std::vector<Flit>& buf) {
+  if (flit.bop) buf.clear();
+  buf.push_back(flit);
+  if (!flit.eop) return;
+  if (buf.size() < 2 || !buf.front().bop) {
+    misdelivery_ = true;
+  } else {
+    // Residual RIB must be zero: routing consumed the whole offset.
+    const router::Rib residual = router::decodeRib(buf.front().data, params_.m);
+    if (residual != router::Rib{0, 0}) misdelivery_ = true;
+    bool parityBad = false;
+    if (options_.hlpParity) {
+      for (std::size_t i = 1; i < buf.size(); ++i) {
+        if (!parityOk(buf[i].data)) {
+          ++parityErrors_;
+          parityBad = true;
+        }
+      }
+    }
+    const std::uint32_t mask = router::dataMask(payloadBits());
+    if (transport_) {
+      // Reliability path: hand the checksummed frame to the transport,
+      // which validates it, dedups, reorders and ACKs.  Deliveries are
+      // collected in the pump below.  Parity-flagged frames never reach
+      // the transport: parity catches any single-bit flip per flit
+      // (strictly stronger than the frame checksum, whose additive sum
+      // can cancel across two corrupted flits), and dropping here turns
+      // detection into recovery — the sender retransmits whatever is
+      // never acknowledged.
+      if (!parityBad) {
+        std::vector<std::uint32_t> words;
+        words.reserve(buf.size() - 1);
+        for (std::size_t i = 1; i < buf.size(); ++i)
+          words.push_back(buf[i].data & mask);
+        transport_->onWireWords(words, cycle_);
+      }
+    } else {
+      const auto srcIndex = static_cast<int>(buf[1].data & mask);
+      // Under fault injection the decoded source index can be garbage;
+      // count that as unattributed rather than tripping the bounds check.
+      if (srcIndex < 0 || srcIndex >= topology_->nodes()) {
+        ++unattributed_;
+      } else {
+        const NodeId src = topology_->nodeAt(srcIndex);
+        if (!ledger_->tryDeliver(src, self_, cycle_)) ++unattributed_;
+      }
+      ++packetsReceived_;
+      std::vector<std::uint32_t> payload;
+      for (std::size_t i = 2; i < buf.size(); ++i)
+        payload.push_back(buf[i].data & mask);
+      received_.push_back(std::move(payload));
+    }
+  }
+  buf.clear();
+}
+
 void NetworkInterface::enqueueFrame(ReliableTransport::WireFrame&& frame) {
   std::vector<std::uint32_t> words;
   words.reserve(frame.words.size() + 1);
@@ -302,8 +355,9 @@ void NetworkInterface::enqueueFrame(ReliableTransport::WireFrame&& frame) {
   packet.dst = frame.dst;
   packet.frameId = frame.frameId;
   packet.tracked = frame.firstTransmission;
-  packet.flits =
-      router::makePacket(topology_->rib(self_, frame.dst), words, params_);
+  packet.flits = router::makePacket(
+      topology_->ribFor(self_, frame.dst, params_.numVCs), words, params_,
+      vcMode() ? options_.injectVc : 0);
   if (tracer_) {
     using telemetry::TraceEventKind;
     TraceEventKind kind = TraceEventKind::PacketQueued;
@@ -335,6 +389,24 @@ void NetworkInterface::pumpTransport() {
 }
 
 bool NetworkInterface::describe(sim::Lowering& lw) {
+  if (vcMode()) {
+    std::vector<const sim::WireBase*> reads = {&fromRouter_->val,
+                                               &fromRouter_->vc};
+    std::vector<const sim::WireBase*> writes = {
+        &toRouter_->flit.data, &toRouter_->flit.bop, &toRouter_->flit.eop,
+        &toRouter_->val, &toRouter_->vc};
+    if (!creditMode())
+      reads.push_back(
+          &toRouter_->vcFree[static_cast<std::size_t>(options_.injectVc)]);
+    for (int v = 0; v < params_.numVCs; ++v) {
+      writes.push_back(&fromRouter_->vcFree[static_cast<std::size_t>(v)]);
+      if (creditMode())
+        writes.push_back(&fromRouter_->vcAck[static_cast<std::size_t>(v)]);
+    }
+    lw.thunkDeclared(*this, std::move(reads), std::move(writes));
+    lw.edgeCall(*this);
+    return true;
+  }
   lw.thunkDeclared(*this, {&fromRouter_->val},
                    {&toRouter_->flit.data, &toRouter_->flit.bop,
                     &toRouter_->flit.eop, &toRouter_->val,

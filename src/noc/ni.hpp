@@ -23,6 +23,7 @@
 /// format and cycle behavior are bit-identical to the unprotected NI.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -56,6 +57,11 @@ struct NiOptions {
   /// control word and one checksum word per packet plus ACK/NACK traffic;
   /// leaves default runs untouched when disabled.
   ReliabilityConfig reliability;
+
+  /// Virtual channel new packets are injected on (numVCs > 1 only; the
+  /// network builder picks the first adaptive VC so escape VCs stay clear
+  /// for in-flight traffic).  Ignored at numVCs == 1.
+  int injectVc = 0;
 };
 
 /// Opt-in injection-side instrumentation (telemetry subsystem).
@@ -123,6 +129,13 @@ class NetworkInterface : public sim::Module {
   /// Usable payload bits per flit (n, minus one when parity is enabled).
   int payloadBits() const;
 
+  /// Sender-side credit counter for virtual channel `v` (meaningful under
+  /// credit flow control with numVCs > 1; tests pair it with the local
+  /// input channel's occupancy for the conservation invariant).
+  int vcSendCredits(int v) const {
+    return vcCredits_[static_cast<std::size_t>(v)];
+  }
+
   /// Payload words of every received packet, in arrival order (the source
   /// index flit is stripped; under reliability, protocol framing too).
   /// Tests use this to check payload integrity.
@@ -163,6 +176,10 @@ class NetworkInterface : public sim::Module {
   bool creditMode() const {
     return flowControl_ == router::FlowControl::CreditBased;
   }
+  bool vcMode() const { return params_.numVCs > 1; }
+  // Packet-completion step shared by the single-queue (numVCs == 1) and
+  // per-VC reassembly paths.
+  void acceptRxFlit(const router::Flit& flit, std::vector<router::Flit>& buf);
 
   // Even-parity protect / check over the payload word layout.
   std::uint32_t parityProtect(std::uint32_t word) const;
@@ -196,9 +213,14 @@ class NetworkInterface : public sim::Module {
   std::size_t sendQueueFlits_ = 0;
   int credits_ = 0;
 
-  // Receive side.
+  // Receive side.  numVCs == 1 reassembles in rxFlits_; with VCs, packets
+  // on different virtual channels interleave flit-by-flit on the physical
+  // link, so each VC reassembles independently in rxVc_.
   std::vector<router::Flit> rxFlits_;
+  std::array<std::vector<router::Flit>, router::kMaxVCs> rxVc_;
   std::vector<std::vector<std::uint32_t>> received_;
+  // Send-side per-VC credits (credit flow control with numVCs > 1).
+  std::array<int, router::kMaxVCs> vcCredits_{};
 
   std::uint64_t cycle_ = 0;
   std::uint64_t packetsSent_ = 0;

@@ -13,13 +13,14 @@ std::string Topology::describe() const {
          std::to_string(e.height);
 }
 
-std::vector<LinkId> Topology::routePath(
-    NodeId src, NodeId dst, router::RoutingAlgorithm algorithm) const {
+std::vector<LinkId> Topology::routePath(NodeId src, NodeId dst,
+                                        router::RoutingAlgorithm algorithm,
+                                        int numVCs) const {
   indexOf(src);  // bounds-check both endpoints
   indexOf(dst);
   std::vector<LinkId> path;
   NodeId at = src;
-  router::Rib remaining = rib(src, dst);
+  router::Rib remaining = ribFor(src, dst, numVCs);
   // Any sane route visits each node at most twice (once per dimension).
   int guard = 2 * nodes() + 4;
   while (remaining != router::Rib{0, 0}) {
@@ -137,21 +138,14 @@ std::string_view MeshTopology::deadlockFreedom() const {
          "channel dependency";
 }
 
-// --- dateline rings --------------------------------------------------------
+// --- wrapping rings --------------------------------------------------------
 
-int datelineOffset(int src, int dst, int size) {
+int minimalRingOffset(int src, int dst, int size) {
   if (src == dst) return 0;
   const int up = (dst - src + size) % size;  // increasing-direction hops
   const int down = size - up;                // decreasing-direction hops
-  // A direction is legal when its path does not pass through node 0
-  // mid-route (the dateline restriction; endpoints at 0 are fine).
-  const bool upLegal = dst > src || dst == 0;
-  const bool downLegal = dst < src || src == 0;
-  if (upLegal && downLegal) {
-    if (up != down) return up < down ? up : -down;
-    return src < dst ? up : -down;  // tie: prefer the non-wrapping path
-  }
-  return upLegal ? up : -down;
+  if (up != down) return up < down ? up : -down;
+  return src < dst ? up : -down;  // tie: prefer the non-wrapping path
 }
 
 // --- TorusTopology ---------------------------------------------------------
@@ -194,14 +188,24 @@ std::optional<NodeId> TorusTopology::neighbor(NodeId n, Port port) const {
 router::Rib TorusTopology::rib(NodeId src, NodeId dst) const {
   indexOf(src);
   indexOf(dst);
-  return router::Rib{datelineOffset(src.x, dst.x, shape_.width),
-                     datelineOffset(src.y, dst.y, shape_.height)};
+  // Without virtual channels routes stay inside the mesh sub-network: no
+  // wrap link is ever used, so no ring cycle can close.
+  return ribBetween(src, dst);
+}
+
+router::Rib TorusTopology::ribFor(NodeId src, NodeId dst, int numVCs) const {
+  if (numVCs < 2) return rib(src, dst);
+  indexOf(src);
+  indexOf(dst);
+  return router::Rib{minimalRingOffset(src.x, dst.x, shape_.width),
+                     minimalRingOffset(src.y, dst.y, shape_.height)};
 }
 
 std::string_view TorusTopology::deadlockFreedom() const {
-  return "dimension order breaks cross-axis cycles; the per-ring dateline "
-         "restriction at coordinate 0 (no route travels through node 0 of "
-         "its ring) breaks each direction's wrap cycle";
+  return "dimension order breaks cross-axis cycles; numVCs == 1 routes "
+         "never wrap (mesh sub-network), and numVCs >= 2 wrap routes ride "
+         "the escape VC's dateline classes, which order every ring's "
+         "channels acyclically";
 }
 
 // --- RingTopology ----------------------------------------------------------
@@ -245,12 +249,21 @@ std::optional<NodeId> RingTopology::neighbor(NodeId n, Port port) const {
 router::Rib RingTopology::rib(NodeId src, NodeId dst) const {
   indexOf(src);
   indexOf(dst);
-  return router::Rib{datelineOffset(src.x, dst.x, count_), 0};
+  // Without virtual channels routes never wrap (see TorusTopology::rib).
+  return router::Rib{dst.x - src.x, 0};
+}
+
+router::Rib RingTopology::ribFor(NodeId src, NodeId dst, int numVCs) const {
+  if (numVCs < 2) return rib(src, dst);
+  indexOf(src);
+  indexOf(dst);
+  return router::Rib{minimalRingOffset(src.x, dst.x, count_), 0};
 }
 
 std::string_view RingTopology::deadlockFreedom() const {
-  return "the dateline restriction at node 0 (no route travels through it) "
-         "breaks the East and West channel-dependency cycles of the ring";
+  return "numVCs == 1 routes never wrap (line sub-network); numVCs >= 2 "
+         "wrap routes ride the escape VC's dateline classes, which order "
+         "the East and West ring channels acyclically";
 }
 
 std::shared_ptr<const Topology> makeTopology(std::string_view kind, int width,

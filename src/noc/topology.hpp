@@ -9,11 +9,14 @@
 ///
 ///   MeshTopology   - the paper's 2D mesh with pruned edge ports and XY
 ///                    source routing (deadlock-free by dimension order).
-///   TorusTopology  - wraparound XY with source-chosen wrap direction,
-///                    restricted at a per-ring dateline (see the class
-///                    comment for the deadlock-freedom argument).
+///   TorusTopology  - wraparound XY.  rib() (the numVCs == 1 route) stays
+///                    inside the mesh sub-network, so no wrap link is ever
+///                    a channel dependency; ribFor() with numVCs >= 2
+///                    issues minimal possibly-wrapping routes, which the
+///                    router's escape virtual channel makes deadlock-free
+///                    (router/ic.hpp, escapeClass).
 ///   RingTopology   - bidirectional ring using only the L/E/W ports, the
-///                    1D instance of the same dateline restriction.
+///                    1D instance of the same scheme.
 ///
 /// Coordinates: x grows East (column), y grows North (row).  Node (0,0) is
 /// the south-west corner.
@@ -150,16 +153,28 @@ class Topology {
   virtual std::string_view deadlockFreedom() const = 0;
   virtual void validate() const = 0;
 
+  /// The RIB a source NI should write when the network runs `numVCs`
+  /// virtual channels.  The default forwards to rib(); wrapping topologies
+  /// override it to issue minimal possibly-wrapping routes once an escape
+  /// VC exists to make them safe (numVCs >= 2).  Ties between directions
+  /// of equal length prefer the non-wrapping one.
+  virtual router::Rib ribFor(NodeId src, NodeId dst, int numVCs) const {
+    (void)numVCs;
+    return rib(src, dst);
+  }
+
   /// "mesh4x4", "torus8x8", "ring16" - stable id for reports and benches.
   std::string describe() const;
 
   /// Links traversed by a src -> dst packet under the given dimension
   /// order, derived by walking the adjacency with the router's own routing
-  /// function (so predictions can never diverge from the hardware).
+  /// function (so predictions can never diverge from the hardware).  With
+  /// numVCs > 1 this is the deterministic escape (dimension-order) path of
+  /// the ribFor() route; adaptive VCs may deviate from it hop by hop.
   std::vector<LinkId> routePath(
       NodeId src, NodeId dst,
-      router::RoutingAlgorithm algorithm = router::RoutingAlgorithm::XY)
-      const;
+      router::RoutingAlgorithm algorithm = router::RoutingAlgorithm::XY,
+      int numVCs = 1) const;
 
   /// Router traversals of the XY route including the delivering router.
   virtual int hops(NodeId src, NodeId dst) const;
@@ -213,14 +228,13 @@ class MeshTopology final : public Topology {
 /// all five ports, and the source picks the wrap direction per axis.
 ///
 /// Deadlock freedom: routing is dimension-ordered (X ring fully, then Y
-/// ring), so cross-dimension cycles cannot form; within each ring the
-/// source applies a dateline restriction at coordinate 0 - no route may
-/// travel *through* node 0 of its ring (starting or terminating there is
-/// fine).  That excludes the channel-dependency edge closing each
-/// direction's cycle (e.g. East wrap link -> East link out of node 0), so
-/// the dependency graph is acyclic and wormhole traffic cannot deadlock.
-/// Cost: routes whose minimal direction would cross the dateline interior
-/// take the longer way around; everything else is minimal.
+/// ring), so cross-dimension cycles cannot form.  At numVCs == 1 (rib())
+/// routes never wrap - the network is used as a mesh and no ring cycle can
+/// close.  At numVCs >= 2 (ribFor()) routes are minimal and may wrap; the
+/// escape virtual channel's dateline classes (router/ic.hpp, escapeClass)
+/// then break each ring's channel-dependency cycle: a route holds escape
+/// class 1 until it has taken its wrap hop and class 0 afterwards, and
+/// class-1 channels are totally ordered before class-0 ones.
 class TorusTopology final : public Topology {
  public:
   TorusTopology(int width, int height) : shape_{width, height} {}
@@ -235,6 +249,7 @@ class TorusTopology final : public Topology {
   unsigned portMask(NodeId n) const override;
   std::optional<NodeId> neighbor(NodeId n, router::Port port) const override;
   router::Rib rib(NodeId src, NodeId dst) const override;
+  router::Rib ribFor(NodeId src, NodeId dst, int numVCs) const override;
   std::string_view deadlockFreedom() const override;
   void validate() const override { shape_.validate(); }
 
@@ -246,9 +261,9 @@ class TorusTopology final : public Topology {
 /// L/E/W ports are instantiated (the port pruning the paper describes for
 /// mesh edges, applied to a whole axis), East wraps i -> (i+1) mod N.
 ///
-/// Deadlock freedom: the same dateline restriction as TorusTopology, on the
-/// single X ring - no route travels through node 0, which breaks the
-/// East-channel and West-channel dependency cycles; the graph is acyclic.
+/// Deadlock freedom: the same scheme as TorusTopology on the single X
+/// ring - non-wrapping routes at numVCs == 1, minimal routes protected by
+/// the escape VC's dateline classes at numVCs >= 2.
 class RingTopology final : public Topology {
  public:
   explicit RingTopology(int count) : count_(count) {}
@@ -266,6 +281,7 @@ class RingTopology final : public Topology {
   unsigned portMask(NodeId n) const override;
   std::optional<NodeId> neighbor(NodeId n, router::Port port) const override;
   router::Rib rib(NodeId src, NodeId dst) const override;
+  router::Rib ribFor(NodeId src, NodeId dst, int numVCs) const override;
   std::string_view deadlockFreedom() const override;
   void validate() const override {
     if (count_ < 1) throw std::invalid_argument("ring needs >= 1 node");
@@ -275,12 +291,11 @@ class RingTopology final : public Topology {
   int count_;
 };
 
-/// Signed hop offset src -> dst along a ring of `size` nodes under the
-/// dateline restriction at coordinate 0: positive = increasing direction
-/// (East/North), negative = decreasing.  Minimal whenever the minimal
-/// direction does not pass through 0 mid-route; ties prefer the direct
-/// (non-wrapping) direction.
-int datelineOffset(int src, int dst, int size);
+/// Signed hop offset src -> dst along a ring of `size` nodes taking the
+/// shorter way around: positive = increasing direction (East/North),
+/// negative = decreasing.  Equal-length ties prefer the direct
+/// (non-wrapping) direction.  Only safe with an escape VC (numVCs >= 2).
+int minimalRingOffset(int src, int dst, int size);
 
 /// Builds the topology named by `kind` ("mesh" | "torus" | "ring") over a
 /// WxH extent (a ring uses width*height nodes).  Throws on unknown names.

@@ -19,10 +19,30 @@ struct FlitWires {
 
 // One unidirectional channel (paper Figure 3): n data bits, bop/eop framing
 // and the val/ack handshake pair.  `ack` travels against the data flow.
+//
+// Virtual channels (numVCs > 1) extend the bundle out-of-band — the
+// original wires keep their exact single-VC semantics so a numVCs == 1
+// network is bit-identical to the paper's router:
+//
+//   vc         : which VC the flit on `flit`/`val` belongs to (downstream)
+//   vcFree[v]  : receiver has buffer space on VC v (upstream, level).  The
+//                sender only schedules a VC whose vcFree is asserted, which
+//                replaces the per-flit val/ack round trip with on/off flow
+//                control; a fault-injecting link masks the whole array to
+//                model an outage.
+//   vcAck[v]   : credit-return pulse for VC v (upstream, credit-based flow
+//                control only).  Per-VC because two VCs of one input port
+//                can each pop a flit in the same cycle through different
+//                output ports.
+//
+// Wires above RouterParams::numVCs are never driven or read.
 struct ChannelWires {
   FlitWires flit;
   sim::Wire<bool> val;
   sim::Wire<bool> ack;
+  sim::Wire<int> vc;
+  std::array<sim::Wire<bool>, kMaxVCs> vcFree;
+  std::array<sim::Wire<bool>, kMaxVCs> vcAck;
 };
 
 // The nets one input channel publishes to / receives from the distributed
@@ -37,9 +57,14 @@ struct ChannelWires {
 // req/gnt/rd are indexed by output port; the entry for the input's own port
 // is never asserted ("it is not allowed to an input channel to request the
 // output channel of its own port").
+// With virtual channels the crossbar is replicated per (input port, VC);
+// `want` then carries the VC-allocation request alongside req: the exact
+// downstream VC index an escape-routed header needs (its dateline class),
+// or -1 for "any adaptive VC" (see VcOutputChannel).  Unused at numVCs == 1.
 struct CrossbarWires {
   FlitWires flit;
   sim::Wire<bool> rok;
+  sim::Wire<int> want;
   std::array<sim::Wire<bool>, kNumPorts> req;
   std::array<sim::Wire<bool>, kNumPorts> gnt;
   std::array<sim::Wire<bool>, kNumPorts> rd;

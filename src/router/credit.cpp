@@ -1,3 +1,34 @@
 #include "router/credit.hpp"
 
-// Header-only behaviour; this translation unit anchors the library symbol.
+#include <stdexcept>
+
+namespace rasoc::router {
+
+void VcCredits::reset(int numVCs, int depth) {
+  if (numVCs < 1 || numVCs > kMaxVCs)
+    throw std::invalid_argument("VcCredits: numVCs must be in [1,kMaxVCs]");
+  numVCs_ = numVCs;
+  depth_ = depth;
+  credits_.fill(0);
+  for (int v = 0; v < numVCs; ++v)
+    credits_[static_cast<std::size_t>(v)] = depth;
+}
+
+void VcCredits::onSent(int v) {
+  int& c = credits_[static_cast<std::size_t>(v)];
+  if (c <= 0)
+    throw std::logic_error("VcCredits: sent without an available credit");
+  --c;
+}
+
+void VcCredits::onReturn(int v) { ++credits_[static_cast<std::size_t>(v)]; }
+
+bool VcCredits::conserved() const {
+  for (int v = 0; v < numVCs_; ++v) {
+    const int c = credits_[static_cast<std::size_t>(v)];
+    if (c < 0 || c > depth_) return false;
+  }
+  return true;
+}
+
+}  // namespace rasoc::router

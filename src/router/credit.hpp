@@ -81,6 +81,28 @@ class CreditOfc : public sim::Module {
   std::array<CrossbarWires, kNumPorts>* xbar_;
 };
 
+// Per-VC sender-side credit bank (numVCs > 1, credit-based flow control):
+// one up/down counter per virtual channel, each initialized to the
+// receiver's per-VC buffer depth.  The channel's per-VC vcAck wires carry
+// the returning credits (router/channel.hpp); the scalar ack wire is
+// unused.  Shared by VcOutputChannel and the VC'd network interface.
+class VcCredits {
+ public:
+  void reset(int numVCs, int depth);
+  bool available(int v) const { return credits_[static_cast<std::size_t>(v)] > 0; }
+  int credits(int v) const { return credits_[static_cast<std::size_t>(v)]; }
+  void onSent(int v);
+  void onReturn(int v);
+  // Conservation invariant for tests: no counter may exceed its initial
+  // depth or go negative.
+  bool conserved() const;
+
+ private:
+  std::array<int, kMaxVCs> credits_{};
+  int numVCs_ = 0;
+  int depth_ = 0;
+};
+
 // Receiver-side credit return: pulses the channel's ack (credit) wire each
 // cycle a flit is read out of the input buffer, freeing a slot.
 class CreditReturnTap : public sim::Module {

@@ -7,8 +7,9 @@ namespace rasoc::router {
 
 FaultyLink::FaultyLink(std::string name, ChannelWires& src, ChannelWires& dst,
                        int dataBits, double flipProbability,
-                       std::uint64_t seed, FlowControl flowControl)
-    : Link(std::move(name), src, dst, flowControl),
+                       std::uint64_t seed, FlowControl flowControl,
+                       int numVCs)
+    : Link(std::move(name), src, dst, flowControl, numVCs),
       dataBits_(dataBits),
       flipProbability_(flipProbability),
       seed_(seed),
@@ -30,7 +31,7 @@ void FaultyLink::setWindows(std::vector<FaultWindow> windows) {
     if (w.rate < 0.0 || w.rate > 1.0)
       throw std::invalid_argument("FaultyLink: window rate must be in [0,1]");
     if (w.kind != FaultWindow::Kind::Corrupt &&
-        flowControl() != FlowControl::Handshake)
+        flowControl() != FlowControl::Handshake && numVCs() == 1)
       throw std::invalid_argument(
           "FaultyLink: stall/drop windows require handshake flow control "
           "(the credit-based ack wire carries credit returns)");
@@ -92,6 +93,29 @@ void FaultyLink::arm() {
 }
 
 void FaultyLink::evaluate() {
+  if (numVCs() > 1) {
+    if (stallActive_ || downActive_) {
+      // VC window: present nothing downstream and mask every vcFree level
+      // so the sender cannot schedule; vcAck pulses still pass (a swallowed
+      // credit return would be lost forever, wedging the VC after the
+      // window lifts).  No flit is ever consumed: the sender only raises
+      // val when vcFree said so pre-edge, and the window state is
+      // registered, so val is low for the whole window.
+      dstWires().flit.data.set(0);
+      dstWires().flit.bop.set(false);
+      dstWires().flit.eop.set(false);
+      dstWires().val.set(false);
+      dstWires().vc.set(0);
+      for (int v = 0; v < numVCs(); ++v) {
+        srcWires().vcFree[static_cast<std::size_t>(v)].set(false);
+        srcWires().vcAck[static_cast<std::size_t>(v)].set(
+            dstWires().vcAck[static_cast<std::size_t>(v)].get());
+      }
+      return;
+    }
+    Link::evaluate();
+    return;
+  }
   if (stallActive_ || downActive_) {
     const bool bop = srcWires().flit.bop.get();
     const bool eop = srcWires().flit.eop.get();
@@ -117,8 +141,13 @@ void FaultyLink::clockEdge() {
   const bool bop = srcWires().flit.bop.get();
   const bool eop = srcWires().flit.eop.get();
   const bool body = !bop && !eop;
-  droppedThisEdge_ = downActive_ && !stallActive_ && body && val;
-  const bool blockedByFault = val && (stallActive_ || (downActive_ && !body));
+  // VC windows never consume flits (see evaluate()); every active-window
+  // cycle counts as a stall because all VCs are frozen for its duration.
+  droppedThisEdge_ =
+      numVCs() == 1 && downActive_ && !stallActive_ && body && val;
+  const bool blockedByFault =
+      numVCs() == 1 ? (val && (stallActive_ || (downActive_ && !body)))
+                    : (stallActive_ || downActive_);
   Link::clockEdge();
   if (droppedThisEdge_) {
     ++flitsDropped_;

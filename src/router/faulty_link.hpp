@@ -67,10 +67,16 @@ class FaultyLink : public Link {
   /// max(flipProbability, window.rate) while active.
   FaultyLink(std::string name, ChannelWires& src, ChannelWires& dst,
              int dataBits, double flipProbability, std::uint64_t seed,
-             FlowControl flowControl = FlowControl::Handshake);
+             FlowControl flowControl = FlowControl::Handshake, int numVCs = 1);
 
   /// Replaces the fault schedule.  Call before the first cycle.  Stall and
-  /// drop windows throw under credit-based flow control (see file comment).
+  /// drop windows throw under credit-based flow control at numVCs == 1 (see
+  /// file comment); with VCs the per-VC vcFree levels are masked instead of
+  /// the ack wire, so every window kind is legal under either flow control.
+  /// A VC window never consumes flits: the masked vcFree stops the sender
+  /// from scheduling, so both window kinds degrade to a full stall, and the
+  /// vcAck credit pulses pass through even while the link is down (masking
+  /// a pulse would permanently leak a credit and wedge the VC).
   void setWindows(std::vector<FaultWindow> windows);
 
   /// Attaches optional telemetry counters, incremented at each clock edge.

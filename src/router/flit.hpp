@@ -25,6 +25,10 @@ struct Flit {
   std::uint32_t data = 0;
   bool bop = false;
   bool eop = false;
+  // Virtual-channel id, carried out-of-band next to the bop/eop framing
+  // (RouterParams::numVCs > 1 only; always 0 on single-VC networks, so the
+  // wire format of the paper's router is unchanged).
+  int vc = 0;
 
   bool operator==(const Flit&) const = default;
 };
@@ -71,8 +75,9 @@ constexpr std::uint32_t dataMask(int n) {
 }
 
 // A packet as injected by a network interface: a header flit carrying the
-// RIB followed by payload flits, the last one marked eop.
+// RIB followed by payload flits, the last one marked eop.  Every flit is
+// tagged with `vc` (0 on single-VC networks).
 std::vector<Flit> makePacket(Rib rib, const std::vector<std::uint32_t>& payload,
-                             const RouterParams& params);
+                             const RouterParams& params, int vc = 0);
 
 }  // namespace rasoc::router

@@ -32,6 +32,43 @@
 
 namespace rasoc::router {
 
+// --- VC-allocation stage (numVCs > 1) --------------------------------------
+//
+// With virtual channels the routing function grows a second output: besides
+// the target port, each header names the downstream VC it needs.  Escape
+// VCs (v < VcGeometry::escapeVCs()) carry deterministic dimension-order
+// traffic and must request the exact dateline class of the next link;
+// adaptive VCs may request any adaptive VC (`want` = -1) of any minimal
+// productive port, falling back to the escape path when starved (Duato's
+// criterion: an adaptive packet can always reach the acyclic escape
+// subnetwork, and packets on escape VCs never leave it).
+
+// One candidate (output port, downstream-VC request) for a header.
+struct VcRouteOption {
+  Port port = Port::Local;
+  int want = -1;  // exact escape class, or -1 = any adaptive VC
+};
+
+// Dateline class of the link leaving `out` for a packet at geometry `g`
+// whose pre-hop routing offset is `rib`: class 1 while the remaining path
+// along that axis still crosses the wrap link, class 0 after (and always 0
+// on non-wrapping axes).  Stateless — position plus carried offset fully
+// determine the class — so adaptive detours never corrupt it.  Per
+// direction the class-1 channels ordered by coordinate, then the class-0
+// channels, form a total order every dependency ascends: the escape
+// subnetwork is acyclic (DESIGN.md §12).
+int escapeClass(const VcGeometry& g, Port out, Rib rib);
+
+// Fills `options` with the candidate bids for a header carrying `rib`, in
+// preference order, and returns how many were written.  Escape VCs get
+// exactly one option (the DOR port with its dateline class).  Adaptive VCs
+// get the minimal productive ports west-first style (a negative X offset
+// forces West before any adaptivity), each with want = -1, then the escape
+// option last so a starved header always converges onto the escape path.
+int vcRouteOptions(const VcGeometry& g, Rib rib, bool adaptive,
+                   RoutingAlgorithm routing,
+                   std::array<VcRouteOption, kNumPorts>& options);
+
 class InputController : public sim::Module {
  public:
   InputController(std::string name, const RouterParams& params, Port ownPort,

@@ -1,8 +1,18 @@
 #include "router/input_channel.hpp"
 
+#include <algorithm>
+
 #include "sim/compile.hpp"
 
 namespace rasoc::router {
+
+namespace {
+// Settle cycles an adaptive header tries one route option before the
+// patience rotation moves it to the next (the escape option is last and
+// sticky, so every starved header eventually bids only its escape path).
+constexpr int kVcPatienceWindow = 4;
+constexpr int kVcPatienceCap = 1 << 20;
+}  // namespace
 
 InputChannel::InputChannel(std::string name, const RouterParams& params,
                            Port ownPort, FlowControl flowControl,
@@ -280,6 +290,195 @@ bool InputChannel::describe(sim::Lowering& lw) {
     edge.flitsAccepted = &flitsAccepted_;
     lw.edgeOp(&inChanEdge, lw.ctx(edge));
   }
+  return true;
+}
+
+// --- VcInputChannel --------------------------------------------------------
+
+VcInputChannel::VcInputChannel(std::string name, const RouterParams& params,
+                               Port ownPort, VcGeometry geometry,
+                               ChannelWires& in,
+                               std::array<CrossbarWires, kMaxVCs>& xbar)
+    : Module(std::move(name)),
+      params_(params),
+      ownPort_(ownPort),
+      flowControl_(params.flowControl),
+      geometry_(geometry),
+      numVCs_(params.numVCs),
+      escapeVCs_(std::min(geometry.escapeVCs(), params.numVCs)),
+      in_(&in),
+      xbar_(&xbar) {
+  // evaluate() publishes from the registered FIFOs and reacts to the
+  // grant/read nets the output channels drive from their (registered)
+  // connection tables.
+  declareSequential();
+  for (int v = 0; v < numVCs_; ++v) {
+    CrossbarWires& xb = (*xbar_)[static_cast<std::size_t>(v)];
+    for (int o = 0; o < kNumPorts; ++o) {
+      sensitive(xb.gnt[static_cast<std::size_t>(o)]);
+      sensitive(xb.rd[static_cast<std::size_t>(o)]);
+    }
+  }
+}
+
+void VcInputChannel::attachMetrics(const VcInputChannelMetrics& metrics) {
+  metrics_ = metrics;
+  metricsAttached_ = true;
+}
+
+bool VcInputChannel::popFired(int v) const {
+  const CrossbarWires& xb = (*xbar_)[static_cast<std::size_t>(v)];
+  for (int o = 0; o < kNumPorts; ++o) {
+    if (xb.gnt[static_cast<std::size_t>(o)].get() &&
+        xb.rd[static_cast<std::size_t>(o)].get())
+      return true;
+  }
+  return false;
+}
+
+bool VcInputChannel::dequeueFired(int v) const {
+  return !fifo_[static_cast<std::size_t>(v)].empty() && popFired(v);
+}
+
+void VcInputChannel::onReset() {
+  for (auto& q : fifo_) q.clear();
+  patience_.fill(0);
+  occupancySum_.fill(0);
+  flitsAccepted_ = 0;
+  misroute_ = false;
+  overflow_ = false;
+}
+
+void VcInputChannel::evaluate() {
+  for (int v = 0; v < numVCs_; ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    CrossbarWires& xb = (*xbar_)[vi];
+    const auto& q = fifo_[vi];
+    // Upstream flow control: on/off advertises registered buffer space;
+    // credit mode advertises link-up (the sender counts credits) and
+    // pulses the per-VC credit return as the flit leaves the buffer.
+    const bool space = static_cast<int>(q.size()) < params_.p;
+    in_->vcFree[vi].set(creditMode() ? true : space);
+    const bool empty = q.empty();
+    xb.rok.set(!empty);
+    if (creditMode()) in_->vcAck[vi].set(!empty && popFired(v));
+
+    Flit head;
+    if (!empty) head = q.front();
+    const bool headerVisible = !empty && head.bop;
+    Port target = Port::Local;
+    int want = -1;
+    std::uint32_t forwarded = head.data;
+    if (headerVisible) {
+      // A granted header forwards the RIB consumed for the hop actually
+      // connected — the patience rotation may have moved the bid between
+      // allocation and readout.
+      int grantedPort = -1;
+      for (int o = 0; o < kNumPorts; ++o) {
+        if (xb.gnt[static_cast<std::size_t>(o)].get()) grantedPort = o;
+      }
+      const Rib rib = decodeRib(head.data, params_.m);
+      if (grantedPort >= 0) {
+        target = static_cast<Port>(grantedPort);
+      } else {
+        std::array<VcRouteOption, kNumPorts> options;
+        const int count = vcRouteOptions(geometry_, rib, v >= escapeVCs_,
+                                         params_.routing, options);
+        const int idx =
+            std::min(patience_[vi] / kVcPatienceWindow, count - 1);
+        target = options[static_cast<std::size_t>(idx)].port;
+        want = options[static_cast<std::size_t>(idx)].want;
+      }
+      forwarded = updateHeader(head.data, consumeHop(rib, target), params_.m) &
+                  dataMask(params_.n);
+      if (target == ownPort_) misroute_ = true;
+    }
+    for (int o = 0; o < kNumPorts; ++o)
+      xb.req[static_cast<std::size_t>(o)].set(headerVisible &&
+                                              o == index(target));
+    xb.want.set(want);
+    xb.flit.data.set(forwarded);
+    xb.flit.bop.set(head.bop);
+    xb.flit.eop.set(head.eop);
+  }
+}
+
+void VcInputChannel::clockEdge() {
+  // Accept: the sender only schedules a VC with advertised space (on/off)
+  // or an available credit, so a full target FIFO means broken flow
+  // control — recorded sticky, never overwritten silently.
+  if (in_->val.get()) {
+    const int v = in_->vc.get();
+    if (v < 0 || v >= numVCs_ ||
+        static_cast<int>(fifo_[static_cast<std::size_t>(v)].size()) >=
+            params_.p) {
+      overflow_ = true;
+    } else {
+      Flit f;
+      f.data = in_->flit.data.get();
+      f.bop = in_->flit.bop.get();
+      f.eop = in_->flit.eop.get();
+      f.vc = v;
+      fifo_[static_cast<std::size_t>(v)].push_back(f);
+      ++flitsAccepted_;
+      if (metricsAttached_ && metrics_.flitsAccepted)
+        metrics_.flitsAccepted->inc();
+    }
+  }
+
+  bool anyFull = false;
+  bool anyStall = false;
+  for (int v = 0; v < numVCs_; ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    auto& q = fifo_[vi];
+    // A pop strobe can only refer to a flit that was at the head pre-edge,
+    // so popping after the accept push is safe: the push appended to the
+    // back, and an empty pre-edge FIFO never had rd granted.
+    if (dequeueFired(v)) q.pop_front();
+
+    bool granted = false;
+    for (int o = 0; o < kNumPorts; ++o)
+      granted = granted ||
+                (*xbar_)[vi].gnt[static_cast<std::size_t>(o)].get();
+    if (!q.empty() && q.front().bop && !granted) {
+      if (patience_[vi] < kVcPatienceCap) ++patience_[vi];
+    } else {
+      patience_[vi] = 0;
+    }
+
+    occupancySum_[vi] += q.size();
+    anyFull = anyFull || static_cast<int>(q.size()) >= params_.p;
+    anyStall = anyStall || (!q.empty() && !popFired(v));
+    if (metricsAttached_ && metrics_.occupancy[vi])
+      metrics_.occupancy[vi]->observe(static_cast<double>(q.size()));
+  }
+  if (metricsAttached_) {
+    if (metrics_.fullCycles && anyFull) metrics_.fullCycles->inc();
+    if (metrics_.stallCycles && anyStall) metrics_.stallCycles->inc();
+  }
+}
+
+bool VcInputChannel::describe(sim::Lowering& lw) {
+  std::vector<const sim::WireBase*> reads;
+  std::vector<const sim::WireBase*> writes;
+  for (int v = 0; v < numVCs_; ++v) {
+    CrossbarWires& xb = (*xbar_)[static_cast<std::size_t>(v)];
+    for (int o = 0; o < kNumPorts; ++o) {
+      reads.push_back(&xb.gnt[static_cast<std::size_t>(o)]);
+      reads.push_back(&xb.rd[static_cast<std::size_t>(o)]);
+    }
+    writes.push_back(&in_->vcFree[static_cast<std::size_t>(v)]);
+    if (creditMode()) writes.push_back(&in_->vcAck[static_cast<std::size_t>(v)]);
+    writes.push_back(&xb.rok);
+    writes.push_back(&xb.want);
+    writes.push_back(&xb.flit.data);
+    writes.push_back(&xb.flit.bop);
+    writes.push_back(&xb.flit.eop);
+    for (int o = 0; o < kNumPorts; ++o)
+      writes.push_back(&xb.req[static_cast<std::size_t>(o)]);
+  }
+  lw.thunkDeclared(*this, std::move(reads), std::move(writes));
+  lw.edgeCall(*this);
   return true;
 }
 

@@ -1,8 +1,18 @@
 // Input channel module (paper Figure 5): IFC + IB + IC + IRS wired
 // together, presenting the external input link on one side and the
 // distributed-crossbar nets (x_*) on the other.
+//
+// VcInputChannel is the numVCs > 1 variant: the FIFO + routing (IRS) state
+// is replicated per virtual channel, flits are demultiplexed by the
+// channel's vc wire, and flow control switches to per-VC on/off (vcFree
+// levels) or per-VC credits (vcAck pulses) — see router/channel.hpp.  It
+// is a monolithic behavioural module (compiled-kernel lowering by declared
+// thunk, like the network interface) so the numVCs == 1 fused lowering and
+// its pinned goldens stay byte-identical.
 #pragma once
 
+#include <array>
+#include <deque>
 #include <memory>
 
 #include "sim/module.hpp"
@@ -81,6 +91,94 @@ class InputChannel : public sim::Module {
   const ChannelWires* in_;
   const CrossbarWires* xbar_;
   InputChannelMetrics metrics_;
+  bool metricsAttached_ = false;
+};
+
+// Per-VC instrumentation for the VC'd input channel (telemetry subsystem):
+// shared counters plus one occupancy histogram per virtual channel.
+struct VcInputChannelMetrics {
+  telemetry::Counter* flitsAccepted = nullptr;
+  telemetry::Counter* fullCycles = nullptr;   // any VC full at the edge
+  telemetry::Counter* stallCycles = nullptr;  // a head flit present, no read
+  std::array<telemetry::Histogram*, kMaxVCs> occupancy{};
+};
+
+// Virtual-channel input channel: per-VC FIFO + routing/read-switch state
+// behind one physical link.  Headers on escape VCs (v < escapeVCs) bid the
+// deterministic dimension-order port with the exact dateline class the next
+// link needs; headers on adaptive VCs bid one minimal productive port at a
+// time (west-first preference), rotating through their options on a
+// registered patience counter and converging on the escape path when
+// starved (ic.hpp, vcRouteOptions).  One bid per input VC per cycle keeps
+// the allocation single-stage.
+class VcInputChannel : public sim::Module {
+ public:
+  VcInputChannel(std::string name, const RouterParams& params, Port ownPort,
+                 VcGeometry geometry, ChannelWires& in,
+                 std::array<CrossbarWires, kMaxVCs>& xbar);
+
+  Port port() const { return ownPort_; }
+  int numVCs() const { return numVCs_; }
+  int escapeVCs() const { return escapeVCs_; }
+  bool misrouteDetected() const { return misroute_; }
+  bool overflowDetected() const { return overflow_; }
+  std::uint64_t flitsAccepted() const { return flitsAccepted_; }
+
+  // Registered per-VC occupancy (flits buffered) and its per-cycle running
+  // sum, for credit-conservation checks and occupancy heatmaps.
+  int occupancy(int v) const {
+    return static_cast<int>(fifo_[static_cast<std::size_t>(v)].size());
+  }
+  std::uint64_t occupancySum(int v) const {
+    return occupancySum_[static_cast<std::size_t>(v)];
+  }
+
+  // Read-only observation points for the flow tracer (pre-edge wires; see
+  // InputChannel for the reconstruction contract).
+  bool acceptFired() const { return in_->val.get(); }
+  int acceptVc() const { return in_->vc.get(); }
+  // True when VC v's buffer head will be read out at the coming edge.
+  bool dequeueFired(int v) const;
+  const ChannelWires& inWires() const { return *in_; }
+
+  void attachMetrics(const VcInputChannelMetrics& metrics);
+
+  // Behavioural thunk with declared reads/writes (the per-VC FIFOs are
+  // registered state walked directly), plus a clockEdge() call.
+  bool describe(sim::Lowering& lw) override;
+
+ protected:
+  void onReset() override;
+  void evaluate() override;
+  void clockEdge() override;
+
+ private:
+  bool creditMode() const {
+    return flowControl_ == FlowControl::CreditBased;
+  }
+  // Pop strobe computed from the settled crossbar wires.
+  bool popFired(int v) const;
+
+  RouterParams params_;
+  Port ownPort_;
+  FlowControl flowControl_;
+  VcGeometry geometry_;
+  int numVCs_ = 1;
+  int escapeVCs_ = 1;
+
+  ChannelWires* in_;
+  std::array<CrossbarWires, kMaxVCs>* xbar_;
+
+  // Registered per-VC state.
+  std::array<std::deque<Flit>, kMaxVCs> fifo_;
+  std::array<int, kMaxVCs> patience_{};
+
+  std::uint64_t flitsAccepted_ = 0;
+  std::array<std::uint64_t, kMaxVCs> occupancySum_{};
+  bool misroute_ = false;  // sticky diagnostics
+  bool overflow_ = false;
+
+  VcInputChannelMetrics metrics_;
   bool metricsAttached_ = false;
 };
 

@@ -1,23 +1,36 @@
 #include "router/link.hpp"
 
 #include <memory>
+#include <stdexcept>
 #include <typeinfo>
+#include <vector>
 
 #include "sim/compile.hpp"
 
 namespace rasoc::router {
 
 Link::Link(std::string name, ChannelWires& src, ChannelWires& dst,
-           FlowControl flowControl)
+           FlowControl flowControl, int numVCs)
     : Module(std::move(name)),
       src_(&src),
       dst_(&dst),
-      flowControl_(flowControl) {
+      flowControl_(flowControl),
+      numVCs_(numVCs) {
+  if (numVCs_ < 1 || numVCs_ > kMaxVCs)
+    throw std::invalid_argument("Link: numVCs must be in [1, kMaxVCs]");
   sensitive(src.flit.data);
   sensitive(src.flit.bop);
   sensitive(src.flit.eop);
   sensitive(src.val);
-  sensitive(dst.ack);
+  if (numVCs_ == 1) {
+    sensitive(dst.ack);
+  } else {
+    sensitive(src.vc);
+    for (int v = 0; v < numVCs_; ++v) {
+      sensitive(dst.vcFree[static_cast<std::size_t>(v)]);
+      sensitive(dst.vcAck[static_cast<std::size_t>(v)]);
+    }
+  }
 }
 
 void Link::evaluate() {
@@ -27,13 +40,28 @@ void Link::evaluate() {
   dst_->flit.bop.set(bop);
   dst_->flit.eop.set(eop);
   dst_->val.set(src_->val.get());
-  src_->ack.set(dst_->ack.get());
+  if (numVCs_ == 1) {
+    src_->ack.set(dst_->ack.get());
+    return;
+  }
+  // VC mode: vc tag downstream, per-VC space/link-up levels and credit
+  // pulses upstream.  The ack wire is unused.
+  dst_->vc.set(src_->vc.get());
+  for (int v = 0; v < numVCs_; ++v) {
+    src_->vcFree[static_cast<std::size_t>(v)].set(
+        dst_->vcFree[static_cast<std::size_t>(v)].get());
+    src_->vcAck[static_cast<std::size_t>(v)].set(
+        dst_->vcAck[static_cast<std::size_t>(v)].get());
+  }
 }
 
 void Link::clockEdge() {
-  const bool transferred = flowControl_ == FlowControl::Handshake
-                               ? (src_->val.get() && src_->ack.get())
-                               : src_->val.get();
+  // With VCs a scheduled flit always transfers: the sender only raises val
+  // toward a VC with advertised space or an in-hand credit.
+  const bool transferred =
+      (flowControl_ == FlowControl::Handshake && numVCs_ == 1)
+          ? (src_->val.get() && src_->ack.get())
+          : src_->val.get();
   if (transferred) {
     ++flitsTransferred_;
     onTransfer(src_->flit.bop.get());
@@ -94,6 +122,26 @@ bool Link::describe(sim::Lowering& lw) {
   // injection); only an exact Link is pass-through wiring.  They run as
   // behavioural thunks instead.
   if (typeid(*this) != typeid(Link)) return false;
+
+  if (numVCs_ > 1) {
+    // VC links lower as a declared behavioural thunk plus an edge call;
+    // the numVCs == 1 fused ops below stay byte-identical.
+    std::vector<const sim::WireBase*> reads = {
+        &src_->flit.data, &src_->flit.bop, &src_->flit.eop, &src_->val,
+        &src_->vc};
+    std::vector<const sim::WireBase*> writes = {
+        &dst_->flit.data, &dst_->flit.bop, &dst_->flit.eop, &dst_->val,
+        &dst_->vc};
+    for (int v = 0; v < numVCs_; ++v) {
+      reads.push_back(&dst_->vcFree[static_cast<std::size_t>(v)]);
+      reads.push_back(&dst_->vcAck[static_cast<std::size_t>(v)]);
+      writes.push_back(&src_->vcFree[static_cast<std::size_t>(v)]);
+      writes.push_back(&src_->vcAck[static_cast<std::size_t>(v)]);
+    }
+    lw.thunkDeclared(*this, std::move(reads), std::move(writes));
+    lw.edgeCall(*this);
+    return true;
+  }
 
   LinkFwdCtx fwd;
   fwd.srcWord = lw.flitWord(src_->flit.data, src_->flit.bop, src_->flit.eop);

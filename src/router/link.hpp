@@ -26,9 +26,12 @@ class Link : public sim::Module {
  public:
   /// `src` is an output channel bundle (val driven by the sender, ack read
   /// by it); `dst` is an input channel bundle (val read by the receiver, ack
-  /// driven by it).
+  /// driven by it).  With `numVCs` > 1 the link additionally forwards the
+  /// flit's vc tag downstream and the per-VC vcFree levels and vcAck credit
+  /// pulses upstream; the ack wire is unused (transfers are unconditional
+  /// once scheduled — see router/channel.hpp).
   Link(std::string name, ChannelWires& src, ChannelWires& dst,
-       FlowControl flowControl = FlowControl::Handshake);
+       FlowControl flowControl = FlowControl::Handshake, int numVCs = 1);
 
   ~Link() override = default;
 
@@ -48,8 +51,8 @@ class Link : public sim::Module {
   /// wire), so it reports false there.  Read after settle — e.g. from a
   /// watchdog diagnostics callback — to name wedged links.
   bool blocked() const {
-    return flowControl_ == FlowControl::Handshake && src_->val.get() &&
-           !src_->ack.get();
+    return flowControl_ == FlowControl::Handshake && numVCs_ == 1 &&
+           src_->val.get() && !src_->ack.get();
   }
 
   /// Compiled-kernel lowering: a plain link is two masked word copies (flit
@@ -82,11 +85,13 @@ class Link : public sim::Module {
   ChannelWires& dstWires() { return *dst_; }
   const ChannelWires& srcWires() const { return *src_; }
   FlowControl flowControl() const { return flowControl_; }
+  int numVCs() const { return numVCs_; }
 
  private:
   ChannelWires* src_;
   ChannelWires* dst_;
   FlowControl flowControl_;
+  int numVCs_ = 1;
   std::uint64_t flitsTransferred_ = 0;
 };
 

@@ -1,3 +1,23 @@
 #include "router/ods.hpp"
 
-// Header-only behaviour; this translation unit anchors the library symbol.
+namespace rasoc::router {
+
+void vcOutputDataSwitch(const CrossbarWires& src, int downVc, FlitWires& out,
+                        sim::Wire<int>& outVc, sim::Wire<bool>& outVal) {
+  out.data.set(src.flit.data.get());
+  out.bop.set(src.flit.bop.get());
+  out.eop.set(src.flit.eop.get());
+  outVc.set(downVc);
+  outVal.set(true);
+}
+
+void vcOutputDataIdle(FlitWires& out, sim::Wire<int>& outVc,
+                      sim::Wire<bool>& outVal) {
+  out.data.set(0);
+  out.bop.set(false);
+  out.eop.set(false);
+  outVc.set(0);
+  outVal.set(false);
+}
+
+}  // namespace rasoc::router

@@ -58,4 +58,19 @@ class Ods : public sim::Module {
   FlitWires* out_;
 };
 
+// --- VC-aware output data switch (numVCs > 1) ------------------------------
+//
+// The VC'd output channel (output_channel.hpp) time-multiplexes one
+// physical link over its downstream VCs, so the data switch grows a second
+// select dimension: it connects the crossbar flit of the (input port,
+// input VC) pair scheduled this cycle to the external output and tags it
+// with the downstream VC id.  Plain functions rather than a Module — the
+// VC channel lowers as one behavioural unit.
+void vcOutputDataSwitch(const CrossbarWires& src, int downVc, FlitWires& out,
+                        sim::Wire<int>& outVc, sim::Wire<bool>& outVal);
+
+// Idle drive: nothing scheduled on the link this cycle.
+void vcOutputDataIdle(FlitWires& out, sim::Wire<int>& outVc,
+                      sim::Wire<bool>& outVal);
+
 }  // namespace rasoc::router

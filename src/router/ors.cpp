@@ -1,3 +1,26 @@
 #include "router/ors.hpp"
 
-// Header-only behaviour; this translation unit anchors the library symbol.
+namespace rasoc::router {
+
+int vcArbitrate(
+    const std::array<std::array<CrossbarWires, kMaxVCs>, kNumPorts>& xbar,
+    int numVCs, int escapeVCs, Port ownPort, int downVc, int rrStart,
+    const std::array<bool, kNumPorts * kMaxVCs>& consumed) {
+  const int own = index(ownPort);
+  const int slots = kNumPorts * kMaxVCs;
+  for (int step = 0; step < slots; ++step) {
+    const int slot = (rrStart + step) % slots;
+    const int inPort = slot / kMaxVCs;
+    const int inVc = slot % kMaxVCs;
+    if (inPort == own || inVc >= numVCs) continue;
+    if (consumed[static_cast<std::size_t>(slot)]) continue;
+    const CrossbarWires& src =
+        xbar[static_cast<std::size_t>(inPort)][static_cast<std::size_t>(inVc)];
+    if (!src.req[static_cast<std::size_t>(own)].get()) continue;
+    const int want = src.want.get();
+    if (want == downVc || (want < 0 && downVc >= escapeVCs)) return slot;
+  }
+  return -1;
+}
+
+}  // namespace rasoc::router

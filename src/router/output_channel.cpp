@@ -1,5 +1,7 @@
 #include "router/output_channel.hpp"
 
+#include <algorithm>
+
 #include "sim/compile.hpp"
 
 namespace rasoc::router {
@@ -276,6 +278,202 @@ bool OutputChannel::describe(sim::Lowering& lw) {
     edge.flitsSent = &flitsSent_;
     lw.edgeOp(&outChanEdge, lw.ctx(edge));
   }
+  return true;
+}
+
+// --- VcOutputChannel -------------------------------------------------------
+
+VcOutputChannel::VcOutputChannel(
+    std::string name, const RouterParams& params, Port ownPort,
+    VcGeometry geometry,
+    std::array<std::array<CrossbarWires, kMaxVCs>, kNumPorts>& xbar,
+    ChannelWires& out)
+    : Module(std::move(name)),
+      params_(params),
+      ownPort_(ownPort),
+      flowControl_(params.flowControl),
+      numVCs_(params.numVCs),
+      escapeVCs_(std::min(geometry.escapeVCs(), params.numVCs)),
+      out_(&out),
+      xbar_(&xbar) {
+  declareSequential();
+  if (creditMode()) credits_.reset(numVCs_, params.p);
+  for (int i = 0; i < kNumPorts; ++i) {
+    for (int v = 0; v < numVCs_; ++v) {
+      const CrossbarWires& x =
+          xbar[static_cast<std::size_t>(i)][static_cast<std::size_t>(v)];
+      sensitive(x.rok);
+      sensitive(x.flit.data);
+      sensitive(x.flit.bop);
+      sensitive(x.flit.eop);
+    }
+  }
+  for (int d = 0; d < numVCs_; ++d)
+    sensitive(out.vcFree[static_cast<std::size_t>(d)]);
+}
+
+void VcOutputChannel::attachMetrics(const VcOutputChannelMetrics& metrics) {
+  metrics_ = metrics;
+  metricsAttached_ = true;
+}
+
+void VcOutputChannel::onReset() {
+  conn_.fill(Conn{});
+  rrNext_.fill(0);
+  schedRR_ = 0;
+  if (creditMode()) credits_.reset(numVCs_, params_.p);
+  flitsSent_ = 0;
+  vcFlitsSent_.fill(0);
+}
+
+void VcOutputChannel::evaluate() {
+  const int own = index(ownPort_);
+
+  // Round-robin one connected, ready, non-blocked downstream VC onto the
+  // physical link.  vcFree is the receiver's space advertisement (on/off) or
+  // the link-up level (credit mode, masked low by a faulted link), so a
+  // scheduled flit always lands: the transfer is unconditional.  Chosen
+  // before any wire is driven so every wire below is set exactly once per
+  // pass — a drive-low-then-raise sequence would trip the settle loop's
+  // change flag on every iteration and never reach a fixpoint.
+  int sched = -1;
+  for (int step = 0; step < numVCs_ && sched < 0; ++step) {
+    const int d = (schedRR_ + step) % numVCs_;
+    const Conn& c = conn_[static_cast<std::size_t>(d)];
+    if (!c.active) continue;
+    const CrossbarWires& src = (*xbar_)[static_cast<std::size_t>(c.inPort)]
+                                       [static_cast<std::size_t>(c.inVc)];
+    if (!src.rok.get()) continue;
+    if (!out_->vcFree[static_cast<std::size_t>(d)].get()) continue;
+    if (creditMode() && !credits_.available(d)) continue;
+    sched = d;
+  }
+  const Conn* sc =
+      sched >= 0 ? &conn_[static_cast<std::size_t>(sched)] : nullptr;
+
+  // Publish grants from the registered connection table and the read strobe
+  // of the scheduled source (all other strobes low).
+  for (int i = 0; i < kNumPorts; ++i) {
+    for (int v = 0; v < numVCs_; ++v) {
+      CrossbarWires& x =
+          (*xbar_)[static_cast<std::size_t>(i)][static_cast<std::size_t>(v)];
+      bool granted = false;
+      for (int d = 0; d < numVCs_; ++d) {
+        const Conn& c = conn_[static_cast<std::size_t>(d)];
+        granted = granted || (c.active && c.inPort == i && c.inVc == v);
+      }
+      x.gnt[static_cast<std::size_t>(own)].set(granted);
+      x.rd[static_cast<std::size_t>(own)].set(sc && sc->inPort == i &&
+                                              sc->inVc == v);
+    }
+  }
+  if (sc) {
+    const CrossbarWires& src = (*xbar_)[static_cast<std::size_t>(sc->inPort)]
+                                       [static_cast<std::size_t>(sc->inVc)];
+    vcOutputDataSwitch(src, sched, out_->flit, out_->vc, out_->val);
+  } else {
+    vcOutputDataIdle(out_->flit, out_->vc, out_->val);
+  }
+}
+
+void VcOutputChannel::clockEdge() {
+  const int own = index(ownPort_);
+
+  // 1. Commit the scheduled transfer: count, burn a credit, tear the
+  //    connection down on the tail flit and advance the link RR.
+  if (out_->val.get()) {
+    const int d = out_->vc.get();
+    ++flitsSent_;
+    ++vcFlitsSent_[static_cast<std::size_t>(d)];
+    if (creditMode()) credits_.onSent(d);
+    if (out_->flit.eop.get()) conn_[static_cast<std::size_t>(d)].active = false;
+    schedRR_ = (d + 1) % numVCs_;
+    if (metricsAttached_) {
+      if (metrics_.flitsSent) metrics_.flitsSent->inc();
+      if (metrics_.routerFlits) metrics_.routerFlits->inc();
+      if (metrics_.vcFlits[static_cast<std::size_t>(d)])
+        metrics_.vcFlits[static_cast<std::size_t>(d)]->inc();
+    }
+  }
+  if (metricsAttached_ && metrics_.busyCycles && out_->val.get())
+    metrics_.busyCycles->inc();
+
+  // 2. Per-VC credit returns (pulses from the receiver; a faulted link
+  //    passes these through even while down, so no credit is ever lost).
+  if (creditMode()) {
+    for (int d = 0; d < numVCs_; ++d) {
+      if (out_->vcAck[static_cast<std::size_t>(d)].get()) credits_.onReturn(d);
+    }
+  }
+
+  // 3. Allocation: hand each idle downstream VC to a matching requester.
+  //    consumed[] starts from the surviving connections and accumulates
+  //    within this edge so one input VC never acquires two downstream VCs.
+  std::array<bool, kNumPorts * kMaxVCs> consumed{};
+  for (int d = 0; d < numVCs_; ++d) {
+    const Conn& c = conn_[static_cast<std::size_t>(d)];
+    if (c.active)
+      consumed[static_cast<std::size_t>(c.inPort * kMaxVCs + c.inVc)] = true;
+  }
+  int grantsIssued = 0;
+  const int slots = kNumPorts * kMaxVCs;
+  for (int d = 0; d < numVCs_; ++d) {
+    if (conn_[static_cast<std::size_t>(d)].active) continue;
+    const int slot = vcArbitrate(*xbar_, numVCs_, escapeVCs_, ownPort_, d,
+                                 rrNext_[static_cast<std::size_t>(d)],
+                                 consumed);
+    if (slot < 0) continue;
+    conn_[static_cast<std::size_t>(d)] = {true, slot / kMaxVCs,
+                                          slot % kMaxVCs};
+    consumed[static_cast<std::size_t>(slot)] = true;
+    rrNext_[static_cast<std::size_t>(d)] = (slot + 1) % slots;
+    ++grantsIssued;
+  }
+  if (metricsAttached_) {
+    if (metrics_.grants)
+      for (int g = 0; g < grantsIssued; ++g) metrics_.grants->inc();
+    if (metrics_.conflictCycles) {
+      bool waiting = false;
+      for (int i = 0; i < kNumPorts && !waiting; ++i) {
+        if (i == own) continue;
+        for (int v = 0; v < numVCs_ && !waiting; ++v) {
+          const CrossbarWires& x =
+              (*xbar_)[static_cast<std::size_t>(i)][static_cast<std::size_t>(
+                  v)];
+          waiting = x.req[static_cast<std::size_t>(own)].get() &&
+                    !consumed[static_cast<std::size_t>(i * kMaxVCs + v)];
+        }
+      }
+      if (waiting) metrics_.conflictCycles->inc();
+    }
+  }
+}
+
+bool VcOutputChannel::describe(sim::Lowering& lw) {
+  const int own = index(ownPort_);
+  std::vector<const sim::WireBase*> reads;
+  std::vector<const sim::WireBase*> writes;
+  for (int i = 0; i < kNumPorts; ++i) {
+    for (int v = 0; v < numVCs_; ++v) {
+      CrossbarWires& x =
+          (*xbar_)[static_cast<std::size_t>(i)][static_cast<std::size_t>(v)];
+      reads.push_back(&x.rok);
+      reads.push_back(&x.flit.data);
+      reads.push_back(&x.flit.bop);
+      reads.push_back(&x.flit.eop);
+      writes.push_back(&x.gnt[static_cast<std::size_t>(own)]);
+      writes.push_back(&x.rd[static_cast<std::size_t>(own)]);
+    }
+  }
+  for (int d = 0; d < numVCs_; ++d)
+    reads.push_back(&out_->vcFree[static_cast<std::size_t>(d)]);
+  writes.push_back(&out_->flit.data);
+  writes.push_back(&out_->flit.bop);
+  writes.push_back(&out_->flit.eop);
+  writes.push_back(&out_->vc);
+  writes.push_back(&out_->val);
+  lw.thunkDeclared(*this, std::move(reads), std::move(writes));
+  lw.edgeCall(*this);
   return true;
 }
 

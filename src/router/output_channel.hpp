@@ -88,4 +88,97 @@ class OutputChannel : public sim::Module {
   bool metricsAttached_ = false;
 };
 
+// Per-VC instrumentation for the VC'd output channel (telemetry subsystem).
+struct VcOutputChannelMetrics {
+  telemetry::Counter* flitsSent = nullptr;
+  telemetry::Counter* busyCycles = nullptr;      // link val asserted
+  telemetry::Counter* grants = nullptr;          // downstream-VC allocations
+  telemetry::Counter* conflictCycles = nullptr;  // a requester left waiting
+  telemetry::Counter* routerFlits = nullptr;     // router-aggregate throughput
+  std::array<telemetry::Counter*, kMaxVCs> vcFlits{};  // per downstream VC
+};
+
+// Virtual-channel output channel (numVCs > 1): a connection table maps each
+// downstream VC to the (input port, input VC) holding it; allocation runs at
+// the clock edge with vcArbitrate (ors.hpp), and evaluate() round-robins the
+// connected, ready, non-blocked downstream VCs onto the one physical link.
+// Flit transfers are unconditional once scheduled: out_val is only asserted
+// when the receiver advertised space (vcFree level) or a credit was
+// available, so the ack wire is unused at numVCs > 1.
+class VcOutputChannel : public sim::Module {
+ public:
+  VcOutputChannel(std::string name, const RouterParams& params, Port ownPort,
+                  VcGeometry geometry,
+                  std::array<std::array<CrossbarWires, kMaxVCs>, kNumPorts>&
+                      xbar,
+                  ChannelWires& out);
+
+  Port port() const { return ownPort_; }
+  int numVCs() const { return numVCs_; }
+  int escapeVCs() const { return escapeVCs_; }
+  std::uint64_t flitsSent() const { return flitsSent_; }
+  std::uint64_t flitsSent(int v) const {
+    return vcFlitsSent_[static_cast<std::size_t>(v)];
+  }
+  // Sender-side credit pool (credit flow control only).
+  const VcCredits& credits() const { return credits_; }
+
+  // Read-only observation points for the flow tracer (pre-edge wires and
+  // registered connection state; see InputChannel for the contract).
+  const ChannelWires& outWires() const { return *out_; }
+  bool linkScheduled() const { return out_->val.get(); }
+  int scheduledVc() const { return out_->vc.get(); }
+  bool connActive(int d) const {
+    return conn_[static_cast<std::size_t>(d)].active;
+  }
+  int connInPort(int d) const {
+    return conn_[static_cast<std::size_t>(d)].inPort;
+  }
+  int connInVc(int d) const { return conn_[static_cast<std::size_t>(d)].inVc; }
+
+  void attachMetrics(const VcOutputChannelMetrics& metrics);
+
+  // Behavioural thunk with declared reads/writes plus a clockEdge() call
+  // (same lowering strategy as VcInputChannel and the network interface).
+  bool describe(sim::Lowering& lw) override;
+
+ protected:
+  void onReset() override;
+  void evaluate() override;
+  void clockEdge() override;
+
+ private:
+  bool creditMode() const {
+    return flowControl_ == FlowControl::CreditBased;
+  }
+
+  // One downstream VC's registered connection (wormhole: held from header
+  // grant to tail send).
+  struct Conn {
+    bool active = false;
+    int inPort = 0;
+    int inVc = 0;
+  };
+
+  RouterParams params_;
+  Port ownPort_;
+  FlowControl flowControl_;
+  int numVCs_ = 1;
+  int escapeVCs_ = 1;
+
+  ChannelWires* out_;
+  std::array<std::array<CrossbarWires, kMaxVCs>, kNumPorts>* xbar_;
+
+  // Registered state.
+  std::array<Conn, kMaxVCs> conn_{};
+  std::array<int, kMaxVCs> rrNext_{};  // per-downstream-VC allocation RR
+  int schedRR_ = 0;                    // link-scheduling RR over downstream VCs
+  VcCredits credits_;                  // credit mode only
+
+  std::uint64_t flitsSent_ = 0;
+  std::array<std::uint64_t, kMaxVCs> vcFlitsSent_{};
+  VcOutputChannelMetrics metrics_;
+  bool metricsAttached_ = false;
+};
+
 }  // namespace rasoc::router

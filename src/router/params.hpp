@@ -69,6 +69,30 @@ enum class FlowControl { Handshake, CreditBased };
 // mesh.
 enum class RoutingAlgorithm { XY, YX };
 
+// Upper bound on virtual channels per physical channel.  Wire bundles
+// (router/channel.hpp) size their per-VC arrays to this so a router's
+// external interface is independent of the configured count; wires beyond
+// RouterParams::numVCs are never driven.
+inline constexpr int kMaxVCs = 4;
+
+// Where a router sits in its network, for the escape-channel routing used
+// when numVCs > 1 (see input_channel.hpp, VcInputChannel).  A VC'd router
+// needs to know its own coordinates and which axes wrap to classify each
+// hop into a dateline class; a default-constructed geometry describes a
+// standalone (non-wrapping) router at the origin.
+struct VcGeometry {
+  int x = 0;
+  int y = 0;
+  int width = 1;
+  int height = 1;
+  bool wrapX = false;
+  bool wrapY = false;
+
+  // Escape (deterministic) VCs required for deadlock freedom: one on a
+  // mesh, two on wrapping topologies (dateline classes 0 and 1).
+  int escapeVCs() const { return (wrapX || wrapY) ? 2 : 1; }
+};
+
 constexpr std::string_view name(RoutingAlgorithm algorithm) {
   return algorithm == RoutingAlgorithm::XY ? "XY" : "YX";
 }
@@ -85,6 +109,13 @@ struct RouterParams {
   // (paper Section 2); YX is the symmetric alternative the routing
   // ablation compares against.
   RoutingAlgorithm routing = RoutingAlgorithm::XY;
+
+  // Virtual channels per physical channel.  1 (the paper's router) keeps
+  // the original single-FIFO channels and wire protocol bit-identical;
+  // >1 replicates the input FIFO state per VC and switches the channels to
+  // the VC-aware implementations (input_channel.hpp / output_channel.hpp),
+  // with VC 0..escapeVCs-1 reserved for deterministic escape routing.
+  int numVCs = 1;
 
   // Bitmask of instantiated ports; bit index(Port).  Full routers use all
   // five; mesh corner/edge routers prune the dangling ones.
@@ -108,6 +139,8 @@ struct RouterParams {
     if (m > n)
       throw std::invalid_argument("RIB must fit in the header data bits");
     if (p < 1 || p > 64) throw std::invalid_argument("p must be in [1,64]");
+    if (numVCs < 1 || numVCs > kMaxVCs)
+      throw std::invalid_argument("numVCs must be in [1,kMaxVCs]");
     if ((portMask & 0x1fu) == 0 || portMask > 0x1fu)
       throw std::invalid_argument("portMask must select 1..5 of 5 ports");
   }

@@ -26,12 +26,21 @@
 
 namespace rasoc::router {
 
+// With params.numVCs == 1 the router instantiates the original fused
+// channel pair, byte-identical to the pre-VC core.  With numVCs > 1 each
+// port gets the virtual-channel pair (VcInputChannel / VcOutputChannel) and
+// the crossbar nets are replicated per VC; `geometry` then places the
+// router in its topology so escape-VC dateline classes can be computed
+// locally (params.hpp, VcGeometry).
 class Rasoc : public sim::Module {
  public:
   explicit Rasoc(std::string name, RouterParams params,
-                 ArbiterKind arbiter = ArbiterKind::RoundRobin);
+                 ArbiterKind arbiter = ArbiterKind::RoundRobin,
+                 VcGeometry geometry = {});
 
   const RouterParams& params() const { return params_; }
+  const VcGeometry& geometry() const { return geometry_; }
+  bool vcMode() const { return params_.numVCs > 1; }
 
   // External channel wire bundles.  Throws std::out_of_range for a port not
   // present in params().portMask.
@@ -40,8 +49,12 @@ class Rasoc : public sim::Module {
   const ChannelWires& in(Port p) const;
   const ChannelWires& out(Port p) const;
 
+  // numVCs == 1 channel accessors; throw std::logic_error in VC mode.
   const InputChannel& inputChannel(Port p) const;
   const OutputChannel& outputChannel(Port p) const;
+  // numVCs > 1 channel accessors; throw std::logic_error otherwise.
+  const VcInputChannel& vcInputChannel(Port p) const;
+  const VcOutputChannel& vcOutputChannel(Port p) const;
 
   // Diagnostics aggregated over all channels (sticky since reset).
   bool misrouteDetected() const;
@@ -62,11 +75,18 @@ class Rasoc : public sim::Module {
   void requirePort(Port p) const;
 
   RouterParams params_;
+  VcGeometry geometry_;
   std::array<ChannelWires, kNumPorts> inWires_;
   std::array<ChannelWires, kNumPorts> outWires_;
   std::array<CrossbarWires, kNumPorts> xbar_;
   std::array<std::unique_ptr<InputChannel>, kNumPorts> inputs_;
   std::array<std::unique_ptr<OutputChannel>, kNumPorts> outputs_;
+  // numVCs > 1: per-VC crossbar nets (heap: kNumPorts * kMaxVCs wire
+  // bundles are only paid for when VCs are enabled) and the VC channels.
+  std::unique_ptr<std::array<std::array<CrossbarWires, kMaxVCs>, kNumPorts>>
+      vcXbar_;
+  std::array<std::unique_ptr<VcInputChannel>, kNumPorts> vcInputs_;
+  std::array<std::unique_ptr<VcOutputChannel>, kNumPorts> vcOutputs_;
 };
 
 }  // namespace rasoc::router

@@ -1,6 +1,8 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
 
@@ -229,6 +231,29 @@ void Simulator::settle() {
 }
 
 void Simulator::settleNaive() {
+  if (std::getenv("RASOC_SETTLE_DEBUG")) {
+    // Convergence forensics: names every module still changing wires late
+    // in the fixpoint sweep.  A module that appears alone over and over has
+    // a non-idempotent evaluate() — typically a wire driven low and then
+    // raised within one pass, which trips the change flag forever.
+    for (int iter = 0; iter < maxSettleIterations_; ++iter) {
+      bool any = false;
+      for (Module* m : modules_) {
+        SettleContext::clearChanged();
+        m->evaluateOne();
+        if (SettleContext::changed()) {
+          any = true;
+          if (iter > 5)
+            std::fprintf(stderr, "settle iter %d: %s changed wires\n", iter,
+                         m->name().c_str());
+        }
+      }
+      if (!any) return;
+    }
+    throw std::runtime_error(
+        "Simulator::settle: no combinational fixpoint (RASOC_SETTLE_DEBUG "
+        "report above)");
+  }
   for (int iter = 0; iter < maxSettleIterations_; ++iter) {
     SettleContext::clearChanged();
     if (profileBase_) {

@@ -22,6 +22,7 @@ std::string generics(const RouterParams& params, bool n, bool m, bool p) {
   if (n) item("n", params.n);
   if (m) item("m", params.m);
   if (p) item("p", params.p);
+  if (params.numVCs > 1) item("vcs", params.numVCs);
   out << ')';
   return out.str();
 }
@@ -52,12 +53,22 @@ Entity elaborateInputChannel(const RouterParams& params) {
   e.generics = generics(params, true, true, true);
   e.children.push_back(leaf("input_flow_controller", "IFC", "()",
                             ifcNetlist(params)));
-  e.children.push_back(elaborateFifo(params));
-  e.children.push_back(leaf("input_controller", "IC",
-                            generics(params, true, true, false),
-                            icNetlist(params)));
+  // numVCs > 1 replicates the buffer and routing state per virtual
+  // channel (input_channel.hpp: one FIFO and one header/patience state
+  // machine per VC, sharing the physical link); the overlay entity holds
+  // the demux/merge glue between them.
+  for (int v = 0; v < params.numVCs; ++v) {
+    e.children.push_back(elaborateFifo(params));
+    e.children.push_back(leaf("input_controller", "IC",
+                              generics(params, true, true, false),
+                              icNetlist(params)));
+  }
   e.children.push_back(leaf("input_read_switch", "IRS", "()",
                             irsNetlist(params)));
+  if (params.numVCs > 1)
+    e.children.push_back(leaf("vc_input_overlay", "VCI",
+                              generics(params, true, false, false),
+                              vcInputOverlayNetlist(params)));
   return e;
 }
 
@@ -76,6 +87,10 @@ Entity elaborateOutputChannel(const RouterParams& params) {
                             orsNetlist(params)));
   e.children.push_back(leaf("output_flow_controller", "OFC", "()",
                             ofcNetlist(params)));
+  if (params.numVCs > 1)
+    e.children.push_back(leaf("vc_allocator", "VCA",
+                              generics(params, false, false, true),
+                              vcOutputOverlayNetlist(params)));
   return e;
 }
 

@@ -177,4 +177,56 @@ hw::Netlist ofcNetlist(const RouterParams& params) {
   return nl;
 }
 
+hw::Netlist vcInputOverlayNetlist(const RouterParams& params) {
+  hw::Netlist nl;
+  const int vcs = params.numVCs;
+  if (vcs <= 1) return nl;
+  const int vcBits = bitsFor(vcs);
+  // Write-side demux: decode the link's VC id into one write enable per
+  // buffer (vc match AND in_val).
+  nl.addGate(vcBits + 1, vcs);
+  // Per-VC adaptive-bid rotation: patience counter, the starvation compare
+  // that walks the bid onto the escape option, and the escape-class
+  // (wrap-axis) compare of the dateline classification.
+  {
+    hw::Netlist perVc;
+    addCounter(perVc, 3);
+    perVc.addGate(3);
+    perVc.addGate(4);
+    nl.merge(perVc, vcs);
+  }
+  // Read-side merge: VC select mux over the per-VC buffer heads, flit plus
+  // the VC id driven onto the crossbar.
+  nl.addMux(vcs, params.flitBits() + vcBits);
+  // Per-VC rok/free levels toward the output stage and upstream link.
+  nl.addGate(2, 2 * vcs);
+  return nl;
+}
+
+hw::Netlist vcOutputOverlayNetlist(const RouterParams& params) {
+  hw::Netlist nl;
+  const int vcs = params.numVCs;
+  if (vcs <= 1) return nl;
+  const int vcBits = bitsFor(vcs);
+  const int creditBits = bitsFor(params.p + 1);
+  // Per-VC downstream credit counter with its availability compare (the
+  // handshake build keeps them too: vcFree is a per-VC level, not the
+  // single shared wok wire of the 1-VC router).
+  for (int v = 0; v < vcs; ++v) {
+    addCounter(nl, creditBits);
+    nl.addGate(creditBits);
+  }
+  // Allocation table: for each link VC, the granted (input port, input VC)
+  // and a busy bit, written by the allocator and torn down on eop.
+  nl.addRegister(2 + vcBits + 1, /*packed=*/true, vcs);
+  // VC-aware round-robin scheduler: pointer over (ports-1) x vcs requests
+  // plus one grant-decode cone per request line.
+  const int reqs = (router::kNumPorts - 1) * vcs;
+  addCounter(nl, bitsFor(reqs));
+  nl.addGate(6, reqs);
+  // Link VC-id field: select the scheduled entry's VC onto the output.
+  nl.addMux(vcs, vcBits);
+  return nl;
+}
+
 }  // namespace rasoc::softcore

@@ -53,6 +53,18 @@ hw::Netlist orsNetlist(const router::RouterParams& params);
 // OFC: wires in handshake mode; up/down credit counter in credit mode.
 hw::Netlist ofcNetlist(const router::RouterParams& params);
 
+// VCI: input-side virtual-channel overlay (numVCs > 1 only; empty
+// otherwise).  Write-side VC-id demux into the per-VC buffers, per-VC
+// patience counter for the adaptive bid rotation, escape-class compare,
+// and the read-side VC merge mux that puts flit + VC id on the crossbar.
+hw::Netlist vcInputOverlayNetlist(const router::RouterParams& params);
+
+// VCA: output-side virtual-channel allocator (numVCs > 1 only; empty
+// otherwise).  Per-VC credit counters, the input-VC -> link-VC allocation
+// table, the VC-aware round-robin scheduler over (ports-1) x numVCs
+// requests, and the VC-id field driver on the outgoing link.
+hw::Netlist vcOutputOverlayNetlist(const router::RouterParams& params);
+
 // Number of bits needed to count 0..values-1.
 int bitsFor(int values);
 

@@ -174,6 +174,21 @@ TEST(FlowTraceTest, EnableTracingGuardsAgainstLateAttachment) {
   }
 }
 
+TEST(FlowTraceTest, EnableTracingRejectsVirtualChannelConfigs) {
+  // Documented gate: the tracer's link-walk reconstruction assumes one
+  // wormhole per physical channel, which numVCs > 1 breaks (packets
+  // interleave flit-by-flit).  The network must refuse loudly rather than
+  // emit a silently wrong trace; VC'd runs are covered by the lockstep
+  // differential suites instead.
+  const auto topo = makeTopology("mesh", 2, 2);
+  for (int vcs : {2, 4}) {
+    NetworkConfig cfg;
+    cfg.params.numVCs = vcs;
+    Network net(topo, cfg);
+    EXPECT_THROW(net.enableTracing(), std::logic_error) << "vc" << vcs;
+  }
+}
+
 // --- tier 2: determinism ---------------------------------------------------
 
 struct TracedRun {

@@ -37,10 +37,12 @@ using sim::Simulator;
 
 std::unique_ptr<Network> makeNet(const std::shared_ptr<const Topology>& topo,
                                  Simulator::Kernel kernel, int threads,
-                                 const TrafficConfig& traffic) {
+                                 const TrafficConfig& traffic,
+                                 int numVCs = 1) {
   NetworkConfig cfg;
   cfg.params.n = 16;
   cfg.params.p = 4;
+  cfg.params.numVCs = numVCs;
   cfg.kernel = kernel;
   cfg.threads = threads;
   auto net = std::make_unique<Network>(topo, cfg);
@@ -218,7 +220,7 @@ TEST(KernelTrichotomyTest, TorusUniformRandomLockstep) {
 
 TEST(KernelTrichotomyTest, RingBitComplementLockstep) {
   // Transpose cannot exist on a ring; BitComplement is the long-haul
-  // pattern, pairing node i with node N-1-i across the dateline.
+  // pattern, pairing node i with node N-1-i across the ring's full span.
   const auto topo = makeTopology("ring", 8, 1);
   TrafficConfig traffic;
   traffic.pattern = TrafficPattern::BitComplement;
@@ -252,6 +254,35 @@ TEST(KernelTrichotomyTest, MeshSaturatedTransposeLockstep) {
       makeNet(topo, Simulator::Kernel::ParallelEventDriven, 4, traffic));
   nets.push_back(makeNet(topo, Simulator::Kernel::Compiled, 1, traffic));
   runLockstep(nets, 1000, 250);
+}
+
+TEST(KernelTrichotomyTest, VirtualChannelLockstepAtTwoAndFourVCs) {
+  // The VC'd channels (VcInputChannel / VcOutputChannel) are a different
+  // state machine from the 1-VC router, with their own compiled-kernel
+  // lowerings; the four-kernel bit-identity claim must hold for them too.
+  // Torus and ring exercise wrap (escape dateline-class) routes, mesh the
+  // adaptive-over-one-escape configuration.
+  for (const auto& topo :
+       {makeTopology("mesh", 4, 4), makeTopology("torus", 4, 4),
+        makeTopology("ring", 8, 1)}) {
+    for (int vcs : {2, 4}) {
+      SCOPED_TRACE(topo->describe() + " vc" + std::to_string(vcs));
+      TrafficConfig traffic;
+      traffic.pattern = TrafficPattern::UniformRandom;
+      traffic.offeredLoad = 0.30;
+      traffic.payloadFlits = 3;
+      traffic.seed = 555;
+      std::vector<std::unique_ptr<Network>> nets;
+      nets.push_back(makeNet(topo, Simulator::Kernel::Naive, 1, traffic, vcs));
+      nets.push_back(
+          makeNet(topo, Simulator::Kernel::EventDriven, 1, traffic, vcs));
+      nets.push_back(makeNet(topo, Simulator::Kernel::ParallelEventDriven, 2,
+                             traffic, vcs));
+      nets.push_back(
+          makeNet(topo, Simulator::Kernel::Compiled, 1, traffic, vcs));
+      runLockstep(nets, 800, 200);
+    }
+  }
 }
 
 // --- fault-campaign agreement ----------------------------------------------

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <memory>
 #include <vector>
 
@@ -86,48 +87,52 @@ TEST(TopologyContractTest, EveryRibRoutesToItsDestinationOnBothOrders) {
   }
 }
 
-TEST(TopologyContractTest, WrapRoutesNeverPassThroughTheDateline) {
-  // No route on a wraparound topology may travel *through* node 0 of its
-  // ring: a node at the dateline coordinate must never be entered and left
-  // along the same dimension.  This is the deadlock-freedom argument, so
-  // verify it over every pair instead of trusting the comment.
-  auto isX = [](Port p) { return p == Port::East || p == Port::West; };
+TEST(TopologyContractTest, WrapRoutesFollowTheVcContract) {
+  // The deadlock-freedom contract on wrapping topologies: numVCs == 1
+  // routes stay inside the mesh/line sub-network (no wrap link is ever a
+  // channel dependency), and numVCs >= 2 routes are minimal - at most
+  // half of each ring per axis, so the escape VC's wrap classes apply.
   for (const auto& topo :
        {std::shared_ptr<const Topology>(std::make_shared<TorusTopology>(5, 4)),
         std::shared_ptr<const Topology>(std::make_shared<RingTopology>(8))}) {
     SCOPED_TRACE(topo->describe());
+    const Extent ext = topo->extent();
     for (int s = 0; s < topo->nodes(); ++s) {
       for (int d = 0; d < topo->nodes(); ++d) {
         const NodeId src = topo->nodeAt(s), dst = topo->nodeAt(d);
-        const auto path = topo->routePath(src, dst);
+        // numVCs == 1: every hop moves strictly toward the destination
+        // coordinate, so the wrap edges (x: W-1 <-> 0, y: H-1 <-> 0) are
+        // never crossed.
         NodeId at = src;
-        for (std::size_t i = 0; i < path.size(); ++i) {
-          EXPECT_EQ(path[i].from, at);
-          const NodeId next = *topo->neighbor(at, path[i].port);
-          if (i + 1 < path.size()) {  // `next` is traveled through
-            const bool sameDim = isX(path[i].port) == isX(path[i + 1].port);
-            if (sameDim && isX(path[i].port))
-              EXPECT_NE(next.x, 0) << "through the X dateline";
-            if (sameDim && !isX(path[i].port))
-              EXPECT_NE(next.y, 0) << "through the Y dateline";
-          }
+        for (const LinkId& hop : topo->routePath(src, dst)) {
+          EXPECT_EQ(hop.from, at);
+          const NodeId next = *topo->neighbor(at, hop.port);
+          EXPECT_LE(std::abs(next.x - at.x), 1) << "crossed the X wrap";
+          EXPECT_LE(std::abs(next.y - at.y), 1) << "crossed the Y wrap";
           at = next;
         }
         EXPECT_EQ(at, dst);
+        // numVCs == 2: minimal per axis.
+        const router::Rib r = topo->ribFor(src, dst, 2);
+        EXPECT_LE(std::abs(r.dx), ext.width / 2);
+        EXPECT_LE(std::abs(r.dy), ext.height / 2);
+        EXPECT_EQ(static_cast<int>(topo->routePath(src, dst, router::RoutingAlgorithm::XY, 2).size()),
+                  std::abs(r.dx) + std::abs(r.dy));
       }
     }
   }
 }
 
-TEST(DatelineOffsetTest, PicksMinimalLegalDirection) {
-  EXPECT_EQ(datelineOffset(0, 3, 8), 3);
-  EXPECT_EQ(datelineOffset(3, 0, 8), -3);
-  EXPECT_EQ(datelineOffset(0, 5, 8), -3);   // wrap down, endpoints at 0 ok
-  EXPECT_EQ(datelineOffset(5, 0, 8), 3);    // wrap up into the dateline
-  EXPECT_EQ(datelineOffset(1, 7, 8), 6);    // minimal way crosses 0: go long
-  EXPECT_EQ(datelineOffset(7, 1, 8), -6);
-  EXPECT_EQ(datelineOffset(0, 4, 8), 4);    // tie: prefer non-wrapping
-  EXPECT_EQ(datelineOffset(2, 2, 8), 0);
+TEST(MinimalRingOffsetTest, PicksShorterDirectionPreferringNonWrapTies) {
+  EXPECT_EQ(minimalRingOffset(0, 3, 8), 3);
+  EXPECT_EQ(minimalRingOffset(3, 0, 8), -3);
+  EXPECT_EQ(minimalRingOffset(0, 5, 8), -3);  // wrap down: 3 hops, not 5
+  EXPECT_EQ(minimalRingOffset(5, 0, 8), 3);   // wrap up
+  EXPECT_EQ(minimalRingOffset(1, 7, 8), -2);  // minimal now crosses 0 freely
+  EXPECT_EQ(minimalRingOffset(7, 1, 8), 2);
+  EXPECT_EQ(minimalRingOffset(0, 4, 8), 4);   // tie: prefer non-wrapping
+  EXPECT_EQ(minimalRingOffset(4, 0, 8), -4);
+  EXPECT_EQ(minimalRingOffset(2, 2, 8), 0);
 }
 
 TEST(TopologyDescribeTest, StableNamesAndFactory) {
@@ -148,7 +153,7 @@ TEST(TopologyContractTest, EveryInstanceStatesItsDeadlockFreedom) {
 TEST(NetworkBuildTest, RejectsTopologiesExceedingTheRibRange) {
   NetworkConfig cfg;  // m = 8: per-axis offsets up to 7
   EXPECT_NO_THROW(Network(std::make_shared<MeshTopology>(8, 8), cfg));
-  // A 32-node ring needs offsets up to 30, far beyond m=8.
+  // A 32-node ring needs non-wrapping offsets up to 31, far beyond m=8.
   EXPECT_THROW(Network(std::make_shared<RingTopology>(32), cfg),
                std::invalid_argument);
   cfg.params.m = 12;  // per-axis range 31
@@ -202,8 +207,8 @@ TEST(NetworkDeliveryTest, AllPairsDeliverWithZeroResidualRib) {
 
 // Saturated drain: flood every NI with pattern traffic far beyond the
 // network's capacity, then require a complete drain - a routing deadlock
-// would hang the drain, so success demonstrates the dateline restriction
-// does its job under wormhole backpressure.
+// would hang the drain, so success demonstrates the non-wrapping numVCs==1
+// routing restriction does its job under wormhole backpressure.
 void floodAndDrain(const std::shared_ptr<const Topology>& topo,
                    TrafficPattern pattern, Simulator::Kernel kernel) {
   NetworkConfig cfg;
@@ -270,16 +275,24 @@ TEST(NetworkDrainTest, GeneratorDrivenTorusAndRingStayHealthyUnderLoad) {
   }
 }
 
-TEST(NetworkDeliveryTest, TorusWrapLinksCarryTraffic) {
-  // A corner-to-corner packet on a torus takes the wrap links (1 hop per
-  // axis instead of W-1): check the utilization shows up on the wrap
-  // channel and the route is shorter than the mesh one.
+TEST(NetworkDeliveryTest, TorusWrapLinksCarryTrafficWithVCs) {
+  // Without virtual channels a torus routes like a mesh (no wrap links);
+  // with an escape VC the corner-to-corner route takes the wrap links
+  // (1 hop per axis instead of W-1).  Check both the route computation and
+  // that the wrap channel actually moves the flits through real routers.
   const auto torus = std::make_shared<TorusTopology>(4, 4);
-  EXPECT_EQ(torus->rib(NodeId{0, 0}, NodeId{3, 3}), (router::Rib{-1, -1}));
-  EXPECT_EQ(torus->hops(NodeId{0, 0}, NodeId{3, 3}), 3);
-  EXPECT_EQ(MeshTopology(4, 4).hops(NodeId{0, 0}, NodeId{3, 3}), 7);
+  EXPECT_EQ(torus->rib(NodeId{0, 0}, NodeId{3, 3}), (router::Rib{3, 3}));
+  EXPECT_EQ(torus->ribFor(NodeId{0, 0}, NodeId{3, 3}, 2),
+            (router::Rib{-1, -1}));
+  EXPECT_EQ(torus->hops(NodeId{0, 0}, NodeId{3, 3}), 7);  // numVCs == 1
+  EXPECT_EQ(static_cast<int>(
+                torus->routePath(NodeId{0, 0}, NodeId{3, 3},
+                                 router::RoutingAlgorithm::XY, 2)
+                    .size()),
+            2);
 
   NetworkConfig cfg;
+  cfg.params.numVCs = 2;
   Network net(torus, cfg);
   net.ni(NodeId{0, 0}).send(NodeId{3, 3}, {7u});
   ASSERT_TRUE(net.drain(500));

@@ -117,16 +117,18 @@ TEST(RingTopologyTest, RibIsOneDimensional) {
   for (int s = 0; s < 8; ++s)
     for (int d = 0; d < 8; ++d)
       EXPECT_EQ(ring.rib(NodeId{s, 0}, NodeId{d, 0}).dy, 0);
-  EXPECT_EQ(ring.rib(NodeId{0, 0}, NodeId{5, 0}),
-            (router::Rib{datelineOffset(0, 5, 8), 0}));
+  // numVCs == 1 routes never wrap; with an escape VC they go minimal.
+  EXPECT_EQ(ring.rib(NodeId{0, 0}, NodeId{5, 0}), (router::Rib{5, 0}));
+  EXPECT_EQ(ring.ribFor(NodeId{0, 0}, NodeId{5, 0}, 2),
+            (router::Rib{minimalRingOffset(0, 5, 8), 0}));
 }
 
 TEST(TopologyRibRangeTest, MaxOffsetsStayWithinOneExtent) {
   EXPECT_EQ(MeshTopology(8, 8).maxRibOffset(), 7);
-  // Dateline-restricted torus routes never exceed the mesh offset range.
+  // Non-wrapping torus routes (numVCs == 1) match the mesh offset range.
   EXPECT_LE(TorusTopology(8, 8).maxRibOffset(), 7);
-  // A ring's worst dateline detour spans nearly the whole ring.
-  EXPECT_EQ(RingTopology(8).maxRibOffset(), 6);
+  // A ring's worst non-wrapping route spans the whole ring.
+  EXPECT_EQ(RingTopology(8).maxRibOffset(), 7);
 }
 
 }  // namespace

@@ -96,6 +96,48 @@ TEST(ElaborateTest, FifoElaborationMatchesInputBufferOfRouter) {
   EXPECT_EQ(grouped.at("IB"), fifo * 5);
 }
 
+TEST(ElaborateTest, VirtualChannelsReplicateBuffersAndAddOverlays) {
+  // numVCs == 1 must elaborate to exactly the paper's hierarchy (no VC
+  // entities anywhere); numVCs > 1 replicates IB/IC per VC and adds the
+  // input overlay and output allocator entities.
+  RouterParams vc1 = params();
+  RouterParams vc2 = params();
+  vc2.numVCs = 2;
+  const Entity base = elaborateRouter(vc1);
+  const Entity vcd = elaborateRouter(vc2);
+  EXPECT_EQ(base.renderTree(tech::Flex10keMapper{})
+                .find("vc_input_overlay"),
+            std::string::npos);
+  // Per input channel: IFC + 2x(IB, IC) + IRS + VCI = 7 children; per
+  // output channel: OC, ODS, ORS, OFC, VCA = 5.
+  EXPECT_EQ(vcd.children.front().children.size(), 7u);
+  EXPECT_EQ(vcd.children[1].children.size(), 5u);
+  EXPECT_NE(vcd.children.front().generics.find("vcs=2"), std::string::npos);
+
+  const tech::Flex10keMapper mapper;
+  const auto grouped = vcd.costByAcronym(mapper);
+  EXPECT_TRUE(grouped.contains("VCI"));
+  EXPECT_TRUE(grouped.contains("VCA"));
+  // Buffer memory scales with the VC count (one p-deep FIFO per VC).
+  EXPECT_EQ(grouped.at("IB").mem, base.costByAcronym(mapper).at("IB").mem * 2);
+}
+
+TEST(ElaborateTest, CostMonotonicInVcCount) {
+  const tech::Flex10keMapper mapper;
+  tech::Cost prev;
+  for (int vcs : {1, 2, 4}) {
+    RouterParams rp = params();
+    rp.numVCs = vcs;
+    const tech::Cost cost = elaborateRouter(rp).totalCost(mapper);
+    if (vcs > 1) {
+      EXPECT_GT(cost.lc, prev.lc) << vcs;
+      EXPECT_GT(cost.reg, prev.reg) << vcs;
+      EXPECT_GT(cost.mem, prev.mem) << vcs;
+    }
+    prev = cost;
+  }
+}
+
 TEST(ElaborateTest, RenderTreeShowsEntitiesAndCosts) {
   const tech::Flex10keMapper mapper;
   const std::string tree = elaborateRouter(params()).renderTree(mapper);
