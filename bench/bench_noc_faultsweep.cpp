@@ -25,6 +25,14 @@
 // its Chrome/Perfetto JSON there (--trace-sample=K thins it): the flow
 // tracks show injection, the faulted hop's drop/corrupt/stall instants,
 // the NACK/retransmit control frames and the exactly-once ejection.
+//
+// --qos replaces the grid with the QoS-over-reliability experiment: a
+// Control probe and a Bulk flow share a 4-VC qosClasses network with the
+// retransmission protocol on, swept across the fault campaign
+// intensities.  Exactly-once must hold *per class* (data frames carry
+// the submitter's class end to end; retransmissions and ACKs ride the
+// Control-bound reliability class), and the Control probe's p99 must
+// stay put while faults hammer the Bulk lane.
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -49,6 +57,7 @@ std::string gKernel = "event";
 int gThreads = 2;
 int gVcs = 1;
 bool gQuick = false;
+bool gQos = false;
 std::string gTracePath;  // empty = flit tracing off
 std::uint64_t gTraceSample = 1;
 
@@ -177,6 +186,105 @@ std::string fmt(double v, const char* f = "%.4f") {
 
 std::string fmtU(std::uint64_t v) { return std::to_string(v); }
 
+// --- QoS-over-reliability experiment (--qos) --------------------------
+
+noc::FlowSpec qosFlow(router::TrafficClass cls, double load, int payload,
+                      std::uint64_t seed) {
+  noc::FlowSpec flow;
+  flow.trafficClass = cls;
+  flow.traffic.pattern = noc::TrafficPattern::UniformRandom;
+  flow.traffic.offeredLoad = load;
+  flow.traffic.payloadFlits = payload;
+  flow.traffic.seed = seed;
+  return flow;
+}
+
+struct QosCell {
+  std::uint64_t ctrlQueued = 0;
+  std::uint64_t ctrlDelivered = 0;
+  std::uint64_t bulkQueued = 0;
+  std::uint64_t bulkDelivered = 0;
+  double ctrlP99 = 0.0;
+  double ctrlNetP99 = 0.0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t timeouts = 0;
+  bool drained = false;
+};
+
+QosCell runQosCell(double intensity) {
+  auto topology = makeBenchTopology();
+  noc::NetworkConfig cfg = benchConfig(intensity, /*reliable=*/true, 4);
+  cfg.params.qosClasses = true;
+  noc::Network net(topology, cfg);
+  // Bulk at 0.10: the class map confines Bulk to a single adaptive lane,
+  // which saturates well before the whole-fabric knee — 0.10 keeps the
+  // lane's queueing delay under the RTO so congestion does not
+  // masquerade as loss in the timeout column.
+  net.attachTraffic(std::vector<noc::FlowSpec>{
+      qosFlow(router::TrafficClass::Control, 0.02, 2, 99),
+      qosFlow(router::TrafficClass::Bulk, 0.10, 6, 7)});
+  const int cycles = measureCycles();
+  net.run(static_cast<std::uint64_t>(cycles));
+  net.pauseTraffic(true);
+  QosCell cell;
+  cell.drained = net.drain(static_cast<std::uint64_t>(cycles) * 20);
+  cell.ctrlQueued = net.ledger().queued(router::TrafficClass::Control);
+  cell.ctrlDelivered = net.ledger().delivered(router::TrafficClass::Control);
+  cell.bulkQueued = net.ledger().queued(router::TrafficClass::Bulk);
+  cell.bulkDelivered = net.ledger().delivered(router::TrafficClass::Bulk);
+  cell.ctrlP99 = net.ledger()
+                     .packetLatency(router::TrafficClass::Control)
+                     .percentile(0.99);
+  cell.ctrlNetP99 = net.ledger()
+                        .networkLatency(router::TrafficClass::Control)
+                        .percentile(0.99);
+  const noc::ReliabilityStats rs = net.reliabilityStats();
+  cell.retransmits = rs.retransmissions;
+  cell.timeouts = rs.timeouts;
+  return cell;
+}
+
+int runQosSweep() {
+  std::printf(
+      "RASoC %s QoS-over-reliability sweep (16 nodes, n=16, 4 VCs, "
+      "qosClasses, reliable transport, %d measured cycles + drain, %s "
+      "kernel)\n\n",
+      makeBenchTopology()->describe().c_str(), measureCycles(),
+      gKernel.c_str());
+
+  int exitCode = 0;
+  tech::Table table({"fault rate", "ctrl q/d", "ctrl lost", "ctrl p99",
+                     "ctrl net p99", "bulk q/d", "bulk lost", "retx",
+                     "timeouts", "drained"});
+  for (double rate : faultRates()) {
+    const QosCell cell = runQosCell(rate);
+    const std::uint64_t ctrlLost = cell.ctrlQueued - cell.ctrlDelivered;
+    const std::uint64_t bulkLost = cell.bulkQueued - cell.bulkDelivered;
+    table.addRow({fmt(rate, "%.3f"),
+                  fmtU(cell.ctrlQueued) + "/" + fmtU(cell.ctrlDelivered),
+                  fmtU(ctrlLost), fmt(cell.ctrlP99, "%.1f"),
+                  fmt(cell.ctrlNetP99, "%.1f"),
+                  fmtU(cell.bulkQueued) + "/" + fmtU(cell.bulkDelivered),
+                  fmtU(bulkLost), fmtU(cell.retransmits),
+                  fmtU(cell.timeouts), cell.drained ? "yes" : "NO"});
+    if (ctrlLost != 0 || bulkLost != 0 || !cell.drained) {
+      std::printf("!! per-class exactly-once violated at rate=%.3f\n", rate);
+      exitCode = 1;
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nShape checks: lost is zero in both class columns at every fault\n"
+      "rate — the class tag survives retransmission, so recovered frames\n"
+      "land in their submitter's ledger bucket.  The end-to-end ctrl p99\n"
+      "grows with the fault rate because a corrupted Control frame waits\n"
+      "out an RTO like any other — reliability trades tail latency for\n"
+      "the delivery guarantee, it does not bypass it per class.  That the\n"
+      "net p99 matches the end-to-end p99 localizes the tail: the wait is\n"
+      "in-flight recovery, not backlog at the source NI.\n");
+  return exitCode;
+}
+
 std::string instrumentedReport(double intensity, double load, bool reliable,
                                std::string* traceJson = nullptr,
                                std::string* kernelJson = nullptr) {
@@ -228,6 +336,8 @@ int main(int argc, char** argv) {
       gVcs = std::atoi(argv[i] + 6);
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       gQuick = true;
+    } else if (std::strcmp(argv[i], "--qos") == 0) {
+      gQos = true;
     } else if (std::strncmp(argv[i], "--trace-sample=", 15) == 0) {
       gTraceSample = std::strtoull(argv[i] + 15, nullptr, 10);
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
@@ -264,6 +374,19 @@ int main(int argc, char** argv) {
     std::printf("--trace is incompatible with --vcs>1 (flit tracing does "
                 "not support virtual channels)\n");
     return 1;
+  }
+  if (gQos) {
+    if (gVcs != 1 && gVcs != 4) {
+      std::printf("--qos needs 4 VCs (escape layer + per-class adaptive "
+                  "lanes); drop --vcs or pass --vcs=4\n");
+      return 1;
+    }
+    if (!gTracePath.empty()) {
+      std::printf("--trace is incompatible with --qos (QoS runs at 4 "
+                  "VCs)\n");
+      return 1;
+    }
+    return runQosSweep();
   }
 
   std::printf(

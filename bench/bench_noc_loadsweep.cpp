@@ -22,12 +22,21 @@
 // flit-level (noc/flow_trace.hpp) and writes the Chrome/Perfetto JSON
 // there (open in ui.perfetto.dev); --trace-sample=K thins it to every
 // K-th flow.  The export is schema-validated in-process before writing.
+//
+// --qos replaces the pattern sweep with the QoS isolation experiment
+// (DESIGN.md section 13): a fixed low-rate Control flow shares the
+// network with a Bulk flow swept past saturation, at 4 VCs with
+// RouterParams::qosClasses on.  The table reports the Control-class p99
+// against its unloaded baseline — the per-class isolation claim is that
+// the ratio stays ~1 while Bulk saturates — plus a four-class mix at the
+// heaviest load.  The JSON artifact carries the RunReport `qos` section.
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "noc/network.hpp"
 #include "noc/observe.hpp"
@@ -46,6 +55,7 @@ std::string gTopology = "mesh";
 std::string gKernel = "event";
 int gThreads = 2;
 int gVcs = 1;
+bool gQos = false;
 std::string gTracePath;  // empty = flit tracing off
 std::uint64_t gTraceSample = 1;
 
@@ -66,6 +76,7 @@ noc::NetworkConfig benchConfig(int p, int vcs = 0) {
   cfg.params.n = 16;
   cfg.params.p = p;
   cfg.params.numVCs = vcs > 0 ? vcs : gVcs;
+  cfg.params.qosClasses = gQos;
   // A 16-node ring routes offsets up to 14; the grids stay within 3.
   if (gTopology == "ring") cfg.params.m = 10;
   cfg.kernel = benchKernel();
@@ -155,6 +166,163 @@ std::string instrumentedReport(noc::TrafficPattern pattern, double load,
   return report.toJson();
 }
 
+// --- QoS isolation experiment (--qos) ---------------------------------
+
+noc::FlowSpec qosFlow(router::TrafficClass cls, double load, int payload,
+                      std::uint64_t seed) {
+  noc::FlowSpec flow;
+  flow.trafficClass = cls;
+  flow.traffic.pattern = noc::TrafficPattern::UniformRandom;
+  flow.traffic.offeredLoad = load;
+  flow.traffic.payloadFlits = payload;
+  flow.traffic.seed = seed;
+  return flow;
+}
+
+// The probe flow: low-rate short Control packets whose tail latency the
+// sweep defends.  The rate is far below any knee so its baseline p99 is a
+// property of the topology, not of queueing.
+noc::FlowSpec qosControlFlow() {
+  return qosFlow(router::TrafficClass::Control, 0.02, 2, 99);
+}
+
+struct QosPoint {
+  std::size_t ctrlCount;
+  double ctrlP99;
+  double ctrlMax;
+  double bulkP99;
+  std::uint64_t bulkDelivered;
+  double throughput;
+};
+
+QosPoint runQos(const std::vector<noc::FlowSpec>& flows) {
+  auto topo = makeBenchTopology();
+  noc::Network net(topo, benchConfig(4, 4));
+  net.ledger().setWarmupCycles(kWarmup);
+  net.attachTraffic(flows);
+  net.run(kWarmup + kMeasure);
+  if (!net.healthy()) std::printf("!! unhealthy run\n");
+  const auto& ctrl =
+      net.ledger().packetLatency(router::TrafficClass::Control);
+  const auto& bulk = net.ledger().packetLatency(router::TrafficClass::Bulk);
+  return {ctrl.count(),
+          ctrl.percentile(0.99),
+          ctrl.max(),
+          bulk.percentile(0.99),
+          net.ledger().delivered(router::TrafficClass::Bulk),
+          net.ledger().throughputFlitsPerCyclePerNode(kMeasure,
+                                                      topo->nodes())};
+}
+
+std::string qosInstrumentedReport(const std::vector<noc::FlowSpec>& flows,
+                                  double bulkLoad) {
+  noc::Network net(makeBenchTopology(), benchConfig(4, 4));
+  telemetry::MetricsRegistry registry;
+  net.enableTelemetry(registry);
+  noc::Watchdog watchdog("dog", net.ledger(), 500,
+                         [&net] { return net.blockedLinkNames(); },
+                         [&net] { return net.blockedLinkTraceDump(); });
+  net.simulator().add(watchdog);
+  net.ledger().setWarmupCycles(kWarmup);
+  net.attachTraffic(flows);
+  net.run(kWarmup + kMeasure);
+  telemetry::RunReport report =
+      noc::buildRunReport("loadsweep.qos", net, &watchdog);
+  report.set("run", "control_load", 0.02);
+  report.set("run", "bulk_load", bulkLoad);
+  report.set("run", "seed", std::uint64_t{99});
+  report.set("run", "kernel", gKernel);
+  return report.toJson();
+}
+
+int runQosSweep(const std::string& path) {
+  std::printf(
+      "RASoC %s QoS isolation sweep (16 nodes, n=16, 4 VCs, qosClasses, "
+      "%d measured cycles, %s kernel)\n\n",
+      makeBenchTopology()->describe().c_str(), kMeasure, gKernel.c_str());
+
+  // Unloaded baseline: the Control probe alone on an idle network.
+  const QosPoint base = runQos({qosControlFlow()});
+  std::printf("Control baseline (no competing traffic): p99=%.1f max=%.1f "
+              "over %zu packets\n\n",
+              base.ctrlP99, base.ctrlMax, base.ctrlCount);
+
+  std::printf("--- Control probe vs Bulk flood (UniformRandom, p=4) ---\n");
+  tech::Table table({"bulk load", "ctrl p99", "ctrl/base", "ctrl max",
+                     "bulk p99", "bulk delivered", "thru"});
+  bool isolated = true;
+  for (double bulkLoad : {0.10, 0.30, 0.50, 0.70}) {
+    const QosPoint point = runQos(
+        {qosControlFlow(),
+         qosFlow(router::TrafficClass::Bulk, bulkLoad, 6, 7)});
+    const double ratio =
+        base.ctrlP99 > 0.0 ? point.ctrlP99 / base.ctrlP99 : 0.0;
+    if (ratio > 2.0) isolated = false;
+    table.addRow({fmt(bulkLoad), fmt(point.ctrlP99, "%.1f"),
+                  fmt(ratio), fmt(point.ctrlMax, "%.1f"),
+                  fmt(point.bulkP99, "%.1f"), std::to_string(
+                      static_cast<unsigned long long>(point.bulkDelivered)),
+                  fmt(point.throughput, "%.4f")});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  if (!isolated) {
+    std::printf("\n!! Control p99 exceeded 2x its unloaded baseline\n");
+    return 1;
+  }
+
+  // Four-class mix at the heaviest load: per-class tails must respect the
+  // priority order (control <= latency <= bulk/best-effort tails).
+  std::printf("\n--- four-class mix (bulk+best-effort at 0.35 each) ---\n");
+  {
+    auto topo = makeBenchTopology();
+    noc::Network net(topo, benchConfig(4, 4));
+    net.ledger().setWarmupCycles(kWarmup);
+    net.attachTraffic(std::vector<noc::FlowSpec>{
+        qosFlow(router::TrafficClass::Control, 0.02, 2, 99),
+        qosFlow(router::TrafficClass::Latency, 0.05, 2, 51),
+        qosFlow(router::TrafficClass::Bulk, 0.35, 6, 7),
+        qosFlow(router::TrafficClass::BestEffort, 0.35, 6, 13)});
+    net.run(kWarmup + kMeasure);
+    if (!net.healthy()) std::printf("!! unhealthy run\n");
+    tech::Table mix({"class", "delivered", "lat mean", "lat p50",
+                     "lat p99", "lat max"});
+    for (int c = router::kNumTrafficClasses - 1; c >= 0; --c) {
+      const auto cls = static_cast<router::TrafficClass>(c);
+      const auto& lat = net.ledger().packetLatency(cls);
+      mix.addRow({std::string(router::name(cls)),
+                  std::to_string(static_cast<unsigned long long>(
+                      net.ledger().delivered(cls))),
+                  fmt(lat.mean()), fmt(lat.percentile(0.5)),
+                  fmt(lat.percentile(0.99)), fmt(lat.max())});
+    }
+    std::fputs(mix.render().c_str(), stdout);
+  }
+
+  std::printf(
+      "\nShape checks: the Control column is flat — its p99 stays within\n"
+      "2x the unloaded baseline at every Bulk load, because Control owns\n"
+      "the top adaptive lane (qosVcMask) and wins strict-priority output\n"
+      "arbitration.  Bulk's own p99 explodes past its saturation knee; the\n"
+      "starvation guard keeps it moving but absorbs all the queueing.\n");
+
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (!out) {
+    std::printf("!! cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fputs("[\n", out);
+  std::fputs(
+      qosInstrumentedReport({qosControlFlow(),
+                             qosFlow(router::TrafficClass::Bulk, 0.50, 6, 7)},
+                            0.50)
+          .c_str(),
+      out);
+  std::fputs("]\n", out);
+  std::fclose(out);
+  std::printf("\nRunReport JSON written to %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -168,6 +336,8 @@ int main(int argc, char** argv) {
       gThreads = std::atoi(argv[i] + 10);
     } else if (std::strncmp(argv[i], "--vcs=", 6) == 0) {
       gVcs = std::atoi(argv[i] + 6);
+    } else if (std::strcmp(argv[i], "--qos") == 0) {
+      gQos = true;
     } else if (std::strncmp(argv[i], "--trace-sample=", 15) == 0) {
       gTraceSample = std::strtoull(argv[i] + 15, nullptr, 10);
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
@@ -204,6 +374,22 @@ int main(int argc, char** argv) {
     std::printf("--trace is incompatible with --vcs>1 (flit tracing does "
                 "not support virtual channels)\n");
     return 1;
+  }
+  if (gQos) {
+    if (gVcs != 1 && gVcs != 4) {
+      std::printf("--qos needs 4 VCs (escape layer + per-class adaptive "
+                  "lanes); drop --vcs or pass --vcs=4\n");
+      return 1;
+    }
+    if (!gTracePath.empty()) {
+      std::printf("--trace is incompatible with --qos (QoS runs at 4 "
+                  "VCs)\n");
+      return 1;
+    }
+    gVcs = 4;
+    return runQosSweep(path == "bench_noc_loadsweep_report.json"
+                           ? "bench_noc_qos_report.json"
+                           : path);
   }
 
   std::printf(

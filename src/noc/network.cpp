@@ -75,6 +75,17 @@ Network::Network(std::shared_ptr<const Topology> topology,
   const int injectVc =
       config_.params.numVCs > escapeVCs ? escapeVCs : 0;
 
+  // QoS isolation needs at least two adaptive VCs above the escape layer so
+  // Control gets a lane Bulk never enters (router::qosVcMask).  The params
+  // check covers the mesh escape layer; wrapping topologies reserve one
+  // more escape VC, which only the builder knows.
+  if (config_.params.qosClasses &&
+      config_.params.numVCs - escapeVCs < 2)
+    throw std::invalid_argument(
+        "qosClasses on " + topology_->describe() + " needs numVCs >= " +
+        std::to_string(escapeVCs + 2) + " (" + std::to_string(escapeVCs) +
+        " escape VCs + two adaptive VCs for class separation)");
+
   // Routers and NIs, with the per-node port set the topology prescribes.
   for (int i = 0; i < topology_->nodes(); ++i) {
     const NodeId n = topology_->nodeAt(i);
@@ -88,6 +99,7 @@ Network::Network(std::shared_ptr<const Topology> topology,
     niOptions.hlpParity = config_.hlpParity;
     niOptions.reliability = config_.reliability;
     niOptions.injectVc = injectVc;
+    niOptions.escapeVCs = escapeVCs;
     auto ni = std::make_unique<NetworkInterface>(
         nodeName("ni", n), params, topology_, n, r->in(Port::Local),
         r->out(Port::Local), ledger_, niOptions);
@@ -152,21 +164,40 @@ Network::Network(std::shared_ptr<const Topology> topology,
 }
 
 void Network::attachTraffic(const TrafficConfig& traffic) {
+  FlowSpec flow;
+  flow.trafficClass = traffic.trafficClass;
+  flow.traffic = traffic;
+  attachTraffic(std::vector<FlowSpec>{flow});
+}
+
+void Network::attachTraffic(const std::vector<FlowSpec>& flows) {
   if (!generators_.empty())
     throw std::logic_error("traffic generators already attached");
-  validatePattern(traffic.pattern, *topology_, traffic);
-  for (int i = 0; i < topology_->nodes(); ++i) {
-    const NodeId n = topology_->nodeAt(i);
-    TrafficConfig cfg = traffic;
-    cfg.seed = traffic.seed * 7919 + static_cast<std::uint64_t>(i) + 1;
-    auto gen = std::make_unique<TrafficGenerator>(
-        nodeName("tg", n), topology_, n, *nis_[static_cast<std::size_t>(i)],
-        cfg);
-    if (!nodeDomains_.empty())
-      gen->setPartitionHint(nodeDomains_[static_cast<std::size_t>(i)]);
-    sim_.add(*gen);
-    generators_.push_back(std::move(gen));
+  if (flows.empty())
+    throw std::invalid_argument("attachTraffic: empty flow list");
+  for (const FlowSpec& flow : flows)
+    validatePattern(flow.traffic.pattern, *topology_, flow.traffic);
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    // Flow 0 keeps the legacy names and per-node seeds so single-flow
+    // attachTraffic(TrafficConfig) callers see bit-identical runs.
+    const std::string prefix =
+        f == 0 ? std::string("tg") : "tg" + std::to_string(f) + ".";
+    for (int i = 0; i < topology_->nodes(); ++i) {
+      const NodeId n = topology_->nodeAt(i);
+      TrafficConfig cfg = flows[f].traffic;
+      cfg.trafficClass = flows[f].trafficClass;
+      cfg.seed = flows[f].traffic.seed * 7919 + static_cast<std::uint64_t>(i) +
+                 1 + f * 104729;
+      auto gen = std::make_unique<TrafficGenerator>(
+          nodeName(prefix.c_str(), n), topology_, n,
+          *nis_[static_cast<std::size_t>(i)], cfg);
+      if (!nodeDomains_.empty())
+        gen->setPartitionHint(nodeDomains_[static_cast<std::size_t>(i)]);
+      sim_.add(*gen);
+      generators_.push_back(std::move(gen));
+    }
   }
+  trafficFlows_ = flows.size();
 }
 
 void Network::pauseTraffic(bool paused) {
@@ -217,6 +248,32 @@ void Network::enableTelemetry(telemetry::MetricsRegistry& registry) {
         for (int c : vcOccupancy(v)) total += c;
         vcGauges[static_cast<std::size_t>(v)]->sample(
             static_cast<double>(total));
+      }
+    });
+  }
+  // Per-class QoS gauges: injection-queue depth and delivered totals per
+  // traffic class, so isolation regressions show up in time series (a
+  // Control queue that grows under a Bulk flood is the failure signature).
+  if (config_.params.qosClasses) {
+    std::vector<telemetry::Gauge*> classQueued;
+    std::vector<telemetry::Gauge*> classDelivered;
+    for (int c = 0; c < router::kNumTrafficClasses; ++c) {
+      const std::string prefix =
+          "net.qos." +
+          std::string(router::name(static_cast<router::TrafficClass>(c)));
+      classQueued.push_back(&registry.gauge(prefix + ".queued_packets"));
+      classDelivered.push_back(
+          &registry.gauge(prefix + ".delivered_packets"));
+    }
+    sim_.addTickListener([this, classQueued, classDelivered] {
+      for (int c = 0; c < router::kNumTrafficClasses; ++c) {
+        const auto cls = static_cast<router::TrafficClass>(c);
+        std::size_t queued = 0;
+        for (const auto& ni : nis_) queued += ni->sendQueuePackets(cls);
+        classQueued[static_cast<std::size_t>(c)]->sample(
+            static_cast<double>(queued));
+        classDelivered[static_cast<std::size_t>(c)]->sample(
+            static_cast<double>(ledger_.delivered(cls)));
       }
     });
   }
@@ -297,6 +354,13 @@ NetworkInterface& Network::ni(NodeId n) { return *nis_[indexOf(n)]; }
 TrafficGenerator& Network::generator(NodeId n) {
   if (generators_.empty()) throw std::logic_error("no traffic attached");
   return *generators_[indexOf(n)];
+}
+
+TrafficGenerator& Network::generator(NodeId n, std::size_t flow) {
+  if (flow >= trafficFlows_)
+    throw std::out_of_range("generator: flow outside [0, trafficFlows)");
+  return *generators_[flow * static_cast<std::size_t>(topology_->nodes()) +
+                      indexOf(n)];
 }
 
 FlowTracer& Network::enableTracing(TraceConfig config) {

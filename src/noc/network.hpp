@@ -81,6 +81,15 @@ class Network {
   /// Adds one traffic generator per node (seeded per node from config.seed).
   void attachTraffic(const TrafficConfig& traffic);
 
+  /// Mixed-class workloads: one generator per (flow, node) pair, flow-major
+  /// so flow 0's generators keep the single-flow names and seeds (and
+  /// generator(NodeId) keeps returning flow 0's generator at each node).
+  /// Flow f > 0 offsets every node seed by f * 104729 so flows draw
+  /// independent streams.  Typically paired with RouterParams::qosClasses —
+  /// each FlowSpec tags its packets with a TrafficClass — but legal on any
+  /// network (classes are ignored without QoS).
+  void attachTraffic(const std::vector<FlowSpec>& flows);
+
   const NetworkConfig& config() const { return config_; }
   const Topology& topology() const { return *topology_; }
   std::shared_ptr<const Topology> topologyPtr() const { return topology_; }
@@ -89,7 +98,12 @@ class Network {
   const sim::Simulator& simulator() const { return sim_; }
   router::Rasoc& router(NodeId n);
   NetworkInterface& ni(NodeId n);
+  /// Flow 0's generator at `n` (the only flow for single-config traffic).
   TrafficGenerator& generator(NodeId n);
+  /// Generator of flow `flow` at `n` (attachTraffic(vector<FlowSpec>)).
+  TrafficGenerator& generator(NodeId n, std::size_t flow);
+  /// Flows attached per node (0 before attachTraffic).
+  std::size_t trafficFlows() const { return trafficFlows_; }
 
   /// Pauses (or resumes) every attached traffic generator, so sweeps can
   /// close the measurement window and drain() without racing generators
@@ -183,7 +197,9 @@ class Network {
   std::map<std::pair<int, int>, router::Link*> linkIndex_;  // (node, port)
   // Views into links_, with the topology-level id for metric naming.
   std::vector<std::pair<LinkId, router::FaultyLink*>> faultyLinks_;
+  // Flow-major: generators_[f * nodes + i] is flow f's generator at node i.
   std::vector<std::unique_ptr<TrafficGenerator>> generators_;
+  std::size_t trafficFlows_ = 0;
   telemetry::MetricsRegistry* metrics_ = nullptr;
   std::unique_ptr<FlowTracer> tracer_;
 };

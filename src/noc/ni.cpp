@@ -38,6 +38,19 @@ NetworkInterface::NetworkInterface(std::string name,
     transport_ = std::make_unique<ReliableTransport>(
         options_.reliability, topology_, self_, payloadBits());
   }
+  if (params_.qosClasses) {
+    if (options_.escapeVCs < 1 || options_.escapeVCs >= params_.numVCs)
+      throw std::invalid_argument(
+          "qosClasses: NI escapeVCs outside [1, numVCs)");
+    // The in-band class field of the reliability control word must not
+    // overlap the type bits, or recovered payloads lose their class and
+    // the per-class delivery ledger can never close them.
+    if (options_.reliability.enabled &&
+        options_.reliability.seqBits + 4 > payloadBits())
+      throw std::invalid_argument(
+          "qosClasses + reliability: control word (seqBits + 2 class + 2 "
+          "type bits) does not fit the flit payload");
+  }
   // The send side of evaluate() streams from the registered queue/credit
   // state; the receive side echoes the router's val into ack.
   declareSequential();
@@ -46,9 +59,17 @@ NetworkInterface::NetworkInterface(std::string name,
     if (options_.injectVc < 0 || options_.injectVc >= params_.numVCs)
       throw std::invalid_argument("NI injectVc outside [0, numVCs)");
     sensitive(fromRouter.vc);
-    if (!creditMode())
-      sensitive(
-          toRouter.vcFree[static_cast<std::size_t>(options_.injectVc)]);
+    if (!creditMode()) {
+      if (params_.qosClasses) {
+        // Every class inject VC is adaptive (>= escapeVCs); the scheduler
+        // watches each one's space advertisement.
+        for (int v = options_.escapeVCs; v < params_.numVCs; ++v)
+          sensitive(toRouter.vcFree[static_cast<std::size_t>(v)]);
+      } else {
+        sensitive(
+            toRouter.vcFree[static_cast<std::size_t>(options_.injectVc)]);
+      }
+    }
   }
 }
 
@@ -64,6 +85,56 @@ NetworkInterface::NetworkInterface(std::string name,
 
 int NetworkInterface::payloadBits() const {
   return options_.hlpParity ? params_.n - 1 : params_.n;
+}
+
+int NetworkInterface::injectVcFor(router::TrafficClass cls) const {
+  if (!params_.qosClasses) return vcMode() ? options_.injectVc : 0;
+  return router::qosInjectVc(cls, params_.numVCs, options_.escapeVCs);
+}
+
+std::deque<NetworkInterface::OutPacket>& NetworkInterface::queueFor(int vc) {
+  return params_.qosClasses ? vcSendQueue_[static_cast<std::size_t>(vc)]
+                            : sendQueue_;
+}
+
+const std::deque<NetworkInterface::OutPacket>& NetworkInterface::queueFor(
+    int vc) const {
+  return params_.qosClasses ? vcSendQueue_[static_cast<std::size_t>(vc)]
+                            : sendQueue_;
+}
+
+std::size_t NetworkInterface::sendQueuePackets() const {
+  std::size_t total = sendQueue_.size();
+  if (params_.qosClasses) {
+    for (int v = 0; v < params_.numVCs; ++v)
+      total += vcSendQueue_[static_cast<std::size_t>(v)].size();
+  }
+  return total + (transport_ ? transport_->backlogFrames() : 0);
+}
+
+std::size_t NetworkInterface::sendQueuePackets(
+    router::TrafficClass cls) const {
+  return queueFor(injectVcFor(cls)).size();
+}
+
+bool NetworkInterface::idle() const {
+  if (!sendQueue_.empty()) return false;
+  for (const auto& q : vcSendQueue_)
+    if (!q.empty()) return false;
+  return !transport_ || transport_->idle();
+}
+
+int NetworkInterface::scheduledInjectVc() const {
+  // Strict priority, work-conserving: the class→VC map puts higher classes
+  // on higher VCs, so the highest non-empty, non-blocked inject queue wins.
+  for (int v = params_.numVCs - 1; v >= 0; --v) {
+    if (vcSendQueue_[static_cast<std::size_t>(v)].empty()) continue;
+    const bool space =
+        creditMode() ? vcCredits_[static_cast<std::size_t>(v)] > 0
+                     : toRouter_->vcFree[static_cast<std::size_t>(v)].get();
+    if (space) return v;
+  }
+  return -1;
 }
 
 std::uint32_t NetworkInterface::parityProtect(std::uint32_t word) const {
@@ -85,6 +156,7 @@ void NetworkInterface::attachMetrics(const NiMetrics& metrics) {
 
 void NetworkInterface::onReset() {
   sendQueue_.clear();
+  for (auto& q : vcSendQueue_) q.clear();
   sendQueueFlits_ = 0;
   credits_ = params_.p;
   vcCredits_.fill(params_.p);
@@ -102,12 +174,16 @@ void NetworkInterface::onReset() {
 }
 
 void NetworkInterface::send(NodeId dst,
-                            const std::vector<std::uint32_t>& payload) {
+                            const std::vector<std::uint32_t>& payload,
+                            router::TrafficClass cls) {
   if (dst == self_)
     throw std::invalid_argument(
         "self-addressed packets are not routable (own-port request)");
   if (!topology_->contains(dst))
     throw std::invalid_argument("dst outside network");
+  if (!params_.qosClasses) cls = router::TrafficClass::BestEffort;
+  const int ledgerClass =
+      params_.qosClasses ? static_cast<int>(cls) : -1;
 
   if (transport_) {
     // The ledger tracks the application packet once, at submission; frames
@@ -119,8 +195,9 @@ void NetworkInterface::send(NodeId dst,
     record.dst = dst;
     record.createdCycle = cycle_;
     record.flits = static_cast<int>(payload.size()) + 2;
+    record.trafficClass = ledgerClass;
     ledger_->onQueued(record);
-    transport_->submit(dst, payload);
+    transport_->submit(dst, payload, cls);
     pumpTransport();
     markDirty();
     return;
@@ -135,17 +212,23 @@ void NetworkInterface::send(NodeId dst,
     for (std::uint32_t& word : words) word = parityProtect(word);
   }
 
+  const int vc = vcMode() ? injectVcFor(cls) : 0;
   OutPacket packet;
   packet.dst = dst;
+  packet.ledgerClass = ledgerClass;
   packet.flits =
       router::makePacket(topology_->ribFor(self_, dst, params_.numVCs), words,
-                         params_, vcMode() ? options_.injectVc : 0);
+                         params_, vc);
+  if (params_.qosClasses)
+    packet.flits[0].data =
+        router::encodeTrafficClass(packet.flits[0].data, cls, params_.m);
 
   PacketRecord record;
   record.src = self_;
   record.dst = dst;
   record.createdCycle = cycle_;
   record.flits = static_cast<int>(packet.flits.size());
+  record.trafficClass = ledgerClass;
   ledger_->onQueued(record);
 
   if (tracer_)
@@ -153,7 +236,7 @@ void NetworkInterface::send(NodeId dst,
                             static_cast<int>(packet.flits.size()));
 
   sendQueueFlits_ += packet.flits.size();
-  sendQueue_.push_back(std::move(packet));
+  queueFor(vc).push_back(std::move(packet));
   // A queue push changes what evaluate() drives; wake the event-driven
   // kernel even when the push happens between cycles (testbench sends).
   markDirty();
@@ -164,22 +247,29 @@ void NetworkInterface::evaluate() {
   // control permits it.  numVCs == 1: a credit (credit mode) or always
   // (handshake, the ack completes the transfer).  numVCs > 1: the inject
   // VC's advertised space (on/off level) or an in-hand per-VC credit — the
-  // transfer is then unconditional.
-  const bool havePending = !sendQueue_.empty();
-  const int injectVc = vcMode() ? options_.injectVc : 0;
-  bool canSend = havePending;
-  if (vcMode()) {
-    canSend =
-        canSend &&
-        (creditMode()
-             ? vcCredits_[static_cast<std::size_t>(injectVc)] > 0
-             : toRouter_->vcFree[static_cast<std::size_t>(injectVc)].get());
-  } else if (creditMode()) {
-    canSend = canSend && credits_ > 0;
+  // transfer is then unconditional.  Under qosClasses the inject VC is
+  // picked per cycle by strict class priority over the per-VC queues.
+  const OutPacket* pending = nullptr;
+  int injectVc = vcMode() ? options_.injectVc : 0;
+  if (params_.qosClasses) {
+    const int v = scheduledInjectVc();
+    injectVc = v >= 0 ? v : 0;
+    if (v >= 0) pending = &vcSendQueue_[static_cast<std::size_t>(v)].front();
+  } else {
+    bool canSend = !sendQueue_.empty();
+    if (vcMode()) {
+      canSend =
+          canSend &&
+          (creditMode()
+               ? vcCredits_[static_cast<std::size_t>(injectVc)] > 0
+               : toRouter_->vcFree[static_cast<std::size_t>(injectVc)].get());
+    } else if (creditMode()) {
+      canSend = canSend && credits_ > 0;
+    }
+    if (canSend) pending = &sendQueue_.front();
   }
-  if (canSend) {
-    const OutPacket& packet = sendQueue_.front();
-    const Flit& flit = packet.flits[packet.next];
+  if (pending) {
+    const Flit& flit = pending->flits[pending->next];
     toRouter_->flit.data.set(flit.data);
     toRouter_->flit.bop.set(flit.bop);
     toRouter_->flit.eop.set(flit.eop);
@@ -190,7 +280,7 @@ void NetworkInterface::evaluate() {
     toRouter_->flit.eop.set(false);
     toRouter_->val.set(false);
   }
-  if (vcMode()) toRouter_->vc.set(canSend ? injectVc : 0);
+  if (vcMode()) toRouter_->vc.set(pending ? injectVc : 0);
 
   // Receive side: always ready.
   if (vcMode()) {
@@ -218,10 +308,13 @@ void NetworkInterface::clockEdge() {
   const bool sent =
       presented && (vcMode() || creditMode() || toRouter_->ack.get());
   if (sent) {
-    OutPacket& packet = sendQueue_.front();
+    const int sentVc = vcMode() ? toRouter_->vc.get() : 0;
+    std::deque<OutPacket>& queue = queueFor(sentVc);
+    OutPacket& packet = queue.front();
     const Flit& flit = packet.flits[packet.next];
     if (flit.bop && packet.tracked)
-      ledger_->onHeaderInjected(self_, packet.dst, cycle_);
+      ledger_->onHeaderInjected(self_, packet.dst, cycle_,
+                                packet.ledgerClass);
     ++packet.next;
     --sendQueueFlits_;
     if (packet.next == packet.flits.size()) {
@@ -229,13 +322,24 @@ void NetworkInterface::clockEdge() {
       // The frame is fully on the wire: arm its retransmission timer.
       if (transport_ && packet.frameId != 0)
         transport_->onFrameSent(packet.frameId, cycle_);
-      sendQueue_.pop_front();
+      queue.pop_front();
     }
   }
   if (creditMode()) {
     if (vcMode()) {
-      const auto v = static_cast<std::size_t>(options_.injectVc);
-      vcCredits_[v] += (toRouter_->vcAck[v].get() ? 1 : 0) - (sent ? 1 : 0);
+      if (params_.qosClasses) {
+        // Credits return on whichever VC each flit entered; every class
+        // inject VC keeps its own pool.
+        const int sentVc = sent ? toRouter_->vc.get() : -1;
+        for (int v = 0; v < params_.numVCs; ++v) {
+          const auto vi = static_cast<std::size_t>(v);
+          vcCredits_[vi] += (toRouter_->vcAck[vi].get() ? 1 : 0) -
+                            (v == sentVc ? 1 : 0);
+        }
+      } else {
+        const auto v = static_cast<std::size_t>(options_.injectVc);
+        vcCredits_[v] += (toRouter_->vcAck[v].get() ? 1 : 0) - (sent ? 1 : 0);
+      }
     } else {
       credits_ += (toRouter_->ack.get() ? 1 : 0) - (sent ? 1 : 0);
     }
@@ -243,7 +347,7 @@ void NetworkInterface::clockEdge() {
 
   if (metricsAttached_) {
     if (metrics_.flitsInjected && sent) metrics_.flitsInjected->inc();
-    if (metrics_.backpressureCycles && !sendQueue_.empty() && !sent)
+    if (metrics_.backpressureCycles && sendQueueFlits_ > 0 && !sent)
       metrics_.backpressureCycles->inc();
     if (metrics_.sendQueueFlits)
       metrics_.sendQueueFlits->observe(static_cast<double>(sendQueueFlits_));
@@ -331,7 +435,14 @@ void NetworkInterface::acceptRxFlit(const Flit& flit,
         ++unattributed_;
       } else {
         const NodeId src = topology_->nodeAt(srcIndex);
-        if (!ledger_->tryDeliver(src, self_, cycle_)) ++unattributed_;
+        // The ledger flows are per class on a QoS network (priority
+        // scheduling reorders classes); the header carries the tag.
+        const int cls =
+            params_.qosClasses
+                ? static_cast<int>(
+                      router::decodeTrafficClass(buf.front().data, params_.m))
+                : -1;
+        if (!ledger_->tryDeliver(src, self_, cycle_, cls)) ++unattributed_;
       }
       ++packetsReceived_;
       std::vector<std::uint32_t> payload;
@@ -351,13 +462,22 @@ void NetworkInterface::enqueueFrame(ReliableTransport::WireFrame&& frame) {
   if (options_.hlpParity) {
     for (std::uint32_t& word : words) word = parityProtect(word);
   }
+  // The transport picked the frame's class: the submitter's on first DATA
+  // transmissions, the reliability class on retransmissions and ACK/NACKs
+  // — so recovery traffic rides its own isolated channel.
+  const int vc = vcMode() ? injectVcFor(frame.cls) : 0;
   OutPacket packet;
   packet.dst = frame.dst;
   packet.frameId = frame.frameId;
   packet.tracked = frame.firstTransmission;
+  if (params_.qosClasses && packet.tracked)
+    packet.ledgerClass = static_cast<int>(frame.cls);
   packet.flits = router::makePacket(
       topology_->ribFor(self_, frame.dst, params_.numVCs), words, params_,
-      vcMode() ? options_.injectVc : 0);
+      vc);
+  if (params_.qosClasses)
+    packet.flits[0].data = router::encodeTrafficClass(packet.flits[0].data,
+                                                      frame.cls, params_.m);
   if (tracer_) {
     using telemetry::TraceEventKind;
     TraceEventKind kind = TraceEventKind::PacketQueued;
@@ -371,7 +491,7 @@ void NetworkInterface::enqueueFrame(ReliableTransport::WireFrame&& frame) {
                             static_cast<int>(packet.flits.size()));
   }
   sendQueueFlits_ += packet.flits.size();
-  sendQueue_.push_back(std::move(packet));
+  queueFor(vc).push_back(std::move(packet));
   markDirty();
 }
 
@@ -381,8 +501,13 @@ void NetworkInterface::pumpTransport() {
   for (auto& delivery : transport_->takeDeliveries()) {
     // Attribution is checksum-verified, so a failed ledger close would mean
     // a protocol bug rather than wire noise; count it like the unprotected
-    // path does.
-    if (!ledger_->tryDeliver(delivery.src, self_, cycle_)) ++unattributed_;
+    // path does.  The delivery carries the submitter's class (recovered
+    // from the DATA control word) so the per-class flow key matches even
+    // when the payload arrived via a reclassified retransmission.
+    const int cls =
+        params_.qosClasses ? static_cast<int>(delivery.cls) : -1;
+    if (!ledger_->tryDeliver(delivery.src, self_, cycle_, cls))
+      ++unattributed_;
     ++packetsReceived_;
     received_.push_back(std::move(delivery.payload));
   }
@@ -395,9 +520,17 @@ bool NetworkInterface::describe(sim::Lowering& lw) {
     std::vector<const sim::WireBase*> writes = {
         &toRouter_->flit.data, &toRouter_->flit.bop, &toRouter_->flit.eop,
         &toRouter_->val, &toRouter_->vc};
-    if (!creditMode())
-      reads.push_back(
-          &toRouter_->vcFree[static_cast<std::size_t>(options_.injectVc)]);
+    if (!creditMode()) {
+      // QoS injects on any adaptive VC, so evaluate() reads them all;
+      // otherwise only the fixed inject VC's level matters.
+      if (params_.qosClasses) {
+        for (int v = options_.escapeVCs; v < params_.numVCs; ++v)
+          reads.push_back(&toRouter_->vcFree[static_cast<std::size_t>(v)]);
+      } else {
+        reads.push_back(
+            &toRouter_->vcFree[static_cast<std::size_t>(options_.injectVc)]);
+      }
+    }
     for (int v = 0; v < params_.numVCs; ++v) {
       writes.push_back(&fromRouter_->vcFree[static_cast<std::size_t>(v)]);
       if (creditMode())

@@ -21,6 +21,16 @@
 /// checksums, retransmits on timeout, and releases them in order exactly
 /// once at the receiver.  The option is off by default and the default wire
 /// format and cycle behavior are bit-identical to the unprotected NI.
+///
+/// With RouterParams::qosClasses the NI is the tagging point of the QoS
+/// story (DESIGN.md §13): send() takes a TrafficClass, encodes it into the
+/// header flit's class bits and queues the packet on the class's inject VC
+/// (router::qosInjectVc).  The queues are per VC — classes sharing an
+/// inject VC share a FIFO, which preserves wormhole framing on that VC —
+/// and injection is strict-priority work-conserving: each cycle the
+/// highest inject VC with a pending flit and space downstream sends.
+/// Under reliability, first transmissions carry the submitter's class and
+/// retransmissions/ACKs ride ReliabilityConfig::trafficClass.
 #pragma once
 
 #include <array>
@@ -60,8 +70,14 @@ struct NiOptions {
 
   /// Virtual channel new packets are injected on (numVCs > 1 only; the
   /// network builder picks the first adaptive VC so escape VCs stay clear
-  /// for in-flight traffic).  Ignored at numVCs == 1.
+  /// for in-flight traffic).  Ignored at numVCs == 1 and under
+  /// RouterParams::qosClasses, where each class has its own inject VC.
   int injectVc = 0;
+
+  /// Escape VCs of the attached router (1 on meshes, 2 on wrapping
+  /// topologies); the QoS class→VC map needs it to compute per-class
+  /// inject VCs.  Only read when RouterParams::qosClasses is set.
+  int escapeVCs = 1;
 };
 
 /// Opt-in injection-side instrumentation (telemetry subsystem).
@@ -100,21 +116,26 @@ class NetworkInterface : public sim::Module {
   /// Queues a packet of `payload` words for `dst` (throws on dst == self:
   /// an input channel may never request its own port).  With reliability
   /// enabled the payload is handed to the transport, which frames it and
-  /// may delay it in a per-destination window backlog.
-  void send(NodeId dst, const std::vector<std::uint32_t>& payload);
+  /// may delay it in a per-destination window backlog.  `cls` tags the
+  /// packet on a QoS network (RouterParams::qosClasses); ignored otherwise.
+  void send(NodeId dst, const std::vector<std::uint32_t>& payload,
+            router::TrafficClass cls = router::TrafficClass::BestEffort);
+
+  /// True when the attached router maps traffic classes onto VCs.
+  bool qosEnabled() const { return params_.qosClasses; }
 
   /// Flits currently queued for the wire (all frame types).
   std::size_t sendQueueFlits() const { return sendQueueFlits_; }
   /// Packets queued for the wire plus, under reliability, backlogged
   /// payloads waiting for window space (traffic generators throttle on it).
-  std::size_t sendQueuePackets() const {
-    return sendQueue_.size() +
-           (transport_ ? transport_->backlogFrames() : 0);
-  }
+  std::size_t sendQueuePackets() const;
+  /// QoS networks: packets queued on `cls`'s inject VC (shared with any
+  /// class mapping to the same VC).  Per-class generator throttling reads
+  /// this instead of the aggregate so one class cannot stall another's
+  /// injection.
+  std::size_t sendQueuePackets(router::TrafficClass cls) const;
   /// Nothing queued and (under reliability) no frame awaiting an ACK.
-  bool idle() const {
-    return sendQueue_.empty() && (!transport_ || transport_->idle());
-  }
+  bool idle() const;
 
   std::uint64_t packetsSent() const { return packetsSent_; }
   std::uint64_t packetsReceived() const { return packetsReceived_; }
@@ -177,6 +198,12 @@ class NetworkInterface : public sim::Module {
     return flowControl_ == router::FlowControl::CreditBased;
   }
   bool vcMode() const { return params_.numVCs > 1; }
+  // Inject VC for a class under qosClasses (options_.injectVc otherwise).
+  int injectVcFor(router::TrafficClass cls) const;
+  // QoS: the inject VC evaluate() schedules this cycle, or -1.  Strict
+  // priority: highest VC (= highest class) with a pending flit and
+  // downstream space wins.
+  int scheduledInjectVc() const;
   // Packet-completion step shared by the single-queue (numVCs == 1) and
   // per-VC reassembly paths.
   void acceptRxFlit(const router::Flit& flit, std::vector<router::Flit>& buf);
@@ -208,10 +235,20 @@ class NetworkInterface : public sim::Module {
     // ledger accounts (first transmissions — never ACKs/retransmissions).
     std::uint64_t frameId = 0;
     bool tracked = true;
+    // Delivery-ledger flow class of a tracked packet (-1 off QoS).
+    int ledgerClass = -1;
   };
+  // The single queue when QoS is off; per-inject-VC queues under
+  // qosClasses, so a backed-up Bulk queue never blocks a Control packet
+  // behind it (queueFor() routes between them).
   std::deque<OutPacket> sendQueue_;
+  std::array<std::deque<OutPacket>, router::kMaxVCs> vcSendQueue_;
   std::size_t sendQueueFlits_ = 0;
   int credits_ = 0;
+
+  // The send queue feeding inject VC `vc`.
+  std::deque<OutPacket>& queueFor(int vc);
+  const std::deque<OutPacket>& queueFor(int vc) const;
 
   // Receive side.  numVCs == 1 reassembles in rxFlits_; with VCs, packets
   // on different virtual channels interleave flit-by-flit on the physical

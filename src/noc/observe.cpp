@@ -182,6 +182,28 @@ telemetry::RunReport buildRunReport(std::string name, const Network& network,
     report.set("ledger", "network_latency_p99",
                networkLatency.percentile(0.99));
 
+  if (config.params.qosClasses) {
+    // Per-class delivery and latency breakdown (the isolation story's
+    // measured form: compare control's p99 against bulk's under load).
+    for (int c = 0; c < router::kNumTrafficClasses; ++c) {
+      const auto cls = static_cast<router::TrafficClass>(c);
+      const std::string key(router::name(cls));
+      report.set("qos", key + "_queued", ledger.queued(cls));
+      report.set("qos", key + "_delivered", ledger.delivered(cls));
+      const LatencyStats& lat = ledger.packetLatency(cls);
+      if (lat.count() > 0) {
+        report.set("qos", key + "_latency_mean", lat.mean());
+        report.set("qos", key + "_latency_p50", lat.percentile(0.5));
+        report.set("qos", key + "_latency_p99", lat.percentile(0.99));
+        report.set("qos", key + "_latency_max", lat.max());
+      }
+      const LatencyStats& net = ledger.networkLatency(cls);
+      if (net.count() > 0)
+        report.set("qos", key + "_network_latency_p99",
+                   net.percentile(0.99));
+    }
+  }
+
   report.set("links", "mean_utilization", network.meanLinkUtilization());
   report.set("links", "max_utilization", network.maxLinkUtilization());
 

@@ -16,6 +16,9 @@
 /// and the network-level sampled gauges:
 ///   - `mesh.{in_flight_packets,send_queue_flits}` and, with reliability,
 ///     `net.reliability.{unacked_frames,backlog_frames}`
+///   - with RouterParams::qosClasses,
+///     `net.qos.<class>.{queued_packets,delivered_packets}` per traffic
+///     class, plus a per-class `qos` section in buildRunReport
 /// where <P> is a port letter (L,N,E,S,W); pruned-port series are absent.
 ///
 /// Heatmaps are laid out over the topology extent, so a ring renders as a

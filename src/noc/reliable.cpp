@@ -92,28 +92,34 @@ std::uint32_t ReliableTransport::checksum(
 }
 
 void ReliableTransport::submit(NodeId dst,
-                               const std::vector<std::uint32_t>& payload) {
+                               const std::vector<std::uint32_t>& payload,
+                               router::TrafficClass cls) {
   const int dstIndex = topology_->indexOf(dst);
   SendFlow& flow = sendFlows_[dstIndex];
   if (flow.unacked.size() < static_cast<std::size_t>(config_.window)) {
-    transmit(dstIndex, flow, payload);
+    transmit(dstIndex, flow, payload, cls);
   } else {
-    flow.backlog.push_back(payload);
+    flow.backlog.push_back({payload, cls});
   }
 }
 
 void ReliableTransport::transmit(int dstIndex, SendFlow& flow,
-                                 std::vector<std::uint32_t> payload) {
+                                 std::vector<std::uint32_t> payload,
+                                 router::TrafficClass cls) {
   Outstanding frame;
   frame.seq = flow.nextSeq;
   flow.nextSeq = (flow.nextSeq + 1) & seqMask(config_.seqBits);
   frame.payload = std::move(payload);
+  frame.cls = cls;
   frame.frameId = nextFrameId_++;
   frame.rto = config_.rtoInitial;
 
   const std::uint32_t control =
       (static_cast<std::uint32_t>(FrameType::Data)
        << static_cast<std::uint32_t>(typeShift_)) |
+      (classFieldFits()
+           ? static_cast<std::uint32_t>(cls) << config_.seqBits
+           : 0u) |
       frame.seq;
   std::vector<std::uint32_t> words;
   words.reserve(frame.payload.size() + 2);
@@ -122,8 +128,8 @@ void ReliableTransport::transmit(int dstIndex, SendFlow& flow,
   words.push_back(checksum(selfIndex_, words));
 
   frameFlow_[frame.frameId] = dstIndex;
-  pendingFrames_.push_back(
-      {topology_->nodeAt(dstIndex), std::move(words), frame.frameId, true});
+  pendingFrames_.push_back({topology_->nodeAt(dstIndex), std::move(words),
+                            frame.frameId, true, FrameType::Data, cls});
   ++stats_.dataFramesSent;
   flow.unacked.push_back(std::move(frame));
 }
@@ -133,9 +139,14 @@ void ReliableTransport::retransmit(int dstIndex, Outstanding& frame) {
   frame.frameId = nextFrameId_++;
   frame.deadline = 0;  // re-armed when the NI finishes streaming it
 
+  // The control word keeps the ORIGINAL submission class (end-to-end
+  // identity); only the header tag below is reclassified for routing.
   const std::uint32_t control =
       (static_cast<std::uint32_t>(FrameType::Data)
        << static_cast<std::uint32_t>(typeShift_)) |
+      (classFieldFits()
+           ? static_cast<std::uint32_t>(frame.cls) << config_.seqBits
+           : 0u) |
       frame.seq;
   std::vector<std::uint32_t> words;
   words.reserve(frame.payload.size() + 2);
@@ -144,8 +155,12 @@ void ReliableTransport::retransmit(int dstIndex, Outstanding& frame) {
   words.push_back(checksum(selfIndex_, words));
 
   frameFlow_[frame.frameId] = dstIndex;
-  pendingFrames_.push_back(
-      {topology_->nodeAt(dstIndex), std::move(words), frame.frameId, false});
+  // Recovery traffic rides the isolated reliability class, not the class of
+  // the original submission — the whole point is to keep retransmissions
+  // out of the congestion that delayed the first copy.
+  pendingFrames_.push_back({topology_->nodeAt(dstIndex), std::move(words),
+                            frame.frameId, false, FrameType::Data,
+                            config_.trafficClass});
   ++stats_.retransmissions;
 }
 
@@ -160,7 +175,7 @@ void ReliableTransport::emitControl(int dstIndex, FrameType type,
   words.push_back(checksum(selfIndex_, words));
   pendingFrames_.push_back({topology_->nodeAt(dstIndex), std::move(words),
                             /*frameId=*/0, /*firstTransmission=*/false,
-                            type});
+                            type, config_.trafficClass});
   if (type == FrameType::Ack) ++stats_.acksSent;
   if (type == FrameType::Nack) ++stats_.nacksSent;
 }
@@ -168,9 +183,9 @@ void ReliableTransport::emitControl(int dstIndex, FrameType type,
 void ReliableTransport::promote(int dstIndex, SendFlow& flow) {
   while (flow.unacked.size() < static_cast<std::size_t>(config_.window) &&
          !flow.backlog.empty()) {
-    std::vector<std::uint32_t> payload = std::move(flow.backlog.front());
+    Backlogged next = std::move(flow.backlog.front());
     flow.backlog.pop_front();
-    transmit(dstIndex, flow, std::move(payload));
+    transmit(dstIndex, flow, std::move(next.payload), next.cls);
   }
 }
 
@@ -250,7 +265,8 @@ void ReliableTransport::handleNack(int srcIndex, std::uint32_t seq) {
 
 void ReliableTransport::handleData(int srcIndex, std::uint32_t seq,
                                    std::vector<std::uint32_t> payload,
-                                   std::uint64_t cycle) {
+                                   std::uint64_t cycle,
+                                   router::TrafficClass cls) {
   RecvFlow& flow = recvFlows_[srcIndex];
   const std::uint32_t dist =
       seqDistance(flow.expected, seq, config_.seqBits);
@@ -258,13 +274,14 @@ void ReliableTransport::handleData(int srcIndex, std::uint32_t seq,
   if (dist == 0) {
     // In order: deliver, then release any buffered successors.
     pendingDeliveries_.push_back(
-        {topology_->nodeAt(srcIndex), std::move(payload)});
+        {topology_->nodeAt(srcIndex), std::move(payload), cls});
     ++stats_.payloadsDelivered;
     flow.expected = (flow.expected + 1) & mask;
     for (auto it = flow.buffered.find(flow.expected);
          it != flow.buffered.end(); it = flow.buffered.find(flow.expected)) {
-      pendingDeliveries_.push_back(
-          {topology_->nodeAt(srcIndex), std::move(it->second)});
+      pendingDeliveries_.push_back({topology_->nodeAt(srcIndex),
+                                    std::move(it->second.payload),
+                                    it->second.cls});
       ++stats_.payloadsDelivered;
       flow.buffered.erase(it);
       flow.expected = (flow.expected + 1) & mask;
@@ -273,7 +290,8 @@ void ReliableTransport::handleData(int srcIndex, std::uint32_t seq,
     emitControl(srcIndex, FrameType::Ack, (flow.expected - 1) & mask);
   } else if (dist < static_cast<std::uint32_t>(config_.window)) {
     // Ahead of the expected frame: hold for reordering and ask for the gap.
-    const auto [it, inserted] = flow.buffered.emplace(seq, std::move(payload));
+    const auto [it, inserted] =
+        flow.buffered.emplace(seq, Buffered{std::move(payload), cls});
     (void)it;
     if (inserted) {
       ++stats_.outOfOrderBuffered;
@@ -317,21 +335,29 @@ void ReliableTransport::onWireWords(const std::vector<std::uint32_t>& words,
   const std::uint32_t type =
       control >> static_cast<std::uint32_t>(typeShift_);
   const std::uint32_t seq = control & seqMask(config_.seqBits);
-  // Bits between the sequence field and the type field must be clear.
+  // Bits between the class field (DATA only) and the type field must be
+  // clear; ACK/NACK control words carry no class.
+  const bool isData = type == static_cast<std::uint32_t>(FrameType::Data);
+  const std::uint32_t clsField =
+      isData && classFieldFits()
+          ? 3u << static_cast<std::uint32_t>(config_.seqBits)
+          : 0u;
   const std::uint32_t valid =
-      (3u << static_cast<std::uint32_t>(typeShift_)) |
+      (3u << static_cast<std::uint32_t>(typeShift_)) | clsField |
       seqMask(config_.seqBits);
   if ((control & ~valid & mask) != 0 || type > 2) {
     ++stats_.malformedFrames;
     return;
   }
+  const auto cls = static_cast<router::TrafficClass>(
+      clsField ? (control >> config_.seqBits) & 3u : 0u);
   const int srcIndex = static_cast<int>(srcWord);
   switch (static_cast<FrameType>(type)) {
     case FrameType::Data: {
       std::vector<std::uint32_t> payload;
       for (std::size_t i = 2; i + 1 < words.size(); ++i)
         payload.push_back(words[i] & mask);
-      handleData(srcIndex, seq, std::move(payload), cycle);
+      handleData(srcIndex, seq, std::move(payload), cycle, cls);
       break;
     }
     case FrameType::Ack:

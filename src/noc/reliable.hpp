@@ -12,9 +12,16 @@
 /// Wire format (payload words of a packet, after the RIB header flit):
 ///
 ///   word 0  source node index (as in the unprotected format)
-///   word 1  control word: [type:2 | 0… | seq:seqBits]
+///   word 1  control word: [type:2 | 0… | cls:2 | seq:seqBits]
 ///   word 2… application payload (DATA frames only)
 ///   last    checksum over all preceding payload words
+///
+/// The 2-bit `cls` field (DATA frames; zero when it would overlap the type
+/// bits) carries the submitter's TrafficClass in-band: a retransmission's
+/// header flit is deliberately re-tagged with the reliability class for
+/// routing isolation, so the receiver recovers the original class from the
+/// control word, not the header.  Zero (BestEffort) on non-QoS networks,
+/// which keeps the format bit-identical to the pre-QoS protocol.
 ///
 /// DATA frames carry one application packet each; ACK frames acknowledge
 /// every sequence number up to and including `seq` (cumulative); NACK
@@ -29,6 +36,7 @@
 #include <vector>
 
 #include "noc/topology.hpp"
+#include "router/params.hpp"
 
 namespace rasoc::noc {
 
@@ -61,6 +69,14 @@ struct ReliabilityConfig {
   /// Abandoning sacrifices the delivery guarantee; it exists so bounded
   /// campaigns can report losses instead of hanging.
   int maxRetries = 0;
+
+  /// Traffic class protocol overhead rides on QoS networks
+  /// (RouterParams::qosClasses): retransmissions and ACK/NACK control
+  /// frames are tagged with it, so recovery traffic stays on an isolated
+  /// channel instead of queueing behind the bulk flood that delayed the
+  /// original frame.  First transmissions keep the submitter's class.
+  /// Ignored on non-QoS networks.
+  router::TrafficClass trafficClass = router::TrafficClass::Control;
 
   /// Throws std::invalid_argument for inconsistent knobs or a control word
   /// that does not fit `payloadBits` (needs seqBits + 2 bits).
@@ -123,12 +139,19 @@ class ReliableTransport {
     std::uint64_t frameId = 0;
     bool firstTransmission = false;
     FrameType type = FrameType::Data;
+    /// Traffic class the NI tags the wire packet with (QoS networks): the
+    /// submitter's class on first DATA transmissions, the config's
+    /// `trafficClass` on retransmissions and ACK/NACK frames.
+    router::TrafficClass cls = router::TrafficClass::BestEffort;
   };
 
   /// An application payload released in order, exactly once.
   struct Delivery {
     NodeId src;
     std::vector<std::uint32_t> payload;
+    /// The submitter's class, recovered from the control word's in-band
+    /// field (BestEffort on non-QoS networks).
+    router::TrafficClass cls = router::TrafficClass::BestEffort;
   };
 
   ReliableTransport(ReliabilityConfig config,
@@ -138,8 +161,11 @@ class ReliableTransport {
   void reset();
 
   /// Sender: accepts an application payload for `dst`.  Transmits
-  /// immediately when the flow's window has room, else backlogs.
-  void submit(NodeId dst, const std::vector<std::uint32_t>& payload);
+  /// immediately when the flow's window has room, else backlogs.  `cls`
+  /// tags the first transmission on QoS networks (retransmissions ride
+  /// the config's `trafficClass`).
+  void submit(NodeId dst, const std::vector<std::uint32_t>& payload,
+              router::TrafficClass cls = router::TrafficClass::BestEffort);
 
   /// The NI finished streaming the frame with this id; arms its timer.
   void onFrameSent(std::uint64_t frameId, std::uint64_t cycle);
@@ -149,7 +175,9 @@ class ReliableTransport {
 
   /// Receiver: a complete, well-framed packet arrived.  `words` are all
   /// payload words including the leading source index, masked to
-  /// payloadBits.  Malformed frames are counted and dropped.
+  /// payloadBits.  Malformed frames are counted and dropped.  The header
+  /// flit's class tag is irrelevant here — the submitter's class travels
+  /// in-band in the control word.
   void onWireWords(const std::vector<std::uint32_t>& words,
                    std::uint64_t cycle);
 
@@ -175,33 +203,47 @@ class ReliableTransport {
   struct Outstanding {
     std::uint32_t seq = 0;
     std::vector<std::uint32_t> payload;
+    router::TrafficClass cls = router::TrafficClass::BestEffort;
     std::uint64_t frameId = 0;   // latest transmission's id
     std::uint64_t deadline = 0;  // 0 = timer unarmed (still streaming out)
     std::uint64_t rto = 0;
     int timeouts = 0;
   };
+  struct Backlogged {
+    std::vector<std::uint32_t> payload;
+    router::TrafficClass cls = router::TrafficClass::BestEffort;
+  };
   struct SendFlow {
     std::uint32_t nextSeq = 0;
     std::deque<Outstanding> unacked;
-    std::deque<std::vector<std::uint32_t>> backlog;
+    std::deque<Backlogged> backlog;
+  };
+  struct Buffered {
+    std::vector<std::uint32_t> payload;
+    router::TrafficClass cls = router::TrafficClass::BestEffort;
   };
   struct RecvFlow {
     std::uint32_t expected = 0;
-    std::map<std::uint32_t, std::vector<std::uint32_t>> buffered;
+    std::map<std::uint32_t, Buffered> buffered;
     bool nackPending = false;      // a NACK for `expected` was sent
     std::uint32_t nackSeq = 0;
     std::uint64_t nackCycle = 0;
   };
 
+  // The in-band class field fits only when it does not overlap the type
+  // bits; a too-tight control word degrades to classless (all BestEffort).
+  bool classFieldFits() const { return config_.seqBits + 2 <= typeShift_; }
+
   std::uint32_t checksum(std::uint32_t first,
                          const std::vector<std::uint32_t>& rest) const;
   void transmit(int dstIndex, SendFlow& flow,
-                std::vector<std::uint32_t> payload);
+                std::vector<std::uint32_t> payload, router::TrafficClass cls);
   void retransmit(int dstIndex, Outstanding& frame);
   void emitControl(int dstIndex, FrameType type, std::uint32_t seq);
   void promote(int dstIndex, SendFlow& flow);
   void handleData(int srcIndex, std::uint32_t seq,
-                  std::vector<std::uint32_t> payload, std::uint64_t cycle);
+                  std::vector<std::uint32_t> payload, std::uint64_t cycle,
+                  router::TrafficClass cls);
   void handleAck(int srcIndex, std::uint32_t seq);
   void handleNack(int srcIndex, std::uint32_t seq);
   void popAcked(SendFlow& flow, std::uint32_t upTo, bool inclusive);

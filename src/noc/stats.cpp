@@ -82,14 +82,17 @@ std::string LatencyStats::histogram(int bins, int barWidth) const {
 }
 
 void DeliveryLedger::onQueued(PacketRecord record) {
-  const FlowKey key = flowKey(record.src, record.dst);
+  const FlowKey key = flowKey(record.src, record.dst, record.trafficClass);
   flows_[key].push_back(record);
   ++queuedCount_;
+  if (record.trafficClass >= 0)
+    ++classQueued_[static_cast<std::size_t>(record.trafficClass)];
 }
 
 void DeliveryLedger::onHeaderInjected(NodeId src, NodeId dst,
-                                      std::uint64_t cycle) {
-  const FlowKey key = flowKey(src, dst);
+                                      std::uint64_t cycle,
+                                      int trafficClass) {
+  const FlowKey key = flowKey(src, dst, trafficClass);
   auto it = flows_.find(key);
   if (it == flows_.end() || it->second.empty())
     throw std::logic_error("header injected for an unknown flow");
@@ -104,8 +107,9 @@ void DeliveryLedger::onHeaderInjected(NodeId src, NodeId dst,
 }
 
 PacketRecord DeliveryLedger::onDelivered(NodeId src, NodeId dst,
-                                         std::uint64_t cycle) {
-  const FlowKey key = flowKey(src, dst);
+                                         std::uint64_t cycle,
+                                         int trafficClass) {
+  const FlowKey key = flowKey(src, dst, trafficClass);
   auto it = flows_.find(key);
   if (it == flows_.end() || it->second.empty())
     throw std::logic_error("delivery for a flow with no open packets");
@@ -115,21 +119,31 @@ PacketRecord DeliveryLedger::onDelivered(NodeId src, NodeId dst,
     throw std::logic_error("packet delivered before its header was injected");
   ++deliveredCount_;
   flitsDelivered_ += static_cast<std::uint64_t>(record.flits);
+  if (record.trafficClass >= 0)
+    ++classDelivered_[static_cast<std::size_t>(record.trafficClass)];
   if (record.createdCycle >= warmup_) {
-    packetLatency_.record(static_cast<double>(cycle - record.createdCycle));
-    networkLatency_.record(static_cast<double>(cycle - record.injectedCycle));
+    const auto packetLat = static_cast<double>(cycle - record.createdCycle);
+    const auto networkLat = static_cast<double>(cycle - record.injectedCycle);
+    packetLatency_.record(packetLat);
+    networkLatency_.record(networkLat);
+    if (record.trafficClass >= 0) {
+      const auto cls = static_cast<std::size_t>(record.trafficClass);
+      classPacketLatency_[cls].record(packetLat);
+      classNetworkLatency_[cls].record(networkLat);
+    }
     flitsDeliveredAfterWarmup_ += static_cast<std::uint64_t>(record.flits);
   }
   return record;
 }
 
-bool DeliveryLedger::tryDeliver(NodeId src, NodeId dst, std::uint64_t cycle) {
-  const FlowKey key = flowKey(src, dst);
+bool DeliveryLedger::tryDeliver(NodeId src, NodeId dst, std::uint64_t cycle,
+                                int trafficClass) {
+  const FlowKey key = flowKey(src, dst, trafficClass);
   auto it = flows_.find(key);
   if (it == flows_.end() || it->second.empty() ||
       !it->second.front().injected)
     return false;
-  onDelivered(src, dst, cycle);
+  onDelivered(src, dst, cycle, trafficClass);
   return true;
 }
 

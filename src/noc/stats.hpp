@@ -9,6 +9,7 @@
 // front of the per-flow queue is always the packet being closed.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -17,6 +18,7 @@
 #include <vector>
 
 #include "noc/topology.hpp"
+#include "router/params.hpp"
 
 namespace rasoc::noc {
 
@@ -55,6 +57,11 @@ struct PacketRecord {
   std::uint64_t injectedCycle = 0;   // header flit entered the router
   bool injected = false;
   int flits = 0;                     // total flits including header
+  // QoS traffic class the packet was tagged with, or -1 on non-QoS
+  // networks.  Part of the flow key: priority scheduling deliberately
+  // reorders classes within one (src, dst) pair, so only packets of one
+  // class form a FIFO flow.
+  int trafficClass = -1;
 };
 
 class DeliveryLedger {
@@ -64,12 +71,16 @@ class DeliveryLedger {
   void setWarmupCycles(std::uint64_t cycles) { warmup_ = cycles; }
 
   void onQueued(PacketRecord record);
-  void onHeaderInjected(NodeId src, NodeId dst, std::uint64_t cycle);
+  // `trafficClass` selects the flow (pass the record's value; -1 = untagged).
+  void onHeaderInjected(NodeId src, NodeId dst, std::uint64_t cycle,
+                        int trafficClass = -1);
   // Returns the closed record; throws if no packet of that flow is open.
-  PacketRecord onDelivered(NodeId src, NodeId dst, std::uint64_t cycle);
+  PacketRecord onDelivered(NodeId src, NodeId dst, std::uint64_t cycle,
+                           int trafficClass = -1);
   // Non-throwing variant for receivers whose source attribution may be
   // corrupted (fault injection): returns false if no such flow is open.
-  bool tryDeliver(NodeId src, NodeId dst, std::uint64_t cycle);
+  bool tryDeliver(NodeId src, NodeId dst, std::uint64_t cycle,
+                  int trafficClass = -1);
 
   std::uint64_t queued() const { return queuedCount_; }
   std::uint64_t delivered() const { return deliveredCount_; }
@@ -81,20 +92,39 @@ class DeliveryLedger {
   // Network-only: header injection to trailer delivery.
   const LatencyStats& networkLatency() const { return networkLatency_; }
 
+  // Per-class views (QoS networks; empty/zero for classes never tagged).
+  const LatencyStats& packetLatency(router::TrafficClass cls) const {
+    return classPacketLatency_[static_cast<std::size_t>(cls)];
+  }
+  const LatencyStats& networkLatency(router::TrafficClass cls) const {
+    return classNetworkLatency_[static_cast<std::size_t>(cls)];
+  }
+  std::uint64_t delivered(router::TrafficClass cls) const {
+    return classDelivered_[static_cast<std::size_t>(cls)];
+  }
+  std::uint64_t queued(router::TrafficClass cls) const {
+    return classQueued_[static_cast<std::size_t>(cls)];
+  }
+
   // Delivered flits per cycle per node over the measured window.
   double throughputFlitsPerCyclePerNode(std::uint64_t cycles,
                                         int nodes) const;
 
  private:
-  // Flow keys are raw endpoint coordinates so the ledger works for any
-  // topology's node space without knowing its extent.
-  using FlowKey = std::tuple<int, int, int, int>;  // (src.x,src.y,dst.x,dst.y)
-  static FlowKey flowKey(NodeId src, NodeId dst) {
-    return {src.x, src.y, dst.x, dst.y};
+  // Flow keys are raw endpoint coordinates (so the ledger works for any
+  // topology's node space without knowing its extent) plus the traffic
+  // class (-1 when untagged).
+  using FlowKey = std::tuple<int, int, int, int, int>;
+  static FlowKey flowKey(NodeId src, NodeId dst, int trafficClass) {
+    return {src.x, src.y, dst.x, dst.y, trafficClass};
   }
   std::map<FlowKey, std::deque<PacketRecord>> flows_;
   LatencyStats packetLatency_;
   LatencyStats networkLatency_;
+  std::array<LatencyStats, router::kNumTrafficClasses> classPacketLatency_;
+  std::array<LatencyStats, router::kNumTrafficClasses> classNetworkLatency_;
+  std::array<std::uint64_t, router::kNumTrafficClasses> classDelivered_{};
+  std::array<std::uint64_t, router::kNumTrafficClasses> classQueued_{};
   std::uint64_t warmup_ = 0;
   std::uint64_t queuedCount_ = 0;
   std::uint64_t deliveredCount_ = 0;

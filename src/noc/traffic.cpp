@@ -126,7 +126,13 @@ void TrafficGenerator::onReset() {
 void TrafficGenerator::clockEdge() {
   if (paused_) return;
   if (!rng_.chance(packetProbability_)) return;
-  if (ni_->sendQueuePackets() >= config_.maxQueuedPackets) {
+  // On a QoS network the throttle watches only this flow's class queue, so
+  // a saturated Bulk queue cannot silence a Control generator on the same
+  // NI — per-class injection isolation starts at the source.
+  const std::size_t queued =
+      ni_->qosEnabled() ? ni_->sendQueuePackets(config_.trafficClass)
+                        : ni_->sendQueuePackets();
+  if (queued >= config_.maxQueuedPackets) {
     ++injectionsSkipped_;
     return;
   }
@@ -137,7 +143,7 @@ void TrafficGenerator::clockEdge() {
   payload.reserve(static_cast<std::size_t>(config_.payloadFlits));
   for (int i = 0; i < config_.payloadFlits; ++i)
     payload.push_back(static_cast<std::uint32_t>(rng_.next()));
-  ni_->send(dst, payload);
+  ni_->send(dst, payload, config_.trafficClass);
   ++packetsGenerated_;
 }
 

@@ -39,8 +39,23 @@ struct TrafficConfig {
   // Source-queue cap in packets; generation pauses when the NI is this far
   // behind (models finite-core injection and keeps saturation runs stable).
   std::size_t maxQueuedPackets = 4;
+  // QoS class the generated packets are tagged with.  Only honoured on
+  // networks built with RouterParams::qosClasses; ignored (and harmless)
+  // otherwise.  On a QoS network the throttle above is per class: a Bulk
+  // flood backing up its own inject queue must not silence a Control
+  // generator sharing the same NI.
+  router::TrafficClass trafficClass = router::TrafficClass::BestEffort;
 
   int packetFlits() const { return payloadFlits + 2; }
+};
+
+// One flow of a mixed-class workload: a traffic config plus the class its
+// packets ride.  Network::attachTraffic(vector<FlowSpec>) builds one
+// generator per (flow, node) pair, so e.g. a low-rate Control flow and a
+// saturating Bulk flood can share every node.
+struct FlowSpec {
+  router::TrafficClass trafficClass = router::TrafficClass::BestEffort;
+  TrafficConfig traffic;
 };
 
 // Throws std::invalid_argument when `pattern` cannot run on `topology`:

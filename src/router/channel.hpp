@@ -58,9 +58,11 @@ struct ChannelWires {
 // is never asserted ("it is not allowed to an input channel to request the
 // output channel of its own port").
 // With virtual channels the crossbar is replicated per (input port, VC);
-// `want` then carries the VC-allocation request alongside req: the exact
-// downstream VC index an escape-routed header needs (its dateline class),
-// or -1 for "any adaptive VC" (see VcOutputChannel).  Unused at numVCs == 1.
+// `want` then carries the VC-allocation request alongside req, as a bitmask
+// of the downstream VCs the bidding header may take: a one-bit mask naming
+// an escape-routed header's dateline class, or the adaptive VC set (the
+// packet class's qosVcMask() subset under RouterParams::qosClasses) for
+// adaptive headers (see VcOutputChannel).  Unused at numVCs == 1.
 struct CrossbarWires {
   FlitWires flit;
   sim::Wire<bool> rok;

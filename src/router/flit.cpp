@@ -83,6 +83,17 @@ std::uint32_t updateHeader(std::uint32_t header, Rib rib, int m) {
   return (header & ~ribMask) | encodeRib(rib, m);
 }
 
+std::uint32_t encodeTrafficClass(std::uint32_t header, TrafficClass cls,
+                                 int m) {
+  const std::uint32_t tagMask = 3u << m;
+  return (header & ~tagMask) |
+         (static_cast<std::uint32_t>(static_cast<int>(cls)) << m);
+}
+
+TrafficClass decodeTrafficClass(std::uint32_t header, int m) {
+  return static_cast<TrafficClass>((header >> m) & 3u);
+}
+
 std::vector<Flit> makePacket(Rib rib, const std::vector<std::uint32_t>& payload,
                              const RouterParams& params, int vc) {
   if (payload.empty())

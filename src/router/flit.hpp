@@ -68,6 +68,16 @@ Rib consumeHop(Rib rib, Port out);
 // preserving any higher payload bits.
 std::uint32_t updateHeader(std::uint32_t header, Rib rib, int m);
 
+// QoS class tag (RouterParams::qosClasses): carried in header data bits
+// [m, m+2), directly above the RIB.  updateHeader() preserves bits above m,
+// so the tag written at the source NI survives every hop's RIB rewrite.
+// Headers are HLP-unprotected (their RIB is legitimately rewritten), so the
+// tag does not interact with parity.  On non-QoS networks these bits are
+// always zero, keeping the wire format unchanged.
+std::uint32_t encodeTrafficClass(std::uint32_t header, TrafficClass cls,
+                                 int m);
+TrafficClass decodeTrafficClass(std::uint32_t header, int m);
+
 // Data-bit mask for an n-bit channel.
 constexpr std::uint32_t dataMask(int n) {
   return n >= 32 ? 0xffffffffu

@@ -14,24 +14,24 @@ int escapeClass(const VcGeometry& g, Port out, Rib rib) {
 }
 
 int vcRouteOptions(const VcGeometry& g, Rib rib, bool adaptive,
-                   RoutingAlgorithm routing,
+                   RoutingAlgorithm routing, unsigned adaptiveMask,
                    std::array<VcRouteOption, kNumPorts>& options) {
   int count = 0;
   if (adaptive) {
     if (rib == Rib{0, 0}) {
-      options[count++] = {Port::Local, -1};
+      options[count++] = {Port::Local, adaptiveMask};
     } else if (rib.dx < 0) {
       // West-first restriction: a westward offset is consumed before any
       // adaptive choice opens up.
-      options[count++] = {Port::West, -1};
+      options[count++] = {Port::West, adaptiveMask};
     } else {
-      if (rib.dx > 0) options[count++] = {Port::East, -1};
-      if (rib.dy > 0) options[count++] = {Port::North, -1};
-      if (rib.dy < 0) options[count++] = {Port::South, -1};
+      if (rib.dx > 0) options[count++] = {Port::East, adaptiveMask};
+      if (rib.dy > 0) options[count++] = {Port::North, adaptiveMask};
+      if (rib.dy < 0) options[count++] = {Port::South, adaptiveMask};
     }
   }
   const Port dor = route(routing, rib);
-  options[count++] = {dor, escapeClass(g, dor, rib)};
+  options[count++] = {dor, 1u << escapeClass(g, dor, rib)};
   return count;
 }
 

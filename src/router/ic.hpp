@@ -35,18 +35,21 @@ namespace rasoc::router {
 // --- VC-allocation stage (numVCs > 1) --------------------------------------
 //
 // With virtual channels the routing function grows a second output: besides
-// the target port, each header names the downstream VC it needs.  Escape
-// VCs (v < VcGeometry::escapeVCs()) carry deterministic dimension-order
-// traffic and must request the exact dateline class of the next link;
-// adaptive VCs may request any adaptive VC (`want` = -1) of any minimal
-// productive port, falling back to the escape path when starved (Duato's
-// criterion: an adaptive packet can always reach the acyclic escape
-// subnetwork, and packets on escape VCs never leave it).
+// the target port, each header names the downstream VCs it can use, as a
+// bitmask on the `want` crossbar net.  Escape VCs
+// (v < VcGeometry::escapeVCs()) carry deterministic dimension-order traffic
+// and request exactly the dateline class of the next link (a one-bit mask);
+// adaptive VCs may request any VC of their adaptive set — all adaptive VCs
+// by default, or the class's qosVcMask() subset under
+// RouterParams::qosClasses — of any minimal productive port, falling back
+// to the escape path when starved (Duato's criterion: an adaptive packet
+// can always reach the acyclic escape subnetwork, and packets on escape VCs
+// never leave it).
 
-// One candidate (output port, downstream-VC request) for a header.
+// One candidate (output port, downstream-VC-set request) for a header.
 struct VcRouteOption {
   Port port = Port::Local;
-  int want = -1;  // exact escape class, or -1 = any adaptive VC
+  unsigned want = 0;  // bitmask of acceptable downstream VCs
 };
 
 // Dateline class of the link leaving `out` for a packet at geometry `g`
@@ -61,12 +64,14 @@ int escapeClass(const VcGeometry& g, Port out, Rib rib);
 
 // Fills `options` with the candidate bids for a header carrying `rib`, in
 // preference order, and returns how many were written.  Escape VCs get
-// exactly one option (the DOR port with its dateline class).  Adaptive VCs
-// get the minimal productive ports west-first style (a negative X offset
-// forces West before any adaptivity), each with want = -1, then the escape
-// option last so a starved header always converges onto the escape path.
+// exactly one option (the DOR port with its dateline class as a one-bit
+// mask).  Adaptive VCs get the minimal productive ports west-first style (a
+// negative X offset forces West before any adaptivity), each requesting
+// `adaptiveMask` (the full adaptive VC set, or the packet class's
+// qosVcMask() under QoS), then the escape option last so a starved header
+// always converges onto the escape path.
 int vcRouteOptions(const VcGeometry& g, Rib rib, bool adaptive,
-                   RoutingAlgorithm routing,
+                   RoutingAlgorithm routing, unsigned adaptiveMask,
                    std::array<VcRouteOption, kNumPorts>& options);
 
 class InputController : public sim::Module {

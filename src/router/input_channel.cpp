@@ -12,6 +12,17 @@ namespace {
 // sticky, so every starved header eventually bids only its escape path).
 constexpr int kVcPatienceWindow = 4;
 constexpr int kVcPatienceCap = 1 << 20;
+
+// Under qosClasses the window scales with the header's class: a high class
+// owns (or nearly owns) its adaptive lane, so its bid is served quickly in
+// the common case and rotating onto the escape layer — a class-blind FIFO
+// that a Bulk flood keeps full — would be the dominant source of its tail
+// latency.  Low classes keep the base window: their lanes saturate first
+// and the escape fallback is how they drain.  Every window stays finite,
+// so the Duato escape guarantee (DESIGN.md §12/§13) is unchanged.
+constexpr int qosPatienceWindow(TrafficClass cls) {
+  return kVcPatienceWindow << (2 * static_cast<int>(cls));
+}
 }  // namespace
 
 InputChannel::InputChannel(std::string name, const RouterParams& params,
@@ -367,7 +378,7 @@ void VcInputChannel::evaluate() {
     if (!empty) head = q.front();
     const bool headerVisible = !empty && head.bop;
     Port target = Port::Local;
-    int want = -1;
+    unsigned want = 0;
     std::uint32_t forwarded = head.data;
     if (headerVisible) {
       // A granted header forwards the RIB consumed for the hop actually
@@ -381,11 +392,22 @@ void VcInputChannel::evaluate() {
       if (grantedPort >= 0) {
         target = static_cast<Port>(grantedPort);
       } else {
+        // Adaptive bids request the packet's whole adaptive VC set; under
+        // QoS the header's class tag narrows it to the class's channels.
+        int window = kVcPatienceWindow;
+        unsigned adaptiveMask =
+            ((1u << numVCs_) - 1u) & ~((1u << escapeVCs_) - 1u);
+        if (params_.qosClasses) {
+          const TrafficClass cls =
+              decodeTrafficClass(head.data, params_.m);
+          adaptiveMask = qosVcMask(cls, numVCs_, escapeVCs_);
+          window = qosPatienceWindow(cls);
+        }
         std::array<VcRouteOption, kNumPorts> options;
         const int count = vcRouteOptions(geometry_, rib, v >= escapeVCs_,
-                                         params_.routing, options);
-        const int idx =
-            std::min(patience_[vi] / kVcPatienceWindow, count - 1);
+                                         params_.routing, adaptiveMask,
+                                         options);
+        const int idx = std::min(patience_[vi] / window, count - 1);
         target = options[static_cast<std::size_t>(idx)].port;
         want = options[static_cast<std::size_t>(idx)].want;
       }
@@ -396,7 +418,7 @@ void VcInputChannel::evaluate() {
     for (int o = 0; o < kNumPorts; ++o)
       xb.req[static_cast<std::size_t>(o)].set(headerVisible &&
                                               o == index(target));
-    xb.want.set(want);
+    xb.want.set(static_cast<int>(want));
     xb.flit.data.set(forwarded);
     xb.flit.bop.set(head.bop);
     xb.flit.eop.set(head.eop);

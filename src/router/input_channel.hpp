@@ -1,14 +1,15 @@
-// Input channel module (paper Figure 5): IFC + IB + IC + IRS wired
-// together, presenting the external input link on one side and the
-// distributed-crossbar nets (x_*) on the other.
-//
-// VcInputChannel is the numVCs > 1 variant: the FIFO + routing (IRS) state
-// is replicated per virtual channel, flits are demultiplexed by the
-// channel's vc wire, and flow control switches to per-VC on/off (vcFree
-// levels) or per-VC credits (vcAck pulses) — see router/channel.hpp.  It
-// is a monolithic behavioural module (compiled-kernel lowering by declared
-// thunk, like the network interface) so the numVCs == 1 fused lowering and
-// its pinned goldens stay byte-identical.
+/// \file
+/// Input channel module (paper Figure 5): IFC + IB + IC + IRS wired
+/// together, presenting the external input link on one side and the
+/// distributed-crossbar nets (x_*) on the other.
+///
+/// VcInputChannel is the numVCs > 1 variant: the FIFO + routing (IRS) state
+/// is replicated per virtual channel, flits are demultiplexed by the
+/// channel's vc wire, and flow control switches to per-VC on/off (vcFree
+/// levels) or per-VC credits (vcAck pulses) — see router/channel.hpp.  It
+/// is a monolithic behavioural module (compiled-kernel lowering by declared
+/// thunk, like the network interface) so the numVCs == 1 fused lowering and
+/// its pinned goldens stay byte-identical.
 #pragma once
 
 #include <array>
@@ -29,15 +30,17 @@
 
 namespace rasoc::router {
 
-// Opt-in per-channel instrumentation (telemetry subsystem).  All pointers
-// null by default: an unattached channel pays one branch per cycle.
+/// Opt-in per-channel instrumentation (telemetry subsystem).  All pointers
+/// null by default: an unattached channel pays one branch per cycle.
 struct InputChannelMetrics {
-  telemetry::Counter* flitsAccepted = nullptr;  // flits taken off the link
-  telemetry::Counter* fullCycles = nullptr;     // buffer full at the edge
-  telemetry::Counter* stallCycles = nullptr;    // head flit present, no read
-  telemetry::Histogram* occupancy = nullptr;    // per-cycle FIFO occupancy
+  telemetry::Counter* flitsAccepted = nullptr;  ///< flits taken off the link
+  telemetry::Counter* fullCycles = nullptr;     ///< buffer full at the edge
+  telemetry::Counter* stallCycles = nullptr;    ///< head flit present, no read
+  telemetry::Histogram* occupancy = nullptr;    ///< per-cycle FIFO occupancy
 };
 
+/// Single-VC input channel: the paper's IFC + IB + IC + IRS block stack for
+/// one port, bit-exact to the RASoC VHDL at numVCs == 1.
 class InputChannel : public sim::Module {
  public:
   InputChannel(std::string name, const RouterParams& params, Port ownPort,
@@ -47,24 +50,24 @@ class InputChannel : public sim::Module {
   const InputController& controller() const { return ic_; }
   Port port() const { return ownPort_; }
 
-  // Number of flits accepted from the link since reset.
+  /// Number of flits accepted from the link since reset.
   std::uint64_t flitsAccepted() const { return flitsAccepted_; }
 
   // Read-only observation points for the flow tracer, which reconstructs
   // flit movement from settled wires between settle() and tick() instead of
   // instrumenting the channel blocks.  Valid pre-edge only.
-  //
-  // True when the buffer head will be read out at the coming edge.
+
+  /// True when the buffer head will be read out at the coming edge.
   bool dequeueFired() const { return rd_.get() && rok_.get(); }
-  // The external input link wires this channel samples.
+  /// The external input link wires this channel samples.
   const ChannelWires& inWires() const { return *in_; }
 
-  // Enables instrumentation; the metrics must outlive the channel.
+  /// Enables instrumentation; the metrics must outlive the channel.
   void attachMetrics(const InputChannelMetrics& metrics);
 
-  // Compiled-kernel lowering: replaces the IFC/IB/IC/IRS subtree with
-  // three fused arena ops (FIFO publish + routing, link-side flow control,
-  // read switch) and a fused edge op (router/input_channel.cpp).
+  /// Compiled-kernel lowering: replaces the IFC/IB/IC/IRS subtree with
+  /// three fused arena ops (FIFO publish + routing, link-side flow control,
+  /// read switch) and a fused edge op (router/input_channel.cpp).
   bool describe(sim::Lowering& lw) override;
 
  protected:
@@ -94,23 +97,31 @@ class InputChannel : public sim::Module {
   bool metricsAttached_ = false;
 };
 
-// Per-VC instrumentation for the VC'd input channel (telemetry subsystem):
-// shared counters plus one occupancy histogram per virtual channel.
+/// Per-VC instrumentation for the VC'd input channel (telemetry subsystem):
+/// shared counters plus one occupancy histogram per virtual channel.
 struct VcInputChannelMetrics {
-  telemetry::Counter* flitsAccepted = nullptr;
-  telemetry::Counter* fullCycles = nullptr;   // any VC full at the edge
-  telemetry::Counter* stallCycles = nullptr;  // a head flit present, no read
-  std::array<telemetry::Histogram*, kMaxVCs> occupancy{};
+  telemetry::Counter* flitsAccepted = nullptr;  ///< flits taken off the link
+  telemetry::Counter* fullCycles = nullptr;   ///< any VC full at the edge
+  telemetry::Counter* stallCycles = nullptr;  ///< a head flit present, no read
+  std::array<telemetry::Histogram*, kMaxVCs> occupancy{};  ///< per-VC depth
 };
 
-// Virtual-channel input channel: per-VC FIFO + routing/read-switch state
-// behind one physical link.  Headers on escape VCs (v < escapeVCs) bid the
-// deterministic dimension-order port with the exact dateline class the next
-// link needs; headers on adaptive VCs bid one minimal productive port at a
-// time (west-first preference), rotating through their options on a
-// registered patience counter and converging on the escape path when
-// starved (ic.hpp, vcRouteOptions).  One bid per input VC per cycle keeps
-// the allocation single-stage.
+/// Virtual-channel input channel: per-VC FIFO + routing/read-switch state
+/// behind one physical link.  Headers on escape VCs (v < escapeVCs) bid the
+/// deterministic dimension-order port with the exact dateline class the next
+/// link needs; headers on adaptive VCs bid one minimal productive port at a
+/// time (west-first preference), rotating through their options on a
+/// registered patience counter and converging on the escape path when
+/// starved (ic.hpp, vcRouteOptions).  One bid per input VC per cycle keeps
+/// the allocation single-stage.
+///
+/// With RouterParams::qosClasses the adaptive bid is class-constrained: the
+/// header's TrafficClass tag (flit.hpp, decodeTrafficClass) selects the
+/// qosVcMask() subset of adaptive downstream VCs the packet may occupy, so
+/// classes stay on disjoint channels end to end.  The escape fallback is
+/// unchanged — any starved header, of any class, converges onto the shared
+/// escape path, which is what keeps the deadlock-freedom argument intact
+/// (DESIGN.md §13).
 class VcInputChannel : public sim::Module {
  public:
   VcInputChannel(std::string name, const RouterParams& params, Port ownPort,
@@ -124,27 +135,33 @@ class VcInputChannel : public sim::Module {
   bool overflowDetected() const { return overflow_; }
   std::uint64_t flitsAccepted() const { return flitsAccepted_; }
 
-  // Registered per-VC occupancy (flits buffered) and its per-cycle running
-  // sum, for credit-conservation checks and occupancy heatmaps.
+  /// Registered per-VC occupancy (flits buffered), for credit-conservation
+  /// checks and occupancy heatmaps.
   int occupancy(int v) const {
     return static_cast<int>(fifo_[static_cast<std::size_t>(v)].size());
   }
+  /// Per-cycle running sum of occupancy(v), for time-averaged depth.
   std::uint64_t occupancySum(int v) const {
     return occupancySum_[static_cast<std::size_t>(v)];
   }
 
   // Read-only observation points for the flow tracer (pre-edge wires; see
   // InputChannel for the reconstruction contract).
+
+  /// True when the link offers a flit this cycle.
   bool acceptFired() const { return in_->val.get(); }
+  /// The VC the offered flit targets (valid while acceptFired()).
   int acceptVc() const { return in_->vc.get(); }
-  // True when VC v's buffer head will be read out at the coming edge.
+  /// True when VC v's buffer head will be read out at the coming edge.
   bool dequeueFired(int v) const;
+  /// The external input link wires this channel samples.
   const ChannelWires& inWires() const { return *in_; }
 
+  /// Enables instrumentation; the metrics must outlive the channel.
   void attachMetrics(const VcInputChannelMetrics& metrics);
 
-  // Behavioural thunk with declared reads/writes (the per-VC FIFOs are
-  // registered state walked directly), plus a clockEdge() call.
+  /// Behavioural thunk with declared reads/writes (the per-VC FIFOs are
+  /// registered state walked directly), plus a clockEdge() call.
   bool describe(sim::Lowering& lw) override;
 
  protected:

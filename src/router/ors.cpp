@@ -4,7 +4,7 @@ namespace rasoc::router {
 
 int vcArbitrate(
     const std::array<std::array<CrossbarWires, kMaxVCs>, kNumPorts>& xbar,
-    int numVCs, int escapeVCs, Port ownPort, int downVc, int rrStart,
+    int numVCs, Port ownPort, int downVc, int rrStart,
     const std::array<bool, kNumPorts * kMaxVCs>& consumed) {
   const int own = index(ownPort);
   const int slots = kNumPorts * kMaxVCs;
@@ -17,8 +17,8 @@ int vcArbitrate(
     const CrossbarWires& src =
         xbar[static_cast<std::size_t>(inPort)][static_cast<std::size_t>(inVc)];
     if (!src.req[static_cast<std::size_t>(own)].get()) continue;
-    const int want = src.want.get();
-    if (want == downVc || (want < 0 && downVc >= escapeVCs)) return slot;
+    const unsigned want = static_cast<unsigned>(src.want.get());
+    if ((want >> downVc) & 1u) return slot;
   }
   return -1;
 }

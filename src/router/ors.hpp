@@ -49,16 +49,17 @@ class Ors : public sim::Module {
 //
 // Allocates one idle downstream VC among the (input port, input VC)
 // requesters bidding for this output.  A requester matches downstream VC
-// `downVc` when its `want` names it exactly (escape traffic requesting its
-// dateline class) or when `want` is -1 and `downVc` is adaptive
-// (>= escapeVCs).  The scan is round-robin over the flattened
-// (port, VC) slot space starting at `rrStart`; slots marked in `consumed`
-// (already holding a connection, or granted earlier this same edge) are
-// skipped so one input VC never acquires two downstream VCs.  Returns the
-// chosen slot (inPort * kMaxVCs + inVc) or -1.
+// `downVc` when bit `downVc` of its `want` mask is set — a one-bit mask for
+// escape traffic requesting its dateline class, the adaptive set (or the
+// class's qosVcMask() subset under RouterParams::qosClasses) for adaptive
+// headers.  The scan is round-robin over the flattened (port, VC) slot
+// space starting at `rrStart`; slots marked in `consumed` (already holding
+// a connection, or granted earlier this same edge) are skipped so one input
+// VC never acquires two downstream VCs.  Returns the chosen slot
+// (inPort * kMaxVCs + inVc) or -1.
 int vcArbitrate(
     const std::array<std::array<CrossbarWires, kMaxVCs>, kNumPorts>& xbar,
-    int numVCs, int escapeVCs, Port ownPort, int downVc, int rrStart,
+    int numVCs, Port ownPort, int downVc, int rrStart,
     const std::array<bool, kNumPorts * kMaxVCs>& consumed);
 
 }  // namespace rasoc::router

@@ -321,32 +321,54 @@ void VcOutputChannel::onReset() {
   conn_.fill(Conn{});
   rrNext_.fill(0);
   schedRR_ = 0;
+  starve_.fill(0);
   if (creditMode()) credits_.reset(numVCs_, params_.p);
   flitsSent_ = 0;
   vcFlitsSent_.fill(0);
 }
 
+bool VcOutputChannel::schedulable(int d) const {
+  const Conn& c = conn_[static_cast<std::size_t>(d)];
+  if (!c.active) return false;
+  const CrossbarWires& src = (*xbar_)[static_cast<std::size_t>(c.inPort)]
+                                     [static_cast<std::size_t>(c.inVc)];
+  if (!src.rok.get()) return false;
+  if (!out_->vcFree[static_cast<std::size_t>(d)].get()) return false;
+  if (creditMode() && !credits_.available(d)) return false;
+  return true;
+}
+
 void VcOutputChannel::evaluate() {
   const int own = index(ownPort_);
 
-  // Round-robin one connected, ready, non-blocked downstream VC onto the
+  // Schedule one connected, ready, non-blocked downstream VC onto the
   // physical link.  vcFree is the receiver's space advertisement (on/off) or
   // the link-up level (credit mode, masked low by a faulted link), so a
   // scheduled flit always lands: the transfer is unconditional.  Chosen
   // before any wire is driven so every wire below is set exactly once per
   // pass — a drive-low-then-raise sequence would trip the settle loop's
   // change flag on every iteration and never reach a fixpoint.
+  //
+  // Policy: round-robin by default; under qosClasses, strict priority by
+  // downstream VC index (descending — the class→VC map puts higher classes
+  // on higher VCs) unless some VC's starvation counter crossed
+  // kQosStarvationWindow, in which case the lowest-index starved VC wins so
+  // escape VCs are always served within a bounded interval.
   int sched = -1;
-  for (int step = 0; step < numVCs_ && sched < 0; ++step) {
-    const int d = (schedRR_ + step) % numVCs_;
-    const Conn& c = conn_[static_cast<std::size_t>(d)];
-    if (!c.active) continue;
-    const CrossbarWires& src = (*xbar_)[static_cast<std::size_t>(c.inPort)]
-                                       [static_cast<std::size_t>(c.inVc)];
-    if (!src.rok.get()) continue;
-    if (!out_->vcFree[static_cast<std::size_t>(d)].get()) continue;
-    if (creditMode() && !credits_.available(d)) continue;
-    sched = d;
+  if (params_.qosClasses) {
+    int starved = -1;
+    for (int d = numVCs_ - 1; d >= 0; --d) {
+      if (!schedulable(d)) continue;
+      if (sched < 0) sched = d;
+      if (starve_[static_cast<std::size_t>(d)] >= kQosStarvationWindow)
+        starved = d;  // descending loop: the last hit is the lowest index
+    }
+    if (starved >= 0) sched = starved;
+  } else {
+    for (int step = 0; step < numVCs_ && sched < 0; ++step) {
+      const int d = (schedRR_ + step) % numVCs_;
+      if (schedulable(d)) sched = d;
+    }
   }
   const Conn* sc =
       sched >= 0 ? &conn_[static_cast<std::size_t>(sched)] : nullptr;
@@ -378,6 +400,22 @@ void VcOutputChannel::evaluate() {
 
 void VcOutputChannel::clockEdge() {
   const int own = index(ownPort_);
+
+  // 0. QoS starvation accounting, from pre-commit wire state (credits_ not
+  //    yet burned): a VC that could have sent but was not scheduled ages by
+  //    one edge; a served or ineligible VC resets.  Bounded so a VC parked
+  //    behind a full receiver cannot overflow the counter.
+  if (params_.qosClasses) {
+    const int servedVc = out_->val.get() ? out_->vc.get() : -1;
+    for (int d = 0; d < numVCs_; ++d) {
+      auto& age = starve_[static_cast<std::size_t>(d)];
+      if (schedulable(d) && d != servedVc) {
+        if (age <= kQosStarvationWindow) ++age;
+      } else {
+        age = 0;
+      }
+    }
+  }
 
   // 1. Commit the scheduled transfer: count, burn a credit, tear the
   //    connection down on the tail flit and advance the link RR.
@@ -419,7 +457,16 @@ void VcOutputChannel::clockEdge() {
   const int slots = kNumPorts * kMaxVCs;
   for (int d = 0; d < numVCs_; ++d) {
     if (conn_[static_cast<std::size_t>(d)].active) continue;
-    const int slot = vcArbitrate(*xbar_, numVCs_, escapeVCs_, ownPort_, d,
+    // Duato guard: never hand out a downstream VC that cannot accept a
+    // flit right now.  An allocated header is committed — its patience
+    // rotation stops, so it can no longer fall back to the escape option —
+    // and committing it to a lane still backlogged with a predecessor's
+    // flits closes wait cycles the escape layer can never break (a Bulk
+    // flood confined to one lane by the QoS class map wedges a ring this
+    // way).  Keeping the header unallocated keeps its escape bid alive.
+    if (!out_->vcFree[static_cast<std::size_t>(d)].get()) continue;
+    if (creditMode() && !credits_.available(d)) continue;
+    const int slot = vcArbitrate(*xbar_, numVCs_, ownPort_, d,
                                  rrNext_[static_cast<std::size_t>(d)],
                                  consumed);
     if (slot < 0) continue;

@@ -1,6 +1,10 @@
-// Output channel module (paper Figure 6): OC + ODS + ORS + OFC wired
-// together, presenting the crossbar nets on one side and the external
-// output link on the other.
+/// \file
+/// Output channel module (paper Figure 6): OC + ODS + ORS + OFC wired
+/// together, presenting the crossbar nets on one side and the external
+/// output link on the other.  VcOutputChannel is the numVCs > 1 variant
+/// with per-downstream-VC connection state, VC allocation and — under
+/// RouterParams::qosClasses — strict-priority link scheduling with a
+/// starvation guard.
 #pragma once
 
 #include <array>
@@ -20,16 +24,18 @@
 
 namespace rasoc::router {
 
-// Opt-in per-channel instrumentation (telemetry subsystem).  All pointers
-// null by default: an unattached channel pays one branch per cycle.
+/// Opt-in per-channel instrumentation (telemetry subsystem).  All pointers
+/// null by default: an unattached channel pays one branch per cycle.
 struct OutputChannelMetrics {
-  telemetry::Counter* flitsSent = nullptr;      // flits put on the link
-  telemetry::Counter* busyCycles = nullptr;     // link val asserted
-  telemetry::Counter* grants = nullptr;         // arbitration grants issued
-  telemetry::Counter* conflictCycles = nullptr; // a requester left waiting
-  telemetry::Counter* routerFlits = nullptr;    // router-aggregate throughput
+  telemetry::Counter* flitsSent = nullptr;      ///< flits put on the link
+  telemetry::Counter* busyCycles = nullptr;     ///< link val asserted
+  telemetry::Counter* grants = nullptr;         ///< arbitration grants issued
+  telemetry::Counter* conflictCycles = nullptr; ///< a requester left waiting
+  telemetry::Counter* routerFlits = nullptr;    ///< router-aggregate throughput
 };
 
+/// Single-VC output channel: the paper's OC + ODS + ORS + OFC block stack,
+/// bit-exact to the RASoC VHDL at numVCs == 1.
 class OutputChannel : public sim::Module {
  public:
   OutputChannel(std::string name, const RouterParams& params, Port ownPort,
@@ -39,26 +45,28 @@ class OutputChannel : public sim::Module {
   const OutputController& controller() const { return oc_; }
   Port port() const { return ownPort_; }
 
-  // Number of flits sent over the link since reset.
+  /// Number of flits sent over the link since reset.
   std::uint64_t flitsSent() const { return flitsSent_; }
 
   // Read-only observation points for the flow tracer (pre-edge wires; see
   // InputChannel for the reconstruction contract).
+
+  /// The external output link wires this channel drives.
   const ChannelWires& outWires() const { return *out_; }
-  // Combinational connection/selection nets driven by the OC this cycle.
+  /// Combinational connection/selection nets driven by the OC this cycle.
   bool connectedWire() const { return connected_.get(); }
   int selWire() const { return sel_.get(); }
-  // The shared crossbar nets, for replaying request/grant decisions.
+  /// The shared crossbar nets, for replaying request/grant decisions.
   const std::array<CrossbarWires, kNumPorts>& xbarWires() const {
     return *xbar_;
   }
 
-  // Enables instrumentation; the metrics must outlive the channel.
+  /// Enables instrumentation; the metrics must outlive the channel.
   void attachMetrics(const OutputChannelMetrics& metrics);
 
-  // Compiled-kernel lowering: replaces the OC/ODS/ORS/OFC subtree with two
-  // fused arena ops (grant publish + output mux, flow-control response) and
-  // a fused edge op (router/output_channel.cpp).
+  /// Compiled-kernel lowering: replaces the OC/ODS/ORS/OFC subtree with two
+  /// fused arena ops (grant publish + output mux, flow-control response) and
+  /// a fused edge op (router/output_channel.cpp).
   bool describe(sim::Lowering& lw) override;
 
  protected:
@@ -88,25 +96,39 @@ class OutputChannel : public sim::Module {
   bool metricsAttached_ = false;
 };
 
-// Per-VC instrumentation for the VC'd output channel (telemetry subsystem).
+/// Per-VC instrumentation for the VC'd output channel (telemetry subsystem).
 struct VcOutputChannelMetrics {
-  telemetry::Counter* flitsSent = nullptr;
-  telemetry::Counter* busyCycles = nullptr;      // link val asserted
-  telemetry::Counter* grants = nullptr;          // downstream-VC allocations
-  telemetry::Counter* conflictCycles = nullptr;  // a requester left waiting
-  telemetry::Counter* routerFlits = nullptr;     // router-aggregate throughput
-  std::array<telemetry::Counter*, kMaxVCs> vcFlits{};  // per downstream VC
+  telemetry::Counter* flitsSent = nullptr;       ///< flits put on the link
+  telemetry::Counter* busyCycles = nullptr;      ///< link val asserted
+  telemetry::Counter* grants = nullptr;          ///< downstream-VC allocations
+  telemetry::Counter* conflictCycles = nullptr;  ///< a requester left waiting
+  telemetry::Counter* routerFlits = nullptr;     ///< router-aggregate flits
+  std::array<telemetry::Counter*, kMaxVCs> vcFlits{};  ///< per downstream VC
 };
 
-// Virtual-channel output channel (numVCs > 1): a connection table maps each
-// downstream VC to the (input port, input VC) holding it; allocation runs at
-// the clock edge with vcArbitrate (ors.hpp), and evaluate() round-robins the
-// connected, ready, non-blocked downstream VCs onto the one physical link.
-// Flit transfers are unconditional once scheduled: out_val is only asserted
-// when the receiver advertised space (vcFree level) or a credit was
-// available, so the ack wire is unused at numVCs > 1.
+/// Virtual-channel output channel (numVCs > 1): a connection table maps each
+/// downstream VC to the (input port, input VC) holding it; allocation runs at
+/// the clock edge with vcArbitrate (ors.hpp), and evaluate() schedules one
+/// connected, ready, non-blocked downstream VC onto the one physical link —
+/// round-robin by default.  Flit transfers are unconditional once scheduled:
+/// out_val is only asserted when the receiver advertised space (vcFree level)
+/// or a credit was available, so the ack wire is unused at numVCs > 1.
+///
+/// With RouterParams::qosClasses the link scheduler switches to strict
+/// priority by downstream VC index, descending — the class→VC map
+/// (params.hpp, qosVcMask) places higher classes on higher VCs, so this is
+/// strict priority by TrafficClass — tempered by a starvation guard: a VC
+/// that stayed eligible but unscheduled for kQosStarvationWindow consecutive
+/// edges preempts the priority order (lowest starved VC first, so escape VCs
+/// win ties).  The guard bounds every VC's service interval, which keeps the
+/// escape layer's deadlock-freedom argument intact under class mapping
+/// (DESIGN.md §13).
 class VcOutputChannel : public sim::Module {
  public:
+  /// Edges a VC may stay eligible-but-unscheduled under QoS before it
+  /// preempts the strict priority order.
+  static constexpr int kQosStarvationWindow = 8;
+
   VcOutputChannel(std::string name, const RouterParams& params, Port ownPort,
                   VcGeometry geometry,
                   std::array<std::array<CrossbarWires, kMaxVCs>, kNumPorts>&
@@ -117,29 +139,44 @@ class VcOutputChannel : public sim::Module {
   int numVCs() const { return numVCs_; }
   int escapeVCs() const { return escapeVCs_; }
   std::uint64_t flitsSent() const { return flitsSent_; }
+  /// Flits sent on downstream VC `v` since reset.
   std::uint64_t flitsSent(int v) const {
     return vcFlitsSent_[static_cast<std::size_t>(v)];
   }
-  // Sender-side credit pool (credit flow control only).
+  /// Sender-side credit pool (credit flow control only).
   const VcCredits& credits() const { return credits_; }
+
+  /// QoS starvation-guard counter for downstream VC `v` (always zero when
+  /// qosClasses is off); exposed for the starvation-bound tests.
+  int starvation(int v) const {
+    return starve_[static_cast<std::size_t>(v)];
+  }
 
   // Read-only observation points for the flow tracer (pre-edge wires and
   // registered connection state; see InputChannel for the contract).
+
+  /// The external output link wires this channel drives.
   const ChannelWires& outWires() const { return *out_; }
+  /// True when a flit is scheduled onto the link this cycle.
   bool linkScheduled() const { return out_->val.get(); }
+  /// The downstream VC of the scheduled flit (valid while linkScheduled()).
   int scheduledVc() const { return out_->vc.get(); }
+  /// True when downstream VC `d` holds a wormhole connection.
   bool connActive(int d) const {
     return conn_[static_cast<std::size_t>(d)].active;
   }
+  /// Input port of downstream VC `d`'s connection.
   int connInPort(int d) const {
     return conn_[static_cast<std::size_t>(d)].inPort;
   }
+  /// Input VC of downstream VC `d`'s connection.
   int connInVc(int d) const { return conn_[static_cast<std::size_t>(d)].inVc; }
 
+  /// Enables instrumentation; the metrics must outlive the channel.
   void attachMetrics(const VcOutputChannelMetrics& metrics);
 
-  // Behavioural thunk with declared reads/writes plus a clockEdge() call
-  // (same lowering strategy as VcInputChannel and the network interface).
+  /// Behavioural thunk with declared reads/writes plus a clockEdge() call
+  /// (same lowering strategy as VcInputChannel and the network interface).
   bool describe(sim::Lowering& lw) override;
 
  protected:
@@ -151,6 +188,9 @@ class VcOutputChannel : public sim::Module {
   bool creditMode() const {
     return flowControl_ == FlowControl::CreditBased;
   }
+  // Downstream VC d is connected, its source has a flit ready, and the
+  // receiver can take it — the link scheduler's candidate predicate.
+  bool schedulable(int d) const;
 
   // One downstream VC's registered connection (wormhole: held from header
   // grant to tail send).
@@ -173,6 +213,7 @@ class VcOutputChannel : public sim::Module {
   std::array<Conn, kMaxVCs> conn_{};
   std::array<int, kMaxVCs> rrNext_{};  // per-downstream-VC allocation RR
   int schedRR_ = 0;                    // link-scheduling RR over downstream VCs
+  std::array<int, kMaxVCs> starve_{};  // QoS: eligible-but-unscheduled edges
   VcCredits credits_;                  // credit mode only
 
   std::uint64_t flitsSent_ = 0;

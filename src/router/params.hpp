@@ -75,6 +75,69 @@ enum class RoutingAlgorithm { XY, YX };
 // RouterParams::numVCs are never driven.
 inline constexpr int kMaxVCs = 4;
 
+// --- QoS traffic classes (RouterParams::qosClasses) ------------------------
+//
+// Four service classes, ordered by priority (higher enum value = higher
+// priority).  The class is tagged at the source NI, carried in the header
+// flit's data bits [m, m+2) — above the RIB, which updateHeader() preserves
+// at every hop — and mapped onto disjoint sets of adaptive virtual channels
+// (qosVcMask).  Output channels then arbitrate between downstream VCs with
+// strict priority plus a starvation guard (output_channel.hpp), which is
+// what turns the VC separation into per-class latency isolation.
+enum class TrafficClass : int {
+  BestEffort = 0,  // unreserved background traffic
+  Bulk = 1,        // high-volume transfers; may saturate its channel
+  Latency = 2,     // latency-sensitive application traffic
+  Control = 3,     // control-plane / protocol traffic; never starves
+};
+
+inline constexpr int kNumTrafficClasses = 4;
+
+constexpr std::string_view name(TrafficClass cls) {
+  switch (cls) {
+    case TrafficClass::BestEffort: return "best_effort";
+    case TrafficClass::Bulk: return "bulk";
+    case TrafficClass::Latency: return "latency";
+    case TrafficClass::Control: return "control";
+  }
+  return "?";
+}
+
+// Class -> adaptive-VC-set policy, shared by the NI (injection VC), the
+// VC'd input channel (which downstream VCs a header may bid for) and tests.
+// Escape VCs [0, escapeVCs) stay class-agnostic: they are the deadlock-
+// freedom substrate every starved header can fall back onto (DESIGN.md
+// §13).  With a = numVCs - escapeVCs adaptive VCs:
+//   a >= 3: Control gets the top VC exclusively, Latency the next one,
+//           Bulk and BestEffort share the remaining adaptive VCs.
+//   a == 2: Control gets the top VC exclusively, the other three classes
+//           share the remaining adaptive VC.
+// QoS requires a >= 2 (an exclusive Control channel is the isolation
+// claim); the network builder validates this.
+constexpr unsigned qosVcMask(TrafficClass cls, int numVCs, int escapeVCs) {
+  const unsigned adaptive = ((1u << numVCs) - 1u) & ~((1u << escapeVCs) - 1u);
+  const unsigned top = 1u << (numVCs - 1);
+  if (numVCs - escapeVCs >= 3) {
+    const unsigned second = 1u << (numVCs - 2);
+    switch (cls) {
+      case TrafficClass::Control: return top;
+      case TrafficClass::Latency: return second;
+      default: return adaptive & ~(top | second);
+    }
+  }
+  return cls == TrafficClass::Control ? top : adaptive & ~top;
+}
+
+// The adaptive VC the NI injects packets of class `cls` on: the lowest VC
+// of the class's mask (deterministic, so per-VC send queues stay FIFO per
+// class set).
+constexpr int qosInjectVc(TrafficClass cls, int numVCs, int escapeVCs) {
+  const unsigned mask = qosVcMask(cls, numVCs, escapeVCs);
+  for (int v = 0; v < numVCs; ++v)
+    if ((mask >> v) & 1u) return v;
+  return escapeVCs;  // unreachable for valid configurations
+}
+
 // Where a router sits in its network, for the escape-channel routing used
 // when numVCs > 1 (see input_channel.hpp, VcInputChannel).  A VC'd router
 // needs to know its own coordinates and which axes wrap to classify each
@@ -117,6 +180,15 @@ struct RouterParams {
   // with VC 0..escapeVCs-1 reserved for deterministic escape routing.
   int numVCs = 1;
 
+  // QoS traffic classes over the VC substrate (numVCs > 1 only).  When set,
+  // headers carry a TrafficClass in data bits [m, m+2), adaptive headers
+  // may only bid for the downstream VCs of their class (qosVcMask), and
+  // output channels schedule downstream VCs with strict priority plus a
+  // starvation guard instead of round-robin.  Off (the default) keeps VC
+  // behavior exactly as before: the class bits stay zero and every adaptive
+  // header may take any adaptive VC.
+  bool qosClasses = false;
+
   // Bitmask of instantiated ports; bit index(Port).  Full routers use all
   // five; mesh corner/edge routers prune the dangling ones.
   unsigned portMask = 0x1f;
@@ -141,6 +213,13 @@ struct RouterParams {
     if (p < 1 || p > 64) throw std::invalid_argument("p must be in [1,64]");
     if (numVCs < 1 || numVCs > kMaxVCs)
       throw std::invalid_argument("numVCs must be in [1,kMaxVCs]");
+    if (qosClasses) {
+      if (numVCs < 2)
+        throw std::invalid_argument("qosClasses requires numVCs > 1");
+      if (m + 2 > n)
+        throw std::invalid_argument(
+            "qosClasses needs 2 header bits above the RIB (n >= m + 2)");
+    }
     if ((portMask & 0x1fu) == 0 || portMask > 0x1fu)
       throw std::invalid_argument("portMask must select 1..5 of 5 ports");
   }

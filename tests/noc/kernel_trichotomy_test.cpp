@@ -285,6 +285,54 @@ TEST(KernelTrichotomyTest, VirtualChannelLockstepAtTwoAndFourVCs) {
   }
 }
 
+TEST(KernelTrichotomyTest, QosMixedClassLockstepAtFourVCs) {
+  // QoS adds class-tagged headers, the class->VC bid mask, the NI's per-VC
+  // inject queues and the output channels' strict-priority-with-starvation
+  // scheduler; all of it must stay bit-identical across every kernel (the
+  // modules lower as declared thunks, so this pins the shared behavioural
+  // code under both substrates and the parallel kernel's domain cuts).
+  for (const auto& topo :
+       {makeTopology("mesh", 4, 4), makeTopology("torus", 4, 4),
+        makeTopology("ring", 8, 1)}) {
+    SCOPED_TRACE(topo->describe());
+    FlowSpec control;
+    control.trafficClass = router::TrafficClass::Control;
+    control.traffic.offeredLoad = 0.05;
+    control.traffic.payloadFlits = 2;
+    control.traffic.seed = 31;
+    FlowSpec bulk;
+    bulk.trafficClass = router::TrafficClass::Bulk;
+    bulk.traffic.offeredLoad = 0.45;
+    bulk.traffic.payloadFlits = 4;
+    bulk.traffic.seed = 32;
+    std::vector<std::unique_ptr<Network>> nets;
+    struct Pick {
+      Simulator::Kernel kernel;
+      int threads;
+    };
+    for (const Pick pick :
+         {Pick{Simulator::Kernel::Naive, 1},
+          Pick{Simulator::Kernel::EventDriven, 1},
+          Pick{Simulator::Kernel::ParallelEventDriven, 2},
+          Pick{Simulator::Kernel::Compiled, 1}}) {
+      NetworkConfig cfg;
+      cfg.params.n = 16;
+      cfg.params.p = 4;
+      cfg.params.numVCs = 4;
+      cfg.params.qosClasses = true;
+      cfg.kernel = pick.kernel;
+      cfg.threads = pick.threads;
+      auto net = std::make_unique<Network>(topo, cfg);
+      net->attachTraffic(std::vector<FlowSpec>{control, bulk});
+      nets.push_back(std::move(net));
+    }
+    runLockstep(nets, 800, 200);
+    // The classes must both have flowed for the lockstep to mean anything.
+    EXPECT_GT(nets[0]->ledger().delivered(router::TrafficClass::Control), 0u);
+    EXPECT_GT(nets[0]->ledger().delivered(router::TrafficClass::Bulk), 0u);
+  }
+}
+
 // --- fault-campaign agreement ----------------------------------------------
 
 TEST(KernelTrichotomyTest, FaultCampaignLockstepCompiledVsEventDriven) {

@@ -232,6 +232,53 @@ TEST(VcDeadlockTest, CreditFlowControlDrainsTheSameBattery) {
   }
 }
 
+TEST(VcDeadlockTest, QosClassMappedAllToAllDrainsOnEveryTopology) {
+  // QoS narrows adaptive bids to per-class VC masks and replaces the output
+  // round-robin with strict priority + starvation guard; Duato's criterion
+  // still holds (the escape layer is class-blind and the guard bounds every
+  // VC's wait), so the same adversarial cycles must drain.  Classes rotate
+  // per packet so every class's lane carries wrap traffic at once.
+  for (const auto& topo :
+       {makeTopology("mesh", 4, 4), makeTopology("torus", 4, 4),
+        makeTopology("ring", 8, 1)}) {
+    for (const KernelPick& pick : kFastKernels) {
+      for (FlowControl fc :
+           {FlowControl::Handshake, FlowControl::CreditBased}) {
+        const std::string what =
+            label(topo, 4, pick) +
+            (fc == FlowControl::CreditBased ? " credit" : " handshake") +
+            " qos all-to-all";
+        SCOPED_TRACE(what);
+        NetworkConfig cfg;
+        cfg.params.n = 16;  // room for the class tag above the RIB
+        cfg.params.numVCs = 4;
+        cfg.params.qosClasses = true;
+        cfg.params.flowControl = fc;
+        cfg.kernel = pick.kernel;
+        cfg.threads = pick.threads;
+        auto net = std::make_unique<Network>(topo, cfg);
+        Watchdog dog("dog", net->ledger(), 1500,
+                     [&net] { return net->blockedLinkNames(); });
+        net->simulator().add(dog);
+        std::uint64_t sent = 0;
+        for (int s = 0; s < topo->nodes(); ++s)
+          for (int d = 0; d < topo->nodes(); ++d) {
+            if (s == d) continue;
+            const auto cls = static_cast<router::TrafficClass>(
+                (s + d) % router::kNumTrafficClasses);
+            net->ni(topo->nodeAt(s))
+                .send(topo->nodeAt(d),
+                      {static_cast<std::uint32_t>(s),
+                       static_cast<std::uint32_t>(d)},
+                      cls);
+            ++sent;
+          }
+        drainGuarded(*net, dog, sent, what);
+      }
+    }
+  }
+}
+
 TEST(VcDeadlockTest, GeneratorSaturationDrainsAfterTrafficPauses) {
   // Sustained generator load beyond saturation, then pause and drain: the
   // steady-state wormhole backpressure configuration, not just a burst.

@@ -47,6 +47,7 @@ struct FuzzConfig {
   int numVCs = 1;
   FlowControl flowControl = FlowControl::Handshake;
   bool wraps = false;
+  bool qos = false;
 
   int escapeVCs() const { return wraps ? 2 : 1; }
   // All VCs deterministic dimension-order escape channels: per-flow FIFO
@@ -55,7 +56,9 @@ struct FuzzConfig {
 
   std::string describe() const {
     return topo->describe() + " vc" + std::to_string(numVCs) +
-           (flowControl == FlowControl::CreditBased ? " credit" : " handshake");
+           (flowControl == FlowControl::CreditBased ? " credit"
+                                                    : " handshake") +
+           (qos ? " qos" : "");
   }
 };
 
@@ -81,6 +84,9 @@ FuzzConfig drawConfig(Xoshiro256& rng) {
   cfg.numVCs = vcChoices[rng.below(3)];
   cfg.flowControl =
       rng.chance(0.5) ? FlowControl::CreditBased : FlowControl::Handshake;
+  // Class-mapped configurations need two adaptive VCs above the escape
+  // layer, so only the vc4 draws are eligible.
+  cfg.qos = cfg.numVCs - cfg.escapeVCs() >= 2 && rng.chance(0.5);
   return cfg;
 }
 
@@ -90,6 +96,7 @@ std::unique_ptr<Network> makeNet(const FuzzConfig& cfg,
   nc.params.n = 16;  // payload word 0 carries (src << 8) | seq
   nc.params.numVCs = cfg.numVCs;
   nc.params.flowControl = cfg.flowControl;
+  nc.params.qosClasses = cfg.qos;
   nc.kernel = kernel;
   return std::make_unique<Network>(cfg.topo, nc);
 }
@@ -99,10 +106,12 @@ std::unique_ptr<Network> makeNet(const FuzzConfig& cfg,
 struct SentPacket {
   int src = 0;
   int dst = 0;
+  router::TrafficClass cls = router::TrafficClass::BestEffort;
   std::vector<std::uint32_t> payload;
 };
 
-std::vector<SentPacket> drawTraffic(Xoshiro256& rng, const Topology& topo) {
+std::vector<SentPacket> drawTraffic(Xoshiro256& rng, const Topology& topo,
+                                    bool qos) {
   const int nodes = topo.nodes();
   const int count = 20 + static_cast<int>(rng.below(21));
   std::vector<int> seqBySrc(static_cast<std::size_t>(nodes), 0);
@@ -114,6 +123,9 @@ std::vector<SentPacket> drawTraffic(Xoshiro256& rng, const Topology& topo) {
     do {
       p.dst = static_cast<int>(rng.below(static_cast<std::uint64_t>(nodes)));
     } while (p.dst == p.src);
+    if (qos)
+      p.cls = static_cast<router::TrafficClass>(
+          rng.below(router::kNumTrafficClasses));
     const int seq = seqBySrc[static_cast<std::size_t>(p.src)]++;
     p.payload.push_back(static_cast<std::uint32_t>((p.src << 8) | seq));
     const int filler = static_cast<int>(rng.below(3));
@@ -193,18 +205,17 @@ void expectDeliverySemantics(Network& net, const FuzzConfig& cfg,
   }
 }
 
-void runFuzzIteration(std::uint64_t seed) {
-  Xoshiro256 rng(seed);
-  const FuzzConfig cfg = drawConfig(rng);
+void runFuzzConfig(const FuzzConfig& cfg, Xoshiro256& rng,
+                   std::uint64_t seed) {
   SCOPED_TRACE("seed " + std::to_string(seed) + ": " + cfg.describe());
 
-  const std::vector<SentPacket> sent = drawTraffic(rng, *cfg.topo);
+  const std::vector<SentPacket> sent = drawTraffic(rng, *cfg.topo, cfg.qos);
   auto naive = makeNet(cfg, Simulator::Kernel::Naive);
   auto compiled = makeNet(cfg, Simulator::Kernel::Compiled);
   for (const SentPacket& p : sent)
     for (Network* net : {naive.get(), compiled.get()})
       net->ni(cfg.topo->nodeAt(p.src))
-          .send(cfg.topo->nodeAt(p.dst), p.payload);
+          .send(cfg.topo->nodeAt(p.dst), p.payload, p.cls);
 
   const auto total = static_cast<std::uint64_t>(sent.size());
   const bool checkCredits =
@@ -241,8 +252,34 @@ void runFuzzIteration(std::uint64_t seed) {
   expectDeliverySemantics(*compiled, cfg, sent);
 }
 
+void runFuzzIteration(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const FuzzConfig cfg = drawConfig(rng);
+  runFuzzConfig(cfg, rng, seed);
+}
+
 TEST(VcFuzzTest, DifferentialLockstepAcrossRandomConfigs) {
   for (std::uint64_t seed = 1; seed <= 12; ++seed) runFuzzIteration(seed);
+}
+
+TEST(VcFuzzTest, DifferentialLockstepAtForcedQosConfigs) {
+  // The random draw only sometimes lands on class-mapped configurations;
+  // this pass pins them: every topology family and both flow controls at
+  // vc4 with qosClasses, random per-packet classes.
+  std::uint64_t seed = 0x905;
+  for (const char* kind : {"mesh", "torus", "ring"}) {
+    for (FlowControl fc : {FlowControl::Handshake, FlowControl::CreditBased}) {
+      FuzzConfig cfg;
+      cfg.topo = kind == std::string("ring") ? makeTopology("ring", 6, 1)
+                                             : makeTopology(kind, 3, 3);
+      cfg.wraps = kind != std::string("mesh");
+      cfg.numVCs = 4;
+      cfg.flowControl = fc;
+      cfg.qos = true;
+      Xoshiro256 rng(++seed);
+      runFuzzConfig(cfg, rng, seed);
+    }
+  }
 }
 
 TEST(VcFuzzTest, CreditConservationSurvivesSaturatingLoad) {
